@@ -1,0 +1,54 @@
+//! # rtr-baselines — every comparison measure from the paper's evaluation
+//!
+//! The effectiveness study (paper Sect. VI-A) compares RoundTripRank and
+//! RoundTripRank+ against two families of baselines:
+//!
+//! **Mono-sensed** (Fig. 5): F-Rank/PPR and T-Rank (from `rtr-core`), plus
+//! * [`simrank`] — SimRank [Jeh & Widom 2002] with C = 0.85 (exact iterative
+//!   for small graphs and a single-source Monte-Carlo estimator for larger
+//!   ones);
+//! * [`adamic_adar`] — AdamicAdar [Adamic & Adar 2003].
+//!
+//! **Dual-sensed** (Figs. 9–10):
+//! * [`tcommute`] — truncated commute time [Sarkar & Moore 2007] with T = 10;
+//! * [`objsqrtinv`] — ObjSqrtInv [Hristidis et al. 2008]: ObjectRank scaled
+//!   by the inverse square root of global ObjectRank, d = 0.25;
+//! * [`means`] — the harmonic and arithmetic means of F-Rank and T-Rank
+//!   (the paper attributes the harmonic combination to the precision/recall
+//!   walks of Agarwal et al. / Fang & Chang).
+//!
+//! Each dual-sensed baseline also has the **customized "+"** variant the
+//! paper builds for Fig. 10 ("we customize each of them with a tunable
+//! β ∈ [0,1], putting weights 1-β and β on their two sub-measures") —
+//! the paper stresses these customizations are the reproduction authors'
+//! constructions, not features of the original works.
+//!
+//! All measures implement [`ProximityMeasure`], the interface the evaluation
+//! harness ranks through.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod adamic_adar;
+pub mod means;
+pub mod measure;
+pub mod objsqrtinv;
+pub mod simrank;
+pub mod tcommute;
+
+pub use adamic_adar::AdamicAdar;
+pub use means::{ArithmeticMean, HarmonicMean};
+pub use measure::ProximityMeasure;
+pub use objsqrtinv::ObjSqrtInv;
+pub use simrank::SimRank;
+pub use tcommute::TCommute;
+
+/// Convenient glob-import surface for downstream crates.
+pub mod prelude {
+    pub use crate::adamic_adar::AdamicAdar;
+    pub use crate::means::{ArithmeticMean, HarmonicMean};
+    pub use crate::measure::ProximityMeasure;
+    pub use crate::objsqrtinv::ObjSqrtInv;
+    pub use crate::simrank::SimRank;
+    pub use crate::tcommute::TCommute;
+}

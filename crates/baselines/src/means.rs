@@ -1,0 +1,220 @@
+//! Harmonic and arithmetic mean combinations of F-Rank and T-Rank.
+//!
+//! The paper compares RoundTripRank+ against these because its own
+//! computational model "is actually a geometric mean of F-Rank and T-Rank"
+//! (Sect. VI-A2) — so the natural ablation is the same two factors combined
+//! by the other two Pythagorean means:
+//!
+//! * **Harmonic** `2ft/(f+t)` — the precision/recall-style combination of
+//!   Agarwal et al. [12] / Fang & Chang [13];
+//! * **Arithmetic** `(f+t)/2` — "simply the expectation of two independent
+//!   trials, one for each sense, lacking coherence in their integration".
+//!
+//! Customized "+" variants (Fig. 10) put weights `1-β, β` on the two
+//! sub-measures: weighted harmonic `1/[(1-β)/f + β/t]` and weighted
+//! arithmetic `(1-β)f + βt`.
+
+use crate::measure::{per_node_linear, ProximityMeasure};
+use rtr_core::prelude::*;
+use rtr_core::CoreError;
+use rtr_graph::{Graph, NodeId};
+
+/// Harmonic mean of F-Rank and T-Rank (optionally β-weighted).
+#[derive(Clone, Copy, Debug)]
+pub struct HarmonicMean {
+    /// Random-walk parameters.
+    pub params: RankParams,
+    /// Weight β on the T-Rank side; 0.5 = plain harmonic mean.
+    pub beta: f64,
+}
+
+/// Arithmetic mean of F-Rank and T-Rank (optionally β-weighted).
+#[derive(Clone, Copy, Debug)]
+pub struct ArithmeticMean {
+    /// Random-walk parameters.
+    pub params: RankParams,
+    /// Weight β on the T-Rank side; 0.5 = plain arithmetic mean.
+    pub beta: f64,
+}
+
+impl HarmonicMean {
+    /// Plain harmonic mean (β = 0.5).
+    pub fn new(params: RankParams) -> Self {
+        HarmonicMean { params, beta: 0.5 }
+    }
+
+    /// The customized "Harmonic+" of Fig. 10.
+    pub fn customized(params: RankParams, beta: f64) -> Self {
+        HarmonicMean { params, beta }
+    }
+
+    fn combine(&self, f: f64, t: f64) -> f64 {
+        if f <= 0.0 || t <= 0.0 {
+            return 0.0;
+        }
+        1.0 / ((1.0 - self.beta) / f + self.beta / t)
+    }
+}
+
+impl ArithmeticMean {
+    /// Plain arithmetic mean (β = 0.5).
+    pub fn new(params: RankParams) -> Self {
+        ArithmeticMean { params, beta: 0.5 }
+    }
+
+    /// The customized "Arithmetic+" of Fig. 10.
+    pub fn customized(params: RankParams, beta: f64) -> Self {
+        ArithmeticMean { params, beta }
+    }
+
+    fn combine(&self, f: f64, t: f64) -> f64 {
+        (1.0 - self.beta) * f + self.beta * t
+    }
+}
+
+fn compute_ft(
+    g: &Graph,
+    n: NodeId,
+    params: RankParams,
+) -> Result<(ScoreVec, ScoreVec), CoreError> {
+    let q = Query::single(n);
+    let f = FRank::new(params).compute(g, &q)?;
+    let t = TRank::new(params).compute(g, &q)?;
+    Ok((f, t))
+}
+
+impl ProximityMeasure for HarmonicMean {
+    fn name(&self) -> String {
+        if (self.beta - 0.5).abs() < 1e-12 {
+            "Harmonic".into()
+        } else {
+            format!("Harmonic+(β={:.2})", self.beta)
+        }
+    }
+
+    fn compute(&self, g: &Graph, query: &Query) -> Result<ScoreVec, CoreError> {
+        per_node_linear(g, query, |g, n| {
+            let (f, t) = compute_ft(g, n, self.params)?;
+            Ok(ScoreVec::from_vec(
+                f.as_slice()
+                    .iter()
+                    .zip(t.as_slice())
+                    .map(|(&fv, &tv)| self.combine(fv, tv))
+                    .collect(),
+            ))
+        })
+    }
+}
+
+impl ProximityMeasure for ArithmeticMean {
+    fn name(&self) -> String {
+        if (self.beta - 0.5).abs() < 1e-12 {
+            "Arithmetic".into()
+        } else {
+            format!("Arithmetic+(β={:.2})", self.beta)
+        }
+    }
+
+    fn compute(&self, g: &Graph, query: &Query) -> Result<ScoreVec, CoreError> {
+        per_node_linear(g, query, |g, n| {
+            let (f, t) = compute_ft(g, n, self.params)?;
+            Ok(ScoreVec::from_vec(
+                f.as_slice()
+                    .iter()
+                    .zip(t.as_slice())
+                    .map(|(&fv, &tv)| self.combine(fv, tv))
+                    .collect(),
+            ))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtr_graph::toy::fig2_toy;
+
+    #[test]
+    fn pythagorean_mean_inequality() {
+        // harmonic ≤ geometric ≤ arithmetic, elementwise.
+        let (g, ids) = fig2_toy();
+        let p = RankParams::default();
+        let q = Query::single(ids.t1);
+        let h = HarmonicMean::new(p).compute(&g, &q).unwrap();
+        let a = ArithmeticMean::new(p).compute(&g, &q).unwrap();
+        let geo = RoundTripRank::new(p).compute(&g, &q).unwrap(); // f·t = geometric²
+        for v in g.nodes() {
+            let geom = geo.score(v).sqrt();
+            assert!(
+                h.score(v) <= geom + 1e-12,
+                "{v:?}: harmonic {} > geometric {geom}",
+                h.score(v)
+            );
+            assert!(
+                geom <= a.score(v) + 1e-12,
+                "{v:?}: geometric {geom} > arithmetic {}",
+                a.score(v)
+            );
+        }
+    }
+
+    #[test]
+    fn harmonic_zero_when_either_factor_zero() {
+        let mut b = rtr_graph::GraphBuilder::new();
+        let ty = b.register_type("n");
+        let q = b.add_node(ty);
+        let x = b.add_node(ty);
+        b.add_edge(q, x, 1.0);
+        b.add_edge(x, x, 1.0); // x cannot return
+        let g = b.build();
+        let h = HarmonicMean::new(RankParams::default())
+            .compute(&g, &Query::single(q))
+            .unwrap();
+        assert_eq!(h.score(x), 0.0);
+        // Arithmetic, by contrast, still credits the reachable direction.
+        let a = ArithmeticMean::new(RankParams::default())
+            .compute(&g, &Query::single(q))
+            .unwrap();
+        assert!(a.score(x) > 0.0);
+    }
+
+    #[test]
+    fn beta_extremes_reduce_to_single_sense() {
+        let (g, ids) = fig2_toy();
+        let p = RankParams::default();
+        let q = Query::single(ids.t1);
+        let f = FRank::new(p).compute(&g, &q).unwrap();
+        let t = TRank::new(p).compute(&g, &q).unwrap();
+        let a0 = ArithmeticMean::customized(p, 0.0).compute(&g, &q).unwrap();
+        assert!(a0.linf_distance(&f) < 1e-12);
+        let a1 = ArithmeticMean::customized(p, 1.0).compute(&g, &q).unwrap();
+        assert!(a1.linf_distance(&t) < 1e-12);
+        let h0 = HarmonicMean::customized(p, 0.0).compute(&g, &q).unwrap();
+        assert!(h0.rank_equivalent(&f));
+    }
+
+    #[test]
+    fn balanced_venue_wins_under_harmonic() {
+        // The harmonic mean punishes imbalance hardest, so v2 (balanced)
+        // must beat both v1 (importance-heavy) and v3 (specificity-heavy).
+        let (g, ids) = fig2_toy();
+        let h = HarmonicMean::new(RankParams::default())
+            .compute(&g, &Query::single(ids.t1))
+            .unwrap();
+        assert!(h.score(ids.v2) > h.score(ids.v1));
+        assert!(h.score(ids.v2) > h.score(ids.v3));
+    }
+
+    #[test]
+    fn names() {
+        let p = RankParams::default();
+        assert_eq!(ProximityMeasure::name(&HarmonicMean::new(p)), "Harmonic");
+        assert_eq!(
+            ProximityMeasure::name(&ArithmeticMean::new(p)),
+            "Arithmetic"
+        );
+        assert!(
+            ProximityMeasure::name(&HarmonicMean::customized(p, 0.2)).contains("β=0.20")
+        );
+    }
+}

@@ -1,0 +1,134 @@
+//! The common interface every proximity measure exposes to the evaluation
+//! harness.
+
+use rtr_core::{CoreError, Query, ScoreVec};
+use rtr_graph::Graph;
+
+/// A graph-proximity measure: given a query, score every node.
+///
+/// The evaluation harness (rtr-eval) is generic over this trait, so the
+/// paper's Fig. 5 / 9 / 10 tables are produced by iterating a
+/// `Vec<Box<dyn ProximityMeasure>>`.
+pub trait ProximityMeasure {
+    /// Display name (matches the paper's table rows).
+    fn name(&self) -> String;
+
+    /// Score all nodes for `query` (higher = closer).
+    fn compute(&self, g: &Graph, query: &Query) -> Result<ScoreVec, CoreError>;
+}
+
+/// Blanket adapters so the core measures slot into baseline comparisons.
+mod core_impls {
+    use super::*;
+    use rtr_core::prelude::*;
+
+    impl ProximityMeasure for FRank {
+        fn name(&self) -> String {
+            "F-Rank/PPR".into()
+        }
+        fn compute(&self, g: &Graph, query: &Query) -> Result<ScoreVec, CoreError> {
+            FRank::compute(self, g, query)
+        }
+    }
+
+    impl ProximityMeasure for TRank {
+        fn name(&self) -> String {
+            "T-Rank".into()
+        }
+        fn compute(&self, g: &Graph, query: &Query) -> Result<ScoreVec, CoreError> {
+            TRank::compute(self, g, query)
+        }
+    }
+
+    impl ProximityMeasure for RoundTripRank {
+        fn name(&self) -> String {
+            "RoundTripRank".into()
+        }
+        fn compute(&self, g: &Graph, query: &Query) -> Result<ScoreVec, CoreError> {
+            RoundTripRank::compute(self, g, query)
+        }
+    }
+
+    impl ProximityMeasure for RoundTripRankPlus {
+        fn name(&self) -> String {
+            format!("RoundTripRank+(β={:.2})", self.beta())
+        }
+        fn compute(&self, g: &Graph, query: &Query) -> Result<ScoreVec, CoreError> {
+            RoundTripRankPlus::compute(self, g, query)
+        }
+    }
+}
+
+/// Helper shared by the multi-node-capable baselines: compute per query node
+/// and combine linearly by query weight.
+pub(crate) fn per_node_linear<F>(
+    g: &Graph,
+    query: &Query,
+    mut single: F,
+) -> Result<ScoreVec, CoreError>
+where
+    F: FnMut(&Graph, rtr_graph::NodeId) -> Result<ScoreVec, CoreError>,
+{
+    query.validate(g)?;
+    if query.len() == 1 {
+        return single(g, query.nodes()[0]);
+    }
+    let mut acc = ScoreVec::zeros(g.node_count());
+    for (node, w) in query.iter() {
+        acc.accumulate(&single(g, node)?, w);
+    }
+    Ok(acc)
+}
+
+/// Re-exported for tests and the harness.
+pub use rtr_core::RankParams as CoreRankParams;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtr_core::prelude::*;
+    use rtr_graph::toy::fig2_toy;
+
+    #[test]
+    fn core_measures_have_paper_names() {
+        let p = rtr_core::RankParams::default();
+        assert_eq!(ProximityMeasure::name(&FRank::new(p)), "F-Rank/PPR");
+        assert_eq!(ProximityMeasure::name(&TRank::new(p)), "T-Rank");
+        assert_eq!(
+            ProximityMeasure::name(&RoundTripRank::new(p)),
+            "RoundTripRank"
+        );
+        let plus = RoundTripRankPlus::new(p, 0.3).unwrap();
+        assert!(ProximityMeasure::name(&plus).contains("0.30"));
+    }
+
+    #[test]
+    fn trait_objects_are_usable() {
+        let (g, ids) = fig2_toy();
+        let p = rtr_core::RankParams::default();
+        let measures: Vec<Box<dyn ProximityMeasure>> = vec![
+            Box::new(FRank::new(p)),
+            Box::new(TRank::new(p)),
+            Box::new(RoundTripRank::new(p)),
+        ];
+        for m in &measures {
+            let s = m.compute(&g, &Query::single(ids.t1)).unwrap();
+            assert_eq!(s.len(), g.node_count());
+        }
+    }
+
+    #[test]
+    fn per_node_linear_matches_manual_blend() {
+        let (g, ids) = fig2_toy();
+        let p = rtr_core::RankParams::default();
+        let single = |g: &Graph, n: rtr_graph::NodeId| {
+            FRank::new(p).compute(g, &Query::single(n))
+        };
+        let q = Query::uniform(&[ids.t1, ids.t2]);
+        let combined = per_node_linear(&g, &q, single).unwrap();
+        let a = FRank::new(p).compute(&g, &Query::single(ids.t1)).unwrap();
+        let b = FRank::new(p).compute(&g, &Query::single(ids.t2)).unwrap();
+        let expected = a.linear_blend(&b, 0.5, 0.5);
+        assert!(combined.linf_distance(&expected) < 1e-12);
+    }
+}

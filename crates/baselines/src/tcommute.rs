@@ -1,0 +1,255 @@
+//! Truncated commute time [Sarkar & Moore 2007] — a dual-sensed baseline
+//! (paper Figs. 9–10, T = 10 "as recommended, which we find robust").
+//!
+//! The truncated hitting time `h_T(a → b) = E[min(τ_{a→b}, T)]` caps the
+//! walk at `T` steps; the commute time is the symmetrized sum
+//! `h_T(q→v) + h_T(v→q)`, and *smaller is closer*, so the score is its
+//! negation.
+//!
+//! Computation:
+//! * `h_T(v → q)` for **all** `v` simultaneously: exact dynamic program over
+//!   the remaining budget, `O(T · |E|)`;
+//! * `h_T(q → v)` for all `v`: Monte-Carlo first-hit estimation from `W`
+//!   truncated walks out of `q` (`O(W · T)`), the approach Sarkar & Moore
+//!   themselves use for the forward direction.
+//!
+//! The customized variant (paper Fig. 10, "TCommute+") weights the two
+//! directions: `score_β = -[(1-β)·h_T(q→v) + β·h_T(v→q)]` — importance
+//! prefers quick arrival *from* the query, specificity quick return *to* it.
+
+use crate::measure::{per_node_linear, ProximityMeasure};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use rtr_core::{CoreError, Query, ScoreVec};
+use rtr_graph::{Graph, NodeId};
+
+/// Truncated commute time with horizon `T`.
+#[derive(Clone, Copy, Debug)]
+pub struct TCommute {
+    /// Truncation horizon (paper: 10).
+    pub t: usize,
+    /// Monte-Carlo walks for the forward hitting time.
+    pub walks: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Direction weight β ∈ [0,1]; 0.5 = the symmetric original measure.
+    pub beta: f64,
+}
+
+impl TCommute {
+    /// The paper's setting: T = 10, symmetric combination.
+    pub fn new(seed: u64) -> Self {
+        TCommute {
+            t: 10,
+            walks: 400,
+            seed,
+            beta: 0.5,
+        }
+    }
+
+    /// The customized "TCommute+" of Fig. 10 with direction weight β.
+    pub fn customized(seed: u64, beta: f64) -> Self {
+        TCommute {
+            beta,
+            ..Self::new(seed)
+        }
+    }
+
+    /// Exact truncated hitting times **to** `q`: `h_T(v → q)` for all `v`.
+    ///
+    /// DP on remaining budget: `g_0 ≡ 0`, `g_t(q) = 0`,
+    /// `g_t(v) = 1 + Σ_u M[v][u] · g_{t-1}(u)` — each sweep is one
+    /// out-neighbor gather.
+    pub fn hitting_to_query(&self, g: &Graph, q: NodeId) -> Vec<f64> {
+        let n = g.node_count();
+        let mut cur = vec![0.0f64; n];
+        for _ in 0..self.t {
+            let mut next = vec![0.0f64; n];
+            for v in g.nodes() {
+                if v == q {
+                    continue; // absorbed: 0
+                }
+                let mut acc = 1.0;
+                let mut covered = 0.0;
+                for (dst, prob) in g.out_edges(v) {
+                    acc += prob * cur[dst.index()];
+                    covered += prob;
+                }
+                // Dangling shortfall: the walk is stuck, so the remaining
+                // budget elapses without hitting.
+                if covered < 1.0 {
+                    acc += (1.0 - covered) * self.remaining_budget(&cur, v);
+                }
+                next[v.index()] = acc;
+            }
+            cur = next;
+        }
+        cur
+    }
+
+    // For a stuck walk the truncated hitting time equals the budget already
+    // accumulated at this node per sweep; approximating by the node's own
+    // current value keeps the DP monotone and bounded by T.
+    fn remaining_budget(&self, cur: &[f64], v: NodeId) -> f64 {
+        cur[v.index()]
+    }
+
+    /// Monte-Carlo truncated hitting times **from** `q`: `h_T(q → v)` for
+    /// all `v`, estimated from `walks` truncated trajectories.
+    pub fn hitting_from_query(&self, g: &Graph, q: NodeId) -> Vec<f64> {
+        let n = g.node_count();
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ ((q.0 as u64) << 17));
+        let mut total = vec![0.0f64; n];
+        for _ in 0..self.walks {
+            // First-hit step per node along this trajectory.
+            let mut hit_step = vec![usize::MAX; n];
+            let mut cur = q;
+            hit_step[q.index()] = 0;
+            for step in 1..=self.t {
+                let edges: Vec<(NodeId, f64)> = g.out_edges(cur).collect();
+                if edges.is_empty() {
+                    break;
+                }
+                let r: f64 = rng.gen();
+                let mut acc = 0.0;
+                let mut chosen = edges[edges.len() - 1].0;
+                for (dst, p) in &edges {
+                    acc += p;
+                    if r < acc {
+                        chosen = *dst;
+                        break;
+                    }
+                }
+                cur = chosen;
+                if hit_step[cur.index()] == usize::MAX {
+                    hit_step[cur.index()] = step;
+                }
+            }
+            for v in 0..n {
+                let h = hit_step[v];
+                total[v] += if h == usize::MAX { self.t as f64 } else { h as f64 };
+            }
+        }
+        total.iter().map(|&s| s / self.walks as f64).collect()
+    }
+
+    fn compute_single(&self, g: &Graph, q: NodeId) -> ScoreVec {
+        let to_q = self.hitting_to_query(g, q);
+        let from_q = self.hitting_from_query(g, q);
+        ScoreVec::from_vec(
+            from_q
+                .iter()
+                .zip(&to_q)
+                .map(|(&hf, &ht)| -((1.0 - self.beta) * hf + self.beta * ht))
+                .collect(),
+        )
+    }
+}
+
+impl ProximityMeasure for TCommute {
+    fn name(&self) -> String {
+        if (self.beta - 0.5).abs() < 1e-12 {
+            "TCommute".into()
+        } else {
+            format!("TCommute+(β={:.2})", self.beta)
+        }
+    }
+
+    fn compute(&self, g: &Graph, query: &Query) -> Result<ScoreVec, CoreError> {
+        per_node_linear(g, query, |g, n| Ok(self.compute_single(g, n)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtr_graph::toy::fig2_toy;
+
+    #[test]
+    fn hitting_to_query_basics() {
+        let (g, ids) = fig2_toy();
+        let tc = TCommute::new(0);
+        let h = tc.hitting_to_query(&g, ids.t1);
+        // The query hits itself immediately.
+        assert_eq!(h[ids.t1.index()], 0.0);
+        // Direct neighbors hit quickly; everything is bounded by T.
+        for v in g.nodes() {
+            assert!(h[v.index()] <= tc.t as f64 + 1e-9);
+            assert!(h[v.index()] >= 0.0);
+        }
+        // A paper adjacent to t1 returns faster than v1 (two hops + leaks).
+        assert!(h[ids.p[0].index()] < h[ids.v1.index()]);
+    }
+
+    #[test]
+    fn specific_venue_returns_faster() {
+        // v2/v3's papers all lead back to t1; v1 leaks through p6, p7.
+        let (g, ids) = fig2_toy();
+        let h = TCommute::new(0).hitting_to_query(&g, ids.t1);
+        assert!(h[ids.v2.index()] < h[ids.v1.index()]);
+        assert!(h[ids.v3.index()] < h[ids.v1.index()]);
+    }
+
+    #[test]
+    fn forward_hitting_monte_carlo_reasonable() {
+        let (g, ids) = fig2_toy();
+        let tc = TCommute {
+            walks: 4_000,
+            ..TCommute::new(3)
+        };
+        let h = tc.hitting_from_query(&g, ids.t1);
+        // Immediate self-hit.
+        assert_eq!(h[ids.t1.index()], 0.0);
+        // Direct neighbors are hit in about 1–4 steps on average.
+        assert!(h[ids.p[0].index()] < tc.t as f64 * 0.8);
+        // The easily-reached v1/v2 beat the single-path v3.
+        assert!(h[ids.v1.index()] < h[ids.v3.index()]);
+    }
+
+    #[test]
+    fn commute_score_ranks_balanced_venue_highest() {
+        let (g, ids) = fig2_toy();
+        let s = TCommute {
+            walks: 4_000,
+            ..TCommute::new(7)
+        }
+        .compute(&g, &Query::single(ids.t1))
+        .unwrap();
+        // v2 has both directions fast; it should beat v1 and v3.
+        assert!(s.score(ids.v2) > s.score(ids.v1));
+        assert!(s.score(ids.v2) > s.score(ids.v3));
+    }
+
+    #[test]
+    fn beta_extremes_change_direction_preference() {
+        let (g, ids) = fig2_toy();
+        let imp = TCommute::customized(1, 0.0)
+            .compute(&g, &Query::single(ids.t1))
+            .unwrap();
+        let spec = TCommute::customized(1, 1.0)
+            .compute(&g, &Query::single(ids.t1))
+            .unwrap();
+        // Importance-only: v1 (easy to reach) beats v3 (hard to reach).
+        assert!(imp.score(ids.v1) > imp.score(ids.v3));
+        // Specificity-only: v3 (fast return) beats v1 (leaky return).
+        assert!(spec.score(ids.v3) > spec.score(ids.v1));
+    }
+
+    #[test]
+    fn scores_are_negative_times() {
+        let (g, ids) = fig2_toy();
+        let s = TCommute::new(2)
+            .compute(&g, &Query::single(ids.t1))
+            .unwrap();
+        for v in g.nodes() {
+            assert!(s.score(v) <= 0.0);
+            assert!(s.score(v) >= -(2.0 * 10.0));
+        }
+    }
+
+    #[test]
+    fn name_reflects_customization() {
+        assert_eq!(ProximityMeasure::name(&TCommute::new(0)), "TCommute");
+        assert!(ProximityMeasure::name(&TCommute::customized(0, 0.3)).contains("β=0.30"));
+    }
+}

@@ -1,0 +1,63 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! expansion granularity `m` (the paper uses m_f = 100, m_t = 5 and reports
+//! insensitivity to small changes) and the Prop. 4 bound vs Gupta's
+//! first-arrival bound (bound tightness drives stopping time).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtr_core::prelude::*;
+use rtr_datagen::{BibNet, BibNetConfig};
+use rtr_topk::prelude::*;
+
+fn expansion_granularity(c: &mut Criterion) {
+    let net = BibNet::generate(&BibNetConfig::tiny(), 17);
+    let g = &net.graph;
+    let params = RankParams::default();
+    let q = net.papers[5];
+
+    let mut group = c.benchmark_group("ablation_m");
+    for (m_f, m_t) in [(25usize, 2usize), (100, 5), (400, 20)] {
+        let cfg = TopKConfig {
+            k: 10,
+            epsilon: 0.01,
+            m_f,
+            m_t,
+            ..TopKConfig::default()
+        };
+        let runner = TwoSBound::new(params, cfg);
+        group.bench_with_input(
+            BenchmarkId::new("m", format!("f{m_f}_t{m_t}")),
+            &runner,
+            |b, runner| b.iter(|| runner.run(g, q).expect("topk")),
+        );
+    }
+    group.finish();
+}
+
+fn bound_tightness(c: &mut Criterion) {
+    // Prop. 4 vs Gupta on the F side only (T side fixed to two-stage):
+    // the per-expansion cost is identical, so any time difference is purely
+    // the tighter bound stopping earlier.
+    let net = BibNet::generate(&BibNetConfig::tiny(), 17);
+    let g = &net.graph;
+    let params = RankParams::default();
+    let q = net.papers[5];
+    let cfg = TopKConfig {
+        k: 10,
+        epsilon: 0.01,
+        ..TopKConfig::default()
+    };
+
+    let mut group = c.benchmark_group("ablation_f_bound");
+    group.bench_function("prop4_two_stage", |b| {
+        let runner = TwoSBound::with_scheme(params, cfg, Scheme::TwoSBound);
+        b.iter(|| runner.run(g, q).expect("topk"))
+    });
+    group.bench_function("gupta_first_arrival", |b| {
+        let runner = TwoSBound::with_scheme(params, cfg, Scheme::Gupta);
+        b.iter(|| runner.run(g, q).expect("topk"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, expansion_granularity, bound_tightness);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Criterion micro-benchmarks of the core ranking engines: the exact
+//! fixed-point iterations (the paper's "Naive" per-query cost) and BCA.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtr_core::prelude::*;
+use rtr_datagen::{BibNet, BibNetConfig};
+use rtr_graph::NodeId;
+
+fn engines(c: &mut Criterion) {
+    let net = BibNet::generate(&BibNetConfig::tiny(), 99);
+    let g = &net.graph;
+    let params = RankParams::default();
+    let q = net.papers[0];
+
+    let mut group = c.benchmark_group("engines");
+    group.bench_function("frank_iterative", |b| {
+        b.iter(|| {
+            FRank::new(params)
+                .compute(g, &Query::single(q))
+                .expect("frank")
+        })
+    });
+    group.bench_function("trank_iterative", |b| {
+        b.iter(|| {
+            TRank::new(params)
+                .compute(g, &Query::single(q))
+                .expect("trank")
+        })
+    });
+    group.bench_function("rtr_full", |b| {
+        b.iter(|| {
+            RoundTripRank::new(params)
+                .compute(g, &Query::single(q))
+                .expect("rtr")
+        })
+    });
+    for eps in [1e-4, 1e-6] {
+        group.bench_with_input(
+            BenchmarkId::new("bca_to_residual", format!("{eps:.0e}")),
+            &eps,
+            |b, &eps| {
+                b.iter(|| {
+                    let mut bca = rtr_core::bca::Bca::new(g, q, &params).expect("bca");
+                    bca.run_to_residual(eps, 100);
+                    bca.seen_count()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn multi_node_queries(c: &mut Criterion) {
+    let net = BibNet::generate(&BibNetConfig::tiny(), 99);
+    let g = &net.graph;
+    let params = RankParams::default();
+    let terms: Vec<NodeId> = net.topic_terms(0).into_iter().take(3).collect();
+
+    c.bench_function("rtr_three_term_query", |b| {
+        b.iter(|| {
+            RoundTripRank::new(params)
+                .compute(g, &Query::uniform(&terms))
+                .expect("rtr")
+        })
+    });
+}
+
+criterion_group!(benches, engines, multi_node_queries);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion micro-benchmarks of the graph substrate: build, snapshot
+//! induction, SCC, and the distributed wire encoding — the fixed costs every
+//! experiment pays before any ranking happens.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rtr_datagen::{BibNet, BibNetConfig, QLog, QLogConfig};
+use rtr_graph::prelude::*;
+use rtr_graph::scc::tarjan_scc;
+use rtr_graph::wire::NodeBlock;
+
+fn graph_ops(c: &mut Criterion) {
+    let net = BibNet::generate(&BibNetConfig::tiny(), 3);
+    let g = &net.graph;
+
+    let mut group = c.benchmark_group("graph_ops");
+    group.bench_function("generate_bibnet_tiny", |b| {
+        b.iter(|| BibNet::generate(&BibNetConfig::tiny(), 3))
+    });
+    group.bench_function("generate_qlog_tiny", |b| {
+        b.iter(|| QLog::generate(&QLogConfig::tiny(), 3))
+    });
+    group.bench_function("tarjan_scc", |b| b.iter(|| tarjan_scc(g)));
+    group.bench_function("induce_half_subgraph", |b| {
+        let keep: Vec<_> = g.nodes().take(g.node_count() / 2).collect();
+        b.iter(|| Subgraph::induce(g, &keep))
+    });
+    group.bench_function("wire_encode_decode_all", |b| {
+        b.iter(|| {
+            let blocks: Vec<_> = g.nodes().map(|v| NodeBlock::extract(g, v)).collect();
+            let bytes = NodeBlock::encode_batch(&blocks);
+            NodeBlock::decode_batch(bytes).len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, graph_ops);
+criterion_main!(benches);

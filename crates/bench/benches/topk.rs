@@ -1,0 +1,39 @@
+//! Criterion benchmark of the Fig. 11(a) scheme grid: per-query top-K time
+//! of Naive / G+S / Gupta / Sarkar / 2SBound at the paper's slacks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtr_core::prelude::*;
+use rtr_datagen::{BibNet, BibNetConfig};
+use rtr_topk::prelude::*;
+
+fn topk_schemes(c: &mut Criterion) {
+    let net = BibNet::generate(&BibNetConfig::tiny(), 7);
+    let g = &net.graph;
+    let params = RankParams::default();
+    let q = net.papers[3];
+
+    let mut group = c.benchmark_group("fig11a_schemes");
+    group.bench_function("naive", |b| {
+        let runner = NaiveTopK::new(params, 10);
+        b.iter(|| runner.run(g, q).expect("naive"))
+    });
+    for eps in [0.01, 0.03] {
+        for scheme in Scheme::all() {
+            let cfg = TopKConfig {
+                k: 10,
+                epsilon: eps,
+                ..TopKConfig::default()
+            };
+            let runner = TwoSBound::with_scheme(params, cfg, scheme);
+            group.bench_with_input(
+                BenchmarkId::new(scheme.name(), format!("eps={eps}")),
+                &runner,
+                |b, runner| b.iter(|| runner.run(g, q).expect("topk")),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, topk_schemes);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Reproduces paper Fig. 8: NDCG@5 of RoundTripRank+ as the specificity
+//! bias β sweeps [0, 1], one curve per task.
+//!
+//! Expected shapes (paper Sect. VI-A2): extreme β (0 or 1) is poor
+//! everywhere; optima vary per task — β* ≈ 0.5 for Task 1 (Author),
+//! β* < 0.5 for Task 2 (Venue) and Task 3 (Relevant URL), β* > 0.5 for
+//! Task 4 (Equivalent search).
+
+use rtr_bench::{bibnet, qlog, seed, test_queries};
+use rtr_core::RankParams;
+use rtr_eval::tasks::{task1_author, task2_venue, task3_relevant_url, task4_equivalent};
+use rtr_eval::{beta_grid, sweep_beta_rtr_plus, TaskInstance};
+
+fn sweep(task: &TaskInstance) {
+    let betas = beta_grid();
+    let curve = sweep_beta_rtr_plus(task, &betas, 5, RankParams::default());
+    println!("\n{} — NDCG@5 vs β:", task.kind.name());
+    print!("  β:      ");
+    for (b, _) in &curve {
+        print!("{b:>7.1}");
+    }
+    println!();
+    print!("  NDCG@5: ");
+    for (_, s) in &curve {
+        print!("{s:>7.4}");
+    }
+    println!();
+    let (best_b, best_s) = curve
+        .iter()
+        .fold((0.0, f64::NEG_INFINITY), |acc, &(b, s)| {
+            if s > acc.1 {
+                (b, s)
+            } else {
+                acc
+            }
+        });
+    let at0 = curve.first().expect("grid").1;
+    let at1 = curve.last().expect("grid").1;
+    println!(
+        "  β* = {best_b:.1} (NDCG {best_s:.4}); extremes: β=0 → {at0:.4}, β=1 → {at1:.4}"
+    );
+}
+
+fn main() {
+    let n_test = test_queries(150);
+    println!("=== Fig. 8: effect of the specificity bias β ===");
+    println!("(test queries per task: {n_test}; paper used 1000)");
+
+    let net = bibnet();
+    let qlg = qlog();
+
+    sweep(&task1_author(&net, n_test, 0, seed() + 1).test);
+    sweep(&task2_venue(&net, n_test, 0, seed() + 2).test);
+    sweep(&task3_relevant_url(&qlg, n_test, 0, seed() + 3).test);
+    sweep(&task4_equivalent(&qlg, n_test, 0, seed() + 4).test);
+
+    println!(
+        "\nPaper's expected optima: Task 1 β*≈0.5, Task 2 β*<0.5, Task 3 β*<0.5, Task 4 β*>0.5."
+    );
+}

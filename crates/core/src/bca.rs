@@ -1,0 +1,359 @@
+//! Bookmark-Coloring Algorithm (BCA) with residual tracking.
+//!
+//! BCA [Berkhin 2006, ref. 19 in the paper] computes PPR by spreading one
+//! unit of *residual* from the query over the graph: processing a node moves
+//! an α fraction of its residual into its PPR estimate `ρ` and pushes the
+//! remaining `1-α` to its out-neighbors. The invariant
+//!
+//! ```text
+//! f(q,v) = ρ(q,v) + Σ_u µ(q,u) · f(u,v)      (for every v)
+//! ```
+//!
+//! makes `ρ(q,v)` a lower bound at all times, and the total residual an
+//! upper-bound budget. Stage I of 2SBound's F-Rank realization (paper
+//! Sect. V-A3) is BCA with two extensions implemented here:
+//!
+//! * **batched expansion** — instead of the single max-residual node, pick up
+//!   to `m` nodes by *benefit* `µ(q,v)/|Out(v)|` (the paper's criterion
+//!   balancing residual reduction against processing cost; `m = 100` in the
+//!   paper's experiments);
+//! * **the improved unseen upper bound of Prop. 4** —
+//!   `f̂(q) = α/(2-α)·max_u µ(q,u) + (1-α)/(2-α)·Σ_u µ(q,u)`, which accounts
+//!   for residual repeatedly returning to a node, vs. the weaker
+//!   first-arrival bound of Gupta et al. [16] (also provided, for the
+//!   `Gupta`/`G+S` baseline schemes of Fig. 11a).
+
+use crate::error::CoreError;
+use crate::params::RankParams;
+use rtr_graph::{Graph, NodeId};
+use std::collections::HashMap;
+
+/// BCA state for one query node.
+#[derive(Clone, Debug)]
+pub struct Bca<'g> {
+    g: &'g Graph,
+    alpha: f64,
+    /// Estimated PPR `ρ(q,·)` — only nodes with non-zero estimates.
+    rho: HashMap<u32, f64>,
+    /// Residual `µ(q,·)` — only nodes with non-zero residual.
+    mu: HashMap<u32, f64>,
+    /// Incrementally maintained `Σ_u µ(q,u)`.
+    total_residual: f64,
+    /// Number of node-processing operations performed.
+    processed: usize,
+}
+
+impl<'g> Bca<'g> {
+    /// Initialize for query node `q`: one unit of residual at `q`, all
+    /// estimates zero (the precondition of the original BCA).
+    pub fn new(g: &'g Graph, q: NodeId, params: &RankParams) -> Result<Self, CoreError> {
+        params.validate()?;
+        if q.index() >= g.node_count() {
+            return Err(CoreError::NodeOutOfRange {
+                node: q,
+                node_count: g.node_count(),
+            });
+        }
+        let mut mu = HashMap::new();
+        mu.insert(q.0, 1.0);
+        Ok(Bca {
+            g,
+            alpha: params.alpha,
+            rho: HashMap::new(),
+            mu,
+            total_residual: 1.0,
+            processed: 0,
+        })
+    }
+
+    /// Current estimate `ρ(q,v)` (a lower bound on `f(q,v)`).
+    pub fn rho(&self, v: NodeId) -> f64 {
+        self.rho.get(&v.0).copied().unwrap_or(0.0)
+    }
+
+    /// Current residual `µ(q,v)`.
+    pub fn mu(&self, v: NodeId) -> f64 {
+        self.mu.get(&v.0).copied().unwrap_or(0.0)
+    }
+
+    /// `Σ_u µ(q,u)` — the remaining residual budget.
+    pub fn total_residual(&self) -> f64 {
+        self.total_residual.max(0.0)
+    }
+
+    /// `max_u µ(q,u)` (0 when no residual remains).
+    pub fn max_residual(&self) -> f64 {
+        self.mu.values().copied().fold(0.0, f64::max)
+    }
+
+    /// Number of processing operations performed so far.
+    pub fn processed_count(&self) -> usize {
+        self.processed
+    }
+
+    /// Nodes with non-zero estimated PPR — the paper's f-neighborhood
+    /// `S_f = {v : ρ(q,v) > 0}`.
+    pub fn seen(&self) -> impl Iterator<Item = (NodeId, f64)> + '_ {
+        self.rho.iter().map(|(&v, &r)| (NodeId(v), r))
+    }
+
+    /// Number of seen nodes `|S_f|`.
+    pub fn seen_count(&self) -> usize {
+        self.rho.len()
+    }
+
+    /// Apply BCA processing to one node (paper Sect. V-A3):
+    /// α·µ moves into ρ, (1-α)·µ spreads to out-neighbors, µ resets to 0.
+    ///
+    /// On a dangling node the (1-α) portion has nowhere to go and is lost —
+    /// consistent with the substochastic F-Rank a dangling graph defines.
+    pub fn process(&mut self, v: NodeId) {
+        let Some(residual) = self.mu.remove(&v.0) else {
+            return;
+        };
+        if residual <= 0.0 {
+            return;
+        }
+        self.processed += 1;
+        *self.rho.entry(v.0).or_insert(0.0) += self.alpha * residual;
+        let spread = (1.0 - self.alpha) * residual;
+        let mut spread_out = 0.0;
+        for (dst, prob) in self.g.out_edges(v) {
+            let amt = spread * prob;
+            *self.mu.entry(dst.0).or_insert(0.0) += amt;
+            spread_out += amt;
+        }
+        // total -= consumed-by-rho + lost-on-dangling
+        self.total_residual -= residual - spread_out;
+    }
+
+    /// One Stage-I expansion: pick up to `m` nodes with the largest non-zero
+    /// *benefit* `µ(q,v)/|Out(v)|` and process them. Returns the processed
+    /// nodes (the first expansion returns just the query node, matching the
+    /// paper's observation).
+    pub fn process_batch(&mut self, m: usize) -> Vec<NodeId> {
+        if m == 0 || self.mu.is_empty() {
+            return Vec::new();
+        }
+        let mut candidates: Vec<(u32, f64)> = self
+            .mu
+            .iter()
+            .filter(|(_, &r)| r > 0.0)
+            .map(|(&v, &r)| {
+                let out = self.g.out_degree(NodeId(v)).max(1);
+                (v, r / out as f64)
+            })
+            .collect();
+        let take = m.min(candidates.len());
+        // Partial selection of the top-m benefits; ties break by node id so
+        // runs are reproducible despite hash-map iteration order.
+        candidates.select_nth_unstable_by(take.saturating_sub(1), |a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("NaN benefit")
+                .then(a.0.cmp(&b.0))
+        });
+        candidates.truncate(take);
+        // Process in ascending id order so state evolution is independent of
+        // hash-map iteration order.
+        candidates.sort_unstable_by_key(|&(v, _)| v);
+        let picked: Vec<NodeId> = candidates.into_iter().map(|(v, _)| NodeId(v)).collect();
+        for &v in &picked {
+            self.process(v);
+        }
+        picked
+    }
+
+    /// Run batched processing until the total residual drops to `eps`
+    /// (asymptotic termination of the original BCA, truncated at `eps`).
+    pub fn run_to_residual(&mut self, eps: f64, m: usize) {
+        while self.total_residual() > eps {
+            if self.process_batch(m).is_empty() {
+                break; // no residual left anywhere (all dangling-lost)
+            }
+        }
+    }
+
+    /// The paper's improved unseen upper bound (Prop. 4, Eq. 19):
+    /// `f̂(q) = α/(2-α)·max_u µ(q,u) + (1-α)/(2-α)·Σ_u µ(q,u)`.
+    ///
+    /// Valid for *any* node: `f(q,v) ≤ ρ(q,v) + f̂(q)` (Eq. 21), and in
+    /// particular `f(q,v) ≤ f̂(q)` for unseen nodes (ρ = 0).
+    pub fn unseen_upper_bound(&self) -> f64 {
+        if self.g.has_self_loops() {
+            // Prop. 4's derivation assumes a returning walk needs at least
+            // two steps (damping (1-α)² per revisit); a self-loop returns
+            // residual in one step and the 1/(2-α) factor becomes unsound.
+            // Fall back to the always-valid first-arrival bound.
+            return self.gupta_upper_bound();
+        }
+        let a = self.alpha;
+        a / (2.0 - a) * self.max_residual() + (1.0 - a) / (2.0 - a) * self.total_residual()
+    }
+
+    /// The weaker first-arrival bound in the style of Gupta et al. [16]:
+    /// all remaining residual could, in the limit, deposit onto one node, so
+    /// `f(q,v) ≤ ρ(q,v) + Σ_u µ(q,u)`. Used by the `Gupta` and `G+S`
+    /// baseline schemes of the efficiency study (Fig. 11a).
+    pub fn gupta_upper_bound(&self) -> f64 {
+        self.total_residual()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frank::FRank;
+    use crate::query::Query;
+    use rtr_graph::toy::fig2_toy;
+
+    fn exact_frank(g: &Graph, q: NodeId) -> crate::scores::ScoreVec {
+        FRank::new(RankParams::default())
+            .compute(g, &Query::single(q))
+            .unwrap()
+    }
+
+    #[test]
+    fn first_batch_processes_query_only() {
+        let (g, ids) = fig2_toy();
+        let mut bca = Bca::new(&g, ids.t1, &RankParams::default()).unwrap();
+        let picked = bca.process_batch(100);
+        assert_eq!(picked, vec![ids.t1]);
+        assert!((bca.rho(ids.t1) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn residual_decreases_monotonically() {
+        let (g, ids) = fig2_toy();
+        let mut bca = Bca::new(&g, ids.t1, &RankParams::default()).unwrap();
+        let mut prev = bca.total_residual();
+        for _ in 0..20 {
+            bca.process_batch(10);
+            let cur = bca.total_residual();
+            assert!(cur <= prev + 1e-12, "residual increased {prev} -> {cur}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn converges_to_exact_frank() {
+        let (g, ids) = fig2_toy();
+        let exact = exact_frank(&g, ids.t1);
+        let mut bca = Bca::new(&g, ids.t1, &RankParams::default()).unwrap();
+        bca.run_to_residual(1e-9, 50);
+        for v in g.nodes() {
+            assert!(
+                (bca.rho(v) - exact.score(v)).abs() < 1e-7,
+                "{v:?}: bca {} vs exact {}",
+                bca.rho(v),
+                exact.score(v)
+            );
+        }
+    }
+
+    #[test]
+    fn rho_is_always_a_lower_bound() {
+        let (g, ids) = fig2_toy();
+        let exact = exact_frank(&g, ids.t1);
+        let mut bca = Bca::new(&g, ids.t1, &RankParams::default()).unwrap();
+        for _ in 0..30 {
+            bca.process_batch(3);
+            for v in g.nodes() {
+                assert!(
+                    bca.rho(v) <= exact.score(v) + 1e-12,
+                    "ρ exceeded exact at {v:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prop4_bound_is_valid_and_tighter_than_gupta() {
+        let (g, ids) = fig2_toy();
+        let exact = exact_frank(&g, ids.t1);
+        let mut bca = Bca::new(&g, ids.t1, &RankParams::default()).unwrap();
+        for _ in 0..15 {
+            bca.process_batch(2);
+            let ub = bca.unseen_upper_bound();
+            let gupta = bca.gupta_upper_bound();
+            // Prop. 4 must still be an upper bound...
+            for v in g.nodes() {
+                assert!(
+                    exact.score(v) <= bca.rho(v) + ub + 1e-12,
+                    "bound violated at {v:?}"
+                );
+            }
+            // ...and strictly tighter than the first-arrival bound
+            // (while residual remains).
+            if bca.total_residual() > 1e-12 {
+                assert!(ub < gupta, "Prop.4 {ub} not tighter than Gupta {gupta}");
+            }
+        }
+    }
+
+    #[test]
+    fn mass_conservation() {
+        // ρ total + residual total = 1 on a dangling-free graph.
+        let (g, ids) = fig2_toy();
+        let mut bca = Bca::new(&g, ids.t1, &RankParams::default()).unwrap();
+        for _ in 0..10 {
+            bca.process_batch(5);
+            let rho_total: f64 = bca.seen().map(|(_, r)| r).sum();
+            assert!(
+                (rho_total + bca.total_residual() - 1.0).abs() < 1e-9,
+                "mass leaked: ρ={rho_total}, µ={}",
+                bca.total_residual()
+            );
+        }
+    }
+
+    #[test]
+    fn dangling_node_loses_mass() {
+        let mut b = rtr_graph::GraphBuilder::new();
+        let ty = b.register_type("n");
+        let q = b.add_node(ty);
+        let x = b.add_node(ty);
+        b.add_edge(q, x, 1.0); // x dangling
+        let g = b.build();
+        let mut bca = Bca::new(&g, q, &RankParams::default()).unwrap();
+        bca.run_to_residual(1e-12, 10);
+        let rho_total: f64 = bca.seen().map(|(_, r)| r).sum();
+        assert!(rho_total < 1.0, "dangling graph must be substochastic");
+        // ρ(q) = α, ρ(x) = (1-α)·α.
+        assert!((bca.rho(q) - 0.25).abs() < 1e-12);
+        assert!((bca.rho(x) - 0.75 * 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn processing_node_without_residual_is_noop() {
+        let (g, ids) = fig2_toy();
+        let mut bca = Bca::new(&g, ids.t1, &RankParams::default()).unwrap();
+        bca.process(ids.v1); // v1 has no residual yet
+        assert_eq!(bca.processed_count(), 0);
+        assert_eq!(bca.rho(ids.v1), 0.0);
+        assert_eq!(bca.total_residual(), 1.0);
+    }
+
+    #[test]
+    fn benefit_prefers_cheap_high_residual_nodes() {
+        // After the first expansion, residual sits on t1's 5 papers equally;
+        // each paper has out-degree 2, so all have equal benefit, and a batch
+        // of size 2 should pick exactly 2 of them.
+        let (g, ids) = fig2_toy();
+        let mut bca = Bca::new(&g, ids.t1, &RankParams::default()).unwrap();
+        bca.process_batch(1);
+        let picked = bca.process_batch(2);
+        assert_eq!(picked.len(), 2);
+        for v in picked {
+            assert!(ids.p.contains(&v), "expected a paper, got {v:?}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_query_rejected() {
+        let (g, _) = fig2_toy();
+        assert!(matches!(
+            Bca::new(&g, NodeId(999), &RankParams::default()),
+            Err(CoreError::NodeOutOfRange { .. })
+        ));
+    }
+}

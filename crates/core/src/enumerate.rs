@@ -1,0 +1,347 @@
+//! Exact round-trip enumeration and truncated-walk computations.
+//!
+//! The paper introduces RoundTripRank by enumerating every round trip on the
+//! Fig. 2 toy graph (Fig. 4, constant `L = L' = 2`) before deriving the
+//! practical decomposition `r ∝ f · t` (Prop. 2). This module materializes
+//! both views so tests can verify the decomposition against brute force:
+//!
+//! * [`round_trips`] — explicit DFS enumeration of all round trips (their
+//!   node sequences and probabilities), exponential and only for tiny
+//!   graphs;
+//! * [`rtr_constant`] — `p_L(q→v) · p_L'(v→q)` via dense step vectors, the
+//!   polynomial-time equivalent;
+//! * [`frank_truncated`] / [`trank_truncated`] — F-Rank/T-Rank as explicit
+//!   mixtures over walk lengths `Σ_ℓ p(L=ℓ) · p_ℓ(·)`, an independent
+//!   cross-check of the fixed-point engines for any [`WalkLength`].
+
+use crate::scores::ScoreVec;
+use crate::walk::WalkLength;
+use rtr_graph::{Graph, NodeId};
+
+/// One explicit round trip: its visited nodes and probability.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RoundTrip {
+    /// The visited node sequence `W_0, ..., W_{L+L'}` (first == last).
+    pub nodes: Vec<NodeId>,
+    /// The trip's target `W_L`.
+    pub target: NodeId,
+    /// Product of transition probabilities along the trip.
+    pub probability: f64,
+}
+
+/// Probability of a specific walk (product of step probabilities; 0 if any
+/// step is not an edge).
+pub fn path_probability(g: &Graph, path: &[NodeId]) -> f64 {
+    path.windows(2)
+        .map(|w| g.transition_prob(w[0], w[1]))
+        .product()
+}
+
+/// One forward diffusion step: `next[d] = Σ_s dist[s] · M[s][d]`.
+pub fn step_forward(g: &Graph, dist: &[f64]) -> Vec<f64> {
+    let mut next = vec![0.0; g.node_count()];
+    for v in g.nodes() {
+        let mass = dist[v.index()];
+        if mass == 0.0 {
+            continue;
+        }
+        for (dst, prob) in g.out_edges(v) {
+            next[dst.index()] += mass * prob;
+        }
+    }
+    next
+}
+
+/// One backward absorption step: if `cur[v] = p(reach q in exactly ℓ steps
+/// from v)`, returns `p(reach q in exactly ℓ+1 steps from v)`:
+/// `next[v] = Σ_{v'} M[v][v'] · cur[v']`.
+pub fn step_backward(g: &Graph, cur: &[f64]) -> Vec<f64> {
+    let mut next = vec![0.0; g.node_count()];
+    for v in g.nodes() {
+        let mut acc = 0.0;
+        for (dst, prob) in g.out_edges(v) {
+            acc += prob * cur[dst.index()];
+        }
+        next[v.index()] = acc;
+    }
+    next
+}
+
+/// `p(W_ℓ = v | W_0 = q)` for all `v`: the distribution after exactly `steps`
+/// steps from `q`.
+pub fn constant_forward(g: &Graph, q: NodeId, steps: usize) -> Vec<f64> {
+    let mut dist = vec![0.0; g.node_count()];
+    dist[q.index()] = 1.0;
+    for _ in 0..steps {
+        dist = step_forward(g, &dist);
+    }
+    dist
+}
+
+/// `p(W_ℓ = q | W_0 = v)` for all `v`: the probability of landing exactly on
+/// `q` after `steps` steps, per start node.
+pub fn constant_backward(g: &Graph, q: NodeId, steps: usize) -> Vec<f64> {
+    let mut cur = vec![0.0; g.node_count()];
+    cur[q.index()] = 1.0;
+    for _ in 0..steps {
+        cur = step_backward(g, &cur);
+    }
+    cur
+}
+
+/// Unnormalized RoundTripRank with constant walk lengths (paper Fig. 4):
+/// `r(q,v) ∝ p_L(q→v) · p_L'(v→q)`.
+pub fn rtr_constant(g: &Graph, q: NodeId, l: usize, l_prime: usize) -> ScoreVec {
+    let fwd = constant_forward(g, q, l);
+    let bwd = constant_backward(g, q, l_prime);
+    ScoreVec::from_vec(
+        fwd.iter()
+            .zip(&bwd)
+            .map(|(a, b)| a * b)
+            .collect(),
+    )
+}
+
+/// Explicitly enumerate every round trip `q →(l steps)→ v →(l' steps)→ q`
+/// with non-zero probability. Exponential in `l + l'`; intended for toy
+/// graphs only (Fig. 4 validation).
+pub fn round_trips(g: &Graph, q: NodeId, l: usize, l_prime: usize) -> Vec<RoundTrip> {
+    let mut outgoing: Vec<(Vec<NodeId>, f64)> = Vec::new();
+    dfs_paths(g, q, l, &mut vec![q], 1.0, &mut outgoing);
+    let mut trips = Vec::new();
+    for (out_path, out_prob) in outgoing {
+        let target = *out_path.last().expect("non-empty path");
+        let mut returning: Vec<(Vec<NodeId>, f64)> = Vec::new();
+        dfs_paths(g, target, l_prime, &mut vec![target], 1.0, &mut returning);
+        for (ret_path, ret_prob) in returning {
+            if *ret_path.last().expect("non-empty path") != q {
+                continue;
+            }
+            let mut nodes = out_path.clone();
+            nodes.extend_from_slice(&ret_path[1..]);
+            trips.push(RoundTrip {
+                nodes,
+                target,
+                probability: out_prob * ret_prob,
+            });
+        }
+    }
+    trips
+}
+
+fn dfs_paths(
+    g: &Graph,
+    cur: NodeId,
+    remaining: usize,
+    path: &mut Vec<NodeId>,
+    prob: f64,
+    out: &mut Vec<(Vec<NodeId>, f64)>,
+) {
+    if remaining == 0 {
+        out.push((path.clone(), prob));
+        return;
+    }
+    for (dst, p) in g.out_edges(cur) {
+        path.push(dst);
+        dfs_paths(g, dst, remaining - 1, path, prob * p, out);
+        path.pop();
+    }
+}
+
+/// Sum enumerated round trips per target — the brute-force RoundTripRank
+/// numerator of Fig. 4.
+pub fn rtr_by_enumeration(g: &Graph, q: NodeId, l: usize, l_prime: usize) -> ScoreVec {
+    let mut scores = ScoreVec::zeros(g.node_count());
+    for trip in round_trips(g, q, l, l_prime) {
+        *scores.score_mut(trip.target) += trip.probability;
+    }
+    scores
+}
+
+/// F-Rank as an explicit truncated mixture over walk lengths:
+/// `f(q,v) ≈ Σ_{ℓ=0}^{H} p(L=ℓ) · p_ℓ(q→v)` with `H` chosen so the neglected
+/// tail is at most `tail`.
+pub fn frank_truncated(g: &Graph, q: NodeId, walk: WalkLength, tail: f64) -> ScoreVec {
+    let horizon = walk.truncation_horizon(tail);
+    let mut dist = vec![0.0; g.node_count()];
+    dist[q.index()] = 1.0;
+    let mut acc = vec![0.0; g.node_count()];
+    for l in 0..=horizon {
+        let w = walk.pmf(l);
+        if w > 0.0 {
+            for (a, d) in acc.iter_mut().zip(&dist) {
+                *a += w * d;
+            }
+        }
+        if l < horizon {
+            dist = step_forward(g, &dist);
+        }
+    }
+    ScoreVec::from_vec(acc)
+}
+
+/// T-Rank as an explicit truncated mixture over walk lengths:
+/// `t(q,v) ≈ Σ_{ℓ=0}^{H} p(L'=ℓ) · p_ℓ(v→q)`.
+pub fn trank_truncated(g: &Graph, q: NodeId, walk: WalkLength, tail: f64) -> ScoreVec {
+    let horizon = walk.truncation_horizon(tail);
+    let mut cur = vec![0.0; g.node_count()];
+    cur[q.index()] = 1.0;
+    let mut acc = vec![0.0; g.node_count()];
+    for l in 0..=horizon {
+        let w = walk.pmf(l);
+        if w > 0.0 {
+            for (a, c) in acc.iter_mut().zip(&cur) {
+                *a += w * c;
+            }
+        }
+        if l < horizon {
+            cur = step_backward(g, &cur);
+        }
+    }
+    ScoreVec::from_vec(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frank::FRank;
+    use crate::params::RankParams;
+    use crate::query::Query;
+    use crate::trank::TRank;
+    use rtr_graph::toy::fig2_toy;
+
+    #[test]
+    fn fig4_trip_probabilities() {
+        // Every number in paper Fig. 4, by explicit enumeration.
+        let (g, ids) = fig2_toy();
+        let trips = round_trips(&g, ids.t1, 2, 2);
+
+        let sum_for = |target: NodeId| -> f64 {
+            trips
+                .iter()
+                .filter(|t| t.target == target)
+                .map(|t| t.probability)
+                .sum()
+        };
+        let count_for = |target: NodeId| -> usize {
+            trips.iter().filter(|t| t.target == target).count()
+        };
+
+        // v1: 4 trips × 0.0125 = 0.05
+        assert_eq!(count_for(ids.v1), 4);
+        assert!((sum_for(ids.v1) - 0.05).abs() < 1e-12);
+        // v2: 4 trips × 0.025 = 0.1
+        assert_eq!(count_for(ids.v2), 4);
+        assert!((sum_for(ids.v2) - 0.1).abs() < 1e-12);
+        // v3: 1 trip × 0.05
+        assert_eq!(count_for(ids.v3), 1);
+        assert!((sum_for(ids.v3) - 0.05).abs() < 1e-12);
+        // t1: 25 trips × 0.01 = 0.25
+        assert_eq!(count_for(ids.t1), 25);
+        assert!((sum_for(ids.t1) - 0.25).abs() < 1e-12);
+        // papers can never be targets of a 2-step trip from t1
+        for &p in &ids.p {
+            assert_eq!(count_for(p), 0);
+        }
+    }
+
+    #[test]
+    fn fig4_individual_trip_probability() {
+        let (g, ids) = fig2_toy();
+        // p(t1→p1→v1→p1→t1) = 1/5·1/2·1/4·1/2 = 0.0125
+        let p = path_probability(&g, &[ids.t1, ids.p[0], ids.v1, ids.p[0], ids.t1]);
+        assert!((p - 0.0125).abs() < 1e-12);
+        // p(t1→p3→v2→p3→t1) = 1/5·1/2·1/2·1/2 = 0.025
+        let p = path_probability(&g, &[ids.t1, ids.p[2], ids.v2, ids.p[2], ids.t1]);
+        assert!((p - 0.025).abs() < 1e-12);
+        // p(t1→p5→v3→p5→t1) = 1/5·1/2·1·1/2 = 0.05
+        let p = path_probability(&g, &[ids.t1, ids.p[4], ids.v3, ids.p[4], ids.t1]);
+        assert!((p - 0.05).abs() < 1e-12);
+        // Non-path has zero probability.
+        let p = path_probability(&g, &[ids.t1, ids.v1]);
+        assert_eq!(p, 0.0);
+    }
+
+    #[test]
+    fn decomposition_equals_enumeration() {
+        // Prop. 2 on the toy graph with constant lengths: the product view
+        // and brute-force enumeration must agree per target.
+        let (g, ids) = fig2_toy();
+        let by_product = rtr_constant(&g, ids.t1, 2, 2);
+        let by_enum = rtr_by_enumeration(&g, ids.t1, 2, 2);
+        assert!(
+            by_product.linf_distance(&by_enum) < 1e-12,
+            "L∞ = {}",
+            by_product.linf_distance(&by_enum)
+        );
+    }
+
+    #[test]
+    fn truncated_frank_matches_fixed_point() {
+        let (g, ids) = fig2_toy();
+        let walk = WalkLength::Geometric { alpha: 0.25 };
+        let truncated = frank_truncated(&g, ids.t1, walk, 1e-12);
+        let exact = FRank::new(RankParams::default())
+            .compute(&g, &Query::single(ids.t1))
+            .unwrap();
+        assert!(
+            truncated.linf_distance(&exact) < 1e-9,
+            "L∞ = {}",
+            truncated.linf_distance(&exact)
+        );
+    }
+
+    #[test]
+    fn truncated_trank_matches_fixed_point() {
+        let (g, ids) = fig2_toy();
+        let walk = WalkLength::Geometric { alpha: 0.25 };
+        let truncated = trank_truncated(&g, ids.t1, walk, 1e-12);
+        let exact = TRank::new(RankParams::default())
+            .compute(&g, &Query::single(ids.t1))
+            .unwrap();
+        assert!(
+            truncated.linf_distance(&exact) < 1e-9,
+            "L∞ = {}",
+            truncated.linf_distance(&exact)
+        );
+    }
+
+    #[test]
+    fn forward_step_preserves_mass_on_connected_graph() {
+        let (g, ids) = fig2_toy();
+        let d0 = constant_forward(&g, ids.t1, 0);
+        assert!((d0.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        let d3 = constant_forward(&g, ids.t1, 3);
+        assert!((d3.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn backward_zero_steps_is_indicator() {
+        let (g, ids) = fig2_toy();
+        let b0 = constant_backward(&g, ids.t1, 0);
+        for v in g.nodes() {
+            let expected = if v == ids.t1 { 1.0 } else { 0.0 };
+            assert_eq!(b0[v.index()], expected);
+        }
+    }
+
+    #[test]
+    fn round_trip_count_grows_with_length() {
+        let (g, ids) = fig2_toy();
+        let short = round_trips(&g, ids.t1, 2, 2).len();
+        let long = round_trips(&g, ids.t1, 4, 2).len();
+        assert!(long > short, "{long} !> {short}");
+    }
+
+    #[test]
+    fn trips_start_and_end_at_query() {
+        let (g, ids) = fig2_toy();
+        for trip in round_trips(&g, ids.t1, 2, 2) {
+            assert_eq!(trip.nodes.first(), Some(&ids.t1));
+            assert_eq!(trip.nodes.last(), Some(&ids.t1));
+            assert_eq!(trip.nodes.len(), 5); // L + L' + 1 nodes
+            assert_eq!(trip.nodes[2], trip.target);
+            assert!(trip.probability > 0.0);
+        }
+    }
+}

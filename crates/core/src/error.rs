@@ -1,0 +1,84 @@
+//! Error type for ranking computations.
+
+use rtr_graph::NodeId;
+use std::fmt;
+
+/// Errors surfaced by the ranking APIs.
+///
+/// Programmer errors (e.g. indexing with a node id from a different graph
+/// that happens to be in range) cannot always be detected; the checks here
+/// cover everything detectable at the API boundary.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CoreError {
+    /// A query node id exceeds the graph's node count.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: NodeId,
+        /// The graph's node count.
+        node_count: usize,
+    },
+    /// The query contains no nodes.
+    EmptyQuery,
+    /// A multi-node query's weights don't match its node list or are invalid.
+    BadQueryWeights(String),
+    /// The teleport probability α is outside `(0, 1)`.
+    InvalidAlpha(f64),
+    /// The specificity bias β is outside `[0, 1]`.
+    InvalidBeta(f64),
+    /// An iterative computation failed to converge within the iteration cap.
+    NoConvergence {
+        /// Iterations performed.
+        iterations: usize,
+        /// Residual change at the last iteration.
+        residual: f64,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::NodeOutOfRange { node, node_count } => {
+                write!(f, "node {node} out of range (graph has {node_count} nodes)")
+            }
+            CoreError::EmptyQuery => write!(f, "query contains no nodes"),
+            CoreError::BadQueryWeights(msg) => write!(f, "bad query weights: {msg}"),
+            CoreError::InvalidAlpha(a) => {
+                write!(f, "teleport probability α must be in (0,1), got {a}")
+            }
+            CoreError::InvalidBeta(b) => {
+                write!(f, "specificity bias β must be in [0,1], got {b}")
+            }
+            CoreError::NoConvergence {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "iteration did not converge after {iterations} iterations (residual {residual:.3e})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = CoreError::NodeOutOfRange {
+            node: NodeId(9),
+            node_count: 3,
+        };
+        assert!(e.to_string().contains("out of range"));
+        assert!(CoreError::EmptyQuery.to_string().contains("no nodes"));
+        assert!(CoreError::InvalidAlpha(1.5).to_string().contains("1.5"));
+        assert!(CoreError::InvalidBeta(-0.1).to_string().contains("-0.1"));
+        let e = CoreError::NoConvergence {
+            iterations: 10,
+            residual: 1e-3,
+        };
+        assert!(e.to_string().contains("10"));
+    }
+}

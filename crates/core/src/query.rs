@@ -1,0 +1,156 @@
+//! Query specification: one node or a weighted set of nodes.
+//!
+//! The paper (Sect. III-A): "More generally, a query can consist of multiple
+//! nodes, and the round trip can start from any of them. Similar to the
+//! Linearity Theorem for PPR, RoundTripRank for a multi-node query can be
+//! equivalently expressed as a linear function of RoundTripRank for each node
+//! in the query." The venue-ranking queries of Figs. 6–7 are exactly such
+//! multi-term queries ("spatio temporal data" = three term nodes).
+
+use crate::error::CoreError;
+use rtr_graph::{Graph, NodeId};
+
+/// A ranking query: one or more graph nodes with normalized weights.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Query {
+    nodes: Vec<NodeId>,
+    weights: Vec<f64>,
+}
+
+impl Query {
+    /// A single-node query.
+    pub fn single(q: NodeId) -> Self {
+        Query {
+            nodes: vec![q],
+            weights: vec![1.0],
+        }
+    }
+
+    /// A uniform multi-node query (each node weighted `1/|Q|`).
+    pub fn uniform(nodes: &[NodeId]) -> Self {
+        let w = 1.0 / nodes.len().max(1) as f64;
+        Query {
+            nodes: nodes.to_vec(),
+            weights: vec![w; nodes.len()],
+        }
+    }
+
+    /// A weighted multi-node query; weights are normalized to sum to 1.
+    pub fn weighted(pairs: &[(NodeId, f64)]) -> Result<Self, CoreError> {
+        if pairs.is_empty() {
+            return Err(CoreError::EmptyQuery);
+        }
+        let total: f64 = pairs.iter().map(|&(_, w)| w).sum();
+        if !(total > 0.0) || pairs.iter().any(|&(_, w)| !(w >= 0.0) || !w.is_finite()) {
+            return Err(CoreError::BadQueryWeights(
+                "weights must be non-negative, finite, and sum to > 0".into(),
+            ));
+        }
+        Ok(Query {
+            nodes: pairs.iter().map(|&(n, _)| n).collect(),
+            weights: pairs.iter().map(|&(_, w)| w / total).collect(),
+        })
+    }
+
+    /// The query nodes.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// The normalized weights (same order as [`Self::nodes`], sums to 1).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// `(node, weight)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, f64)> + '_ {
+        self.nodes.iter().copied().zip(self.weights.iter().copied())
+    }
+
+    /// Number of query nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the query has no nodes (invalid; constructors prevent this
+    /// except `uniform(&[])`).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Whether a node belongs to the query (used by result filtering: "we
+    /// filter out the query node itself", paper Sect. VI-A).
+    pub fn contains(&self, v: NodeId) -> bool {
+        self.nodes.contains(&v)
+    }
+
+    /// Validate the query against a graph.
+    pub fn validate(&self, g: &Graph) -> Result<(), CoreError> {
+        if self.nodes.is_empty() {
+            return Err(CoreError::EmptyQuery);
+        }
+        for &n in &self.nodes {
+            if n.index() >= g.node_count() {
+                return Err(CoreError::NodeOutOfRange {
+                    node: n,
+                    node_count: g.node_count(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtr_graph::toy::fig2_toy;
+
+    #[test]
+    fn single_query() {
+        let q = Query::single(NodeId(3));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.weights(), &[1.0]);
+        assert!(q.contains(NodeId(3)));
+        assert!(!q.contains(NodeId(4)));
+    }
+
+    #[test]
+    fn uniform_query_weights() {
+        let q = Query::uniform(&[NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(q.len(), 3);
+        for &w in q.weights() {
+            assert!((w - 1.0 / 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn weighted_query_normalizes() {
+        let q = Query::weighted(&[(NodeId(0), 2.0), (NodeId(1), 6.0)]).unwrap();
+        assert!((q.weights()[0] - 0.25).abs() < 1e-12);
+        assert!((q.weights()[1] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_rejects_bad_weights() {
+        assert!(Query::weighted(&[]).is_err());
+        assert!(Query::weighted(&[(NodeId(0), -1.0)]).is_err());
+        assert!(Query::weighted(&[(NodeId(0), 0.0)]).is_err());
+        assert!(Query::weighted(&[(NodeId(0), f64::NAN)]).is_err());
+    }
+
+    #[test]
+    fn validate_against_graph() {
+        let (g, ids) = fig2_toy();
+        assert!(Query::single(ids.t1).validate(&g).is_ok());
+        let bad = Query::single(NodeId(999));
+        assert!(matches!(
+            bad.validate(&g),
+            Err(CoreError::NodeOutOfRange { .. })
+        ));
+        assert_eq!(
+            Query::uniform(&[]).validate(&g),
+            Err(CoreError::EmptyQuery)
+        );
+    }
+}

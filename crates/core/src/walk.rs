@@ -1,0 +1,134 @@
+//! Walk-length distributions.
+//!
+//! The trip-view of PPR (paper Sect. III-A) parameterizes a trip by a random
+//! walk length `L`. The paper uses two instances:
+//!
+//! * `L ~ Geo(α)`: `p(L = ℓ) = (1-α)^ℓ · α` — the default, equivalent to PPR
+//!   with teleport probability α (Prop. 1);
+//! * constant `L = ℓ₀` — used in the toy example of Fig. 4 (`L = L' = 2`).
+
+use serde::{Deserialize, Serialize};
+
+/// Distribution of the number of steps in a trip.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum WalkLength {
+    /// Geometric with success probability α: `p(ℓ) = (1-α)^ℓ α`, ℓ ≥ 0.
+    Geometric {
+        /// Teleport probability α ∈ (0,1).
+        alpha: f64,
+    },
+    /// Deterministic length ℓ₀.
+    Constant {
+        /// The fixed number of steps.
+        steps: usize,
+    },
+}
+
+impl WalkLength {
+    /// Probability mass at length `l`.
+    pub fn pmf(&self, l: usize) -> f64 {
+        match *self {
+            WalkLength::Geometric { alpha } => (1.0 - alpha).powi(l as i32) * alpha,
+            WalkLength::Constant { steps } => {
+                if l == steps {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// Survival function `p(L > l)` — the probability the walk continues
+    /// past step `l`. Used to truncate enumerations.
+    pub fn survival(&self, l: usize) -> f64 {
+        match *self {
+            WalkLength::Geometric { alpha } => (1.0 - alpha).powi(l as i32 + 1),
+            WalkLength::Constant { steps } => {
+                if l < steps {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// Expected length `E[L]`: `(1-α)/α` for geometric, ℓ₀ for constant.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            WalkLength::Geometric { alpha } => (1.0 - alpha) / alpha,
+            WalkLength::Constant { steps } => steps as f64,
+        }
+    }
+
+    /// Smallest `l` such that `p(L > l) ≤ tail` (∞-safe truncation horizon).
+    pub fn truncation_horizon(&self, tail: f64) -> usize {
+        match *self {
+            WalkLength::Geometric { alpha } => {
+                // (1-α)^(l+1) <= tail  =>  l >= ln(tail)/ln(1-α) - 1
+                let l = (tail.ln() / (1.0 - alpha).ln() - 1.0).ceil();
+                l.max(0.0) as usize
+            }
+            WalkLength::Constant { steps } => steps,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometric_pmf_sums_to_one() {
+        let w = WalkLength::Geometric { alpha: 0.25 };
+        let total: f64 = (0..500).map(|l| w.pmf(l)).sum();
+        assert!((total - 1.0).abs() < 1e-12, "sum = {total}");
+    }
+
+    #[test]
+    fn geometric_pmf_decreasing() {
+        // "a geometric L is effective as it gives longer walk lengths smaller
+        //  probabilities" (paper Sect. III-A).
+        let w = WalkLength::Geometric { alpha: 0.25 };
+        for l in 0..20 {
+            assert!(w.pmf(l) > w.pmf(l + 1));
+        }
+    }
+
+    #[test]
+    fn geometric_mean() {
+        let w = WalkLength::Geometric { alpha: 0.25 };
+        assert!((w.mean() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_survival_consistent_with_pmf() {
+        let w = WalkLength::Geometric { alpha: 0.3 };
+        for l in 0..10 {
+            let tail: f64 = (l + 1..200).map(|k| w.pmf(k)).sum();
+            assert!((w.survival(l) - tail).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn constant_pmf_is_point_mass() {
+        let w = WalkLength::Constant { steps: 2 };
+        assert_eq!(w.pmf(2), 1.0);
+        assert_eq!(w.pmf(1), 0.0);
+        assert_eq!(w.pmf(3), 0.0);
+        assert_eq!(w.mean(), 2.0);
+        assert_eq!(w.survival(1), 1.0);
+        assert_eq!(w.survival(2), 0.0);
+    }
+
+    #[test]
+    fn truncation_horizon_bounds_tail() {
+        let w = WalkLength::Geometric { alpha: 0.25 };
+        let h = w.truncation_horizon(1e-6);
+        assert!(w.survival(h) <= 1e-6);
+        assert!(h == 0 || w.survival(h - 1) > 1e-6);
+        let c = WalkLength::Constant { steps: 5 };
+        assert_eq!(c.truncation_horizon(1e-6), 5);
+    }
+}

@@ -1,0 +1,50 @@
+//! # rtr-datagen — synthetic BibNet and QLog datasets
+//!
+//! The paper evaluates on two proprietary datasets we cannot obtain:
+//!
+//! * **BibNet** — 2M nodes / 25M edges extracted from DBLP and Citeseer
+//!   (papers, authors, terms, venues; directed citations, undirected
+//!   otherwise), plus a 28-venue effectiveness subgraph;
+//! * **QLog** — a 2006 commercial search-engine query log (2M nodes / 4M
+//!   edges; phrase–URL click graph with click-count weights).
+//!
+//! Following the reproduction's substitution rule (DESIGN.md §4), this crate
+//! generates synthetic equivalents that preserve the *structural tension the
+//! paper's measures exploit*: the co-existence of
+//!
+//! * **important hubs** — flagship venues / portal URLs reachable from
+//!   everywhere (high F-Rank) but leaking return walks (low T-Rank), and
+//! * **specific niche nodes** — focused venues / single-concept URLs that
+//!   are harder to reach but reliably lead back to their topic.
+//!
+//! Both generators are fully seeded (ChaCha) so every experiment in the
+//! workspace is reproducible bit-for-bit.
+//!
+//! ## Modules
+//!
+//! * [`zipf`] — seeded Zipf/power-law sampling (popularity skews).
+//! * [`bibnet`] — topic-structured bibliographic network generator with
+//!   per-paper ground truth (venue, authors) for Tasks 1–2.
+//! * [`qlog`] — concept-structured phrase–URL click graph with equivalence
+//!   classes for Tasks 3–4.
+//!
+//! ## Example
+//!
+//! ```
+//! use rtr_datagen::bibnet::{BibNet, BibNetConfig};
+//!
+//! let net = BibNet::generate(&BibNetConfig::tiny(), 42);
+//! assert!(net.graph.node_count() > 0);
+//! // Every paper has a venue and at least one author recorded as ground truth.
+//! assert_eq!(net.paper_venue.len(), net.papers.len());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bibnet;
+pub mod qlog;
+pub mod zipf;
+
+pub use bibnet::{BibNet, BibNetConfig};
+pub use qlog::{QLog, QLogConfig};

@@ -1,0 +1,155 @@
+//! Seeded Zipf sampling.
+//!
+//! Real bibliographic and query-log graphs are power-law distributed in
+//! venue popularity, author productivity, term frequency and URL clicks;
+//! the paper's growth analysis (Sect. V-B1) explicitly leans on the
+//! densification power law. This sampler draws ranks `0..n` with
+//! `p(k) ∝ 1/(k+1)^s` via a precomputed CDF and binary search —
+//! `O(n)` setup, `O(log n)` per draw.
+
+use rand::Rng;
+
+/// A Zipf distribution over ranks `0..n` with exponent `s`.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a Zipf distribution over `n` ranks with exponent `s > 0`.
+    ///
+    /// `s` near 1 gives the classic heavy tail; larger `s` concentrates mass
+    /// on the top ranks.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s > 0.0 && s.is_finite(), "exponent must be positive");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard against floating-point shortfall at the right edge.
+        *cdf.last_mut().expect("non-empty") = 1.0;
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the support is empty (never true; `new` requires `n > 0`).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Probability mass of rank `k`.
+    pub fn pmf(&self, k: usize) -> f64 {
+        if k == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[k] - self.cdf[k - 1]
+        }
+    }
+
+    /// Draw one rank.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        // First index with cdf >= u.
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("NaN in CDF"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+/// Draw a power-law-distributed positive integer in `[1, max]` with
+/// exponent `s` (used for click counts / citation counts).
+pub fn power_law_count<R: Rng + ?Sized>(rng: &mut R, max: usize, s: f64) -> usize {
+    Zipf::new(max, s).sample(rng) + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(50, 1.1);
+        let total: f64 = (0..50).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pmf_is_decreasing() {
+        let z = Zipf::new(20, 1.0);
+        for k in 0..19 {
+            assert!(z.pmf(k) > z.pmf(k + 1));
+        }
+    }
+
+    #[test]
+    fn sampling_matches_pmf() {
+        let z = Zipf::new(10, 1.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let n = 200_000;
+        let mut counts = vec![0usize; 10];
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for k in 0..10 {
+            let freq = counts[k] as f64 / n as f64;
+            assert!(
+                (freq - z.pmf(k)).abs() < 0.01,
+                "rank {k}: freq {freq} vs pmf {}",
+                z.pmf(k)
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let z = Zipf::new(100, 1.2);
+        let a: Vec<usize> = {
+            let mut rng = ChaCha8Rng::seed_from_u64(7);
+            (0..50).map(|_| z.sample(&mut rng)).collect()
+        };
+        let b: Vec<usize> = {
+            let mut rng = ChaCha8Rng::seed_from_u64(7);
+            (0..50).map(|_| z.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn power_law_count_in_range() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let c = power_law_count(&mut rng, 8, 1.5);
+            assert!((1..=8).contains(&c));
+        }
+    }
+
+    #[test]
+    fn larger_exponent_concentrates_head() {
+        let flat = Zipf::new(100, 0.5);
+        let steep = Zipf::new(100, 2.5);
+        assert!(steep.pmf(0) > flat.pmf(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_support_rejected() {
+        Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,183 @@
+//! The AP-side active graph: the incrementally assembled active set.
+//!
+//! "AP queries the graph processors over a network, which are responsible
+//! for identifying and sending back the new active nodes and edges.
+//! Subsequently, AP incrementally assembles the active set from the
+//! responses" (paper Sect. V-B2).
+//!
+//! [`ActiveGraph`] is the AP's only view of the graph: adjacency is
+//! available *only* for nodes whose blocks have been fetched, and every
+//! fetch is metered (requests, blocks, payload bytes) so the Fig. 12
+//! active-set measurements fall directly out of the bookkeeping.
+
+use crate::gp::GpCluster;
+use rtr_graph::wire::NodeBlock;
+use rtr_graph::NodeId;
+use std::collections::HashMap;
+
+/// The assembled active set plus fetch plumbing and meters.
+pub struct ActiveGraph<'c> {
+    cluster: &'c GpCluster,
+    node_count: usize,
+    blocks: HashMap<u32, NodeBlock>,
+    fetch_requests: usize,
+    blocks_fetched: usize,
+    bytes_transferred: usize,
+}
+
+impl<'c> ActiveGraph<'c> {
+    /// Start with an empty active set over a graph of `node_count` nodes.
+    pub fn new(cluster: &'c GpCluster, node_count: usize) -> Self {
+        ActiveGraph {
+            cluster,
+            node_count,
+            blocks: HashMap::new(),
+            fetch_requests: 0,
+            blocks_fetched: 0,
+            bytes_transferred: 0,
+        }
+    }
+
+    /// Total nodes in the underlying graph.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Ensure the blocks for `nodes` are resident, fetching missing ones
+    /// from the GPs in one batched request.
+    pub fn ensure(&mut self, nodes: &[NodeId]) {
+        let missing: Vec<NodeId> = nodes
+            .iter()
+            .copied()
+            .filter(|v| !self.blocks.contains_key(&v.0))
+            .collect();
+        if missing.is_empty() {
+            return;
+        }
+        self.fetch_requests += 1;
+        let (blocks, bytes) = self.cluster.fetch(&missing);
+        self.blocks_fetched += blocks.len();
+        self.bytes_transferred += bytes;
+        for b in blocks {
+            self.blocks.insert(b.node.0, b);
+        }
+    }
+
+    /// Out-edges of a resident node (panics if not fetched — the algorithms
+    /// must `ensure` before touching adjacency, exactly as the real AP must
+    /// wait for the GP response).
+    pub fn out_edges(&self, v: NodeId) -> &[(NodeId, f64)] {
+        &self
+            .blocks
+            .get(&v.0)
+            .unwrap_or_else(|| panic!("node {v:?} not in active set"))
+            .out_edges
+    }
+
+    /// In-edges of a resident node.
+    pub fn in_edges(&self, v: NodeId) -> &[(NodeId, f64)] {
+        &self
+            .blocks
+            .get(&v.0)
+            .unwrap_or_else(|| panic!("node {v:?} not in active set"))
+            .in_edges
+    }
+
+    /// Out-degree of a resident node.
+    pub fn out_degree(&self, v: NodeId) -> usize {
+        self.out_edges(v).len()
+    }
+
+    /// Whether a node's block is resident.
+    pub fn is_resident(&self, v: NodeId) -> bool {
+        self.blocks.contains_key(&v.0)
+    }
+
+    /// Number of resident nodes (the active-set node count).
+    pub fn resident_nodes(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Resident edges (both directions, as stored).
+    pub fn resident_edges(&self) -> usize {
+        self.blocks
+            .values()
+            .map(|b| b.out_edges.len() + b.in_edges.len())
+            .sum()
+    }
+
+    /// Resident bytes (wire-encoding size — the paper's MB numbers).
+    pub fn resident_bytes(&self) -> usize {
+        self.blocks.values().map(|b| b.encoded_len()).sum()
+    }
+
+    /// Fetch requests issued so far.
+    pub fn fetch_requests(&self) -> usize {
+        self.fetch_requests
+    }
+
+    /// Blocks received so far.
+    pub fn blocks_fetched(&self) -> usize {
+        self.blocks_fetched
+    }
+
+    /// Payload bytes received so far.
+    pub fn bytes_transferred(&self) -> usize {
+        self.bytes_transferred
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtr_graph::toy::fig2_toy;
+
+    #[test]
+    fn demand_paging_fetches_once() {
+        let (g, ids) = fig2_toy();
+        let cluster = GpCluster::spawn(&g, 2);
+        let mut active = ActiveGraph::new(&cluster, g.node_count());
+        active.ensure(&[ids.t1]);
+        assert_eq!(active.fetch_requests(), 1);
+        assert_eq!(active.blocks_fetched(), 1);
+        // Second ensure is a cache hit.
+        active.ensure(&[ids.t1]);
+        assert_eq!(active.fetch_requests(), 1);
+        assert!(active.is_resident(ids.t1));
+    }
+
+    #[test]
+    fn adjacency_matches_source_graph() {
+        let (g, ids) = fig2_toy();
+        let cluster = GpCluster::spawn(&g, 3);
+        let mut active = ActiveGraph::new(&cluster, g.node_count());
+        active.ensure(&[ids.v2]);
+        let expected: Vec<(NodeId, f64)> = g.out_edges(ids.v2).collect();
+        assert_eq!(active.out_edges(ids.v2), expected.as_slice());
+        assert_eq!(active.out_degree(ids.v2), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in active set")]
+    fn touching_unfetched_node_panics() {
+        let (g, ids) = fig2_toy();
+        let cluster = GpCluster::spawn(&g, 2);
+        let active = ActiveGraph::new(&cluster, g.node_count());
+        let _ = active.out_edges(ids.t1);
+    }
+
+    #[test]
+    fn meters_accumulate() {
+        let (g, ids) = fig2_toy();
+        let cluster = GpCluster::spawn(&g, 2);
+        let mut active = ActiveGraph::new(&cluster, g.node_count());
+        active.ensure(&[ids.t1, ids.v1]);
+        let b1 = active.bytes_transferred();
+        assert!(b1 > 0);
+        active.ensure(&[ids.v2, ids.v3]);
+        assert!(active.bytes_transferred() > b1);
+        assert_eq!(active.resident_nodes(), 4);
+        assert!(active.resident_bytes() > 0);
+        assert!(active.resident_edges() > 0);
+    }
+}

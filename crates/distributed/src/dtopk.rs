@@ -1,0 +1,440 @@
+//! Distributed 2SBound: the paper's Algorithm 1 running on the AP, with
+//! every adjacency access served from the incrementally assembled active
+//! set (paper Sect. V-B2).
+//!
+//! The algorithm is the same two-stage bounds machinery as `rtr_topk`
+//! (BCA + Prop. 4 for F-Rank, border nodes + Eq. 22 for T-Rank, refinement
+//! Eq. 17–18, stopping conditions Eq. 13–14); the difference is purely
+//! operational — the AP `ensure`s node blocks before touching them, so the
+//! measured fetch traffic and resident bytes are exactly the paper's
+//! active-set quantities.
+
+use crate::active::ActiveGraph;
+use crate::gp::GpCluster;
+use rtr_core::{CoreError, RankParams};
+use rtr_graph::NodeId;
+use rtr_topk::active_set::ActiveSetStats;
+use rtr_topk::bounds::Bounds;
+use rtr_topk::config::TopKConfig;
+use rtr_topk::two_sbound::TopKResult;
+use std::collections::HashMap;
+
+const TIE_EPS: f64 = 1e-12;
+
+/// Network-level statistics of one distributed query.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DistributedStats {
+    /// Batched fetch requests the AP issued.
+    pub fetch_requests: usize,
+    /// Node blocks received.
+    pub blocks_fetched: usize,
+    /// Payload bytes received.
+    pub bytes_transferred: usize,
+    /// Resident active-set nodes at termination.
+    pub active_nodes: usize,
+    /// Resident active-set edges at termination.
+    pub active_edges: usize,
+    /// Resident active-set bytes at termination (paper Fig. 12 "Active set
+    /// size").
+    pub active_bytes: usize,
+}
+
+/// Distributed 2SBound processor.
+#[derive(Clone, Copy, Debug)]
+pub struct DistributedTwoSBound {
+    params: RankParams,
+    config: TopKConfig,
+}
+
+impl DistributedTwoSBound {
+    /// Create with the given walk parameters and top-K configuration.
+    pub fn new(params: RankParams, config: TopKConfig) -> Self {
+        DistributedTwoSBound { params, config }
+    }
+
+    /// Run the query against a GP cluster. `node_count` is the graph's total
+    /// node count (the only global metadata the AP holds).
+    pub fn run(
+        &self,
+        cluster: &GpCluster,
+        node_count: usize,
+        q: NodeId,
+    ) -> Result<(TopKResult, DistributedStats), CoreError> {
+        self.params.validate()?;
+        if q.index() >= node_count {
+            return Err(CoreError::NodeOutOfRange {
+                node: q,
+                node_count,
+            });
+        }
+        let cfg = &self.config;
+        let alpha = self.params.alpha;
+        let mut active = ActiveGraph::new(cluster, node_count);
+
+        // ---- F side: BCA state + bounds --------------------------------
+        let mut rho: HashMap<u32, f64> = HashMap::new();
+        let mut mu: HashMap<u32, f64> = HashMap::new();
+        mu.insert(q.0, 1.0);
+        let mut total_residual = 1.0f64;
+        let mut f_bounds: HashMap<u32, Bounds> = HashMap::new();
+        let mut f_unseen: f64; // set by Stage I before every use
+
+        // ---- T side: membership + bounds --------------------------------
+        let mut t_bounds: HashMap<u32, Bounds> = HashMap::new();
+        active.ensure(&[q]);
+        t_bounds.insert(
+            q.0,
+            Bounds {
+                lower: alpha,
+                upper: 1.0,
+            },
+        );
+        let mut t_unseen = 1.0 - alpha;
+
+        let k = cfg.k.min(node_count);
+        // Match the single-machine adaptive refinement tolerance.
+        let refine_tol = cfg.refine_tolerance.max(cfg.epsilon * 1e-2);
+        let mut expansions = 0usize;
+        loop {
+            expansions += 1;
+
+            // ---------------- F Stage I: BCA batch ----------------------
+            f_unseen = {
+                // Benefit needs |Out|: bring residual holders into the
+                // active set (they are about to join it anyway).
+                let mut holders: Vec<NodeId> = mu
+                    .iter()
+                    .filter(|(_, &r)| r > 0.0)
+                    .map(|(&v, _)| NodeId(v))
+                    .collect();
+                holders.sort_unstable();
+                active.ensure(&holders);
+                let mut cands: Vec<(u32, f64)> = holders
+                    .iter()
+                    .map(|&v| {
+                        let out = active.out_degree(v).max(1);
+                        (v.0, mu[&v.0] / out as f64)
+                    })
+                    .collect();
+                let take = cfg.m_f.min(cands.len());
+                if take > 0 {
+                    // Ties break by node id for reproducibility.
+                    cands.select_nth_unstable_by(take - 1, |a, b| {
+                        b.1.partial_cmp(&a.1)
+                            .expect("NaN benefit")
+                            .then(a.0.cmp(&b.0))
+                    });
+                    cands.truncate(take);
+                    cands.sort_unstable_by_key(|&(v, _)| v); // deterministic order
+                    for (vid, _) in cands {
+                        let Some(residual) = mu.remove(&vid) else {
+                            continue;
+                        };
+                        *rho.entry(vid).or_insert(0.0) += alpha * residual;
+                        let spread = (1.0 - alpha) * residual;
+                        let mut spread_out = 0.0;
+                        // Copy the adjacency to end the borrow before mutating mu.
+                        let edges: Vec<(NodeId, f64)> =
+                            active.out_edges(NodeId(vid)).to_vec();
+                        for (dst, prob) in edges {
+                            let amt = spread * prob;
+                            *mu.entry(dst.0).or_insert(0.0) += amt;
+                            spread_out += amt;
+                        }
+                        total_residual -= residual - spread_out;
+                    }
+                }
+                // Prop. 4 unseen bound — sound only on self-loop-free
+                // graphs; otherwise the safe first-arrival bound.
+                let bound = if cluster.has_self_loops() {
+                    total_residual.max(0.0)
+                } else {
+                    let max_mu = mu.values().copied().fold(0.0, f64::max);
+                    alpha / (2.0 - alpha) * max_mu
+                        + (1.0 - alpha) / (2.0 - alpha) * total_residual.max(0.0)
+                };
+                for (&vid, &r) in &rho {
+                    let e = f_bounds.entry(vid).or_insert_with(|| Bounds::unseen(1.0));
+                    e.tighten_lower(r);
+                    e.tighten_upper(r + bound);
+                }
+                bound
+            };
+
+            // ---------------- F Stage II: refinement --------------------
+            {
+                let mut members: Vec<u32> = f_bounds.keys().copied().collect();
+                members.sort_unstable(); // deterministic sweep order
+                let as_nodes: Vec<NodeId> = members.iter().map(|&v| NodeId(v)).collect();
+                active.ensure(&as_nodes);
+                for _ in 0..cfg.refine_max_sweeps {
+                    let mut max_change = 0.0f64;
+                    for &vid in &members {
+                        let v = NodeId(vid);
+                        let indicator = if v == q { alpha } else { 0.0 };
+                        let mut lo = 0.0;
+                        let mut hi = 0.0;
+                        for &(src, prob) in active.in_edges(v) {
+                            match f_bounds.get(&src.0) {
+                                Some(b) => {
+                                    lo += prob * b.lower;
+                                    hi += prob * b.upper;
+                                }
+                                None => hi += prob * f_unseen,
+                            }
+                        }
+                        let b = f_bounds.get_mut(&vid).expect("member");
+                        max_change =
+                            max_change.max(b.tighten_lower(indicator + (1.0 - alpha) * lo));
+                        max_change =
+                            max_change.max(b.tighten_upper(indicator + (1.0 - alpha) * hi));
+                    }
+                    if max_change < refine_tol {
+                        break;
+                    }
+                }
+            }
+
+            // ---------------- T Stage I: border expansion ---------------
+            {
+                let is_border = |vid: u32, active: &ActiveGraph<'_>,
+                                 t_bounds: &HashMap<u32, Bounds>| {
+                    active
+                        .in_edges(NodeId(vid))
+                        .iter()
+                        .any(|&(s, _)| !t_bounds.contains_key(&s.0))
+                };
+                let mut border: Vec<(u32, f64)> = t_bounds
+                    .iter()
+                    .filter(|(&v, _)| is_border(v, &active, &t_bounds))
+                    .map(|(&v, b)| (v, b.upper))
+                    .collect();
+                border.sort_unstable_by_key(|&(v, _)| v);
+                if !border.is_empty() {
+                    let take = cfg.m_t.min(border.len());
+                    border.select_nth_unstable_by(take - 1, |a, b| {
+                        b.1.partial_cmp(&a.1)
+                            .expect("NaN upper")
+                            .then(a.0.cmp(&b.0))
+                    });
+                    border.truncate(take);
+                    let prev_unseen = t_unseen;
+                    let mut newcomers = Vec::new();
+                    for (u, _) in border {
+                        for &(src, _) in active.in_edges(NodeId(u)) {
+                            if !t_bounds.contains_key(&src.0) {
+                                t_bounds.insert(src.0, Bounds::unseen(prev_unseen));
+                                newcomers.push(src);
+                            }
+                        }
+                    }
+                    active.ensure(&newcomers);
+                }
+                // Refresh unseen bound (Eq. 22), monotone.
+                let max_border = t_bounds
+                    .iter()
+                    .filter(|(&v, _)| is_border(v, &active, &t_bounds))
+                    .map(|(_, b)| b.upper)
+                    .fold(f64::NEG_INFINITY, f64::max);
+                let fresh = if max_border.is_finite() {
+                    (1.0 - alpha) * max_border
+                } else {
+                    0.0
+                };
+                if fresh < t_unseen {
+                    t_unseen = fresh;
+                }
+            }
+
+            // ---------------- T Stage II: refinement --------------------
+            {
+                let mut members: Vec<u32> = t_bounds.keys().copied().collect();
+                members.sort_unstable(); // deterministic sweep order
+                for _ in 0..cfg.refine_max_sweeps {
+                    let mut max_change = 0.0f64;
+                    for &vid in &members {
+                        let v = NodeId(vid);
+                        let indicator = if v == q { alpha } else { 0.0 };
+                        let mut lo = 0.0;
+                        let mut hi = 0.0;
+                        for &(dst, prob) in active.out_edges(v) {
+                            match t_bounds.get(&dst.0) {
+                                Some(b) => {
+                                    lo += prob * b.lower;
+                                    hi += prob * b.upper;
+                                }
+                                None => hi += prob * t_unseen,
+                            }
+                        }
+                        let b = t_bounds.get_mut(&vid).expect("member");
+                        max_change =
+                            max_change.max(b.tighten_lower(indicator + (1.0 - alpha) * lo));
+                        max_change =
+                            max_change.max(b.tighten_upper(indicator + (1.0 - alpha) * hi));
+                    }
+                    if max_change < refine_tol {
+                        break;
+                    }
+                }
+            }
+
+            // ---------------- decision ----------------------------------
+            let mut members: Vec<(NodeId, Bounds)> = f_bounds
+                .iter()
+                .filter_map(|(&v, fb)| t_bounds.get(&v).map(|tb| (NodeId(v), fb.product(tb))))
+                .collect();
+            members.sort_by(|a, b| {
+                b.1.lower
+                    .partial_cmp(&a.1.lower)
+                    .expect("NaN bound")
+                    .then(a.0.cmp(&b.0))
+            });
+            let mut r_unseen = f_unseen * t_unseen;
+            for (&v, fb) in &f_bounds {
+                if !t_bounds.contains_key(&v) {
+                    r_unseen = r_unseen.max(fb.upper * t_unseen);
+                }
+            }
+            for (&v, tb) in &t_bounds {
+                if !f_bounds.contains_key(&v) {
+                    r_unseen = r_unseen.max(f_unseen * tb.upper);
+                }
+            }
+
+            let done =
+                members.len() >= k && conditions_hold(&members, k, cfg.epsilon, r_unseen);
+            let exhausted = total_residual < 1e-15 && t_unseen == 0.0;
+            if done || exhausted || expansions >= cfg.max_expansions {
+                let stats = DistributedStats {
+                    fetch_requests: active.fetch_requests(),
+                    blocks_fetched: active.blocks_fetched(),
+                    bytes_transferred: active.bytes_transferred(),
+                    active_nodes: active.resident_nodes(),
+                    active_edges: active.resident_edges(),
+                    active_bytes: active.resident_bytes(),
+                };
+                members.truncate(k);
+                let result = TopKResult {
+                    ranking: members.iter().map(|&(v, _)| v).collect(),
+                    bounds: members.iter().map(|&(_, b)| (b.lower, b.upper)).collect(),
+                    expansions,
+                    converged: done,
+                    active: ActiveSetStats {
+                        f_nodes: f_bounds.len(),
+                        t_nodes: t_bounds.len(),
+                        active_nodes: stats.active_nodes,
+                        active_edges: stats.active_edges,
+                        bytes: stats.active_bytes,
+                    },
+                };
+                return Ok((result, stats));
+            }
+        }
+    }
+}
+
+fn conditions_hold(members: &[(NodeId, Bounds)], k: usize, epsilon: f64, r_unseen: f64) -> bool {
+    let mut max_other_upper = r_unseen;
+    for &(_, b) in &members[k..] {
+        max_other_upper = max_other_upper.max(b.upper);
+    }
+    if members[k - 1].1.lower <= max_other_upper - epsilon - TIE_EPS {
+        return false;
+    }
+    for i in 0..k - 1 {
+        if members[i].1.lower <= members[i + 1].1.upper - epsilon - TIE_EPS {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtr_core::prelude::*;
+    use rtr_graph::toy::fig2_toy;
+    use rtr_topk::prelude::*;
+
+    fn toy_config() -> TopKConfig {
+        TopKConfig {
+            k: 4,
+            epsilon: 0.0,
+            m_f: 4,
+            m_t: 2,
+            max_expansions: 500,
+            ..TopKConfig::default()
+        }
+    }
+
+    #[test]
+    fn distributed_matches_single_machine() {
+        let (g, ids) = fig2_toy();
+        let params = RankParams::default();
+        let local = TwoSBound::new(params, toy_config()).run(&g, ids.t1).unwrap();
+        let cluster = GpCluster::spawn(&g, 3);
+        let (dist, _) = DistributedTwoSBound::new(params, toy_config())
+            .run(&cluster, g.node_count(), ids.t1)
+            .unwrap();
+        let exact = RoundTripRank::new(params)
+            .compute(&g, &Query::single(ids.t1))
+            .unwrap();
+        assert_eq!(local.ranking.len(), dist.ranking.len());
+        for (l, d) in local.ranking.iter().zip(&dist.ranking) {
+            assert!(
+                (exact.score(*l) - exact.score(*d)).abs() < 1e-9,
+                "rank scores differ: {l:?} vs {d:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn gp_count_does_not_change_results() {
+        let (g, ids) = fig2_toy();
+        let params = RankParams::default();
+        let mut rankings = Vec::new();
+        for gps in [1, 2, 5] {
+            let cluster = GpCluster::spawn(&g, gps);
+            let (res, _) = DistributedTwoSBound::new(params, toy_config())
+                .run(&cluster, g.node_count(), ids.t1)
+                .unwrap();
+            rankings.push(res.ranking);
+        }
+        assert_eq!(rankings[0], rankings[1]);
+        assert_eq!(rankings[1], rankings[2]);
+    }
+
+    #[test]
+    fn active_set_is_fraction_of_graph() {
+        let (g, ids) = fig2_toy();
+        let cluster = GpCluster::spawn(&g, 2);
+        let (_, stats) = DistributedTwoSBound::new(RankParams::default(), toy_config())
+            .run(&cluster, g.node_count(), ids.t1)
+            .unwrap();
+        assert!(stats.active_nodes <= g.node_count());
+        assert!(stats.active_bytes > 0);
+        assert!(stats.fetch_requests > 0);
+        assert!(stats.blocks_fetched <= g.node_count());
+    }
+
+    #[test]
+    fn converges_on_toy() {
+        let (g, ids) = fig2_toy();
+        let cluster = GpCluster::spawn(&g, 2);
+        let (res, _) = DistributedTwoSBound::new(RankParams::default(), toy_config())
+            .run(&cluster, g.node_count(), ids.t1)
+            .unwrap();
+        assert!(res.converged);
+        assert_eq!(res.ranking[0], ids.t1);
+    }
+
+    #[test]
+    fn out_of_range_query_rejected() {
+        let (g, _) = fig2_toy();
+        let cluster = GpCluster::spawn(&g, 2);
+        let err = DistributedTwoSBound::new(RankParams::default(), toy_config())
+            .run(&cluster, g.node_count(), NodeId(999))
+            .unwrap_err();
+        assert!(matches!(err, CoreError::NodeOutOfRange { .. }));
+    }
+}

@@ -1,0 +1,178 @@
+//! Graph-processor threads and the fetch protocol.
+//!
+//! Each GP runs on its own thread, owns one stripe, and serves fetch
+//! requests: the AP broadcasts the wanted node ids, each GP replies with the
+//! wire-encoded blocks it owns ("it aggregates the fast storage (main
+//! memory) of GPs... it enables parallel access to different parts of the
+//! graph", paper Sect. V-B2).
+
+use crate::stripe::{GpStore, Striping};
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use rtr_graph::wire::NodeBlock;
+use rtr_graph::{Graph, NodeId};
+use std::thread::JoinHandle;
+
+enum Request {
+    Fetch {
+        wanted: Vec<NodeId>,
+        reply: Sender<Bytes>,
+    },
+    Shutdown,
+}
+
+/// A running cluster of GP threads.
+pub struct GpCluster {
+    senders: Vec<Sender<Request>>,
+    handles: Vec<JoinHandle<()>>,
+    striping: Striping,
+    has_self_loops: bool,
+}
+
+impl GpCluster {
+    /// Stripe `g` across `gps` processors and start their threads.
+    pub fn spawn(g: &Graph, gps: usize) -> Self {
+        let striping = Striping::new(gps);
+        let stores = striping.partition(g);
+        let mut senders = Vec::with_capacity(gps);
+        let mut handles = Vec::with_capacity(gps);
+        for store in stores {
+            let (tx, rx) = unbounded::<Request>();
+            senders.push(tx);
+            handles.push(std::thread::spawn(move || gp_main(store, rx)));
+        }
+        GpCluster {
+            senders,
+            handles,
+            striping,
+            has_self_loops: g.has_self_loops(),
+        }
+    }
+
+    /// Whether the striped graph contains self-loops — global metadata the
+    /// AP needs to choose a sound unseen F-Rank bound (see
+    /// `rtr_core::bca::Bca::unseen_upper_bound`).
+    pub fn has_self_loops(&self) -> bool {
+        self.has_self_loops
+    }
+
+    /// Number of graph processors.
+    pub fn gps(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Fetch the blocks for `wanted` nodes: one request per owning GP, all
+    /// outstanding in parallel. Returns the decoded blocks and the number of
+    /// payload bytes that crossed the (simulated) network.
+    pub fn fetch(&self, wanted: &[NodeId]) -> (Vec<NodeBlock>, usize) {
+        if wanted.is_empty() {
+            return (Vec::new(), 0);
+        }
+        // Partition the request by owner so each GP only sees its share.
+        let mut per_gp: Vec<Vec<NodeId>> = vec![Vec::new(); self.gps()];
+        for &v in wanted {
+            per_gp[self.striping.owner(v)].push(v);
+        }
+        let mut pending = Vec::new();
+        for (gp, share) in per_gp.into_iter().enumerate() {
+            if share.is_empty() {
+                continue;
+            }
+            let (reply_tx, reply_rx) = unbounded::<Bytes>();
+            self.senders[gp]
+                .send(Request::Fetch {
+                    wanted: share,
+                    reply: reply_tx,
+                })
+                .expect("GP thread alive");
+            pending.push(reply_rx);
+        }
+        let mut blocks = Vec::new();
+        let mut bytes = 0usize;
+        for rx in pending {
+            let payload = rx.recv().expect("GP reply");
+            bytes += payload.len();
+            blocks.extend(NodeBlock::decode_batch(payload));
+        }
+        (blocks, bytes)
+    }
+}
+
+impl Drop for GpCluster {
+    fn drop(&mut self) {
+        for tx in &self.senders {
+            let _ = tx.send(Request::Shutdown);
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn gp_main(store: GpStore, rx: Receiver<Request>) {
+    while let Ok(req) = rx.recv() {
+        match req {
+            Request::Fetch { wanted, reply } => {
+                let blocks = store.lookup(&wanted);
+                let _ = reply.send(NodeBlock::encode_batch(&blocks));
+            }
+            Request::Shutdown => break,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtr_graph::toy::fig2_toy;
+
+    #[test]
+    fn fetch_returns_requested_blocks() {
+        let (g, ids) = fig2_toy();
+        let cluster = GpCluster::spawn(&g, 3);
+        let (blocks, bytes) = cluster.fetch(&[ids.t1, ids.v1, ids.v2]);
+        assert_eq!(blocks.len(), 3);
+        assert!(bytes > 0);
+        let got: Vec<NodeId> = blocks.iter().map(|b| b.node).collect();
+        assert!(got.contains(&ids.t1));
+        assert!(got.contains(&ids.v1));
+        assert!(got.contains(&ids.v2));
+    }
+
+    #[test]
+    fn fetched_adjacency_matches_graph() {
+        let (g, ids) = fig2_toy();
+        let cluster = GpCluster::spawn(&g, 2);
+        let (blocks, _) = cluster.fetch(&[ids.v1]);
+        let block = &blocks[0];
+        let expected: Vec<(NodeId, f64)> = g.out_edges(ids.v1).collect();
+        assert_eq!(block.out_edges, expected);
+        let expected_in: Vec<(NodeId, f64)> = g.in_edges(ids.v1).collect();
+        assert_eq!(block.in_edges, expected_in);
+    }
+
+    #[test]
+    fn empty_fetch_is_free() {
+        let (g, _) = fig2_toy();
+        let cluster = GpCluster::spawn(&g, 2);
+        let (blocks, bytes) = cluster.fetch(&[]);
+        assert!(blocks.is_empty());
+        assert_eq!(bytes, 0);
+    }
+
+    #[test]
+    fn duplicate_requests_are_idempotent() {
+        let (g, ids) = fig2_toy();
+        let cluster = GpCluster::spawn(&g, 2);
+        let (a, _) = cluster.fetch(&[ids.t1]);
+        let (b, _) = cluster.fetch(&[ids.t1]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cluster_size_reported() {
+        let (g, _) = fig2_toy();
+        let cluster = GpCluster::spawn(&g, 5);
+        assert_eq!(cluster.gps(), 5);
+    }
+}

@@ -1,0 +1,37 @@
+//! # rtr-distributed — the AP/GP architecture for scaling 2SBound
+//!
+//! Implements the paper's distributed solution (Sect. V-B): one **active
+//! processor** (AP) drives the query while the graph is segmented across
+//! multiple **graph processors** (GPs) by round-robin **data striping**
+//! ("we assign nodes (along with their edges) in the graph to GPs in a
+//! round-robin fashion").
+//!
+//! "Upon an expansion request from AP during query processing, each GP
+//! identifies the requested active nodes and edges stored in it, and sends
+//! them back to AP. AP can then incrementally assemble the active set."
+//!
+//! The simulation is faithful at the protocol level: GPs run on their own
+//! threads, own disjoint node stripes, and answer fetch requests over
+//! channels with the length-prefixed wire encoding of `rtr_graph::wire`;
+//! the AP never touches the full graph — every adjacency byte it uses
+//! arrived in a GP response, and the transfer volume is metered.
+//!
+//! ## Modules
+//!
+//! * [`stripe`] — round-robin striping and per-GP stores;
+//! * [`gp`] — graph-processor threads and the fetch protocol;
+//! * [`active`] — the AP-side incrementally-assembled active graph;
+//! * [`dtopk`] — distributed 2SBound running against the active graph.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod active;
+pub mod dtopk;
+pub mod gp;
+pub mod stripe;
+
+pub use active::ActiveGraph;
+pub use dtopk::{DistributedStats, DistributedTwoSBound};
+pub use gp::GpCluster;
+pub use stripe::Striping;

@@ -1,0 +1,150 @@
+//! Round-robin data striping (paper Sect. V-B2).
+//!
+//! "When the graph does not fit into the main memory of a single machine, we
+//! rely on data striping, a technique to segment data over multiple storage
+//! units. In our case, the graph is segmented across multiple GPs... in a
+//! round-robin fashion."
+
+use rtr_graph::wire::NodeBlock;
+use rtr_graph::{Graph, NodeId};
+use std::collections::HashMap;
+
+/// The striping function: node → GP index.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Striping {
+    /// Number of graph processors.
+    pub gps: usize,
+}
+
+impl Striping {
+    /// Create a striping over `gps` processors.
+    pub fn new(gps: usize) -> Self {
+        assert!(gps > 0, "need at least one graph processor");
+        Striping { gps }
+    }
+
+    /// The GP owning a node (round-robin by id).
+    #[inline]
+    pub fn owner(&self, v: NodeId) -> usize {
+        (v.0 as usize) % self.gps
+    }
+
+    /// Partition a graph into per-GP stores of node blocks.
+    pub fn partition(&self, g: &Graph) -> Vec<GpStore> {
+        let mut stores: Vec<GpStore> = (0..self.gps).map(|i| GpStore::new(i)).collect();
+        for v in g.nodes() {
+            let block = NodeBlock::extract(g, v);
+            stores[self.owner(v)].insert(block);
+        }
+        stores
+    }
+}
+
+/// One GP's in-memory stripe: the node blocks it owns.
+#[derive(Clone, Debug)]
+pub struct GpStore {
+    /// This GP's index.
+    pub index: usize,
+    blocks: HashMap<u32, NodeBlock>,
+    bytes: usize,
+}
+
+impl GpStore {
+    fn new(index: usize) -> Self {
+        GpStore {
+            index,
+            blocks: HashMap::new(),
+            bytes: 0,
+        }
+    }
+
+    fn insert(&mut self, block: NodeBlock) {
+        self.bytes += block.encoded_len();
+        self.blocks.insert(block.node.0, block);
+    }
+
+    /// Look up the blocks this GP owns among `wanted` (the GP-side half of
+    /// a fetch request).
+    pub fn lookup(&self, wanted: &[NodeId]) -> Vec<NodeBlock> {
+        wanted
+            .iter()
+            .filter_map(|v| self.blocks.get(&v.0).cloned())
+            .collect()
+    }
+
+    /// Number of nodes stored.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether this stripe is empty.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Resident bytes of this stripe (wire encoding size).
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtr_graph::toy::fig2_toy;
+
+    #[test]
+    fn round_robin_assignment() {
+        let s = Striping::new(3);
+        assert_eq!(s.owner(NodeId(0)), 0);
+        assert_eq!(s.owner(NodeId(1)), 1);
+        assert_eq!(s.owner(NodeId(2)), 2);
+        assert_eq!(s.owner(NodeId(3)), 0);
+    }
+
+    #[test]
+    fn partition_covers_all_nodes_disjointly() {
+        let (g, _) = fig2_toy();
+        let stores = Striping::new(4).partition(&g);
+        let total: usize = stores.iter().map(|s| s.len()).sum();
+        assert_eq!(total, g.node_count());
+        // Balanced to within one node.
+        let sizes: Vec<usize> = stores.iter().map(|s| s.len()).collect();
+        let max = *sizes.iter().max().unwrap();
+        let min = *sizes.iter().min().unwrap();
+        assert!(max - min <= 1, "unbalanced stripes {sizes:?}");
+    }
+
+    #[test]
+    fn lookup_returns_only_owned() {
+        let (g, ids) = fig2_toy();
+        let striping = Striping::new(2);
+        let stores = striping.partition(&g);
+        let all: Vec<NodeId> = g.nodes().collect();
+        for store in &stores {
+            for block in store.lookup(&all) {
+                assert_eq!(striping.owner(block.node), store.index);
+            }
+        }
+        // A specific node is found in exactly one store.
+        let found: usize = stores
+            .iter()
+            .map(|s| s.lookup(&[ids.v1]).len())
+            .sum();
+        assert_eq!(found, 1);
+    }
+
+    #[test]
+    fn single_gp_owns_everything() {
+        let (g, _) = fig2_toy();
+        let stores = Striping::new(1).partition(&g);
+        assert_eq!(stores[0].len(), g.node_count());
+        assert!(stores[0].bytes() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_gps_rejected() {
+        Striping::new(0);
+    }
+}

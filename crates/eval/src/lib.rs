@@ -1,0 +1,28 @@
+//! # rtr-eval — evaluation substrate for the RoundTripRank reproduction
+//!
+//! Everything the paper's experimental section (Sect. VI) needs:
+//!
+//! * [`metrics`] — NDCG@K with ungraded judgments (effectiveness), plus
+//!   precision/overlap and Kendall's tau (approximation quality, Fig. 11b);
+//! * [`ttest`] — two-tail paired t-tests (the paper reports p < 0.01);
+//! * [`tasks`] — the four ground-truth ranking tasks with edge reservation
+//!   (Task 1 Author, Task 2 Venue, Task 3 Relevant URL, Task 4 Equivalent
+//!   search);
+//! * [`runner`] — rank → filter-by-type → NDCG aggregation over query sets;
+//! * [`tuning`] — β selection on development queries and the efficient
+//!   f/t-reusing β sweep behind Fig. 8.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod metrics;
+pub mod runner;
+pub mod tasks;
+pub mod ttest;
+pub mod tuning;
+
+pub use metrics::{kendall_tau, ndcg_at_k, ndcg_vs_exact, precision_at_k, topk_overlap};
+pub use runner::{evaluate_all, evaluate_measure, format_table, MeasureEval};
+pub use tasks::{TaskInstance, TaskKind, TaskQuery, TaskSplit};
+pub use ttest::{paired_ttest, two_tail_p, TTestResult};
+pub use tuning::{beta_grid, pick_beta, sweep_beta_rtr_plus, tune_beta};

@@ -1,0 +1,210 @@
+//! Ranking quality metrics.
+//!
+//! * **NDCG@K with ungraded judgments** — the paper's effectiveness metric
+//!   (Sect. VI-A "we then evaluate the filtered ranking against the ground
+//!   truth using NDCG@K with ungraded judgments"): binary relevance,
+//!   `DCG = Σ_{i: rel} 1/log2(i+1)`, normalized by the ideal DCG.
+//! * **Precision@K** and **Kendall's tau** — the approximation-quality
+//!   metrics of Fig. 11(b), comparing 2SBound's ranking to the exact one.
+
+use rtr_graph::NodeId;
+use std::collections::HashSet;
+
+/// NDCG@K with binary (ungraded) relevance.
+///
+/// `ranking` is the filtered result list (best first); `relevant` the ground
+/// truth set. Returns 0 when the ground truth is empty.
+pub fn ndcg_at_k(ranking: &[NodeId], relevant: &[NodeId], k: usize) -> f64 {
+    if relevant.is_empty() {
+        return 0.0;
+    }
+    let rel: HashSet<NodeId> = relevant.iter().copied().collect();
+    let mut dcg = 0.0;
+    for (i, v) in ranking.iter().take(k).enumerate() {
+        if rel.contains(v) {
+            dcg += 1.0 / ((i + 2) as f64).log2();
+        }
+    }
+    let ideal_hits = rel.len().min(k);
+    let idcg: f64 = (0..ideal_hits).map(|i| 1.0 / ((i + 2) as f64).log2()).sum();
+    dcg / idcg
+}
+
+/// Precision@K: fraction of the top K that is relevant.
+pub fn precision_at_k(ranking: &[NodeId], relevant: &[NodeId], k: usize) -> f64 {
+    if k == 0 {
+        return 0.0;
+    }
+    let rel: HashSet<NodeId> = relevant.iter().copied().collect();
+    let hits = ranking.iter().take(k).filter(|v| rel.contains(v)).count();
+    hits as f64 / k as f64
+}
+
+/// Overlap-precision between an approximate and an exact top-K (Fig. 11b):
+/// `|approx ∩ exact| / K`.
+pub fn topk_overlap(approx: &[NodeId], exact: &[NodeId], k: usize) -> f64 {
+    let exact_set: HashSet<NodeId> = exact.iter().take(k).copied().collect();
+    let hits = approx.iter().take(k).filter(|v| exact_set.contains(v)).count();
+    hits as f64 / k.max(1) as f64
+}
+
+/// Kendall's tau between an approximate ordering and an exact ordering.
+///
+/// Pairs are drawn from the approximate list; a pair is *concordant* when
+/// the exact ranking orders it the same way. Items missing from the exact
+/// order are placed after all present items (rank = ∞), matching how the
+/// efficiency study penalizes retrieving a wrong node. Returns a value in
+/// `[-1, 1]`; 1 = identical order.
+pub fn kendall_tau(approx: &[NodeId], exact_order: &[NodeId]) -> f64 {
+    let n = approx.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let pos = |v: NodeId| -> usize {
+        exact_order
+            .iter()
+            .position(|&e| e == v)
+            .unwrap_or(usize::MAX)
+    };
+    let ranks: Vec<usize> = approx.iter().map(|&v| pos(v)).collect();
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            match ranks[i].cmp(&ranks[j]) {
+                std::cmp::Ordering::Less => concordant += 1,
+                std::cmp::Ordering::Greater => discordant += 1,
+                std::cmp::Ordering::Equal => {} // tie (both missing): ignored
+            }
+        }
+    }
+    let total = (n * (n - 1) / 2) as i64;
+    (concordant - discordant) as f64 / total as f64
+}
+
+/// NDCG of an approximate top-K against the exact top-K treated as graded
+/// ground truth with gain `1/(exact rank)` — the Fig. 11(b) "NDCG" curve,
+/// which is gentler than precision because high-rank agreement dominates.
+pub fn ndcg_vs_exact(approx: &[NodeId], exact: &[NodeId], k: usize) -> f64 {
+    let gain = |v: NodeId| -> f64 {
+        match exact.iter().take(k).position(|&e| e == v) {
+            Some(r) => 1.0 / (r + 1) as f64,
+            None => 0.0,
+        }
+    };
+    let dcg: f64 = approx
+        .iter()
+        .take(k)
+        .enumerate()
+        .map(|(i, &v)| gain(v) / ((i + 2) as f64).log2())
+        .sum();
+    let idcg: f64 = (0..k.min(exact.len()))
+        .map(|i| (1.0 / (i + 1) as f64) / ((i + 2) as f64).log2())
+        .sum();
+    if idcg == 0.0 {
+        0.0
+    } else {
+        dcg / idcg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(xs: &[u32]) -> Vec<NodeId> {
+        xs.iter().map(|&x| NodeId(x)).collect()
+    }
+
+    #[test]
+    fn ndcg_perfect_ranking_is_one() {
+        let ranking = ids(&[1, 2, 3, 4]);
+        let relevant = ids(&[1, 2]);
+        assert!((ndcg_at_k(&ranking, &relevant, 5) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ndcg_degrades_with_rank() {
+        let relevant = ids(&[9]);
+        let top = ndcg_at_k(&ids(&[9, 1, 2]), &relevant, 3);
+        let mid = ndcg_at_k(&ids(&[1, 9, 2]), &relevant, 3);
+        let low = ndcg_at_k(&ids(&[1, 2, 9]), &relevant, 3);
+        assert!(top > mid && mid > low);
+        assert_eq!(top, 1.0);
+    }
+
+    #[test]
+    fn ndcg_zero_when_missed() {
+        assert_eq!(ndcg_at_k(&ids(&[1, 2]), &ids(&[9]), 2), 0.0);
+    }
+
+    #[test]
+    fn ndcg_empty_ground_truth() {
+        assert_eq!(ndcg_at_k(&ids(&[1]), &[], 5), 0.0);
+    }
+
+    #[test]
+    fn ndcg_k_truncates() {
+        let relevant = ids(&[5]);
+        // relevant at position 3, but K = 2 cuts it off
+        assert_eq!(ndcg_at_k(&ids(&[1, 2, 5]), &relevant, 2), 0.0);
+    }
+
+    #[test]
+    fn precision_basics() {
+        let relevant = ids(&[1, 3]);
+        assert!((precision_at_k(&ids(&[1, 2, 3, 4]), &relevant, 4) - 0.5).abs() < 1e-12);
+        assert_eq!(precision_at_k(&ids(&[1, 3]), &relevant, 2), 1.0);
+        assert_eq!(precision_at_k(&[], &relevant, 0), 0.0);
+    }
+
+    #[test]
+    fn overlap_counts_set_intersection() {
+        let approx = ids(&[1, 2, 3]);
+        let exact = ids(&[3, 2, 9]);
+        assert!((topk_overlap(&approx, &exact, 3) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kendall_identical_is_one() {
+        let order = ids(&[4, 2, 7, 1]);
+        assert_eq!(kendall_tau(&order, &order), 1.0);
+    }
+
+    #[test]
+    fn kendall_reversed_is_minus_one() {
+        let exact = ids(&[1, 2, 3, 4]);
+        let approx = ids(&[4, 3, 2, 1]);
+        assert_eq!(kendall_tau(&approx, &exact), -1.0);
+    }
+
+    #[test]
+    fn kendall_single_swap() {
+        let exact = ids(&[1, 2, 3, 4]);
+        let approx = ids(&[1, 3, 2, 4]);
+        // 1 discordant pair of 6: (5 - 1)/6
+        assert!((kendall_tau(&approx, &exact) - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kendall_missing_items_rank_last() {
+        let exact = ids(&[1, 2]);
+        let approx = ids(&[1, 9, 2]); // 9 not in exact: ranks (0, ∞, 1)
+        // pairs: (1,9) conc, (1,2) conc, (9,2) disc => (2-1)/3
+        assert!((kendall_tau(&approx, &exact) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ndcg_vs_exact_perfect() {
+        let exact = ids(&[5, 6, 7]);
+        assert!((ndcg_vs_exact(&exact, &exact, 3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ndcg_vs_exact_penalizes_high_rank_errors_most() {
+        let exact = ids(&[5, 6, 7, 8]);
+        let wrong_top = ndcg_vs_exact(&ids(&[9, 6, 7, 8]), &exact, 4);
+        let wrong_tail = ndcg_vs_exact(&ids(&[5, 6, 7, 9]), &exact, 4);
+        assert!(wrong_tail > wrong_top);
+    }
+}

@@ -1,0 +1,171 @@
+//! β tuning on development queries (paper Sect. VI-A2: "to choose the
+//! optimal β, we use 1000 randomly sampled development queries that do not
+//! overlap with the test queries") and the efficient β sweep behind Fig. 8.
+
+use crate::metrics::ndcg_at_k;
+use crate::runner::evaluate_measure;
+use crate::tasks::TaskInstance;
+use rtr_baselines::ProximityMeasure;
+use rtr_core::prelude::*;
+
+/// The paper's β grid (Fig. 8 sweeps [0, 1]).
+pub fn beta_grid() -> Vec<f64> {
+    (0..=10).map(|i| i as f64 / 10.0).collect()
+}
+
+/// Select the best β from a `(β, score)` curve.
+///
+/// Regularized toward the paper's default: among candidates within 1%
+/// (relative) of the maximum, the β closest to 0.5 wins. On small
+/// development sets the curve is noisy and nearly flat in places; without
+/// this tie-break the argmax jumps to an extreme on sampling noise, exactly
+/// the failure mode the paper's "fall back to the default β = 0.5" advice
+/// guards against.
+pub fn pick_beta(curve: &[(f64, f64)]) -> (f64, f64) {
+    assert!(!curve.is_empty(), "need at least one candidate β");
+    let best_score = curve.iter().map(|&(_, s)| s).fold(f64::NEG_INFINITY, f64::max);
+    let threshold = best_score - best_score.abs() * 0.01;
+    curve
+        .iter()
+        .copied()
+        .filter(|&(_, s)| s >= threshold)
+        .min_by(|a, b| {
+            (a.0 - 0.5)
+                .abs()
+                .partial_cmp(&(b.0 - 0.5).abs())
+                .expect("finite β")
+        })
+        .expect("non-empty after filter")
+}
+
+/// Tune β for any measure family: evaluates `factory(β)` on the dev split
+/// for each candidate and returns `(best_beta, its_dev_ndcg)` via
+/// [`pick_beta`].
+pub fn tune_beta<F>(factory: F, dev: &TaskInstance, betas: &[f64], k: usize) -> (f64, f64)
+where
+    F: Fn(f64) -> Box<dyn ProximityMeasure>,
+{
+    assert!(!betas.is_empty(), "need at least one candidate β");
+    let curve: Vec<(f64, f64)> = betas
+        .iter()
+        .map(|&beta| {
+            let eval = evaluate_measure(factory(beta).as_ref(), dev, &[k]);
+            (beta, eval.mean_ndcg(k))
+        })
+        .collect();
+    pick_beta(&curve)
+}
+
+/// Efficient β sweep for RoundTripRank+ (Fig. 8): computes F-Rank and T-Rank
+/// **once per query** and blends for every β, instead of recomputing the
+/// fixed points per grid point.
+///
+/// Returns `(β, mean NDCG@k)` pairs in grid order.
+pub fn sweep_beta_rtr_plus(
+    task: &TaskInstance,
+    betas: &[f64],
+    k: usize,
+    params: RankParams,
+) -> Vec<(f64, f64)> {
+    let mut totals = vec![0.0f64; betas.len()];
+    let frank = FRank::new(params);
+    let trank = TRank::new(params);
+    for tq in &task.queries {
+        let f = frank
+            .compute(&task.graph, &tq.query)
+            .expect("F-Rank failed");
+        let t = trank
+            .compute(&task.graph, &tq.query)
+            .expect("T-Rank failed");
+        for (i, &beta) in betas.iter().enumerate() {
+            let blended = f.geometric_blend(&t, beta);
+            let ranking =
+                blended.filtered_ranking(&task.graph, task.target_type, tq.query.nodes());
+            totals[i] += ndcg_at_k(&ranking, &tq.ground_truth, k);
+        }
+    }
+    let n = task.queries.len().max(1) as f64;
+    betas
+        .iter()
+        .zip(&totals)
+        .map(|(&b, &s)| (b, s / n))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tasks::{task2_venue, task4_equivalent};
+    use rtr_datagen::{BibNet, BibNetConfig, QLog, QLogConfig};
+
+    #[test]
+    fn grid_shape() {
+        let g = beta_grid();
+        assert_eq!(g.len(), 11);
+        assert_eq!(g[0], 0.0);
+        assert_eq!(g[10], 1.0);
+    }
+
+    #[test]
+    fn sweep_matches_direct_evaluation() {
+        let net = BibNet::generate(&BibNetConfig::tiny(), 5);
+        let split = task2_venue(&net, 8, 0, 2);
+        let params = RankParams::default();
+        let swept = sweep_beta_rtr_plus(&split.test, &[0.3], 5, params);
+        let direct = evaluate_measure(
+            &RoundTripRankPlus::new(params, 0.3).unwrap(),
+            &split.test,
+            &[5],
+        );
+        assert!(
+            (swept[0].1 - direct.mean_ndcg(5)).abs() < 1e-9,
+            "sweep {} vs direct {}",
+            swept[0].1,
+            direct.mean_ndcg(5)
+        );
+    }
+
+    #[test]
+    fn extreme_betas_not_optimal_on_equivalent_search() {
+        // Paper Fig. 8(d): Task 4 peaks at β* > 0.5; β = 0 (pure importance)
+        // must not win.
+        let qlog = QLog::generate(&QLogConfig::tiny(), 5);
+        let split = task4_equivalent(&qlog, 20, 0, 2);
+        let curve = sweep_beta_rtr_plus(
+            &split.test,
+            &beta_grid(),
+            5,
+            RankParams::default(),
+        );
+        let at0 = curve[0].1;
+        let best = curve
+            .iter()
+            .fold((0.0, f64::NEG_INFINITY), |acc, &(b, s)| {
+                if s > acc.1 {
+                    (b, s)
+                } else {
+                    acc
+                }
+            });
+        assert!(
+            best.1 > at0,
+            "β=0 should not be optimal for equivalent search"
+        );
+        assert!(best.0 > 0.0);
+    }
+
+    #[test]
+    fn tune_beta_returns_grid_member() {
+        let net = BibNet::generate(&BibNetConfig::tiny(), 5);
+        let split = task2_venue(&net, 4, 6, 2);
+        let params = RankParams::default();
+        let (beta, score) = tune_beta(
+            |b| Box::new(RoundTripRankPlus::new(params, b).unwrap()),
+            &split.dev,
+            &[0.2, 0.5, 0.8],
+            5,
+        );
+        assert!([0.2, 0.5, 0.8].contains(&beta));
+        assert!((0.0..=1.0).contains(&score));
+    }
+}

@@ -1,0 +1,295 @@
+//! Mutable edge-list builder producing a frozen [`Graph`].
+//!
+//! Build-time representation is a plain edge list; [`GraphBuilder::build`]
+//! sorts it, merges parallel edges by summing weights (the QLog click counts
+//! of Sect. VI are exactly such summed multiplicities), row-normalizes into
+//! transition probabilities, and emits the dual-CSR [`Graph`].
+
+use crate::graph::Graph;
+use crate::node::{NodeId, NodeTypeId, TypeRegistry};
+
+/// Incrementally constructs a graph; see module docs.
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    types: TypeRegistry,
+    node_types: Vec<NodeTypeId>,
+    labels: Vec<String>,
+    edges: Vec<(u32, u32, f64)>,
+}
+
+impl GraphBuilder {
+    /// Create an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create an empty builder with node/edge capacity hints.
+    pub fn with_capacity(nodes: usize, edges: usize) -> Self {
+        Self {
+            types: TypeRegistry::new(),
+            node_types: Vec::with_capacity(nodes),
+            labels: Vec::with_capacity(nodes),
+            edges: Vec::with_capacity(edges),
+        }
+    }
+
+    /// Register (or look up) a node-type name.
+    pub fn register_type(&mut self, name: &str) -> NodeTypeId {
+        self.types.register(name)
+    }
+
+    /// Read-only access to the type registry being built.
+    pub fn types(&self) -> &TypeRegistry {
+        &self.types
+    }
+
+    /// Add a node of the given type with an empty label.
+    pub fn add_node(&mut self, ty: NodeTypeId) -> NodeId {
+        self.add_labeled_node(ty, "")
+    }
+
+    /// Add a node of the given type with a human-readable label
+    /// (used by the illustrative-ranking outputs, paper Figs. 6–7).
+    pub fn add_labeled_node(&mut self, ty: NodeTypeId, label: &str) -> NodeId {
+        assert!(ty.index() < self.types.len().max(1), "unregistered type");
+        let id = NodeId::from_index(self.node_types.len());
+        self.node_types.push(ty);
+        self.labels.push(label.to_owned());
+        id
+    }
+
+    /// Number of nodes added so far.
+    pub fn node_count(&self) -> usize {
+        self.node_types.len()
+    }
+
+    /// Number of directed edge records added so far (before merging).
+    pub fn edge_record_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Add a directed edge `src -> dst` with positive weight.
+    ///
+    /// Parallel edges are allowed and merged (weights summed) at build time.
+    /// Self-loops are allowed; the paper's toy example has none but nothing
+    /// in the model forbids them.
+    pub fn add_edge(&mut self, src: NodeId, dst: NodeId, weight: f64) {
+        assert!(
+            weight > 0.0 && weight.is_finite(),
+            "edge weight must be positive and finite, got {weight}"
+        );
+        assert!(src.index() < self.node_types.len(), "unknown source node");
+        assert!(dst.index() < self.node_types.len(), "unknown target node");
+        self.edges.push((src.0, dst.0, weight));
+    }
+
+    /// Add an undirected edge: per the paper (Sect. I), "an undirected edge
+    /// is treated as bidirectional", i.e. two directed edges of equal weight.
+    pub fn add_undirected_edge(&mut self, a: NodeId, b: NodeId, weight: f64) {
+        self.add_edge(a, b, weight);
+        self.add_edge(b, a, weight);
+    }
+
+    /// Freeze into an immutable dual-CSR [`Graph`].
+    ///
+    /// Runs in `O(E log E)` for the sort plus `O(V + E)` assembly.
+    pub fn build(mut self) -> Graph {
+        let n = self.node_types.len();
+        // Sort by (src, dst) so duplicates are adjacent and rows contiguous.
+        self.edges
+            .sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+
+        // Merge parallel edges.
+        let mut merged: Vec<(u32, u32, f64)> = Vec::with_capacity(self.edges.len());
+        for &(s, d, w) in &self.edges {
+            match merged.last_mut() {
+                Some(last) if last.0 == s && last.1 == d => last.2 += w,
+                _ => merged.push((s, d, w)),
+            }
+        }
+        drop(self.edges);
+
+        // Forward CSR.
+        let m = merged.len();
+        let mut out_offsets = vec![0usize; n + 1];
+        for &(s, _, _) in &merged {
+            out_offsets[s as usize + 1] += 1;
+        }
+        for i in 0..n {
+            out_offsets[i + 1] += out_offsets[i];
+        }
+        let mut out_targets = Vec::with_capacity(m);
+        let mut out_weights = Vec::with_capacity(m);
+        for &(_, d, w) in &merged {
+            out_targets.push(NodeId(d));
+            out_weights.push(w);
+        }
+
+        // Row-normalize weights into transition probabilities.
+        let mut out_probs = vec![0.0f64; m];
+        let mut weighted_out_degree = vec![0.0f64; n];
+        for v in 0..n {
+            let (lo, hi) = (out_offsets[v], out_offsets[v + 1]);
+            let total: f64 = out_weights[lo..hi].iter().sum();
+            weighted_out_degree[v] = total;
+            if total > 0.0 {
+                for e in lo..hi {
+                    out_probs[e] = out_weights[e] / total;
+                }
+            }
+        }
+
+        // Mirrored (in-edge) CSR, carrying the *source-row* probability
+        // M[src][dst] that F-Rank's Eq. 5 needs.
+        let mut in_offsets = vec![0usize; n + 1];
+        for &(_, d, _) in &merged {
+            in_offsets[d as usize + 1] += 1;
+        }
+        for i in 0..n {
+            in_offsets[i + 1] += in_offsets[i];
+        }
+        let mut cursor = in_offsets.clone();
+        let mut in_sources = vec![NodeId(0); m];
+        let mut in_probs = vec![0.0f64; m];
+        for (e, &(s, d, _)) in merged.iter().enumerate() {
+            let slot = cursor[d as usize];
+            in_sources[slot] = NodeId(s);
+            in_probs[slot] = out_probs[e];
+            cursor[d as usize] += 1;
+        }
+
+        Graph::from_parts(
+            self.types,
+            self.node_types,
+            self.labels,
+            out_offsets,
+            out_targets,
+            out_weights,
+            out_probs,
+            in_offsets,
+            in_sources,
+            in_probs,
+            weighted_out_degree,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> (Graph, Vec<NodeId>) {
+        let mut b = GraphBuilder::new();
+        let ty = b.register_type("node");
+        let nodes: Vec<_> = (0..4).map(|_| b.add_node(ty)).collect();
+        b.add_edge(nodes[0], nodes[1], 1.0);
+        b.add_edge(nodes[0], nodes[2], 3.0);
+        b.add_edge(nodes[1], nodes[2], 2.0);
+        b.add_undirected_edge(nodes[2], nodes[3], 5.0);
+        (b.build(), nodes)
+    }
+
+    #[test]
+    fn build_counts() {
+        let (g, _) = tiny();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 5); // 3 directed + 1 undirected (=2)
+    }
+
+    #[test]
+    fn out_probabilities_are_weight_normalized() {
+        let (g, n) = tiny();
+        let edges: Vec<_> = g.out_edges(n[0]).collect();
+        assert_eq!(edges.len(), 2);
+        // weights 1.0 and 3.0 -> probs 0.25 and 0.75 in dst order (n1 < n2)
+        assert_eq!(edges[0].0, n[1]);
+        assert!((edges[0].1 - 0.25).abs() < 1e-12);
+        assert_eq!(edges[1].0, n[2]);
+        assert!((edges[1].1 - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_edges_merge_by_summed_weight() {
+        let mut b = GraphBuilder::new();
+        let ty = b.register_type("n");
+        let a = b.add_node(ty);
+        let c = b.add_node(ty);
+        let d = b.add_node(ty);
+        // Two click records phrase->url, as in QLog edge weighting.
+        b.add_edge(a, c, 1.0);
+        b.add_edge(a, c, 1.0);
+        b.add_edge(a, d, 2.0);
+        let g = b.build();
+        assert_eq!(g.edge_count(), 2);
+        let probs: Vec<f64> = g.out_edges(a).map(|(_, p)| p).collect();
+        assert!((probs[0] - 0.5).abs() < 1e-12);
+        assert!((probs[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn in_edges_mirror_out_probabilities() {
+        let (g, n) = tiny();
+        // in-edges of n2: from n0 (prob .75), n1 (prob 1.0), n3 (prob 1.0)
+        let ins: Vec<_> = g.in_edges(n[2]).collect();
+        assert_eq!(ins.len(), 3);
+        let from0 = ins.iter().find(|(s, _)| *s == n[0]).unwrap();
+        assert!((from0.1 - 0.75).abs() < 1e-12);
+        let from3 = ins.iter().find(|(s, _)| *s == n[3]).unwrap();
+        assert!((from3.1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dangling_node_has_no_out_edges() {
+        let mut b = GraphBuilder::new();
+        let ty = b.register_type("n");
+        let a = b.add_node(ty);
+        let c = b.add_node(ty);
+        b.add_edge(a, c, 1.0);
+        let g = b.build();
+        assert_eq!(g.out_degree(c), 0);
+        assert!(g.is_dangling(c));
+        assert!(!g.is_dangling(a));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_weight_rejected() {
+        let mut b = GraphBuilder::new();
+        let ty = b.register_type("n");
+        let a = b.add_node(ty);
+        let c = b.add_node(ty);
+        b.add_edge(a, c, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown target")]
+    fn edge_to_unknown_node_rejected() {
+        let mut b = GraphBuilder::new();
+        let ty = b.register_type("n");
+        let a = b.add_node(ty);
+        b.add_edge(a, NodeId(99), 1.0);
+    }
+
+    #[test]
+    fn self_loop_allowed_and_normalized() {
+        let mut b = GraphBuilder::new();
+        let ty = b.register_type("n");
+        let a = b.add_node(ty);
+        let c = b.add_node(ty);
+        b.add_edge(a, a, 1.0);
+        b.add_edge(a, c, 1.0);
+        let g = b.build();
+        let probs: Vec<f64> = g.out_edges(a).map(|(_, p)| p).collect();
+        assert_eq!(probs.len(), 2);
+        assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn labels_survive_build() {
+        let mut b = GraphBuilder::new();
+        let ty = b.register_type("venue");
+        let v = b.add_labeled_node(ty, "VLDB");
+        let g = b.build();
+        assert_eq!(g.label(v), "VLDB");
+    }
+}

@@ -1,0 +1,382 @@
+//! The frozen dual-CSR graph.
+//!
+//! Immutable after construction; all per-query algorithms treat it as shared
+//! read-only state (it is `Send + Sync`), which is what lets the distributed
+//! layer stripe it across graph processors without locks.
+
+use crate::node::{NodeId, NodeTypeId, TypeRegistry};
+use serde::{Deserialize, Serialize};
+
+/// A directed, weighted, typed graph in dual-CSR form.
+///
+/// Stores, per directed edge `s -> d` (after merging parallel edges):
+/// * raw weight `w(s,d)` (for subgraph renormalization),
+/// * forward transition probability `M[s][d] = w(s,d) / Σ_d' w(s,d')`.
+///
+/// The mirrored in-CSR stores, for each node `d`, its in-neighbors `s`
+/// together with the same `M[s][d]` — the quantity F-Rank's update (paper
+/// Eq. 5) sums over.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Graph {
+    types: TypeRegistry,
+    node_types: Vec<NodeTypeId>,
+    labels: Vec<String>,
+
+    out_offsets: Vec<usize>,
+    out_targets: Vec<NodeId>,
+    out_weights: Vec<f64>,
+    out_probs: Vec<f64>,
+
+    in_offsets: Vec<usize>,
+    in_sources: Vec<NodeId>,
+    in_probs: Vec<f64>,
+
+    weighted_out_degree: Vec<f64>,
+    has_self_loops: bool,
+}
+
+impl Graph {
+    /// Assemble from pre-built parts. Intended for [`crate::GraphBuilder`]
+    /// and the subgraph machinery; invariants are debug-asserted.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        types: TypeRegistry,
+        node_types: Vec<NodeTypeId>,
+        labels: Vec<String>,
+        out_offsets: Vec<usize>,
+        out_targets: Vec<NodeId>,
+        out_weights: Vec<f64>,
+        out_probs: Vec<f64>,
+        in_offsets: Vec<usize>,
+        in_sources: Vec<NodeId>,
+        in_probs: Vec<f64>,
+        weighted_out_degree: Vec<f64>,
+    ) -> Self {
+        let n = node_types.len();
+        debug_assert_eq!(labels.len(), n);
+        debug_assert_eq!(out_offsets.len(), n + 1);
+        debug_assert_eq!(in_offsets.len(), n + 1);
+        debug_assert_eq!(out_targets.len(), out_probs.len());
+        debug_assert_eq!(in_sources.len(), in_probs.len());
+        debug_assert_eq!(out_targets.len(), in_sources.len());
+        let has_self_loops = (0..n).any(|v| {
+            let (lo, hi) = (out_offsets[v], out_offsets[v + 1]);
+            out_targets[lo..hi].binary_search(&NodeId(v as u32)).is_ok()
+        });
+        Self {
+            types,
+            node_types,
+            labels,
+            out_offsets,
+            out_targets,
+            out_weights,
+            out_probs,
+            in_offsets,
+            in_sources,
+            in_probs,
+            weighted_out_degree,
+            has_self_loops,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Sizes and identity
+    // ------------------------------------------------------------------
+
+    /// Number of nodes `|V|`.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.node_types.len()
+    }
+
+    /// Number of distinct directed edges `|E|` (parallel edges merged).
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.out_targets.len()
+    }
+
+    /// Iterate over all node ids `0..|V|`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.node_count() as u32).map(NodeId)
+    }
+
+    /// The type registry.
+    pub fn types(&self) -> &TypeRegistry {
+        &self.types
+    }
+
+    /// Type of a node.
+    #[inline]
+    pub fn node_type(&self, v: NodeId) -> NodeTypeId {
+        self.node_types[v.index()]
+    }
+
+    /// Human-readable label of a node (may be empty).
+    #[inline]
+    pub fn label(&self, v: NodeId) -> &str {
+        &self.labels[v.index()]
+    }
+
+    /// All nodes of a given type.
+    pub fn nodes_of_type(&self, ty: NodeTypeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes().filter(move |&v| self.node_type(v) == ty)
+    }
+
+    /// Find a node by exact label (linear scan; intended for examples/tests).
+    pub fn find_by_label(&self, label: &str) -> Option<NodeId> {
+        self.labels
+            .iter()
+            .position(|l| l == label)
+            .map(NodeId::from_index)
+    }
+
+    // ------------------------------------------------------------------
+    // Degrees
+    // ------------------------------------------------------------------
+
+    /// Out-degree (number of distinct out-edges).
+    #[inline]
+    pub fn out_degree(&self, v: NodeId) -> usize {
+        self.out_offsets[v.index() + 1] - self.out_offsets[v.index()]
+    }
+
+    /// In-degree (number of distinct in-edges).
+    #[inline]
+    pub fn in_degree(&self, v: NodeId) -> usize {
+        self.in_offsets[v.index() + 1] - self.in_offsets[v.index()]
+    }
+
+    /// Total degree (in + out); for undirected edges this counts both
+    /// directions, matching the "node degree" heuristics in Hristidis et al.
+    #[inline]
+    pub fn total_degree(&self, v: NodeId) -> usize {
+        self.out_degree(v) + self.in_degree(v)
+    }
+
+    /// Sum of raw out-edge weights of `v`.
+    #[inline]
+    pub fn weighted_out_degree(&self, v: NodeId) -> f64 {
+        self.weighted_out_degree[v.index()]
+    }
+
+    /// `true` if any node has an edge to itself. Several bounds (notably the
+    /// paper's Prop. 4) rely on a returning walk taking at least two steps,
+    /// which self-loops violate; consumers check this flag to fall back to
+    /// safe bounds.
+    #[inline]
+    pub fn has_self_loops(&self) -> bool {
+        self.has_self_loops
+    }
+
+    /// `true` if the node has no out-edges, i.e. a random walk dies here.
+    /// The paper assumes irreducible graphs (Sect. III-B); use
+    /// [`crate::scc::IrreducibilityRepair`] to repair.
+    #[inline]
+    pub fn is_dangling(&self, v: NodeId) -> bool {
+        self.out_degree(v) == 0
+    }
+
+    // ------------------------------------------------------------------
+    // Adjacency
+    // ------------------------------------------------------------------
+
+    /// Out-edges of `v` as `(target, M[v][target])`, ascending by target id.
+    #[inline]
+    pub fn out_edges(&self, v: NodeId) -> impl Iterator<Item = (NodeId, f64)> + '_ {
+        let (lo, hi) = (self.out_offsets[v.index()], self.out_offsets[v.index() + 1]);
+        self.out_targets[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.out_probs[lo..hi].iter().copied())
+    }
+
+    /// Out-edges of `v` as `(target, raw_weight)`.
+    #[inline]
+    pub fn out_edges_weighted(&self, v: NodeId) -> impl Iterator<Item = (NodeId, f64)> + '_ {
+        let (lo, hi) = (self.out_offsets[v.index()], self.out_offsets[v.index() + 1]);
+        self.out_targets[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.out_weights[lo..hi].iter().copied())
+    }
+
+    /// In-edges of `v` as `(source, M[source][v])`, ascending by source id.
+    #[inline]
+    pub fn in_edges(&self, v: NodeId) -> impl Iterator<Item = (NodeId, f64)> + '_ {
+        let (lo, hi) = (self.in_offsets[v.index()], self.in_offsets[v.index() + 1]);
+        self.in_sources[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.in_probs[lo..hi].iter().copied())
+    }
+
+    /// Out-neighbor ids only (no probabilities).
+    #[inline]
+    pub fn out_neighbors(&self, v: NodeId) -> &[NodeId] {
+        let (lo, hi) = (self.out_offsets[v.index()], self.out_offsets[v.index() + 1]);
+        &self.out_targets[lo..hi]
+    }
+
+    /// In-neighbor ids only (no probabilities).
+    #[inline]
+    pub fn in_neighbors(&self, v: NodeId) -> &[NodeId] {
+        let (lo, hi) = (self.in_offsets[v.index()], self.in_offsets[v.index() + 1]);
+        &self.in_sources[lo..hi]
+    }
+
+    /// Transition probability `M[s][d]`, or 0 if no edge (binary search).
+    pub fn transition_prob(&self, s: NodeId, d: NodeId) -> f64 {
+        let (lo, hi) = (self.out_offsets[s.index()], self.out_offsets[s.index() + 1]);
+        match self.out_targets[lo..hi].binary_search(&d) {
+            Ok(pos) => self.out_probs[lo + pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// `true` if the directed edge `s -> d` exists.
+    pub fn has_edge(&self, s: NodeId, d: NodeId) -> bool {
+        let (lo, hi) = (self.out_offsets[s.index()], self.out_offsets[s.index() + 1]);
+        self.out_targets[lo..hi].binary_search(&d).is_ok()
+    }
+
+    /// Undirected neighbor set (union of in- and out-neighbors), deduplicated
+    /// and sorted. Needed by AdamicAdar and the common-neighbor baselines.
+    pub fn undirected_neighbors(&self, v: NodeId) -> Vec<NodeId> {
+        let mut ns: Vec<NodeId> = self
+            .out_neighbors(v)
+            .iter()
+            .chain(self.in_neighbors(v).iter())
+            .copied()
+            .collect();
+        ns.sort_unstable();
+        ns.dedup();
+        ns
+    }
+
+    // ------------------------------------------------------------------
+    // Memory accounting (paper Fig. 12 reports active-set bytes)
+    // ------------------------------------------------------------------
+
+    /// Approximate resident bytes of the CSR arrays (excludes labels, which
+    /// the query algorithms never touch). This mirrors the paper's
+    /// "snapshot size" metric.
+    pub fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let n = self.node_count();
+        let m = self.edge_count();
+        // offsets (2 arrays of n+1 usize), per-edge payloads, per-node payloads
+        2 * (n + 1) * size_of::<usize>()
+            + m * (2 * size_of::<NodeId>() + 3 * size_of::<f64>())
+            + n * (size_of::<NodeTypeId>() + size_of::<f64>())
+    }
+
+    /// Per-node resident bytes if this node and its edges were copied into an
+    /// active set: id + type + its out- and in-edge entries.
+    pub fn node_footprint_bytes(&self, v: NodeId) -> usize {
+        use std::mem::size_of;
+        size_of::<NodeId>()
+            + size_of::<NodeTypeId>()
+            + self.out_degree(v) * (size_of::<NodeId>() + size_of::<f64>())
+            + self.in_degree(v) * (size_of::<NodeId>() + size_of::<f64>())
+    }
+
+    /// Average (unweighted) out-degree `D̄ = |E| / |V|`, the quantity the
+    /// paper's growth analysis (Sect. V-B1) is phrased in.
+    pub fn average_degree(&self) -> f64 {
+        if self.node_count() == 0 {
+            0.0
+        } else {
+            self.edge_count() as f64 / self.node_count() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::toy::fig2_toy;
+    use crate::node::NodeId;
+
+    #[test]
+    fn fig2_degrees_match_paper() {
+        let (g, ids) = fig2_toy();
+        // t1 has degree 5 (p1..p5): the paper computes 1/5 steps from t1.
+        assert_eq!(g.out_degree(ids.t1), 5);
+        // p1 has degree 2 (t1, v1): paper uses 1/2.
+        assert_eq!(g.out_degree(ids.p[0]), 2);
+        // v1 has degree 4 (p1,p2,p6,p7): paper uses 1/4.
+        assert_eq!(g.out_degree(ids.v1), 4);
+        assert_eq!(g.out_degree(ids.v2), 2);
+        assert_eq!(g.out_degree(ids.v3), 1);
+    }
+
+    #[test]
+    fn fig2_round_trip_probability_by_hand() {
+        // p(t1 -> p1 -> v1 -> p1 -> t1) = 1/5 * 1/2 * 1/4 * 1/2 = 0.0125 (paper Fig. 4)
+        let (g, ids) = fig2_toy();
+        let p = g.transition_prob(ids.t1, ids.p[0])
+            * g.transition_prob(ids.p[0], ids.v1)
+            * g.transition_prob(ids.v1, ids.p[0])
+            * g.transition_prob(ids.p[0], ids.t1);
+        assert!((p - 0.0125).abs() < 1e-12, "got {p}");
+    }
+
+    #[test]
+    fn transition_rows_are_stochastic_or_zero() {
+        let (g, _) = fig2_toy();
+        for v in g.nodes() {
+            let s: f64 = g.out_edges(v).map(|(_, p)| p).sum();
+            if g.is_dangling(v) {
+                assert_eq!(s, 0.0);
+            } else {
+                assert!((s - 1.0).abs() < 1e-9, "row {v:?} sums to {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn transition_prob_missing_edge_is_zero() {
+        let (g, ids) = fig2_toy();
+        assert_eq!(g.transition_prob(ids.t1, ids.v1), 0.0);
+        assert!(!g.has_edge(ids.t1, ids.v1));
+        assert!(g.has_edge(ids.t1, ids.p[0]));
+    }
+
+    #[test]
+    fn nodes_of_type_filters() {
+        let (g, _) = fig2_toy();
+        let venue_ty = g.types().get("venue").unwrap();
+        assert_eq!(g.nodes_of_type(venue_ty).count(), 3);
+        let paper_ty = g.types().get("paper").unwrap();
+        assert_eq!(g.nodes_of_type(paper_ty).count(), 7);
+    }
+
+    #[test]
+    fn undirected_neighbors_dedup() {
+        let (g, ids) = fig2_toy();
+        // All fig2 edges are bidirectional so union == out-neighbors.
+        let ns = g.undirected_neighbors(ids.v1);
+        assert_eq!(ns.len(), 4);
+    }
+
+    #[test]
+    fn find_by_label_works() {
+        let (g, ids) = fig2_toy();
+        assert_eq!(g.find_by_label("v2:ACM-GIS-like"), Some(ids.v2));
+        assert_eq!(g.find_by_label("nope"), None);
+    }
+
+    #[test]
+    fn memory_accounting_positive_and_monotone() {
+        let (g, ids) = fig2_toy();
+        assert!(g.memory_bytes() > 0);
+        // Higher-degree nodes have larger footprints.
+        assert!(g.node_footprint_bytes(ids.v1) > g.node_footprint_bytes(ids.v3));
+    }
+
+    #[test]
+    fn average_degree() {
+        let (g, _) = fig2_toy();
+        let d = g.average_degree();
+        assert!((d - g.edge_count() as f64 / g.node_count() as f64).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,243 @@
+//! Plain-text graph interchange: node and edge lists.
+//!
+//! Downstream users bring their own graphs; this module reads and writes a
+//! simple tab-separated format so real datasets (a DBLP dump, a query log)
+//! can be loaded without touching the builder API:
+//!
+//! ```text
+//! # nodes: id <TAB> type <TAB> label      (id must count up from 0)
+//! N 0    term    spatio
+//! N 1    venue   VLDB
+//! # edges: src <TAB> dst <TAB> weight [<TAB> "u" for undirected]
+//! E 0    1   2.5    u
+//! ```
+//!
+//! Lines starting with `#` and blank lines are ignored. The format is
+//! line-oriented and streaming-friendly; parse errors carry line numbers.
+
+use crate::builder::GraphBuilder;
+use crate::graph::Graph;
+use crate::node::NodeId;
+use std::fmt;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Errors while parsing the text format.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line, with 1-based line number and description.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o error: {e}"),
+            IoError::Parse { line, message } => write!(f, "line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+fn parse_err(line: usize, message: impl Into<String>) -> IoError {
+    IoError::Parse {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Read a graph from the tab-separated text format.
+pub fn read_graph<R: Read>(reader: R) -> Result<Graph, IoError> {
+    let mut b = GraphBuilder::new();
+    let mut next_node = 0u32;
+    for (idx, line) in BufReader::new(reader).lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split('\t');
+        let tag = fields.next().expect("split yields at least one field");
+        match tag {
+            "N" => {
+                let id: u32 = fields
+                    .next()
+                    .ok_or_else(|| parse_err(lineno, "missing node id"))?
+                    .parse()
+                    .map_err(|e| parse_err(lineno, format!("bad node id: {e}")))?;
+                if id != next_node {
+                    return Err(parse_err(
+                        lineno,
+                        format!("node ids must be consecutive: expected {next_node}, got {id}"),
+                    ));
+                }
+                next_node += 1;
+                let ty_name = fields
+                    .next()
+                    .ok_or_else(|| parse_err(lineno, "missing node type"))?;
+                let label = fields.next().unwrap_or("");
+                let ty = b.register_type(ty_name);
+                b.add_labeled_node(ty, label);
+            }
+            "E" => {
+                let src: u32 = fields
+                    .next()
+                    .ok_or_else(|| parse_err(lineno, "missing edge source"))?
+                    .parse()
+                    .map_err(|e| parse_err(lineno, format!("bad edge source: {e}")))?;
+                let dst: u32 = fields
+                    .next()
+                    .ok_or_else(|| parse_err(lineno, "missing edge target"))?
+                    .parse()
+                    .map_err(|e| parse_err(lineno, format!("bad edge target: {e}")))?;
+                let weight: f64 = fields
+                    .next()
+                    .ok_or_else(|| parse_err(lineno, "missing edge weight"))?
+                    .parse()
+                    .map_err(|e| parse_err(lineno, format!("bad edge weight: {e}")))?;
+                if src >= next_node || dst >= next_node {
+                    return Err(parse_err(lineno, "edge references undeclared node"));
+                }
+                if !(weight > 0.0 && weight.is_finite()) {
+                    return Err(parse_err(lineno, format!("non-positive weight {weight}")));
+                }
+                match fields.next() {
+                    Some("u") => b.add_undirected_edge(NodeId(src), NodeId(dst), weight),
+                    Some(other) => {
+                        return Err(parse_err(
+                            lineno,
+                            format!("unknown edge flag '{other}' (only 'u')"),
+                        ))
+                    }
+                    None => b.add_edge(NodeId(src), NodeId(dst), weight),
+                }
+            }
+            other => {
+                return Err(parse_err(
+                    lineno,
+                    format!("unknown record tag '{other}' (expected N or E)"),
+                ))
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+/// Write a graph in the tab-separated text format. Undirected pairs are
+/// written as two directed `E` records (lossless, if redundant).
+pub fn write_graph<W: Write>(g: &Graph, mut writer: W) -> Result<(), IoError> {
+    writeln!(writer, "# RoundTripRank graph: {} nodes, {} edges", g.node_count(), g.edge_count())?;
+    for v in g.nodes() {
+        writeln!(
+            writer,
+            "N\t{}\t{}\t{}",
+            v.0,
+            g.types().name(g.node_type(v)),
+            g.label(v)
+        )?;
+    }
+    for v in g.nodes() {
+        for (d, w) in g.out_edges_weighted(v) {
+            writeln!(writer, "E\t{}\t{}\t{}", v.0, d.0, w)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::toy::fig2_toy;
+
+    #[test]
+    fn roundtrip_preserves_graph() {
+        let (g, _) = fig2_toy();
+        let mut buf = Vec::new();
+        write_graph(&g, &mut buf).expect("write");
+        let back = read_graph(buf.as_slice()).expect("read");
+        assert_eq!(back.node_count(), g.node_count());
+        assert_eq!(back.edge_count(), g.edge_count());
+        for v in g.nodes() {
+            assert_eq!(back.label(v), g.label(v));
+            assert_eq!(
+                back.types().name(back.node_type(v)),
+                g.types().name(g.node_type(v))
+            );
+            let a: Vec<_> = g.out_edges(v).collect();
+            let b: Vec<_> = back.out_edges(v).collect();
+            assert_eq!(a, b, "adjacency differs at {v:?}");
+        }
+    }
+
+    #[test]
+    fn parses_minimal_example() {
+        let text = "# comment\nN\t0\tterm\tspatio\nN\t1\tvenue\tVLDB\nE\t0\t1\t2.5\tu\n";
+        let g = read_graph(text.as_bytes()).expect("parse");
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 2); // undirected = both directions
+        assert_eq!(g.label(NodeId(1)), "VLDB");
+        assert!((g.transition_prob(NodeId(0), NodeId(1)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_gap_in_node_ids() {
+        let text = "N\t0\tn\t\nN\t2\tn\t\n";
+        let err = read_graph(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("consecutive"), "{err}");
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn rejects_edge_to_undeclared_node() {
+        let text = "N\t0\tn\t\nE\t0\t5\t1.0\n";
+        let err = read_graph(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("undeclared"), "{err}");
+    }
+
+    #[test]
+    fn rejects_bad_weight() {
+        let text = "N\t0\tn\t\nN\t1\tn\t\nE\t0\t1\t-3\n";
+        let err = read_graph(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("weight"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unknown_tag() {
+        let err = read_graph("X\t0\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("unknown record tag"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unknown_edge_flag() {
+        let text = "N\t0\tn\t\nN\t1\tn\t\nE\t0\t1\t1.0\tz\n";
+        let err = read_graph(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("unknown edge flag"), "{err}");
+    }
+
+    #[test]
+    fn empty_input_is_empty_graph() {
+        let g = read_graph("".as_bytes()).expect("parse");
+        assert_eq!(g.node_count(), 0);
+    }
+
+    #[test]
+    fn labels_with_spaces_survive() {
+        let text = "N\t0\tvenue\tSpatio-Temporal Databases, Dagstuhl\n";
+        let g = read_graph(text.as_bytes()).expect("parse");
+        assert_eq!(g.label(NodeId(0)), "Spatio-Temporal Databases, Dagstuhl");
+    }
+}

@@ -1,0 +1,129 @@
+//! Degree statistics and power-law accounting.
+//!
+//! The paper's active-set growth analysis (Sect. V-B1) models the average
+//! degree by the densification power law of Leskovec et al. [21]:
+//! `D̄ ≈ c·|V|^(a-1)` with `1 < a < 2`. [`DegreeStats`] summarizes a graph and
+//! [`fit_densification`] estimates `(c, a)` from a series of growing
+//! snapshots, which the Fig. 13 reproduction reports alongside the measured
+//! growth rates.
+
+use crate::graph::Graph;
+
+/// Summary statistics of a graph's degree distribution.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DegreeStats {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of directed edges.
+    pub edges: usize,
+    /// Average out-degree `|E| / |V|`.
+    pub avg_degree: f64,
+    /// Maximum out-degree.
+    pub max_out_degree: usize,
+    /// Maximum in-degree.
+    pub max_in_degree: usize,
+    /// Fraction of dangling (zero out-degree) nodes.
+    pub dangling_fraction: f64,
+}
+
+impl DegreeStats {
+    /// Compute statistics for a graph.
+    pub fn of(g: &Graph) -> Self {
+        let n = g.node_count();
+        let mut max_out = 0usize;
+        let mut max_in = 0usize;
+        let mut dangling = 0usize;
+        for v in g.nodes() {
+            let od = g.out_degree(v);
+            max_out = max_out.max(od);
+            max_in = max_in.max(g.in_degree(v));
+            if od == 0 {
+                dangling += 1;
+            }
+        }
+        DegreeStats {
+            nodes: n,
+            edges: g.edge_count(),
+            avg_degree: g.average_degree(),
+            max_out_degree: max_out,
+            max_in_degree: max_in,
+            dangling_fraction: if n == 0 { 0.0 } else { dangling as f64 / n as f64 },
+        }
+    }
+}
+
+/// Least-squares fit of the densification power law `D̄ = c·|V|^(a-1)` in
+/// log-log space, given `(|V|, D̄)` pairs from growing snapshots.
+///
+/// Returns `(c, a)`. Requires at least two distinct `|V|` values.
+pub fn fit_densification(points: &[(usize, f64)]) -> (f64, f64) {
+    assert!(points.len() >= 2, "need at least two snapshots to fit");
+    let xs: Vec<f64> = points.iter().map(|&(v, _)| (v as f64).ln()).collect();
+    let ys: Vec<f64> = points.iter().map(|&(_, d)| d.ln()).collect();
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+    assert!(sxx > 0.0, "snapshots must have distinct node counts");
+    let sxy: f64 = xs
+        .iter()
+        .zip(&ys)
+        .map(|(x, y)| (x - mx) * (y - my))
+        .sum();
+    let slope = sxy / sxx; // = a - 1
+    let intercept = my - slope * mx; // = ln c
+    (intercept.exp(), slope + 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::toy::fig2_toy;
+
+    #[test]
+    fn stats_of_toy() {
+        let (g, _) = fig2_toy();
+        let s = DegreeStats::of(&g);
+        assert_eq!(s.nodes, 12);
+        assert_eq!(s.edges, 28);
+        assert_eq!(s.max_out_degree, 5); // t1
+        assert_eq!(s.dangling_fraction, 0.0);
+        assert!((s.avg_degree - 28.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_counts_dangling() {
+        let mut b = GraphBuilder::new();
+        let ty = b.register_type("n");
+        let a = b.add_node(ty);
+        let c = b.add_node(ty);
+        b.add_edge(a, c, 1.0);
+        let s = DegreeStats::of(&b.build());
+        assert!((s.dangling_fraction - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn densification_fit_recovers_exact_law() {
+        // D = 0.5 * V^0.3  (i.e. c = 0.5, a = 1.3)
+        let pts: Vec<(usize, f64)> = [100usize, 1_000, 10_000, 100_000]
+            .iter()
+            .map(|&v| (v, 0.5 * (v as f64).powf(0.3)))
+            .collect();
+        let (c, a) = fit_densification(&pts);
+        assert!((c - 0.5).abs() < 1e-9, "c = {c}");
+        assert!((a - 1.3).abs() < 1e-9, "a = {a}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn densification_needs_two_points() {
+        fit_densification(&[(10, 2.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct node counts")]
+    fn densification_needs_distinct_sizes() {
+        fit_densification(&[(10, 2.0), (10, 3.0)]);
+    }
+}

@@ -1,0 +1,179 @@
+//! Compact binary wire format for shipping node adjacency between the active
+//! processor and graph processors (paper Sect. V-B2).
+//!
+//! A [`NodeBlock`] is everything the active processor needs to add one node
+//! to its active set: the node id plus its out- and in-adjacency with
+//! transition probabilities. Blocks are encoded little-endian with explicit
+//! length prefixes; the format is self-delimiting so multiple blocks can be
+//! concatenated into a single response buffer.
+//!
+//! Layout (all little-endian):
+//! ```text
+//! u32 node_id
+//! u32 out_len   | out_len × (u32 target, f64 prob)
+//! u32 in_len    | in_len  × (u32 source, f64 prob)
+//! ```
+
+use crate::graph::Graph;
+use crate::node::NodeId;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// One node's adjacency as shipped over the (simulated) network.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NodeBlock {
+    /// The node this block describes.
+    pub node: NodeId,
+    /// Out-edges `(target, M[node][target])`.
+    pub out_edges: Vec<(NodeId, f64)>,
+    /// In-edges `(source, M[source][node])`.
+    pub in_edges: Vec<(NodeId, f64)>,
+}
+
+impl NodeBlock {
+    /// Extract the block for `v` from a graph.
+    pub fn extract(g: &Graph, v: NodeId) -> Self {
+        NodeBlock {
+            node: v,
+            out_edges: g.out_edges(v).collect(),
+            in_edges: g.in_edges(v).collect(),
+        }
+    }
+
+    /// Encoded size in bytes.
+    pub fn encoded_len(&self) -> usize {
+        4 + 4 + self.out_edges.len() * 12 + 4 + self.in_edges.len() * 12
+    }
+
+    /// Append the encoding of this block to `buf`.
+    pub fn encode(&self, buf: &mut BytesMut) {
+        buf.reserve(self.encoded_len());
+        buf.put_u32_le(self.node.0);
+        buf.put_u32_le(self.out_edges.len() as u32);
+        for &(t, p) in &self.out_edges {
+            buf.put_u32_le(t.0);
+            buf.put_f64_le(p);
+        }
+        buf.put_u32_le(self.in_edges.len() as u32);
+        for &(s, p) in &self.in_edges {
+            buf.put_u32_le(s.0);
+            buf.put_f64_le(p);
+        }
+    }
+
+    /// Decode one block from the front of `buf`, advancing it.
+    ///
+    /// Returns `None` if the buffer is truncated (never panics on short
+    /// input — a striped response may legitimately be empty).
+    pub fn decode(buf: &mut Bytes) -> Option<Self> {
+        if buf.remaining() < 8 {
+            return None;
+        }
+        let node = NodeId(buf.get_u32_le());
+        let out_len = buf.get_u32_le() as usize;
+        if buf.remaining() < out_len * 12 + 4 {
+            return None;
+        }
+        let mut out_edges = Vec::with_capacity(out_len);
+        for _ in 0..out_len {
+            let t = NodeId(buf.get_u32_le());
+            let p = buf.get_f64_le();
+            out_edges.push((t, p));
+        }
+        let in_len = buf.get_u32_le() as usize;
+        if buf.remaining() < in_len * 12 {
+            return None;
+        }
+        let mut in_edges = Vec::with_capacity(in_len);
+        for _ in 0..in_len {
+            let s = NodeId(buf.get_u32_le());
+            let p = buf.get_f64_le();
+            in_edges.push((s, p));
+        }
+        Some(NodeBlock {
+            node,
+            out_edges,
+            in_edges,
+        })
+    }
+
+    /// Encode a batch of blocks into one buffer (a GP response payload).
+    pub fn encode_batch(blocks: &[NodeBlock]) -> Bytes {
+        let total: usize = blocks.iter().map(|b| b.encoded_len()).sum();
+        let mut buf = BytesMut::with_capacity(total);
+        for b in blocks {
+            b.encode(&mut buf);
+        }
+        buf.freeze()
+    }
+
+    /// Decode a whole buffer of concatenated blocks.
+    pub fn decode_batch(mut buf: Bytes) -> Vec<NodeBlock> {
+        let mut out = Vec::new();
+        while let Some(b) = NodeBlock::decode(&mut buf) {
+            out.push(b);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::toy::fig2_toy;
+
+    #[test]
+    fn roundtrip_single_block() {
+        let (g, ids) = fig2_toy();
+        let block = NodeBlock::extract(&g, ids.v1);
+        let mut buf = BytesMut::new();
+        block.encode(&mut buf);
+        assert_eq!(buf.len(), block.encoded_len());
+        let mut bytes = buf.freeze();
+        let decoded = NodeBlock::decode(&mut bytes).unwrap();
+        assert_eq!(decoded, block);
+        assert_eq!(bytes.remaining(), 0);
+    }
+
+    #[test]
+    fn roundtrip_batch() {
+        let (g, _) = fig2_toy();
+        let blocks: Vec<_> = g.nodes().map(|v| NodeBlock::extract(&g, v)).collect();
+        let encoded = NodeBlock::encode_batch(&blocks);
+        let decoded = NodeBlock::decode_batch(encoded);
+        assert_eq!(decoded, blocks);
+    }
+
+    #[test]
+    fn truncated_buffer_yields_none() {
+        let (g, ids) = fig2_toy();
+        let block = NodeBlock::extract(&g, ids.t1);
+        let mut buf = BytesMut::new();
+        block.encode(&mut buf);
+        let full = buf.freeze();
+        for cut in [0usize, 3, 7, 9, full.len() - 1] {
+            let mut short = full.slice(..cut);
+            assert!(NodeBlock::decode(&mut short).is_none(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn empty_adjacency_encodes() {
+        let block = NodeBlock {
+            node: NodeId(7),
+            out_edges: vec![],
+            in_edges: vec![],
+        };
+        let mut buf = BytesMut::new();
+        block.encode(&mut buf);
+        let mut bytes = buf.freeze();
+        assert_eq!(NodeBlock::decode(&mut bytes).unwrap(), block);
+    }
+
+    #[test]
+    fn encoded_len_matches_paper_style_accounting() {
+        let (g, ids) = fig2_toy();
+        let block = NodeBlock::extract(&g, ids.v2);
+        // v2 has 2 out and 2 in edges: 4 + 4 + 24 + 4 + 24 = 60 bytes.
+        assert_eq!(block.encoded_len(), 60);
+    }
+}

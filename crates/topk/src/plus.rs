@@ -1,0 +1,249 @@
+//! 2SBound for RoundTripRank+ — the extension the paper declares
+//! straightforward (Sect. V: "Our discussion only covers RoundTripRank, but
+//! extending to RoundTripRank+ is straightforward") and leaves to the
+//! reader; here it is.
+//!
+//! The only change from the base algorithm is the combination of the f- and
+//! t-bounds. Since `x ↦ x^c` is monotone for `c ≥ 0` and all scores are
+//! non-negative, the product bounds of Eq. 15 generalize to
+//!
+//! ```text
+//! ř_β(q,v) = f̌(q,v)^(1-β) · ť(q,v)^β
+//! r̂_β(q,v) = f̂(q,v)^(1-β) · t̂(q,v)^β
+//! ```
+//!
+//! and the unseen bound of Eq. 16 generalizes the same way. At β = 0.5 the
+//! ranking (and the stopping behaviour up to the monotone square root)
+//! coincides with the base 2SBound.
+
+use crate::active_set::ActiveSetStats;
+use crate::bounds::Bounds;
+use crate::config::TopKConfig;
+use crate::fbound::{FBoundMode, FNeighborhood};
+use crate::tbound::{TBoundMode, TNeighborhood};
+use crate::two_sbound::TopKResult;
+use rtr_core::{CoreError, RankParams};
+use rtr_graph::{Graph, NodeId};
+
+const TIE_EPS: f64 = 1e-12;
+
+/// Online top-K for RoundTripRank+ with specificity bias β.
+#[derive(Clone, Copy, Debug)]
+pub struct TwoSBoundPlus {
+    params: RankParams,
+    config: TopKConfig,
+    beta: f64,
+}
+
+impl TwoSBoundPlus {
+    /// Create for a given β ∈ [0, 1].
+    pub fn new(params: RankParams, config: TopKConfig, beta: f64) -> Result<Self, CoreError> {
+        if !(0.0..=1.0).contains(&beta) || beta.is_nan() {
+            return Err(CoreError::InvalidBeta(beta));
+        }
+        Ok(TwoSBoundPlus {
+            params,
+            config,
+            beta,
+        })
+    }
+
+    /// The specificity bias in use.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    #[inline]
+    fn blend(&self, f: &Bounds, t: &Bounds) -> Bounds {
+        let (a, b) = (1.0 - self.beta, self.beta);
+        Bounds {
+            lower: f.lower.powf(a) * t.lower.powf(b),
+            upper: f.upper.powf(a) * t.upper.powf(b),
+        }
+    }
+
+    /// Run the β-weighted top-K search for query node `q`.
+    pub fn run(&self, g: &Graph, q: NodeId) -> Result<TopKResult, CoreError> {
+        let cfg = &self.config;
+        let mut f = FNeighborhood::new(g, q, &self.params, FBoundMode::TwoStage)?;
+        let mut t = TNeighborhood::new(g, q, &self.params, TBoundMode::TwoStage)?;
+        let k = cfg.k.min(g.node_count());
+        let refine_tol = cfg.refine_tolerance.max(cfg.epsilon * 1e-2);
+        let (wa, wb) = (1.0 - self.beta, self.beta);
+
+        let mut expansions = 0usize;
+        loop {
+            expansions += 1;
+            f.expand(cfg.m_f);
+            f.refine(refine_tol, cfg.refine_max_sweeps);
+            t.expand(cfg.m_t);
+            t.refine(refine_tol, cfg.refine_max_sweeps);
+
+            let mut members: Vec<(NodeId, Bounds)> = f
+                .seen()
+                .filter_map(|(v, fb)| t.bounds(v).map(|tb| (v, self.blend(&fb, &tb))))
+                .collect();
+            members.sort_by(|a, b| {
+                b.1.lower
+                    .partial_cmp(&a.1.lower)
+                    .expect("NaN bound")
+                    .then(a.0.cmp(&b.0))
+            });
+
+            // Eq. 16 with β exponents.
+            let f_unseen = f.unseen_upper();
+            let t_unseen = t.unseen_upper();
+            let mut r_unseen = f_unseen.powf(wa) * t_unseen.powf(wb);
+            for (v, fb) in f.seen() {
+                if !t.contains(v) {
+                    r_unseen = r_unseen.max(fb.upper.powf(wa) * t_unseen.powf(wb));
+                }
+            }
+            for (v, tb) in t.seen() {
+                if !f.contains(v) {
+                    r_unseen = r_unseen.max(f_unseen.powf(wa) * tb.upper.powf(wb));
+                }
+            }
+
+            let done = members.len() >= k
+                && conditions_hold(&members, k, cfg.epsilon, r_unseen);
+            let exhausted = f.residual() < 1e-15 && t.unseen_upper() == 0.0;
+            if done || exhausted || expansions >= cfg.max_expansions {
+                let active = ActiveSetStats::measure(
+                    g,
+                    f.seen().map(|(v, _)| v),
+                    t.seen().map(|(v, _)| v),
+                );
+                members.truncate(k);
+                return Ok(TopKResult {
+                    ranking: members.iter().map(|&(v, _)| v).collect(),
+                    bounds: members.iter().map(|&(_, b)| (b.lower, b.upper)).collect(),
+                    expansions,
+                    converged: done,
+                    active,
+                });
+            }
+        }
+    }
+}
+
+fn conditions_hold(members: &[(NodeId, Bounds)], k: usize, epsilon: f64, r_unseen: f64) -> bool {
+    let mut max_other_upper = r_unseen;
+    for &(_, b) in &members[k..] {
+        max_other_upper = max_other_upper.max(b.upper);
+    }
+    if members[k - 1].1.lower <= max_other_upper - epsilon - TIE_EPS {
+        return false;
+    }
+    for i in 0..k - 1 {
+        if members[i].1.lower <= members[i + 1].1.upper - epsilon - TIE_EPS {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtr_core::prelude::*;
+    use rtr_graph::toy::fig2_toy;
+
+    fn exact_plus(g: &Graph, q: NodeId, beta: f64) -> ScoreVec {
+        RoundTripRankPlus::new(RankParams::default(), beta)
+            .unwrap()
+            .compute(g, &Query::single(q))
+            .unwrap()
+    }
+
+    fn toy_cfg(k: usize) -> TopKConfig {
+        TopKConfig {
+            k,
+            epsilon: 0.0,
+            m_f: 4,
+            m_t: 2,
+            max_expansions: 2_000,
+            ..TopKConfig::default()
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_beta() {
+        let p = RankParams::default();
+        assert!(TwoSBoundPlus::new(p, toy_cfg(3), -0.1).is_err());
+        assert!(TwoSBoundPlus::new(p, toy_cfg(3), 1.5).is_err());
+        assert!(TwoSBoundPlus::new(p, toy_cfg(3), f64::NAN).is_err());
+    }
+
+    #[test]
+    fn matches_exact_rtr_plus_across_betas() {
+        let (g, ids) = fig2_toy();
+        let params = RankParams::default();
+        for beta in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let exact = exact_plus(&g, ids.t1, beta);
+            let result = TwoSBoundPlus::new(params, toy_cfg(4), beta)
+                .unwrap()
+                .run(&g, ids.t1)
+                .unwrap();
+            let want = exact.top_k(result.ranking.len());
+            for (got, want) in result.ranking.iter().zip(&want) {
+                assert!(
+                    (exact.score(*got) - exact.score(*want)).abs() < 1e-9,
+                    "β={beta}: got {got:?} ({}) want {want:?} ({})",
+                    exact.score(*got),
+                    exact.score(*want)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bounds_sandwich_exact_scores() {
+        let (g, ids) = fig2_toy();
+        let beta = 0.3;
+        let exact = exact_plus(&g, ids.t1, beta);
+        let result = TwoSBoundPlus::new(RankParams::default(), toy_cfg(5), beta)
+            .unwrap()
+            .run(&g, ids.t1)
+            .unwrap();
+        for (v, &(lo, hi)) in result.ranking.iter().zip(&result.bounds) {
+            let s = exact.score(*v);
+            assert!(
+                s >= lo - 1e-9 && s <= hi + 1e-9,
+                "{v:?}: {s} outside [{lo}, {hi}]"
+            );
+        }
+    }
+
+    #[test]
+    fn beta_extremes_change_the_winner_set() {
+        // β = 1 (specificity): v3 must appear among venues before v1.
+        let (g, ids) = fig2_toy();
+        let result = TwoSBoundPlus::new(RankParams::default(), toy_cfg(12), 1.0)
+            .unwrap()
+            .run(&g, ids.t1)
+            .unwrap();
+        let pos = |v: NodeId| result.ranking.iter().position(|&x| x == v);
+        let (p_v3, p_v1) = (pos(ids.v3), pos(ids.v1));
+        if let (Some(a), Some(b)) = (p_v3, p_v1) {
+            assert!(a < b, "specificity should favor v3 over v1");
+        }
+    }
+
+    #[test]
+    fn half_beta_rank_matches_base_two_sbound() {
+        use crate::two_sbound::TwoSBound;
+        let (g, ids) = fig2_toy();
+        let params = RankParams::default();
+        let base = TwoSBound::new(params, toy_cfg(4)).run(&g, ids.t1).unwrap();
+        let plus = TwoSBoundPlus::new(params, toy_cfg(4), 0.5)
+            .unwrap()
+            .run(&g, ids.t1)
+            .unwrap();
+        // r_0.5 = sqrt(r): same ranking.
+        let exact = exact_plus(&g, ids.t1, 0.5);
+        for (a, b) in base.ranking.iter().zip(&plus.ranking) {
+            assert!((exact.score(*a) - exact.score(*b)).abs() < 1e-9);
+        }
+    }
+}

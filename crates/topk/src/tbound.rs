@@ -1,0 +1,413 @@
+//! T-Rank realization of the two-stage bounds-updating framework
+//! (paper Sect. V-A3, "Realization of T-Rank").
+//!
+//! The t-neighborhood `S_t` grows backward from the query along in-edges.
+//! Its Stage I hinges on **border nodes** (after Sarkar et al. [14, 20]):
+//! a border node of `S_t` has at least one in-neighbor outside `S_t`, so any
+//! walk from an unseen node must enter `S_t` through a border node, and
+//! because the geometric walk is memoryless,
+//!
+//! ```text
+//! t̂(q) = (1-α) · max_{u ∈ ∂(S_t)} t̂(q,u)        (Eq. 22)
+//! ```
+//!
+//! (the `1-α` factor: reaching the border costs at least one surviving
+//! step). One expansion picks the `m` border nodes with the largest upper
+//! bounds and absorbs all their in-neighbors, deleting them from the border
+//! and thus driving the unseen bound down.
+//!
+//! Stage II sweeps Eq. 17–18 over `S_t`, gathering over **out**-neighbors,
+//! to convergence, refreshing the unseen bound each sweep. The *Sarkar*
+//! variant (efficiency baseline) performs a single sweep per expansion
+//! instead of iterating to convergence.
+
+use crate::bounds::Bounds;
+use rtr_core::{CoreError, RankParams};
+use rtr_graph::{Graph, NodeId};
+use std::collections::HashMap;
+
+/// Which Stage-II realization the t-neighborhood uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TBoundMode {
+    /// The paper's full realization: refine to convergence.
+    TwoStage,
+    /// Sarkar et al. baseline: one refinement sweep per expansion.
+    Sarkar,
+}
+
+/// The t-neighborhood with its bounds.
+pub struct TNeighborhood<'g> {
+    g: &'g Graph,
+    q: NodeId,
+    alpha: f64,
+    mode: TBoundMode,
+    bounds: HashMap<u32, Bounds>,
+    unseen_upper: f64,
+}
+
+impl<'g> TNeighborhood<'g> {
+    /// Initialize with the paper's first expansion: `S_t = {q}`,
+    /// `ť(q,q) = α`, `t̂(q,q) = 1`, `t̂(q) = 1-α`.
+    pub fn new(
+        g: &'g Graph,
+        q: NodeId,
+        params: &RankParams,
+        mode: TBoundMode,
+    ) -> Result<Self, CoreError> {
+        params.validate()?;
+        if q.index() >= g.node_count() {
+            return Err(CoreError::NodeOutOfRange {
+                node: q,
+                node_count: g.node_count(),
+            });
+        }
+        let mut bounds = HashMap::new();
+        bounds.insert(
+            q.0,
+            Bounds {
+                lower: params.alpha,
+                upper: 1.0,
+            },
+        );
+        Ok(TNeighborhood {
+            g,
+            q,
+            alpha: params.alpha,
+            mode,
+            bounds,
+            unseen_upper: 1.0 - params.alpha,
+        })
+    }
+
+    /// Whether `v` is a border node: in `S_t` with an in-neighbor outside.
+    fn is_border(&self, v: NodeId) -> bool {
+        self.g
+            .in_neighbors(v)
+            .iter()
+            .any(|n| !self.bounds.contains_key(&n.0))
+    }
+
+    /// Current border nodes `∂(S_t)`.
+    pub fn border(&self) -> Vec<NodeId> {
+        self.bounds
+            .keys()
+            .map(|&v| NodeId(v))
+            .filter(|&v| self.is_border(v))
+            .collect()
+    }
+
+    fn recompute_unseen_upper(&mut self) {
+        let max_border = self
+            .bounds
+            .keys()
+            .map(|&v| NodeId(v))
+            .filter(|&v| self.is_border(v))
+            .map(|v| self.bounds[&v.0].upper)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let fresh = if max_border.is_finite() {
+            (1.0 - self.alpha) * max_border
+        } else {
+            0.0 // no border: every remaining node is unreachable-to-q
+        };
+        // Monotone: the unseen bound never loosens.
+        if fresh < self.unseen_upper {
+            self.unseen_upper = fresh;
+        }
+    }
+
+    /// Stage I: absorb the in-neighbors of up to `m` highest-upper border
+    /// nodes; initialize newcomers to `[0, previous unseen bound]`; refresh
+    /// the unseen bound. Returns the number of newly added nodes.
+    pub fn expand(&mut self, m: usize) -> usize {
+        let mut border: Vec<(NodeId, f64)> = self
+            .bounds
+            .iter()
+            .map(|(&v, b)| (NodeId(v), b.upper))
+            .filter(|&(v, _)| self.is_border(v))
+            .collect();
+        if border.is_empty() {
+            self.recompute_unseen_upper();
+            return 0;
+        }
+        let take = m.min(border.len()).max(1);
+        // Ties break by node id for run-to-run reproducibility.
+        border.select_nth_unstable_by(take - 1, |a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("NaN upper bound")
+                .then(a.0.cmp(&b.0))
+        });
+        border.truncate(take);
+
+        let prev_unseen = self.unseen_upper;
+        let mut added = 0usize;
+        for (u, _) in border {
+            for &src in self.g.in_neighbors(u) {
+                if !self.bounds.contains_key(&src.0) {
+                    self.bounds.insert(src.0, Bounds::unseen(prev_unseen));
+                    added += 1;
+                }
+            }
+        }
+        self.recompute_unseen_upper();
+        added
+    }
+
+    /// Stage II: refine all bounds over `S_t` (out-neighbor recurrence),
+    /// refreshing the unseen bound each sweep. In Sarkar mode only one sweep
+    /// is performed. Returns the number of sweeps.
+    pub fn refine(&mut self, tolerance: f64, max_sweeps: usize) -> usize {
+        let sweeps_cap = match self.mode {
+            TBoundMode::TwoStage => max_sweeps,
+            TBoundMode::Sarkar => 1,
+        };
+        let mut members: Vec<u32> = self.bounds.keys().copied().collect();
+        members.sort_unstable(); // deterministic Gauss-Seidel sweep order
+        for sweep in 1..=sweeps_cap {
+            let mut max_change = 0.0f64;
+            for &vid in &members {
+                let v = NodeId(vid);
+                let indicator = if v == self.q { self.alpha } else { 0.0 };
+                let mut lo_acc = 0.0;
+                let mut hi_acc = 0.0;
+                for (dst, prob) in self.g.out_edges(v) {
+                    match self.bounds.get(&dst.0) {
+                        Some(b) => {
+                            lo_acc += prob * b.lower;
+                            hi_acc += prob * b.upper;
+                        }
+                        None => {
+                            hi_acc += prob * self.unseen_upper;
+                        }
+                    }
+                }
+                let cand_lo = indicator + (1.0 - self.alpha) * lo_acc;
+                let cand_hi = indicator + (1.0 - self.alpha) * hi_acc;
+                let b = self.bounds.get_mut(&vid).expect("member");
+                max_change = max_change.max(b.tighten_lower(cand_lo));
+                max_change = max_change.max(b.tighten_upper(cand_hi));
+            }
+            self.recompute_unseen_upper();
+            if max_change < tolerance {
+                return sweep;
+            }
+        }
+        sweeps_cap
+    }
+
+    /// The current unseen upper bound `t̂(q)`.
+    pub fn unseen_upper(&self) -> f64 {
+        self.unseen_upper
+    }
+
+    /// Bounds of a seen node, if seen.
+    pub fn bounds(&self, v: NodeId) -> Option<Bounds> {
+        self.bounds.get(&v.0).copied()
+    }
+
+    /// Effective bounds of *any* node (unseen ⇒ `[0, t̂(q)]`).
+    pub fn effective_bounds(&self, v: NodeId) -> Bounds {
+        self.bounds(v)
+            .unwrap_or_else(|| Bounds::unseen(self.unseen_upper))
+    }
+
+    /// Whether `v` is in `S_t`.
+    pub fn contains(&self, v: NodeId) -> bool {
+        self.bounds.contains_key(&v.0)
+    }
+
+    /// Iterate over seen nodes and their bounds.
+    pub fn seen(&self) -> impl Iterator<Item = (NodeId, Bounds)> + '_ {
+        self.bounds.iter().map(|(&v, &b)| (NodeId(v), b))
+    }
+
+    /// `|S_t|`.
+    pub fn len(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// Whether only the query is in the neighborhood so far.
+    pub fn is_query_only(&self) -> bool {
+        self.bounds.len() == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtr_core::prelude::*;
+    use rtr_graph::toy::fig2_toy;
+
+    fn exact_trank(g: &Graph, q: NodeId) -> ScoreVec {
+        TRank::new(RankParams::default())
+            .compute(g, &Query::single(q))
+            .unwrap()
+    }
+
+    #[test]
+    fn initial_state_matches_paper() {
+        let (g, ids) = fig2_toy();
+        let nb =
+            TNeighborhood::new(&g, ids.t1, &RankParams::default(), TBoundMode::TwoStage).unwrap();
+        assert!(nb.is_query_only());
+        let b = nb.bounds(ids.t1).unwrap();
+        assert_eq!(b.lower, 0.25);
+        assert_eq!(b.upper, 1.0);
+        assert!((nb.unseen_upper() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounds_always_sandwich_exact() {
+        let (g, ids) = fig2_toy();
+        let exact = exact_trank(&g, ids.t1);
+        let mut nb =
+            TNeighborhood::new(&g, ids.t1, &RankParams::default(), TBoundMode::TwoStage).unwrap();
+        for round in 0..10 {
+            nb.expand(2);
+            nb.refine(1e-12, 50);
+            for v in g.nodes() {
+                let b = nb.effective_bounds(v);
+                assert!(
+                    b.contains(exact.score(v), 1e-9),
+                    "round {round}, {v:?}: exact {} outside [{}, {}]",
+                    exact.score(v),
+                    b.lower,
+                    b.upper
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn expansion_absorbs_in_neighbors() {
+        let (g, ids) = fig2_toy();
+        let mut nb =
+            TNeighborhood::new(&g, ids.t1, &RankParams::default(), TBoundMode::TwoStage).unwrap();
+        let added = nb.expand(1);
+        // t1's in-neighbors are its 5 papers.
+        assert_eq!(added, 5);
+        for p in ids.p.iter().take(5) {
+            assert!(nb.contains(*p));
+        }
+    }
+
+    #[test]
+    fn unseen_upper_never_increases() {
+        let (g, ids) = fig2_toy();
+        let mut nb =
+            TNeighborhood::new(&g, ids.t1, &RankParams::default(), TBoundMode::TwoStage).unwrap();
+        let mut prev = nb.unseen_upper();
+        for _ in 0..10 {
+            nb.expand(2);
+            nb.refine(1e-12, 50);
+            let cur = nb.unseen_upper();
+            assert!(cur <= prev + 1e-12, "unseen bound rose {prev} -> {cur}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn full_absorption_zeroes_unseen_bound_monotonically() {
+        // Once St covers the whole (strongly connected) toy graph there is
+        // no border, so the unseen bound collapses to 0.
+        let (g, ids) = fig2_toy();
+        let mut nb =
+            TNeighborhood::new(&g, ids.t1, &RankParams::default(), TBoundMode::TwoStage).unwrap();
+        for _ in 0..30 {
+            nb.expand(10);
+            nb.refine(1e-12, 50);
+        }
+        assert_eq!(nb.len(), g.node_count());
+        assert_eq!(nb.unseen_upper(), 0.0);
+    }
+
+    #[test]
+    fn two_stage_tighter_than_sarkar() {
+        let (g, ids) = fig2_toy();
+        let p = RankParams::default();
+        let mut ours = TNeighborhood::new(&g, ids.t1, &p, TBoundMode::TwoStage).unwrap();
+        let mut sarkar = TNeighborhood::new(&g, ids.t1, &p, TBoundMode::Sarkar).unwrap();
+        for _ in 0..4 {
+            ours.expand(2);
+            ours.refine(1e-12, 50);
+            sarkar.expand(2);
+            sarkar.refine(1e-12, 50);
+        }
+        let ours_width: f64 = ours.seen().map(|(_, b)| b.width()).sum();
+        let sarkar_width: f64 = sarkar.seen().map(|(_, b)| b.width()).sum();
+        assert!(
+            ours_width < sarkar_width,
+            "two-stage {ours_width} not tighter than sarkar {sarkar_width}"
+        );
+    }
+
+    #[test]
+    fn sarkar_bounds_still_valid() {
+        let (g, ids) = fig2_toy();
+        let exact = exact_trank(&g, ids.t1);
+        let mut nb =
+            TNeighborhood::new(&g, ids.t1, &RankParams::default(), TBoundMode::Sarkar).unwrap();
+        for _ in 0..10 {
+            nb.expand(2);
+            nb.refine(1e-12, 50);
+            for v in g.nodes() {
+                assert!(nb.effective_bounds(v).contains(exact.score(v), 1e-9));
+            }
+        }
+    }
+
+    #[test]
+    fn bounds_converge_to_exact() {
+        let (g, ids) = fig2_toy();
+        let exact = exact_trank(&g, ids.t1);
+        let mut nb =
+            TNeighborhood::new(&g, ids.t1, &RankParams::default(), TBoundMode::TwoStage).unwrap();
+        for _ in 0..40 {
+            nb.expand(10);
+            nb.refine(1e-14, 200);
+        }
+        for v in g.nodes() {
+            let b = nb.effective_bounds(v);
+            assert!(
+                b.width() < 1e-6,
+                "{v:?} width {} too wide after convergence",
+                b.width()
+            );
+            assert!(b.contains(exact.score(v), 1e-6));
+        }
+    }
+
+    #[test]
+    fn unreachable_region_gets_zero_bound() {
+        // x -> q but nothing leads from y-to-q: once the border empties,
+        // unseen nodes (y) are correctly bounded by 0.
+        let mut b = rtr_graph::GraphBuilder::new();
+        let ty = b.register_type("n");
+        let q = b.add_node(ty);
+        let x = b.add_node(ty);
+        let y = b.add_node(ty);
+        b.add_edge(x, q, 1.0);
+        b.add_edge(q, x, 1.0);
+        b.add_edge(q, y, 1.0); // y has no out-edges back
+        let g = b.build();
+        let mut nb =
+            TNeighborhood::new(&g, q, &RankParams::default(), TBoundMode::TwoStage).unwrap();
+        for _ in 0..5 {
+            nb.expand(5);
+            nb.refine(1e-12, 50);
+        }
+        assert_eq!(nb.unseen_upper(), 0.0);
+        assert_eq!(nb.effective_bounds(y).upper, 0.0);
+    }
+
+    #[test]
+    fn out_of_range_query_rejected() {
+        let (g, _) = fig2_toy();
+        assert!(TNeighborhood::new(
+            &g,
+            NodeId(999),
+            &RankParams::default(),
+            TBoundMode::TwoStage
+        )
+        .is_err());
+    }
+}

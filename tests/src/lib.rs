@@ -1,0 +1,5 @@
+//! Integration-test helper crate: the actual tests live in `tests/tests/`.
+//! This library only hosts shared fixtures.
+
+/// A fixed master seed for all integration tests.
+pub const SEED: u64 = 20130408; // ICDE 2013, Brisbane: April 8

@@ -1,0 +1,106 @@
+//! Distributed 2SBound must agree with the single-machine algorithm on
+//! generated graphs, for any GP count, while touching only a fraction of
+//! the graph.
+
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use rtr_core::prelude::*;
+use rtr_datagen::{BibNet, BibNetConfig, QLog, QLogConfig};
+use rtr_distributed::{DistributedTwoSBound, GpCluster};
+use rtr_graph::{Graph, NodeId};
+use rtr_integration_tests::SEED;
+use rtr_topk::prelude::*;
+
+fn queries(g: &Graph, n: usize, seed: u64) -> Vec<NodeId> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut pool: Vec<NodeId> = g.nodes().filter(|&v| !g.is_dangling(v)).collect();
+    pool.shuffle(&mut rng);
+    pool.truncate(n);
+    pool
+}
+
+fn cfg() -> TopKConfig {
+    TopKConfig {
+        k: 8,
+        epsilon: 0.01,
+        ..TopKConfig::default()
+    }
+}
+
+#[test]
+fn distributed_matches_local_on_bibnet() {
+    let net = BibNet::generate(&BibNetConfig::tiny(), SEED);
+    let g = &net.graph;
+    let params = RankParams::default();
+    let exact_measure = RoundTripRank::new(params);
+    let cluster = GpCluster::spawn(g, 4);
+    for q in queries(g, 5, SEED) {
+        let local = TwoSBound::new(params, cfg()).run(g, q).expect("local");
+        let (dist, _) = DistributedTwoSBound::new(params, cfg())
+            .run(&cluster, g.node_count(), q)
+            .expect("distributed");
+        let exact = exact_measure
+            .compute(g, &Query::single(q))
+            .expect("exact");
+        assert_eq!(local.ranking.len(), dist.ranking.len());
+        for (l, d) in local.ranking.iter().zip(&dist.ranking) {
+            assert!(
+                (exact.score(*l) - exact.score(*d)).abs() < 2.0 * cfg().epsilon + 1e-9,
+                "query {q:?}: local {l:?} vs distributed {d:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn active_set_is_partial_on_qlog() {
+    let qlog = QLog::generate(&QLogConfig::small(), SEED);
+    let g = &qlog.graph;
+    let cluster = GpCluster::spawn(g, 3);
+    let runner = DistributedTwoSBound::new(RankParams::default(), cfg());
+    for q in queries(g, 5, SEED + 1) {
+        let (_, stats) = runner
+            .run(&cluster, g.node_count(), q)
+            .expect("distributed");
+        assert!(
+            stats.active_nodes < g.node_count(),
+            "query {q:?}: active set covered the whole graph"
+        );
+        assert!(stats.bytes_transferred > 0);
+        // Everything resident was fetched exactly once.
+        assert_eq!(stats.blocks_fetched, stats.active_nodes);
+    }
+}
+
+#[test]
+fn gp_counts_are_equivalent_on_generated_graph() {
+    let net = BibNet::generate(&BibNetConfig::tiny(), SEED + 2);
+    let g = &net.graph;
+    let params = RankParams::default();
+    let q = queries(g, 1, SEED + 2)[0];
+    let mut results = Vec::new();
+    for gps in [1usize, 3, 7] {
+        let cluster = GpCluster::spawn(g, gps);
+        let (res, _) = DistributedTwoSBound::new(params, cfg())
+            .run(&cluster, g.node_count(), q)
+            .expect("distributed");
+        results.push(res.ranking);
+    }
+    assert_eq!(results[0], results[1], "1 GP vs 3 GPs differ");
+    assert_eq!(results[1], results[2], "3 GPs vs 7 GPs differ");
+}
+
+#[test]
+fn more_gps_spread_the_stripe() {
+    let net = BibNet::generate(&BibNetConfig::tiny(), SEED + 3);
+    let g = &net.graph;
+    use rtr_distributed::Striping;
+    for gps in [2usize, 5] {
+        let stores = Striping::new(gps).partition(g);
+        let total: usize = stores.iter().map(|s| s.len()).sum();
+        assert_eq!(total, g.node_count());
+        let max = stores.iter().map(|s| s.len()).max().expect("stores");
+        let min = stores.iter().map(|s| s.len()).min().expect("stores");
+        assert!(max - min <= 1, "unbalanced striping at {gps} GPs");
+    }
+}

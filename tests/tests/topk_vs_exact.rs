@@ -1,0 +1,170 @@
+//! 2SBound against exact RoundTripRank on generated graphs — the online
+//! algorithm's correctness contract, beyond the toy graph its unit tests use.
+
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use rtr_core::prelude::*;
+use rtr_datagen::{BibNet, BibNetConfig, QLog, QLogConfig};
+use rtr_graph::{Graph, NodeId};
+use rtr_integration_tests::SEED;
+use rtr_topk::prelude::*;
+
+fn random_queries(g: &Graph, n: usize, seed: u64) -> Vec<NodeId> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut pool: Vec<NodeId> = g.nodes().filter(|&v| !g.is_dangling(v)).collect();
+    pool.shuffle(&mut rng);
+    pool.truncate(n);
+    pool
+}
+
+fn exact_scores(g: &Graph, q: NodeId) -> ScoreVec {
+    RoundTripRank::new(RankParams::default())
+        .compute(g, &Query::single(q))
+        .expect("exact RTR")
+}
+
+#[test]
+fn zero_slack_topk_matches_exact_on_bibnet() {
+    let net = BibNet::generate(&BibNetConfig::tiny(), SEED);
+    let g = &net.graph;
+    let cfg = TopKConfig {
+        k: 10,
+        epsilon: 0.0,
+        max_expansions: 100_000,
+        ..TopKConfig::default()
+    };
+    let runner = TwoSBound::new(RankParams::default(), cfg);
+    for q in random_queries(g, 8, SEED) {
+        let result = runner.run(g, q).expect("topk");
+        let exact = exact_scores(g, q);
+        let want = exact.top_k(10);
+        for (got, want) in result.ranking.iter().zip(&want) {
+            assert!(
+                (exact.score(*got) - exact.score(*want)).abs() < 1e-9,
+                "query {q:?}: got {got:?} ({}) want {want:?} ({})",
+                exact.score(*got),
+                exact.score(*want)
+            );
+        }
+    }
+}
+
+#[test]
+fn epsilon_guarantee_on_qlog() {
+    let qlog = QLog::generate(&QLogConfig::tiny(), SEED);
+    let g = &qlog.graph;
+    let eps = 0.01;
+    let cfg = TopKConfig {
+        k: 10,
+        epsilon: eps,
+        ..TopKConfig::default()
+    };
+    let runner = TwoSBound::new(RankParams::default(), cfg);
+    for q in random_queries(g, 8, SEED + 1) {
+        let result = runner.run(g, q).expect("topk");
+        let exact = exact_scores(g, q);
+        // (a) no node exceeding the K-th returned score by ≥ ε is missed
+        let kth = exact.score(*result.ranking.last().expect("k results"));
+        for v in g.nodes() {
+            if !result.ranking.contains(&v) {
+                assert!(
+                    exact.score(v) <= kth + eps + 1e-9,
+                    "query {q:?}: missed {v:?} ({}) vs kth {kth}",
+                    exact.score(v)
+                );
+            }
+        }
+        // (b) no swapped pair differing by ≥ ε
+        for w in result.ranking.windows(2) {
+            assert!(
+                exact.score(w[0]) >= exact.score(w[1]) - eps - 1e-9,
+                "query {q:?}: pair {w:?} swapped beyond ε"
+            );
+        }
+    }
+}
+
+#[test]
+fn bounds_sandwich_exact_scores_on_generated_graph() {
+    let net = BibNet::generate(&BibNetConfig::tiny(), SEED + 5);
+    let g = &net.graph;
+    let runner = TwoSBound::new(
+        RankParams::default(),
+        TopKConfig {
+            k: 5,
+            epsilon: 0.02,
+            ..TopKConfig::default()
+        },
+    );
+    for q in random_queries(g, 5, SEED + 2) {
+        let result = runner.run(g, q).expect("topk");
+        let exact = exact_scores(g, q);
+        for (v, &(lo, hi)) in result.ranking.iter().zip(&result.bounds) {
+            let s = exact.score(*v);
+            assert!(
+                s >= lo - 1e-9 && s <= hi + 1e-9,
+                "query {q:?}: {v:?} score {s} outside [{lo}, {hi}]"
+            );
+        }
+    }
+}
+
+#[test]
+fn all_schemes_produce_valid_epsilon_approximations() {
+    let net = BibNet::generate(&BibNetConfig::tiny(), SEED + 6);
+    let g = &net.graph;
+    let eps = 0.02;
+    for scheme in Scheme::all() {
+        let runner = TwoSBound::with_scheme(
+            RankParams::default(),
+            TopKConfig {
+                k: 5,
+                epsilon: eps,
+                ..TopKConfig::default()
+            },
+            scheme,
+        );
+        for q in random_queries(g, 3, SEED + 3) {
+            let result = runner.run(g, q).expect("topk");
+            let exact = exact_scores(g, q);
+            let kth = exact.score(*result.ranking.last().expect("k results"));
+            for v in g.nodes() {
+                if !result.ranking.contains(&v) {
+                    assert!(
+                        exact.score(v) <= kth + eps + 1e-9,
+                        "{}: query {q:?} missed {v:?}",
+                        scheme.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn naive_and_2sbound_agree() {
+    let qlog = QLog::generate(&QLogConfig::tiny(), SEED + 7);
+    let g = &qlog.graph;
+    let params = RankParams::default();
+    for q in random_queries(g, 5, SEED + 4) {
+        let naive = NaiveTopK::new(params, 5).run(g, q).expect("naive");
+        let fast = TwoSBound::new(
+            params,
+            TopKConfig {
+                k: 5,
+                epsilon: 0.0,
+                max_expansions: 100_000,
+                ..TopKConfig::default()
+            },
+        )
+        .run(g, q)
+        .expect("2sbound");
+        let exact = exact_scores(g, q);
+        for (a, b) in naive.ranking.iter().zip(&fast.ranking) {
+            assert!(
+                (exact.score(*a) - exact.score(*b)).abs() < 1e-9,
+                "query {q:?}: naive {a:?} vs 2sbound {b:?}"
+            );
+        }
+    }
+}
