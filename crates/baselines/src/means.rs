@@ -72,11 +72,7 @@ impl ArithmeticMean {
     }
 }
 
-fn compute_ft(
-    g: &Graph,
-    n: NodeId,
-    params: RankParams,
-) -> Result<(ScoreVec, ScoreVec), CoreError> {
+fn compute_ft(g: &Graph, n: NodeId, params: RankParams) -> Result<(ScoreVec, ScoreVec), CoreError> {
     let q = Query::single(n);
     let f = FRank::new(params).compute(g, &q)?;
     let t = TRank::new(params).compute(g, &q)?;
@@ -213,8 +209,6 @@ mod tests {
             ProximityMeasure::name(&ArithmeticMean::new(p)),
             "Arithmetic"
         );
-        assert!(
-            ProximityMeasure::name(&HarmonicMean::customized(p, 0.2)).contains("β=0.20")
-        );
+        assert!(ProximityMeasure::name(&HarmonicMean::customized(p, 0.2)).contains("β=0.20"));
     }
 }

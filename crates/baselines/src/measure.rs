@@ -121,9 +121,7 @@ mod tests {
     fn per_node_linear_matches_manual_blend() {
         let (g, ids) = fig2_toy();
         let p = rtr_core::RankParams::default();
-        let single = |g: &Graph, n: rtr_graph::NodeId| {
-            FRank::new(p).compute(g, &Query::single(n))
-        };
+        let single = |g: &Graph, n: rtr_graph::NodeId| FRank::new(p).compute(g, &Query::single(n));
         let q = Query::uniform(&[ids.t1, ids.t2]);
         let combined = per_node_linear(&g, &q, single).unwrap();
         let a = FRank::new(p).compute(&g, &Query::single(ids.t1)).unwrap();

@@ -76,7 +76,12 @@ impl ObjSqrtInv {
         ScoreVec::from_vec(cur)
     }
 
-    fn compute_single(&self, g: &Graph, q: NodeId, global: &ScoreVec) -> Result<ScoreVec, CoreError> {
+    fn compute_single(
+        &self,
+        g: &Graph,
+        q: NodeId,
+        global: &ScoreVec,
+    ) -> Result<ScoreVec, CoreError> {
         let or = FRank::new(self.params).compute(g, &Query::single(q))?;
         let scores = g
             .nodes()

@@ -58,6 +58,8 @@ impl SimRank {
         }
         for _ in 0..iterations {
             let mut next = vec![vec![0.0f64; n]; n];
+            // Symmetric triangular update writes next[a][b] and next[b][a].
+            #[allow(clippy::needless_range_loop)]
             for a in 0..n {
                 next[a][a] = 1.0;
                 for b in (a + 1)..n {
@@ -198,31 +200,22 @@ mod tests {
         for v in g.nodes() {
             let want = exact[ids.t1.index()][v.index()];
             let got = est.score(v);
-            assert!(
-                (want - got).abs() < 0.08,
-                "{v:?}: exact {want} vs MC {got}"
-            );
+            assert!((want - got).abs() < 0.08, "{v:?}: exact {want} vs MC {got}");
         }
     }
 
     #[test]
     fn deterministic_under_seed() {
         let (g, ids) = fig2_toy();
-        let a = SimRank::new(5)
-            .compute(&g, &Query::single(ids.t1))
-            .unwrap();
-        let b = SimRank::new(5)
-            .compute(&g, &Query::single(ids.t1))
-            .unwrap();
+        let a = SimRank::new(5).compute(&g, &Query::single(ids.t1)).unwrap();
+        let b = SimRank::new(5).compute(&g, &Query::single(ids.t1)).unwrap();
         assert_eq!(a.as_slice(), b.as_slice());
     }
 
     #[test]
     fn self_similarity_is_one() {
         let (g, ids) = fig2_toy();
-        let s = SimRank::new(1)
-            .compute(&g, &Query::single(ids.v1))
-            .unwrap();
+        let s = SimRank::new(1).compute(&g, &Query::single(ids.v1)).unwrap();
         assert_eq!(s.score(ids.v1), 1.0);
     }
 

@@ -127,7 +127,11 @@ impl TCommute {
             }
             for v in 0..n {
                 let h = hit_step[v];
-                total[v] += if h == usize::MAX { self.t as f64 } else { h as f64 };
+                total[v] += if h == usize::MAX {
+                    self.t as f64
+                } else {
+                    h as f64
+                };
             }
         }
         total.iter().map(|&s| s / self.walks as f64).collect()

@@ -62,18 +62,40 @@ fn main() {
     let qlg = qlog();
     let mut averages: Vec<Vec<f64>> = Vec::new();
 
-    run_task(&task1_author(&net, n_test, n_dev, seed() + 1).test, &ks, &mut averages);
-    run_task(&task2_venue(&net, n_test, n_dev, seed() + 2).test, &ks, &mut averages);
-    run_task(&task3_relevant_url(&qlg, n_test, n_dev, seed() + 3).test, &ks, &mut averages);
-    run_task(&task4_equivalent(&qlg, n_test, n_dev, seed() + 4).test, &ks, &mut averages);
+    run_task(
+        &task1_author(&net, n_test, n_dev, seed() + 1).test,
+        &ks,
+        &mut averages,
+    );
+    run_task(
+        &task2_venue(&net, n_test, n_dev, seed() + 2).test,
+        &ks,
+        &mut averages,
+    );
+    run_task(
+        &task3_relevant_url(&qlg, n_test, n_dev, seed() + 3).test,
+        &ks,
+        &mut averages,
+    );
+    run_task(
+        &task4_equivalent(&qlg, n_test, n_dev, seed() + 4).test,
+        &ks,
+        &mut averages,
+    );
 
     println!("Average over the four tasks:");
-    let names = ["RoundTripRank", "F-Rank/PPR", "T-Rank", "SimRank", "AdamicAdar"];
+    let names = [
+        "RoundTripRank",
+        "F-Rank/PPR",
+        "T-Rank",
+        "SimRank",
+        "AdamicAdar",
+    ];
     println!("{:<28}  NDCG@5    NDCG@10   NDCG@20", "measure");
     for (i, name) in names.iter().enumerate() {
         print!("{name:<28}");
-        for j in 0..ks.len() {
-            print!("  {:.4}  ", averages[i][j] / 4.0);
+        for avg in averages[i].iter().take(ks.len()) {
+            print!("  {:.4}  ", avg / 4.0);
         }
         println!();
     }

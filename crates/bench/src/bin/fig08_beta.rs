@@ -25,20 +25,16 @@ fn sweep(task: &TaskInstance) {
         print!("{s:>7.4}");
     }
     println!();
-    let (best_b, best_s) = curve
-        .iter()
-        .fold((0.0, f64::NEG_INFINITY), |acc, &(b, s)| {
-            if s > acc.1 {
-                (b, s)
-            } else {
-                acc
-            }
-        });
+    let (best_b, best_s) = curve.iter().fold((0.0, f64::NEG_INFINITY), |acc, &(b, s)| {
+        if s > acc.1 {
+            (b, s)
+        } else {
+            acc
+        }
+    });
     let at0 = curve.first().expect("grid").1;
     let at1 = curve.last().expect("grid").1;
-    println!(
-        "  β* = {best_b:.1} (NDCG {best_s:.4}); extremes: β=0 → {at0:.4}, β=1 → {at1:.4}"
-    );
+    println!("  β* = {best_b:.1} (NDCG {best_s:.4}); extremes: β=0 → {at0:.4}, β=1 → {at1:.4}");
 }
 
 fn main() {

@@ -61,7 +61,10 @@ fn run_task(split: &TaskSplit, rows: &mut [Row]) {
         let (beta_star, _) = tune_beta(&factory, &split.dev, &betas, k);
         let eval = evaluate_measure(factory(beta_star).as_ref(), &split.test, &[k]);
         let score = eval.mean_ndcg(k);
-        println!("  {:<14} β* = {beta_star:.1}  NDCG@5 = {score:.4}", rows[row].name);
+        println!(
+            "  {:<14} β* = {beta_star:.1}  NDCG@5 = {score:.4}",
+            rows[row].name
+        );
         rows[row].per_task.push(score);
     }
     println!();
@@ -74,19 +77,40 @@ fn main() {
     println!("(test {n_test} / dev {n_dev} queries per task; paper used 1000 + 1000)\n");
 
     let mut rows = vec![
-        Row { name: "RoundTripRank+", per_task: vec![] },
-        Row { name: "TCommute+", per_task: vec![] },
-        Row { name: "ObjSqrtInv+", per_task: vec![] },
-        Row { name: "Harmonic+", per_task: vec![] },
-        Row { name: "Arithmetic+", per_task: vec![] },
+        Row {
+            name: "RoundTripRank+",
+            per_task: vec![],
+        },
+        Row {
+            name: "TCommute+",
+            per_task: vec![],
+        },
+        Row {
+            name: "ObjSqrtInv+",
+            per_task: vec![],
+        },
+        Row {
+            name: "Harmonic+",
+            per_task: vec![],
+        },
+        Row {
+            name: "Arithmetic+",
+            per_task: vec![],
+        },
     ];
 
     let net = bibnet();
     let qlg = qlog();
     run_task(&task1_author(&net, n_test, n_dev, seed() + 1), &mut rows);
     run_task(&task2_venue(&net, n_test, n_dev, seed() + 2), &mut rows);
-    run_task(&task3_relevant_url(&qlg, n_test, n_dev, seed() + 3), &mut rows);
-    run_task(&task4_equivalent(&qlg, n_test, n_dev, seed() + 4), &mut rows);
+    run_task(
+        &task3_relevant_url(&qlg, n_test, n_dev, seed() + 3),
+        &mut rows,
+    );
+    run_task(
+        &task4_equivalent(&qlg, n_test, n_dev, seed() + 4),
+        &mut rows,
+    );
 
     println!("Summary (NDCG@5 per task + average):");
     println!(

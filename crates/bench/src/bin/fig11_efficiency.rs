@@ -41,9 +41,7 @@ fn main() {
     let exact: Vec<Vec<NodeId>> = queries
         .iter()
         .map(|&q| {
-            let (res, dt) = time_it(|| {
-                NaiveTopK::new(params, k).run(g, q).expect("naive")
-            });
+            let (res, dt) = time_it(|| NaiveTopK::new(params, k).run(g, q).expect("naive"));
             naive_times.push(dt.as_secs_f64() * 1e3);
             res.ranking
         })
@@ -51,14 +49,22 @@ fn main() {
     let (naive_mean, naive_ci) = mean_ci99(&naive_times);
 
     println!("--- (a) average query time (ms, ±99% CI) ---");
-    println!("{:<10} {:>18} {:>18} {:>18}", "scheme", "ε=0.01", "ε=0.02", "ε=0.03");
+    println!(
+        "{:<10} {:>18} {:>18} {:>18}",
+        "scheme", "ε=0.01", "ε=0.02", "ε=0.03"
+    );
     println!(
         "{:<10} {:>10.1}±{:<6.1} {:>10.1}±{:<6.1} {:>10.1}±{:<6.1}   (ε-independent)",
         "Naive", naive_mean, naive_ci, naive_mean, naive_ci, naive_mean, naive_ci
     );
 
     let mut two_sbound_quality: Vec<(f64, f64, f64, f64, f64)> = Vec::new();
-    for scheme in [Scheme::GPlusS, Scheme::Gupta, Scheme::Sarkar, Scheme::TwoSBound] {
+    for scheme in [
+        Scheme::GPlusS,
+        Scheme::Gupta,
+        Scheme::Sarkar,
+        Scheme::TwoSBound,
+    ] {
         print!("{:<10}", scheme.name());
         for &eps in &epsilons {
             let cfg = TopKConfig {

@@ -96,7 +96,14 @@ pub fn print_snapshot_table(name: &str, rows: &[SnapshotRow]) {
     for r in rows {
         println!(
             "{:>4} {:>5} {:>12} {:>14.0} {:>14.1}±{:<5.1} {:>12.2}±{:<5.2}",
-            r.index, r.index, r.nodes, r.snapshot_kb, r.active_kb, r.active_ci, r.query_ms, r.query_ci
+            r.index,
+            r.index,
+            r.nodes,
+            r.snapshot_kb,
+            r.active_kb,
+            r.active_ci,
+            r.query_ms,
+            r.query_ci
         );
     }
 }

@@ -94,12 +94,7 @@ pub fn constant_backward(g: &Graph, q: NodeId, steps: usize) -> Vec<f64> {
 pub fn rtr_constant(g: &Graph, q: NodeId, l: usize, l_prime: usize) -> ScoreVec {
     let fwd = constant_forward(g, q, l);
     let bwd = constant_backward(g, q, l_prime);
-    ScoreVec::from_vec(
-        fwd.iter()
-            .zip(&bwd)
-            .map(|(a, b)| a * b)
-            .collect(),
-    )
+    ScoreVec::from_vec(fwd.iter().zip(&bwd).map(|(a, b)| a * b).collect())
 }
 
 /// Explicitly enumerate every round trip `q →(l steps)→ v →(l' steps)→ q`
@@ -223,9 +218,8 @@ mod tests {
                 .map(|t| t.probability)
                 .sum()
         };
-        let count_for = |target: NodeId| -> usize {
-            trips.iter().filter(|t| t.target == target).count()
-        };
+        let count_for =
+            |target: NodeId| -> usize { trips.iter().filter(|t| t.target == target).count() };
 
         // v1: 4 trips × 0.0125 = 0.05
         assert_eq!(count_for(ids.v1), 4);

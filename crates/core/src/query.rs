@@ -41,7 +41,9 @@ impl Query {
             return Err(CoreError::EmptyQuery);
         }
         let total: f64 = pairs.iter().map(|&(_, w)| w).sum();
-        if !(total > 0.0) || pairs.iter().any(|&(_, w)| !(w >= 0.0) || !w.is_finite()) {
+        // NaN weights must be rejected, so test for the valid case and negate.
+        let weights_valid = pairs.iter().all(|&(_, w)| w.is_finite() && w >= 0.0);
+        if !weights_valid || total.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             return Err(CoreError::BadQueryWeights(
                 "weights must be non-negative, finite, and sum to > 0".into(),
             ));
@@ -148,9 +150,6 @@ mod tests {
             bad.validate(&g),
             Err(CoreError::NodeOutOfRange { .. })
         ));
-        assert_eq!(
-            Query::uniform(&[]).validate(&g),
-            Err(CoreError::EmptyQuery)
-        );
+        assert_eq!(Query::uniform(&[]).validate(&g), Err(CoreError::EmptyQuery));
     }
 }

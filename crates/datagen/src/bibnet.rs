@@ -350,11 +350,11 @@ impl BibNet {
             let mut guard = 0;
             while picked_terms.len() < n_terms && guard < n_terms * 20 {
                 guard += 1;
-                let term = if shared_term.is_none() || rng.gen_bool(config.topical_term_prob) {
-                    terms[topic * config.terms_per_topic + topic_term.sample(&mut rng)]
-                } else {
-                    let st = shared_term.as_ref().expect("checked above");
-                    terms[config.topics * config.terms_per_topic + st.sample(&mut rng)]
+                let term = match &shared_term {
+                    Some(st) if !rng.gen_bool(config.topical_term_prob) => {
+                        terms[config.topics * config.terms_per_topic + st.sample(&mut rng)]
+                    }
+                    _ => terms[topic * config.terms_per_topic + topic_term.sample(&mut rng)],
                 };
                 if !picked_terms.contains(&term) {
                     picked_terms.push(term);
@@ -524,7 +524,10 @@ mod tests {
     fn node_counts_match_config() {
         let cfg = BibNetConfig::tiny();
         let n = net();
-        assert_eq!(n.terms.len(), cfg.topics * cfg.terms_per_topic + cfg.shared_terms);
+        assert_eq!(
+            n.terms.len(),
+            cfg.topics * cfg.terms_per_topic + cfg.shared_terms
+        );
         assert_eq!(n.venues.len(), cfg.venues);
         assert_eq!(n.authors.len(), cfg.authors);
         assert_eq!(n.papers.len(), cfg.papers);

@@ -227,8 +227,8 @@ impl QLog {
                 let canonical = rng.gen_range(0..my_urls.len());
                 for (rank, &url) in my_urls.iter().enumerate() {
                     if rank == canonical || rng.gen_bool(config.click_pair_prob) {
-                        let mut clicks = (click_dist.sample(&mut rng) + 1) as f64
-                            / (rank + 1) as f64;
+                        let mut clicks =
+                            (click_dist.sample(&mut rng) + 1) as f64 / (rank + 1) as f64;
                         if rank == canonical {
                             clicks *= 3.0;
                         }

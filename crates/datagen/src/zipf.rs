@@ -103,12 +103,12 @@ mod tests {
         let z = Zipf::new(10, 1.0);
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let n = 200_000;
-        let mut counts = vec![0usize; 10];
+        let mut counts = [0usize; 10];
         for _ in 0..n {
             counts[z.sample(&mut rng)] += 1;
         }
-        for k in 0..10 {
-            let freq = counts[k] as f64 / n as f64;
+        for (k, &count) in counts.iter().enumerate() {
+            let freq = count as f64 / n as f64;
             assert!(
                 (freq - z.pmf(k)).abs() < 0.01,
                 "rank {k}: freq {freq} vs pmf {}",

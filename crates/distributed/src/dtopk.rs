@@ -134,8 +134,7 @@ impl DistributedTwoSBound {
                         let spread = (1.0 - alpha) * residual;
                         let mut spread_out = 0.0;
                         // Copy the adjacency to end the borrow before mutating mu.
-                        let edges: Vec<(NodeId, f64)> =
-                            active.out_edges(NodeId(vid)).to_vec();
+                        let edges: Vec<(NodeId, f64)> = active.out_edges(NodeId(vid)).to_vec();
                         for (dst, prob) in edges {
                             let amt = spread * prob;
                             *mu.entry(dst.0).or_insert(0.0) += amt;
@@ -197,13 +196,13 @@ impl DistributedTwoSBound {
 
             // ---------------- T Stage I: border expansion ---------------
             {
-                let is_border = |vid: u32, active: &ActiveGraph<'_>,
-                                 t_bounds: &HashMap<u32, Bounds>| {
-                    active
-                        .in_edges(NodeId(vid))
-                        .iter()
-                        .any(|&(s, _)| !t_bounds.contains_key(&s.0))
-                };
+                let is_border =
+                    |vid: u32, active: &ActiveGraph<'_>, t_bounds: &HashMap<u32, Bounds>| {
+                        active
+                            .in_edges(NodeId(vid))
+                            .iter()
+                            .any(|&(s, _)| !t_bounds.contains_key(&s.0))
+                    };
                 let mut border: Vec<(u32, f64)> = t_bounds
                     .iter()
                     .filter(|(&v, _)| is_border(v, &active, &t_bounds))
@@ -222,8 +221,10 @@ impl DistributedTwoSBound {
                     let mut newcomers = Vec::new();
                     for (u, _) in border {
                         for &(src, _) in active.in_edges(NodeId(u)) {
-                            if !t_bounds.contains_key(&src.0) {
-                                t_bounds.insert(src.0, Bounds::unseen(prev_unseen));
+                            if let std::collections::hash_map::Entry::Vacant(e) =
+                                t_bounds.entry(src.0)
+                            {
+                                e.insert(Bounds::unseen(prev_unseen));
                                 newcomers.push(src);
                             }
                         }
@@ -301,8 +302,7 @@ impl DistributedTwoSBound {
                 }
             }
 
-            let done =
-                members.len() >= k && conditions_hold(&members, k, cfg.epsilon, r_unseen);
+            let done = members.len() >= k && conditions_hold(&members, k, cfg.epsilon, r_unseen);
             let exhausted = total_residual < 1e-15 && t_unseen == 0.0;
             if done || exhausted || expansions >= cfg.max_expansions {
                 let stats = DistributedStats {
@@ -371,7 +371,9 @@ mod tests {
     fn distributed_matches_single_machine() {
         let (g, ids) = fig2_toy();
         let params = RankParams::default();
-        let local = TwoSBound::new(params, toy_config()).run(&g, ids.t1).unwrap();
+        let local = TwoSBound::new(params, toy_config())
+            .run(&g, ids.t1)
+            .unwrap();
         let cluster = GpCluster::spawn(&g, 3);
         let (dist, _) = DistributedTwoSBound::new(params, toy_config())
             .run(&cluster, g.node_count(), ids.t1)

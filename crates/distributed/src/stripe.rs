@@ -31,7 +31,7 @@ impl Striping {
 
     /// Partition a graph into per-GP stores of node blocks.
     pub fn partition(&self, g: &Graph) -> Vec<GpStore> {
-        let mut stores: Vec<GpStore> = (0..self.gps).map(|i| GpStore::new(i)).collect();
+        let mut stores: Vec<GpStore> = (0..self.gps).map(GpStore::new).collect();
         for v in g.nodes() {
             let block = NodeBlock::extract(g, v);
             stores[self.owner(v)].insert(block);
@@ -127,10 +127,7 @@ mod tests {
             }
         }
         // A specific node is found in exactly one store.
-        let found: usize = stores
-            .iter()
-            .map(|s| s.lookup(&[ids.v1]).len())
-            .sum();
+        let found: usize = stores.iter().map(|s| s.lookup(&[ids.v1]).len()).sum();
         assert_eq!(found, 1);
     }
 

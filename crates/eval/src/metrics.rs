@@ -44,7 +44,11 @@ pub fn precision_at_k(ranking: &[NodeId], relevant: &[NodeId], k: usize) -> f64 
 /// `|approx ∩ exact| / K`.
 pub fn topk_overlap(approx: &[NodeId], exact: &[NodeId], k: usize) -> f64 {
     let exact_set: HashSet<NodeId> = exact.iter().take(k).copied().collect();
-    let hits = approx.iter().take(k).filter(|v| exact_set.contains(v)).count();
+    let hits = approx
+        .iter()
+        .take(k)
+        .filter(|v| exact_set.contains(v))
+        .count();
     hits as f64 / k.max(1) as f64
 }
 
@@ -190,7 +194,7 @@ mod tests {
     fn kendall_missing_items_rank_last() {
         let exact = ids(&[1, 2]);
         let approx = ids(&[1, 9, 2]); // 9 not in exact: ranks (0, ∞, 1)
-        // pairs: (1,9) conc, (1,2) conc, (9,2) disc => (2-1)/3
+                                      // pairs: (1,9) conc, (1,2) conc, (9,2) disc => (2-1)/3
         assert!((kendall_tau(&approx, &exact) - 1.0 / 3.0).abs() < 1e-12);
     }
 

@@ -99,7 +99,11 @@ pub fn format_table(task_name: &str, evals: &[MeasureEval], ks: &[usize]) -> Str
         out.push_str(&format!("{:<28}", e.name));
         for (i, &k) in ks.iter().enumerate() {
             let v = e.mean_ndcg(k);
-            let star = if (v - best[i]).abs() < 1e-12 { "*" } else { " " };
+            let star = if (v - best[i]).abs() < 1e-12 {
+                "*"
+            } else {
+                " "
+            };
             out.push_str(&format!("  {v:.4}{star}  "));
         }
         out.push('\n');
@@ -140,11 +144,7 @@ mod tests {
         // With the venue edge removed, RTR should still often find the venue
         // through coauthors/terms/citations; random would score ~1/9.
         let s = split();
-        let eval = evaluate_measure(
-            &RoundTripRank::new(RankParams::default()),
-            &s.test,
-            &[5],
-        );
+        let eval = evaluate_measure(&RoundTripRank::new(RankParams::default()), &s.test, &[5]);
         assert!(
             eval.mean_ndcg(5) > 0.2,
             "RTR NDCG@5 = {} looks broken",
@@ -155,11 +155,7 @@ mod tests {
     #[test]
     fn ndcg_at_larger_k_is_no_smaller() {
         let s = split();
-        let eval = evaluate_measure(
-            &FRank::new(RankParams::default()),
-            &s.test,
-            &[5, 10, 20],
-        );
+        let eval = evaluate_measure(&FRank::new(RankParams::default()), &s.test, &[5, 10, 20]);
         assert!(eval.mean_ndcg(10) >= eval.mean_ndcg(5) - 1e-12);
         assert!(eval.mean_ndcg(20) >= eval.mean_ndcg(10) - 1e-12);
     }

@@ -418,6 +418,9 @@ mod tests {
     #[test]
     fn task_names() {
         assert_eq!(TaskKind::Author.name(), "Task 1 (Author)");
-        assert_eq!(TaskKind::EquivalentSearch.name(), "Task 4 (Equivalent search)");
+        assert_eq!(
+            TaskKind::EquivalentSearch.name(),
+            "Task 4 (Equivalent search)"
+        );
     }
 }

@@ -23,7 +23,10 @@ pub fn beta_grid() -> Vec<f64> {
 /// guards against.
 pub fn pick_beta(curve: &[(f64, f64)]) -> (f64, f64) {
     assert!(!curve.is_empty(), "need at least one candidate β");
-    let best_score = curve.iter().map(|&(_, s)| s).fold(f64::NEG_INFINITY, f64::max);
+    let best_score = curve
+        .iter()
+        .map(|&(_, s)| s)
+        .fold(f64::NEG_INFINITY, f64::max);
     let threshold = best_score - best_score.abs() * 0.01;
     curve
         .iter()
@@ -79,8 +82,7 @@ pub fn sweep_beta_rtr_plus(
             .expect("T-Rank failed");
         for (i, &beta) in betas.iter().enumerate() {
             let blended = f.geometric_blend(&t, beta);
-            let ranking =
-                blended.filtered_ranking(&task.graph, task.target_type, tq.query.nodes());
+            let ranking = blended.filtered_ranking(&task.graph, task.target_type, tq.query.nodes());
             totals[i] += ndcg_at_k(&ranking, &tq.ground_truth, k);
         }
     }
@@ -131,22 +133,15 @@ mod tests {
         // must not win.
         let qlog = QLog::generate(&QLogConfig::tiny(), 5);
         let split = task4_equivalent(&qlog, 20, 0, 2);
-        let curve = sweep_beta_rtr_plus(
-            &split.test,
-            &beta_grid(),
-            5,
-            RankParams::default(),
-        );
+        let curve = sweep_beta_rtr_plus(&split.test, &beta_grid(), 5, RankParams::default());
         let at0 = curve[0].1;
-        let best = curve
-            .iter()
-            .fold((0.0, f64::NEG_INFINITY), |acc, &(b, s)| {
-                if s > acc.1 {
-                    (b, s)
-                } else {
-                    acc
-                }
-            });
+        let best = curve.iter().fold((0.0, f64::NEG_INFINITY), |acc, &(b, s)| {
+            if s > acc.1 {
+                (b, s)
+            } else {
+                acc
+            }
+        });
         assert!(
             best.1 > at0,
             "β=0 should not be optimal for equivalent search"

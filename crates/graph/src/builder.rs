@@ -96,8 +96,7 @@ impl GraphBuilder {
     pub fn build(mut self) -> Graph {
         let n = self.node_types.len();
         // Sort by (src, dst) so duplicates are adjacent and rows contiguous.
-        self.edges
-            .sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        self.edges.sort_unstable_by_key(|a| (a.0, a.1));
 
         // Merge parallel edges.
         let mut merged: Vec<(u32, u32, f64)> = Vec::with_capacity(self.edges.len());

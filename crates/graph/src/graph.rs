@@ -293,8 +293,8 @@ impl Graph {
 
 #[cfg(test)]
 mod tests {
+
     use crate::toy::fig2_toy;
-    use crate::node::NodeId;
 
     #[test]
     fn fig2_degrees_match_paper() {

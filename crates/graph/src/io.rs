@@ -140,7 +140,12 @@ pub fn read_graph<R: Read>(reader: R) -> Result<Graph, IoError> {
 /// Write a graph in the tab-separated text format. Undirected pairs are
 /// written as two directed `E` records (lossless, if redundant).
 pub fn write_graph<W: Write>(g: &Graph, mut writer: W) -> Result<(), IoError> {
-    writeln!(writer, "# RoundTripRank graph: {} nodes, {} edges", g.node_count(), g.edge_count())?;
+    writeln!(
+        writer,
+        "# RoundTripRank graph: {} nodes, {} edges",
+        g.node_count(),
+        g.edge_count()
+    )?;
     for v in g.nodes() {
         writeln!(
             writer,

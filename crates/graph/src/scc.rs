@@ -87,8 +87,7 @@ pub fn tarjan_scc(g: &Graph) -> SccResult {
             } else {
                 frames.pop();
                 if let Some(&mut (parent, _)) = frames.last_mut() {
-                    lowlink[parent as usize] =
-                        lowlink[parent as usize].min(lowlink[v as usize]);
+                    lowlink[parent as usize] = lowlink[parent as usize].min(lowlink[v as usize]);
                 }
                 if lowlink[v as usize] == index[v as usize] {
                     // v is an SCC root: pop its component.
@@ -300,5 +299,75 @@ mod tests {
         b.add_edge(v, v, 1.0);
         let scc = tarjan_scc(&b.build());
         assert_eq!(scc.count, 1);
+    }
+
+    #[test]
+    fn figure_eight_is_one_component() {
+        // Two cycles sharing node 0: {0,1,2} and {0,3,4}. Every node reaches
+        // every other through the shared waist, so one SCC.
+        let mut b = GraphBuilder::new();
+        let ty = b.register_type("n");
+        let n: Vec<_> = (0..5).map(|_| b.add_node(ty)).collect();
+        for &(s, d) in &[(0, 1), (1, 2), (2, 0), (0, 3), (3, 4), (4, 0)] {
+            b.add_edge(n[s], n[d], 1.0);
+        }
+        let scc = tarjan_scc(&b.build());
+        assert_eq!(scc.count, 1);
+    }
+
+    #[test]
+    fn condensation_is_reverse_topological() {
+        // Chain of three 2-cycles: {0,1} -> {2,3} -> {4,5}. Tarjan numbers
+        // components in reverse topological order of the condensation, so
+        // every edge crossing components must go from a higher component id
+        // to a lower one.
+        let mut b = GraphBuilder::new();
+        let ty = b.register_type("n");
+        let n: Vec<_> = (0..6).map(|_| b.add_node(ty)).collect();
+        for &(s, d) in &[
+            (0, 1),
+            (1, 0),
+            (2, 3),
+            (3, 2),
+            (4, 5),
+            (5, 4),
+            (1, 2),
+            (3, 4),
+        ] {
+            b.add_edge(n[s], n[d], 1.0);
+        }
+        let g = b.build();
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.count, 3);
+        for v in g.nodes() {
+            for (d, _) in g.out_edges(v) {
+                let (cs, cd) = (scc.comp[v.index()], scc.comp[d.index()]);
+                assert!(cs >= cd, "edge {v:?}->{d:?} goes {cs} -> {cd}");
+            }
+        }
+    }
+
+    #[test]
+    fn deep_line_does_not_overflow_stack() {
+        // The iterative Tarjan must survive a DFS path the recursive version
+        // could not (100k frames would overflow a default thread stack).
+        let g = line_graph(100_000);
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.count, 100_000);
+        let (fixed, added) = IrreducibilityRepair::default().repair(&g);
+        assert!(added > 0);
+        assert!(tarjan_scc(&fixed).is_strongly_connected());
+    }
+
+    #[test]
+    fn isolated_nodes_each_their_own_component() {
+        let mut b = GraphBuilder::new();
+        let ty = b.register_type("n");
+        for _ in 0..4 {
+            b.add_node(ty);
+        }
+        let scc = tarjan_scc(&b.build());
+        assert_eq!(scc.count, 4);
+        assert_eq!(scc.component_sizes(), vec![1; 4]);
     }
 }

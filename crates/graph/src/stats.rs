@@ -47,7 +47,11 @@ impl DegreeStats {
             avg_degree: g.average_degree(),
             max_out_degree: max_out,
             max_in_degree: max_in,
-            dangling_fraction: if n == 0 { 0.0 } else { dangling as f64 / n as f64 },
+            dangling_fraction: if n == 0 {
+                0.0
+            } else {
+                dangling as f64 / n as f64
+            },
         }
     }
 }
@@ -65,11 +69,7 @@ pub fn fit_densification(points: &[(usize, f64)]) -> (f64, f64) {
     let my = ys.iter().sum::<f64>() / n;
     let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
     assert!(sxx > 0.0, "snapshots must have distinct node counts");
-    let sxy: f64 = xs
-        .iter()
-        .zip(&ys)
-        .map(|(x, y)| (x - mx) * (y - my))
-        .sum();
+    let sxy: f64 = xs.iter().zip(&ys).map(|(x, y)| (x - mx) * (y - my)).sum();
     let slope = sxy / sxx; // = a - 1
     let intercept = my - slope * mx; // = ln c
     (intercept.exp(), slope + 1.0)

@@ -59,7 +59,14 @@ pub fn fig2_toy() -> (Graph, Fig2Ids) {
     b.add_undirected_edge(v2, p[3], 1.0);
     // v3 accepts p5 only.
     b.add_undirected_edge(v3, p[4], 1.0);
-    let ids = Fig2Ids { t1, t2, p, v1, v2, v3 };
+    let ids = Fig2Ids {
+        t1,
+        t2,
+        p,
+        v1,
+        v2,
+        v3,
+    };
     (b.build(), ids)
 }
 

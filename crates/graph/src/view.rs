@@ -145,9 +145,8 @@ impl GrowthSchedule {
             .iter()
             .map(|&f| {
                 let k = ((g.node_count() as f64) * f).round().max(1.0) as usize;
-                let keep: Vec<NodeId> = (0..k.min(g.node_count()))
-                    .map(NodeId::from_index)
-                    .collect();
+                let keep: Vec<NodeId> =
+                    (0..k.min(g.node_count())).map(NodeId::from_index).collect();
                 Subgraph::induce(g, &keep)
             })
             .collect()

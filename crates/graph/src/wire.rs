@@ -176,4 +176,87 @@ mod tests {
         // v2 has 2 out and 2 in edges: 4 + 4 + 24 + 4 + 24 = 60 bytes.
         assert_eq!(block.encoded_len(), 60);
     }
+
+    #[test]
+    fn probabilities_roundtrip_bit_exact() {
+        // Transition probabilities must survive the wire without any loss —
+        // the AP's bounds math is exact-arithmetic-sensitive. Exercise
+        // awkward f64s: subnormal, negative zero, ulp-separated values.
+        let probs = [
+            f64::MIN_POSITIVE / 4.0, // subnormal
+            -0.0,
+            1.0,
+            1.0 - f64::EPSILON,
+            0.1 + 0.2, // 0.30000000000000004
+            f64::MAX,
+        ];
+        let block = NodeBlock {
+            node: NodeId(u32::MAX),
+            out_edges: probs
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| (NodeId(i as u32), p))
+                .collect(),
+            in_edges: vec![],
+        };
+        let mut buf = BytesMut::new();
+        block.encode(&mut buf);
+        let mut bytes = buf.freeze();
+        let decoded = NodeBlock::decode(&mut bytes).unwrap();
+        for ((_, want), (_, got)) in block.out_edges.iter().zip(&decoded.out_edges) {
+            assert_eq!(want.to_bits(), got.to_bits(), "{want} mangled to {got}");
+        }
+        assert_eq!(decoded.node, NodeId(u32::MAX));
+    }
+
+    #[test]
+    fn truncation_sweep_never_panics() {
+        // Every possible cut point must yield a clean None, not a panic —
+        // a GP response can be split anywhere by a transport layer.
+        let (g, _) = fig2_toy();
+        let blocks: Vec<_> = g.nodes().map(|v| NodeBlock::extract(&g, v)).collect();
+        let full = NodeBlock::encode_batch(&blocks);
+        for cut in 0..full.len() {
+            let mut short = full.slice(..cut);
+            let decoded = NodeBlock::decode_batch(short.clone());
+            assert!(decoded.len() <= blocks.len());
+            // Manual decode loop must stop without consuming garbage.
+            while NodeBlock::decode(&mut short).is_some() {}
+        }
+    }
+
+    #[test]
+    fn batch_with_interleaved_empty_blocks() {
+        let blocks = vec![
+            NodeBlock {
+                node: NodeId(0),
+                out_edges: vec![],
+                in_edges: vec![],
+            },
+            NodeBlock {
+                node: NodeId(1),
+                out_edges: vec![(NodeId(0), 0.5), (NodeId(2), 0.5)],
+                in_edges: vec![(NodeId(2), 1.0)],
+            },
+            NodeBlock {
+                node: NodeId(2),
+                out_edges: vec![],
+                in_edges: vec![],
+            },
+        ];
+        let decoded = NodeBlock::decode_batch(NodeBlock::encode_batch(&blocks));
+        assert_eq!(decoded, blocks);
+    }
+
+    #[test]
+    fn batch_encoding_is_deterministic() {
+        // Same blocks → same bytes, so GP responses are replayable and the
+        // metered transfer volumes of Fig. 12 are reproducible.
+        let (g, _) = fig2_toy();
+        let blocks: Vec<_> = g.nodes().map(|v| NodeBlock::extract(&g, v)).collect();
+        assert_eq!(
+            NodeBlock::encode_batch(&blocks),
+            NodeBlock::encode_batch(&blocks)
+        );
+    }
 }

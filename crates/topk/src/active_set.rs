@@ -68,11 +68,7 @@ mod tests {
     #[test]
     fn union_deduplicates() {
         let (g, ids) = fig2_toy();
-        let stats = ActiveSetStats::measure(
-            &g,
-            vec![ids.t1, ids.v1],
-            vec![ids.t1, ids.v2],
-        );
+        let stats = ActiveSetStats::measure(&g, vec![ids.t1, ids.v1], vec![ids.t1, ids.v2]);
         assert_eq!(stats.f_nodes, 2);
         assert_eq!(stats.t_nodes, 2);
         assert_eq!(stats.active_nodes, 3); // t1 shared

@@ -105,15 +105,11 @@ impl TwoSBoundPlus {
                 }
             }
 
-            let done = members.len() >= k
-                && conditions_hold(&members, k, cfg.epsilon, r_unseen);
+            let done = members.len() >= k && conditions_hold(&members, k, cfg.epsilon, r_unseen);
             let exhausted = f.residual() < 1e-15 && t.unseen_upper() == 0.0;
             if done || exhausted || expansions >= cfg.max_expansions {
-                let active = ActiveSetStats::measure(
-                    g,
-                    f.seen().map(|(v, _)| v),
-                    t.seen().map(|(v, _)| v),
-                );
+                let active =
+                    ActiveSetStats::measure(g, f.seen().map(|(v, _)| v), t.seen().map(|(v, _)| v));
                 members.truncate(k);
                 return Ok(TopKResult {
                     ranking: members.iter().map(|&(v, _)| v).collect(),

@@ -142,8 +142,8 @@ impl<'g> TNeighborhood<'g> {
         let mut added = 0usize;
         for (u, _) in border {
             for &src in self.g.in_neighbors(u) {
-                if !self.bounds.contains_key(&src.0) {
-                    self.bounds.insert(src.0, Bounds::unseen(prev_unseen));
+                if let std::collections::hash_map::Entry::Vacant(e) = self.bounds.entry(src.0) {
+                    e.insert(Bounds::unseen(prev_unseen));
                     added += 1;
                 }
             }
@@ -223,6 +223,11 @@ impl<'g> TNeighborhood<'g> {
     /// `|S_t|`.
     pub fn len(&self) -> usize {
         self.bounds.len()
+    }
+
+    /// Whether no node (not even the query) has been seen yet.
+    pub fn is_empty(&self) -> bool {
+        self.bounds.is_empty()
     }
 
     /// Whether only the query is in the neighborhood so far.

@@ -111,17 +111,14 @@ impl TwoSBound {
             // Unseen upper bound (Eq. 16).
             let r_unseen = self.unseen_upper(&f, &t);
 
-            let done = members.len() >= k
-                && Self::conditions_hold(&members, k, cfg.epsilon, r_unseen);
+            let done =
+                members.len() >= k && Self::conditions_hold(&members, k, cfg.epsilon, r_unseen);
             // Bounds can no longer improve once the residual is exhausted
             // and the border has emptied; return whatever we have.
             let exhausted = f.residual() < 1e-15 && t.unseen_upper() == 0.0;
             if done || exhausted || expansions >= cfg.max_expansions {
-                let active = ActiveSetStats::measure(
-                    g,
-                    f.seen().map(|(v, _)| v),
-                    t.seen().map(|(v, _)| v),
-                );
+                let active =
+                    ActiveSetStats::measure(g, f.seen().map(|(v, _)| v), t.seen().map(|(v, _)| v));
                 members.truncate(k);
                 return Ok(TopKResult {
                     ranking: members.iter().map(|&(v, _)| v).collect(),

@@ -40,7 +40,11 @@ fn main() {
         .into_iter()
         .take(5)
     {
-        let marker = if qlog.portals.contains(&v) { "  [portal]" } else { "" };
+        let marker = if qlog.portals.contains(&v) {
+            "  [portal]"
+        } else {
+            ""
+        };
         println!("  {}{marker}", g.label(v));
     }
 
@@ -55,7 +59,11 @@ fn main() {
         .into_iter()
         .take(5)
     {
-        let marker = if truth.contains(&v) { "  [true equivalent]" } else { "" };
+        let marker = if truth.contains(&v) {
+            "  [true equivalent]"
+        } else {
+            ""
+        };
         println!("  {}{marker}", g.label(v));
     }
 
@@ -70,8 +78,16 @@ fn main() {
     };
     println!(
         "\ntrue equivalents in top-5: β=0.3 → {}, β=0.7 → {} (of {})",
-        hits(&RoundTripRankPlus::new(params, 0.3).expect("β").blend(&f, &t)),
-        hits(&RoundTripRankPlus::new(params, 0.7).expect("β").blend(&f, &t)),
+        hits(
+            &RoundTripRankPlus::new(params, 0.3)
+                .expect("β")
+                .blend(&f, &t)
+        ),
+        hits(
+            &RoundTripRankPlus::new(params, 0.7)
+                .expect("β")
+                .blend(&f, &t)
+        ),
         truth.len()
     );
 }

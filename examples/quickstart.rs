@@ -31,7 +31,10 @@ fn main() {
         .compute_parts(&g, &query)
         .expect("toy graph is well-formed");
 
-    println!("\n        {:>10} {:>10} {:>12}", "f (imp.)", "t (spec.)", "r = f·t");
+    println!(
+        "\n        {:>10} {:>10} {:>12}",
+        "f (imp.)", "t (spec.)", "r = f·t"
+    );
     for (name, v) in [("v1", ids.v1), ("v2", ids.v2), ("v3", ids.v3)] {
         println!(
             "venue {name}: {:>10.4} {:>10.4} {:>12.6}",

@@ -48,12 +48,18 @@ fn main() {
         .expect("β in range")
         .compute(g, &query)
         .expect("compute");
-    show("(d) 'submit my best work' — RoundTripRank+ (β = 0.25)", &submit);
+    show(
+        "(d) 'submit my best work' — RoundTripRank+ (β = 0.25)",
+        &submit,
+    );
 
     // The background-reading scenario: specific sources preferred.
     let learn = RoundTripRankPlus::new(params, 0.75)
         .expect("β in range")
         .compute(g, &query)
         .expect("compute");
-    show("(e) 'build background on the topic' — RoundTripRank+ (β = 0.75)", &learn);
+    show(
+        "(e) 'build background on the topic' — RoundTripRank+ (β = 0.75)",
+        &learn,
+    );
 }

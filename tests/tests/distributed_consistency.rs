@@ -39,9 +39,7 @@ fn distributed_matches_local_on_bibnet() {
         let (dist, _) = DistributedTwoSBound::new(params, cfg())
             .run(&cluster, g.node_count(), q)
             .expect("distributed");
-        let exact = exact_measure
-            .compute(g, &Query::single(q))
-            .expect("exact");
+        let exact = exact_measure.compute(g, &Query::single(q)).expect("exact");
         assert_eq!(local.ranking.len(), dist.ranking.len());
         for (l, d) in local.ranking.iter().zip(&dist.ranking) {
             assert!(

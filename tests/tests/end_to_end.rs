@@ -49,12 +49,7 @@ fn equivalent_search_prefers_specificity() {
     // The paper's Task 4 finding: β* > 0.5.
     let qlog = QLog::generate(&QLogConfig::tiny(), SEED);
     let split = task4_equivalent(&qlog, 30, 0, SEED);
-    let curve = sweep_beta_rtr_plus(
-        &split.test,
-        &[0.1, 0.5, 0.9],
-        5,
-        RankParams::default(),
-    );
+    let curve = sweep_beta_rtr_plus(&split.test, &[0.1, 0.5, 0.9], 5, RankParams::default());
     let low = curve[0].1;
     let high = curve[2].1;
     assert!(

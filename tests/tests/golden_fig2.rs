@@ -1,0 +1,105 @@
+//! Golden-value pinning of the paper's Fig. 2 toy graph scores.
+//!
+//! These constants are the exact F-Rank, T-Rank and RoundTripRank values the
+//! iterative engines produce on `fig2_toy()` with default parameters
+//! (α = 0.25, the paper's experimental setting). They exist so that future
+//! engine refactors — new fixed-point orderings, caching layers, SIMD —
+//! cannot *silently* shift the numbers behind the paper's Fig. 4 story. If a
+//! refactor changes them deliberately (e.g. a tighter convergence
+//! threshold), update the constants in the same PR and say why.
+//!
+//! The qualitative assertions at the bottom restate the paper's Sect. III-A
+//! narrative: v2 (balanced venue) must beat both v1 (important, unspecific)
+//! and v3 (specific, unimportant) under RoundTripRank, while F-Rank alone
+//! prefers v1 and T-Rank alone ties v2 with v3.
+
+use rtr_core::prelude::*;
+use rtr_graph::toy::fig2_toy;
+use rtr_graph::NodeId;
+
+/// `(name, f, t, r)` for every node of the Fig. 2 toy, query = t1.
+#[rustfmt::skip]
+const GOLDEN: [(&str, f64, f64, f64); 12] = [
+    ("t1", 3.975310647640993e-1, 3.975310650146587e-1, 1.580309475520837e-1),
+    ("t2", 1.318322043706469e-2, 3.295805134318025e-2, 4.344932560332411e-4),
+    ("p1", 7.226357938564468e-2, 1.806589485843735e-1, 1.305506227275397e-2),
+    ("p2", 7.226357938564468e-2, 1.806589485843735e-1, 1.305506227275397e-2),
+    ("p3", 8.296300478686622e-2, 2.074075120874371e-1, 1.720715041814206e-2),
+    ("p4", 8.296300478686622e-2, 2.074075120874371e-1, 1.720715041814206e-2),
+    ("p5", 8.296300478686622e-2, 2.074075120874371e-1, 1.720715041814206e-2),
+    ("p6", 1.757762733492902e-2, 4.394406845757366e-2, 7.724324589278391e-4),
+    ("p7", 1.757762733492902e-2, 4.394406845757366e-2, 7.724324589278391e-4),
+    ("v1", 6.738090491215876e-2, 8.422613139073017e-2, 5.675232950357779e-3),
+    ("v2", 6.222225352600352e-2, 1.555556340655778e-1, 9.679022100226612e-3),
+    ("v3", 3.111112676300176e-2, 1.555556340655778e-1, 4.839511050113306e-3),
+];
+
+const TOL: f64 = 1e-12;
+
+fn toy_nodes() -> (rtr_graph::Graph, Vec<NodeId>, rtr_graph::toy::Fig2Ids) {
+    let (g, ids) = fig2_toy();
+    let nodes = std::iter::once(ids.t1)
+        .chain(std::iter::once(ids.t2))
+        .chain(ids.p.iter().copied())
+        .chain([ids.v1, ids.v2, ids.v3])
+        .collect();
+    (g, nodes, ids)
+}
+
+#[test]
+fn fig2_scores_match_golden_constants() {
+    let (g, nodes, ids) = toy_nodes();
+    let params = RankParams::default();
+    let q = Query::single(ids.t1);
+    let f = FRank::new(params).compute(&g, &q).unwrap();
+    let t = TRank::new(params).compute(&g, &q).unwrap();
+    let r = RoundTripRank::new(params).compute(&g, &q).unwrap();
+    for (&(name, gf, gt, gr), &v) in GOLDEN.iter().zip(&nodes) {
+        assert!(
+            (f.score(v) - gf).abs() < TOL,
+            "F-Rank({name}) drifted: got {:.15e}, golden {gf:.15e}",
+            f.score(v)
+        );
+        assert!(
+            (t.score(v) - gt).abs() < TOL,
+            "T-Rank({name}) drifted: got {:.15e}, golden {gt:.15e}",
+            t.score(v)
+        );
+        assert!(
+            (r.score(v) - gr).abs() < TOL,
+            "RoundTripRank({name}) drifted: got {:.15e}, golden {gr:.15e}",
+            r.score(v)
+        );
+    }
+}
+
+#[test]
+fn fig2_venue_story_holds() {
+    let (g, _, ids) = toy_nodes();
+    let params = RankParams::default();
+    let q = Query::single(ids.t1);
+    let f = FRank::new(params).compute(&g, &q).unwrap();
+    let t = TRank::new(params).compute(&g, &q).unwrap();
+    let r = RoundTripRank::new(params).compute(&g, &q).unwrap();
+    // F-Rank (importance alone) prefers the flagship v1 over the niche v3.
+    assert!(f.score(ids.v1) > f.score(ids.v3));
+    // T-Rank (specificity alone) cannot separate v2 from v3.
+    assert!((t.score(ids.v2) - t.score(ids.v3)).abs() < TOL);
+    // RoundTripRank puts the balanced v2 on top of both.
+    assert!(r.score(ids.v2) > r.score(ids.v1));
+    assert!(r.score(ids.v2) > r.score(ids.v3));
+}
+
+#[test]
+fn fig2_golden_f_times_t_is_proportional_to_r() {
+    // Prop. 2: r ∝ f·t. The golden table itself must satisfy the paper's
+    // decomposition, with one shared normalization constant.
+    let ratio0 = GOLDEN[0].3 / (GOLDEN[0].1 * GOLDEN[0].2);
+    for &(name, gf, gt, gr) in &GOLDEN {
+        let ratio = gr / (gf * gt);
+        assert!(
+            (ratio - ratio0).abs() < 1e-6 * ratio0.abs(),
+            "decomposition broken at {name}: ratio {ratio} vs {ratio0}"
+        );
+    }
+}

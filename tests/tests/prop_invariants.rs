@@ -10,8 +10,8 @@
 //! * metric axioms for NDCG and Kendall's tau.
 
 use proptest::prelude::*;
-use rtr_core::prelude::*;
 use rtr_core::enumerate::{rtr_by_enumeration, rtr_constant};
+use rtr_core::prelude::*;
 use rtr_eval::{kendall_tau, ndcg_at_k};
 use rtr_graph::prelude::*;
 use rtr_graph::scc::tarjan_scc;
@@ -22,7 +22,10 @@ use rtr_topk::prelude::*;
 /// `max_edges` edges (at least a spanning cycle so queries are never dead
 /// ends and the graph is strongly connected).
 fn arb_graph(max_n: usize, max_edges: usize) -> impl Strategy<Value = Graph> {
-    (2..max_n, proptest::collection::vec((0..1000u32, 0..1000u32, 1..100u32), 0..max_edges))
+    (
+        2..max_n,
+        proptest::collection::vec((0..1000u32, 0..1000u32, 1..100u32), 0..max_edges),
+    )
         .prop_map(move |(n, edges)| {
             let mut b = GraphBuilder::new();
             let ty = b.register_type("n");

@@ -1,0 +1,76 @@
+//! Offline stand-in for `crossbeam`'s channel module, backed by
+//! `std::sync::mpsc`. Only the unbounded channel surface the distributed
+//! simulation uses is provided (`unbounded`, `Sender::send`,
+//! `Receiver::recv`/`try_recv`/`iter`). Unlike crossbeam, the receiver is
+//! not `Clone` — the workspace never clones receivers.
+
+/// Multi-producer channels.
+pub mod channel {
+    use std::sync::mpsc;
+
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+    /// The sending half of an unbounded channel.
+    #[derive(Debug)]
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    // Derived Clone would require T: Clone; the inner sender clones freely.
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Send a value; errors only if every receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value)
+        }
+    }
+
+    /// The receiving half of an unbounded channel.
+    #[derive(Debug)]
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Block until a value arrives; errors once all senders are gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv()
+        }
+
+        /// Blocking iterator over received values.
+        pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+            self.0.iter()
+        }
+    }
+
+    /// Create an unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn cross_thread_roundtrip() {
+            let (tx, rx) = unbounded::<u32>();
+            let tx2 = tx.clone();
+            let h = std::thread::spawn(move || {
+                tx2.send(41).unwrap();
+                tx.send(1).unwrap();
+            });
+            let sum = rx.recv().unwrap() + rx.recv().unwrap();
+            h.join().unwrap();
+            assert_eq!(sum, 42);
+            assert!(rx.try_recv().is_err());
+        }
+    }
+}

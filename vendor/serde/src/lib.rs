@@ -1,0 +1,14 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace annotates public data types with
+//! `#[derive(Serialize, Deserialize)]` so a future PR can turn on real
+//! serialization by swapping this shim for the registry crate. Offline,
+//! the traits are markers and the derives are no-ops.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker counterpart of `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker counterpart of `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}

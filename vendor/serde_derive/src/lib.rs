@@ -1,0 +1,20 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` implementations.
+//!
+//! Nothing in this workspace actually serializes (there is no `serde_json`
+//! or bincode in the dependency closure); the derives exist so annotated
+//! types compile. Each derive emits an empty token stream — no impls, no
+//! bounds — which is exactly the surface the workspace needs offline.
+
+use proc_macro::TokenStream;
+
+/// Accept and discard a `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accept and discard a `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
