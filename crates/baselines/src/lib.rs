@@ -19,7 +19,7 @@
 //!
 //! Each dual-sensed baseline also has the **customized "+"** variant the
 //! paper builds for Fig. 10 ("we customize each of them with a tunable
-//! β ∈ [0,1], putting weights 1-β and β on their two sub-measures") —
+//! β ∈ \[0,1\], putting weights 1-β and β on their two sub-measures") —
 //! the paper stresses these customizations are the reproduction authors'
 //! constructions, not features of the original works.
 //!

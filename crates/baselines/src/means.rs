@@ -6,7 +6,7 @@
 //! by the other two Pythagorean means:
 //!
 //! * **Harmonic** `2ft/(f+t)` — the precision/recall-style combination of
-//!   Agarwal et al. [12] / Fang & Chang [13];
+//!   Agarwal et al. \[12\] / Fang & Chang \[13\];
 //! * **Arithmetic** `(f+t)/2` — "simply the expectation of two independent
 //!   trials, one for each sense, lacking coherence in their integration".
 //!

@@ -26,7 +26,7 @@ use rtr_graph::{Graph, NodeId};
 pub struct ObjSqrtInv {
     /// Random-walk parameters (teleport d; the paper sets d = 0.25).
     pub params: RankParams,
-    /// Trade-off weight β ∈ [0,1]; 0.5 = the original ObjSqrtInv.
+    /// Trade-off weight β ∈ \[0,1\]; 0.5 = the original ObjSqrtInv.
     pub beta: f64,
 }
 

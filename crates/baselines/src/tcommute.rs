@@ -32,7 +32,7 @@ pub struct TCommute {
     pub walks: usize,
     /// RNG seed.
     pub seed: u64,
-    /// Direction weight β ∈ [0,1]; 0.5 = the symmetric original measure.
+    /// Direction weight β ∈ \[0,1\]; 0.5 = the symmetric original measure.
     pub beta: f64,
 }
 

@@ -1,6 +1,6 @@
 //! Reproduces paper Fig. 10: NDCG@5 of RoundTripRank+ against the
 //! **customized** dual-sensed baselines — each given the same benefit of a
-//! tunable β ∈ [0,1] over its two sub-measures, tuned on the same
+//! tunable β ∈ \[0,1\] over its two sub-measures, tuned on the same
 //! development queries ("we stress that the customizations are implemented
 //! by us, and existing works are unaware of such a need").
 

@@ -1,0 +1,276 @@
+//! Serving-throughput harness for the concurrent query engine (`rtr-serve`).
+//!
+//! Replays a deterministic QLog query workload through a [`ServeEngine`]
+//! worker pool at each configured worker count and reports QPS and latency
+//! quantiles, both human-readable and as machine-readable JSON
+//! (`BENCH_throughput.json` by default) for the CI perf gate and the
+//! cross-PR trajectory.
+//!
+//! ```text
+//! throughput [--workers 1,2,4,8] [--queries N] [--k K] [--epsilon E]
+//!            [--out PATH] [--check bench/baseline.json]
+//! ```
+//!
+//! Without `--check`, the workload follows `RTR_SCALE` / `RTR_SEED` like
+//! every other bench binary. With `--check PATH`, the binary ignores the
+//! environment and runs the **canonical gate workload** (small QLog, seed
+//! 2013, 1000 queries, workers {1, 2, 4}), then fails — exit code 1 — if
+//! the measured best QPS falls more than 30% below the committed
+//! baseline's `qps` field, so the gate runs identically locally and in CI.
+
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use rtr_bench::json::{number, number_field};
+use rtr_bench::{percentile, qlog, seed, Scale};
+use rtr_core::RankParams;
+use rtr_datagen::{QLog, QLogConfig};
+use rtr_graph::{Graph, NodeId};
+use rtr_serve::{ServeConfig, ServeEngine};
+use rtr_topk::TopKConfig;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Allowed QPS regression against the committed baseline before the gate
+/// fails (the ISSUE's ">30% drop" contract).
+const MAX_QPS_DROP: f64 = 0.30;
+
+struct Args {
+    workers: Vec<usize>,
+    queries: usize,
+    k: usize,
+    epsilon: f64,
+    out: String,
+    check: Option<String>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            workers: vec![1, 2, 4, 8],
+            queries: 200,
+            k: 10,
+            epsilon: 0.01,
+            out: "BENCH_throughput.json".to_owned(),
+            check: None,
+        }
+    }
+}
+
+fn parse_args() -> Args {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--workers" => {
+                args.workers = value("--workers")
+                    .split(',')
+                    .map(|w| w.trim().parse().expect("worker count"))
+                    .collect();
+                assert!(!args.workers.is_empty(), "--workers needs at least one");
+            }
+            "--queries" => args.queries = value("--queries").parse().expect("query count"),
+            "--k" => args.k = value("--k").parse().expect("k"),
+            "--epsilon" => args.epsilon = value("--epsilon").parse().expect("epsilon"),
+            "--out" => args.out = value("--out"),
+            "--check" => args.check = Some(value("--check")),
+            "--help" | "-h" => {
+                eprintln!(
+                    "throughput [--workers 1,2,4,8] [--queries N] [--k K] \
+                     [--epsilon E] [--out PATH] [--check BASELINE_JSON]"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag '{other}' (try --help)"),
+        }
+    }
+    args
+}
+
+/// The fixed-seed workload the CI gate replays (environment-independent:
+/// `RTR_SCALE` / `RTR_SEED` are ignored so local and CI runs are the same
+/// measurement).
+fn canonical_gate_args(check: String) -> (Args, QLog) {
+    let args = Args {
+        workers: vec![1, 2, 4],
+        queries: 1000,
+        k: 10,
+        epsilon: 0.01,
+        out: "BENCH_throughput.json".to_owned(),
+        check: Some(check),
+    };
+    eprintln!("[throughput] check mode: canonical workload (small QLog, seed 2013)");
+    (args, QLog::generate(&QLogConfig::small(), 2013))
+}
+
+/// Deterministic query stream: shuffled non-dangling phrase nodes, cycled
+/// up to `n` (real logs repeat popular phrases; cycling models that while
+/// keeping the stream deterministic).
+fn sample_queries(log: &QLog, n: usize, seed: u64) -> Vec<NodeId> {
+    let g = &log.graph;
+    let mut pool: Vec<NodeId> = log
+        .phrases
+        .iter()
+        .copied()
+        .filter(|&v| !g.is_dangling(v))
+        .collect();
+    assert!(!pool.is_empty(), "QLog has no usable phrase queries");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    pool.shuffle(&mut rng);
+    (0..n).map(|i| pool[i % pool.len()]).collect()
+}
+
+struct RunRow {
+    workers: usize,
+    qps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    wall_ms: f64,
+}
+
+fn run_at(g: &Arc<Graph>, config: ServeConfig, queries: &[NodeId], workers: usize) -> RunRow {
+    let engine = ServeEngine::start(Arc::clone(g), config.with_workers(workers));
+    // Warmup: populate every worker's workspace (and the OS scheduler)
+    // before the measured pass.
+    let warm = queries.len().min(workers.max(1) * 4);
+    let _ = engine.run_batch(&queries[..warm]);
+
+    let started = Instant::now();
+    let outputs = engine.run_batch(queries);
+    let wall = started.elapsed();
+
+    let mut latencies_ms = Vec::with_capacity(outputs.len());
+    for out in &outputs {
+        out.result
+            .as_ref()
+            .unwrap_or_else(|e| panic!("query {:?} failed: {e}", out.query));
+        latencies_ms.push(out.latency.as_secs_f64() * 1e3);
+    }
+    RunRow {
+        workers,
+        qps: queries.len() as f64 / wall.as_secs_f64(),
+        p50_ms: percentile(&latencies_ms, 50.0),
+        p99_ms: percentile(&latencies_ms, 99.0),
+        wall_ms: wall.as_secs_f64() * 1e3,
+    }
+}
+
+fn emit_json(
+    path: &str,
+    scale_label: &str,
+    workload_seed: u64,
+    args: &Args,
+    g: &Graph,
+    rows: &[RunRow],
+) {
+    let best = rows
+        .iter()
+        .max_by(|a, b| a.qps.partial_cmp(&b.qps).expect("NaN qps"))
+        .expect("at least one run");
+    let runs: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{ \"workers\": {}, \"qps\": {}, \"p50_ms\": {}, \"p99_ms\": {}, \"wall_ms\": {} }}",
+                r.workers,
+                number(r.qps),
+                number(r.p50_ms),
+                number(r.p99_ms),
+                number(r.wall_ms)
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"throughput\",\n  \"scale\": \"{scale_label}\",\n  \"seed\": {},\n  \
+         \"graph\": {{ \"nodes\": {}, \"edges\": {} }},\n  \"k\": {},\n  \"epsilon\": {},\n  \
+         \"queries\": {},\n  \"runs\": [\n{}\n  ],\n  \"best_workers\": {},\n  \"best_qps\": {}\n}}\n",
+        workload_seed,
+        g.node_count(),
+        g.edge_count(),
+        args.k,
+        number(args.epsilon),
+        args.queries,
+        runs.join(",\n"),
+        best.workers,
+        number(best.qps),
+    );
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    eprintln!("[throughput] wrote {path}");
+}
+
+fn main() {
+    let parsed = parse_args();
+    let (args, log) = match parsed.check.clone() {
+        Some(baseline) => canonical_gate_args(baseline),
+        None => (parsed, qlog()),
+    };
+    let scale_label = if args.check.is_some() {
+        "gate-small".to_owned()
+    } else {
+        format!("{:?}", Scale::from_env()).to_lowercase()
+    };
+
+    // In check mode the workload is hard-pinned to seed 2013; the JSON
+    // must record the seed that actually ran, not the RTR_SEED env.
+    let workload_seed = if args.check.is_some() { 2013 } else { seed() };
+    let queries = sample_queries(&log, args.queries, workload_seed);
+    let g = Arc::new(log.graph);
+    let config = ServeConfig {
+        workers: 1,
+        params: RankParams::default(),
+        topk: TopKConfig {
+            k: args.k,
+            epsilon: args.epsilon,
+            ..TopKConfig::default()
+        },
+        scheme: rtr_topk::Scheme::TwoSBound,
+    };
+
+    println!(
+        "=== serving throughput: {} queries, K = {}, ε = {} on {} nodes / {} edges ===",
+        args.queries,
+        args.k,
+        args.epsilon,
+        g.node_count(),
+        g.edge_count()
+    );
+    println!(
+        "{:>8} {:>12} {:>10} {:>10} {:>10}",
+        "workers", "QPS", "p50/ms", "p99/ms", "wall/ms"
+    );
+    let mut rows = Vec::new();
+    for &workers in &args.workers {
+        let row = run_at(&g, config, &queries, workers);
+        println!(
+            "{:>8} {:>12.1} {:>10.3} {:>10.3} {:>10.1}",
+            row.workers, row.qps, row.p50_ms, row.p99_ms, row.wall_ms
+        );
+        rows.push(row);
+    }
+    emit_json(&args.out, &scale_label, workload_seed, &args, &g, &rows);
+
+    if let Some(baseline_path) = &args.check {
+        let text = std::fs::read_to_string(baseline_path)
+            .unwrap_or_else(|e| panic!("reading baseline {baseline_path}: {e}"));
+        let baseline_qps =
+            number_field(&text, "qps").unwrap_or_else(|| panic!("no \"qps\" in {baseline_path}"));
+        let measured = rows.iter().map(|r| r.qps).fold(f64::NEG_INFINITY, f64::max);
+        let floor = baseline_qps * (1.0 - MAX_QPS_DROP);
+        println!(
+            "\nperf gate: measured best {measured:.1} QPS vs baseline {baseline_qps:.1} \
+             (floor {floor:.1} = baseline - {:.0}%)",
+            MAX_QPS_DROP * 100.0
+        );
+        if measured < floor {
+            println!(
+                "perf gate: FAIL — QPS dropped more than {:.0}%",
+                MAX_QPS_DROP * 100.0
+            );
+            std::process::exit(1);
+        }
+        println!("perf gate: PASS");
+    }
+}

@@ -1,0 +1,95 @@
+//! Minimal JSON plumbing for the machine-readable `BENCH_*.json`
+//! artifacts.
+//!
+//! The offline `serde` shim has no serializer, so the harness emits JSON
+//! by hand and reads back only what the perf gate needs: one numeric field
+//! by key. That keeps the committed `bench/baseline.json` a plain, human-
+//! editable file without pulling a parser dependency into the image.
+
+/// Extract the first numeric value stored under `"key":` in `text`.
+///
+/// Handles the subset of JSON the bench artifacts use — numbers written as
+/// `-?digits[.digits][e±digits]` directly after the key's colon (arbitrary
+/// whitespace allowed). Returns `None` when the key is absent or its value
+/// is not a number.
+pub fn number_field(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\"");
+    let mut search_from = 0usize;
+    while let Some(found) = text[search_from..].find(&needle) {
+        let after_key = search_from + found + needle.len();
+        let rest = text[after_key..].trim_start();
+        if let Some(value_text) = rest.strip_prefix(':') {
+            let value_text = value_text.trim_start();
+            let end = value_text
+                .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+                .unwrap_or(value_text.len());
+            if let Ok(v) = value_text[..end].parse::<f64>() {
+                return Some(v);
+            }
+            return None;
+        }
+        // The needle was a string *value*, not a key; keep scanning.
+        search_from = after_key;
+    }
+    None
+}
+
+/// Format `v` for JSON output: finite with up to 6 significant decimals,
+/// never `NaN`/`inf` (mapped to 0, which JSON cannot represent).
+pub fn number(v: f64) -> String {
+    if v.is_finite() {
+        // Trim trailing zeros for readability while keeping precision.
+        let s = format!("{v:.6}");
+        let s = s.trim_end_matches('0').trim_end_matches('.');
+        if s.is_empty() || s == "-" {
+            "0".to_owned()
+        } else {
+            s.to_owned()
+        }
+    } else {
+        "0".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_numbers() {
+        let text = r#"{ "qps": 1234.5, "nested": { "p99_ms": 0.75 }, "n": 64 }"#;
+        assert_eq!(number_field(text, "qps"), Some(1234.5));
+        assert_eq!(number_field(text, "p99_ms"), Some(0.75));
+        assert_eq!(number_field(text, "n"), Some(64.0));
+        assert_eq!(number_field(text, "missing"), None);
+    }
+
+    #[test]
+    fn scientific_and_negative() {
+        let text = r#"{"a": -3.5e-2, "b":1e3}"#;
+        assert!((number_field(text, "a").unwrap() + 0.035).abs() < 1e-12);
+        assert_eq!(number_field(text, "b"), Some(1000.0));
+    }
+
+    #[test]
+    fn key_as_value_is_skipped() {
+        // "qps" appears first as a string value; the real key follows.
+        let text = r#"{"metric": "qps", "qps": 9.0}"#;
+        assert_eq!(number_field(text, "qps"), Some(9.0));
+    }
+
+    #[test]
+    fn non_number_value_is_none() {
+        let text = r#"{"qps": "fast"}"#;
+        assert_eq!(number_field(text, "qps"), None);
+    }
+
+    #[test]
+    fn formats_numbers() {
+        assert_eq!(number(1234.5), "1234.5");
+        assert_eq!(number(0.75), "0.75");
+        assert_eq!(number(64.0), "64");
+        assert_eq!(number(0.0), "0");
+        assert_eq!(number(f64::NAN), "0");
+    }
+}

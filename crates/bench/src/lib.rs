@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod json;
 pub mod snapshots;
 
 use rtr_datagen::{BibNet, BibNetConfig, QLog, QLogConfig};
@@ -146,9 +147,33 @@ pub fn mean_ci99(samples: &[f64]) -> (f64, f64) {
     (mean, 2.576 * (var / n).sqrt())
 }
 
+/// The `p`-th percentile (`0 ≤ p ≤ 100`) of a sample by the nearest-rank
+/// method on a sorted copy; 0 for an empty sample. Used for the latency
+/// quantiles the throughput harness reports.
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let s = [4.0, 1.0, 3.0, 2.0, 5.0];
+        assert_eq!(percentile(&s, 50.0), 3.0);
+        assert_eq!(percentile(&s, 99.0), 5.0);
+        assert_eq!(percentile(&s, 0.0), 1.0);
+        assert_eq!(percentile(&s, 100.0), 5.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[7.0], 99.0), 7.0);
+    }
 
     #[test]
     fn scale_configs_grow() {

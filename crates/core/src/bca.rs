@@ -20,23 +20,27 @@
 //! * **the improved unseen upper bound of Prop. 4** —
 //!   `f̂(q) = α/(2-α)·max_u µ(q,u) + (1-α)/(2-α)·Σ_u µ(q,u)`, which accounts
 //!   for residual repeatedly returning to a node, vs. the weaker
-//!   first-arrival bound of Gupta et al. [16] (also provided, for the
+//!   first-arrival bound of Gupta et al. \[16\] (also provided, for the
 //!   `Gupta`/`G+S` baseline schemes of Fig. 11a).
 
 use crate::error::CoreError;
 use crate::params::RankParams;
+use crate::workspace::BcaWorkspace;
 use rtr_graph::{Graph, NodeId};
-use std::collections::HashMap;
 
 /// BCA state for one query node.
+///
+/// The per-query `ρ`/`µ` maps live in a [`BcaWorkspace`] (dense-backed
+/// sparse maps with O(touched) clearing). [`Bca::new`] allocates a fresh
+/// one; a serving worker instead threads one workspace through
+/// [`Bca::with_workspace`] / [`Bca::into_workspace`] so steady-state
+/// queries allocate nothing.
 #[derive(Clone, Debug)]
 pub struct Bca<'g> {
     g: &'g Graph,
     alpha: f64,
-    /// Estimated PPR `ρ(q,·)` — only nodes with non-zero estimates.
-    rho: HashMap<u32, f64>,
-    /// Residual `µ(q,·)` — only nodes with non-zero residual.
-    mu: HashMap<u32, f64>,
+    /// The `ρ` / `µ` maps and selection scratch.
+    ws: BcaWorkspace,
     /// Incrementally maintained `Σ_u µ(q,u)`.
     total_residual: f64,
     /// Number of node-processing operations performed.
@@ -45,8 +49,21 @@ pub struct Bca<'g> {
 
 impl<'g> Bca<'g> {
     /// Initialize for query node `q`: one unit of residual at `q`, all
-    /// estimates zero (the precondition of the original BCA).
+    /// estimates zero (the precondition of the original BCA). Allocates a
+    /// fresh workspace; see [`Bca::with_workspace`] for the reusing variant.
     pub fn new(g: &'g Graph, q: NodeId, params: &RankParams) -> Result<Self, CoreError> {
+        Self::with_workspace(g, q, params, BcaWorkspace::default())
+    }
+
+    /// Initialize like [`Bca::new`] but reusing `ws`'s buffers (cleared in
+    /// O(entries touched by the previous query)). Recover the workspace with
+    /// [`Bca::into_workspace`] when the run is over.
+    pub fn with_workspace(
+        g: &'g Graph,
+        q: NodeId,
+        params: &RankParams,
+        mut ws: BcaWorkspace,
+    ) -> Result<Self, CoreError> {
         params.validate()?;
         if q.index() >= g.node_count() {
             return Err(CoreError::NodeOutOfRange {
@@ -54,26 +71,30 @@ impl<'g> Bca<'g> {
                 node_count: g.node_count(),
             });
         }
-        let mut mu = HashMap::new();
-        mu.insert(q.0, 1.0);
+        ws.reset(g.node_count());
+        ws.mu.insert(q.0, 1.0);
         Ok(Bca {
             g,
             alpha: params.alpha,
-            rho: HashMap::new(),
-            mu,
+            ws,
             total_residual: 1.0,
             processed: 0,
         })
     }
 
+    /// Dissolve into the workspace so its buffers serve the next query.
+    pub fn into_workspace(self) -> BcaWorkspace {
+        self.ws
+    }
+
     /// Current estimate `ρ(q,v)` (a lower bound on `f(q,v)`).
     pub fn rho(&self, v: NodeId) -> f64 {
-        self.rho.get(&v.0).copied().unwrap_or(0.0)
+        self.ws.rho.score(v.0)
     }
 
     /// Current residual `µ(q,v)`.
     pub fn mu(&self, v: NodeId) -> f64 {
-        self.mu.get(&v.0).copied().unwrap_or(0.0)
+        self.ws.mu.score(v.0)
     }
 
     /// `Σ_u µ(q,u)` — the remaining residual budget.
@@ -83,7 +104,7 @@ impl<'g> Bca<'g> {
 
     /// `max_u µ(q,u)` (0 when no residual remains).
     pub fn max_residual(&self) -> f64 {
-        self.mu.values().copied().fold(0.0, f64::max)
+        self.ws.mu.values().fold(0.0, f64::max)
     }
 
     /// Number of processing operations performed so far.
@@ -94,12 +115,12 @@ impl<'g> Bca<'g> {
     /// Nodes with non-zero estimated PPR — the paper's f-neighborhood
     /// `S_f = {v : ρ(q,v) > 0}`.
     pub fn seen(&self) -> impl Iterator<Item = (NodeId, f64)> + '_ {
-        self.rho.iter().map(|(&v, &r)| (NodeId(v), r))
+        self.ws.rho.iter().map(|(v, r)| (NodeId(v), r))
     }
 
     /// Number of seen nodes `|S_f|`.
     pub fn seen_count(&self) -> usize {
-        self.rho.len()
+        self.ws.rho.len()
     }
 
     /// Apply BCA processing to one node (paper Sect. V-A3):
@@ -108,19 +129,19 @@ impl<'g> Bca<'g> {
     /// On a dangling node the (1-α) portion has nowhere to go and is lost —
     /// consistent with the substochastic F-Rank a dangling graph defines.
     pub fn process(&mut self, v: NodeId) {
-        let Some(residual) = self.mu.remove(&v.0) else {
+        let Some(residual) = self.ws.mu.remove(v.0) else {
             return;
         };
         if residual <= 0.0 {
             return;
         }
         self.processed += 1;
-        *self.rho.entry(v.0).or_insert(0.0) += self.alpha * residual;
+        self.ws.rho.add(v.0, self.alpha * residual);
         let spread = (1.0 - self.alpha) * residual;
         let mut spread_out = 0.0;
         for (dst, prob) in self.g.out_edges(v) {
             let amt = spread * prob;
-            *self.mu.entry(dst.0).or_insert(0.0) += amt;
+            self.ws.mu.add(dst.0, amt);
             spread_out += amt;
         }
         // total -= consumed-by-rho + lost-on-dangling
@@ -130,44 +151,59 @@ impl<'g> Bca<'g> {
     /// One Stage-I expansion: pick up to `m` nodes with the largest non-zero
     /// *benefit* `µ(q,v)/|Out(v)|` and process them. Returns the processed
     /// nodes (the first expansion returns just the query node, matching the
-    /// paper's observation).
+    /// paper's observation). Allocation-free serving paths use
+    /// [`Bca::process_batch_count`] instead.
     pub fn process_batch(&mut self, m: usize) -> Vec<NodeId> {
-        if m == 0 || self.mu.is_empty() {
-            return Vec::new();
-        }
-        let mut candidates: Vec<(u32, f64)> = self
-            .mu
+        let picked = self.process_batch_count(m);
+        self.ws.candidates[..picked]
             .iter()
-            .filter(|(_, &r)| r > 0.0)
-            .map(|(&v, &r)| {
+            .map(|&(v, _)| NodeId(v))
+            .collect()
+    }
+
+    /// [`Bca::process_batch`] without materializing the picked nodes:
+    /// returns only how many were processed. The selection scratch lives in
+    /// the workspace, so this performs no allocation in steady state.
+    pub fn process_batch_count(&mut self, m: usize) -> usize {
+        self.ws.candidates.clear();
+        if m == 0 || self.ws.mu.is_empty() {
+            return 0;
+        }
+        for (v, r) in self.ws.mu.iter() {
+            if r > 0.0 {
                 let out = self.g.out_degree(NodeId(v)).max(1);
-                (v, r / out as f64)
-            })
-            .collect();
-        let take = m.min(candidates.len());
+                self.ws.candidates.push((v, r / out as f64));
+            }
+        }
+        if self.ws.candidates.is_empty() {
+            return 0;
+        }
+        let take = m.min(self.ws.candidates.len());
         // Partial selection of the top-m benefits; ties break by node id so
-        // runs are reproducible despite hash-map iteration order.
-        candidates.select_nth_unstable_by(take.saturating_sub(1), |a, b| {
-            b.1.partial_cmp(&a.1)
-                .expect("NaN benefit")
-                .then(a.0.cmp(&b.0))
-        });
-        candidates.truncate(take);
+        // runs are reproducible regardless of map iteration order.
+        self.ws
+            .candidates
+            .select_nth_unstable_by(take.saturating_sub(1), |a, b| {
+                b.1.partial_cmp(&a.1)
+                    .expect("NaN benefit")
+                    .then(a.0.cmp(&b.0))
+            });
+        self.ws.candidates.truncate(take);
         // Process in ascending id order so state evolution is independent of
-        // hash-map iteration order.
-        candidates.sort_unstable_by_key(|&(v, _)| v);
-        let picked: Vec<NodeId> = candidates.into_iter().map(|(v, _)| NodeId(v)).collect();
-        for &v in &picked {
+        // map iteration order.
+        self.ws.candidates.sort_unstable_by_key(|&(v, _)| v);
+        for i in 0..take {
+            let v = NodeId(self.ws.candidates[i].0);
             self.process(v);
         }
-        picked
+        take
     }
 
     /// Run batched processing until the total residual drops to `eps`
     /// (asymptotic termination of the original BCA, truncated at `eps`).
     pub fn run_to_residual(&mut self, eps: f64, m: usize) {
         while self.total_residual() > eps {
-            if self.process_batch(m).is_empty() {
+            if self.process_batch_count(m) == 0 {
                 break; // no residual left anywhere (all dangling-lost)
             }
         }
@@ -190,7 +226,7 @@ impl<'g> Bca<'g> {
         a / (2.0 - a) * self.max_residual() + (1.0 - a) / (2.0 - a) * self.total_residual()
     }
 
-    /// The weaker first-arrival bound in the style of Gupta et al. [16]:
+    /// The weaker first-arrival bound in the style of Gupta et al. \[16\]:
     /// all remaining residual could, in the limit, deposit onto one node, so
     /// `f(q,v) ≤ ρ(q,v) + Σ_u µ(q,u)`. Used by the `Gupta` and `G+S`
     /// baseline schemes of the efficiency study (Fig. 11a).

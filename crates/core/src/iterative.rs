@@ -12,6 +12,7 @@ use crate::error::CoreError;
 use crate::params::RankParams;
 use crate::query::Query;
 use crate::scores::ScoreVec;
+use crate::workspace::IterWorkspace;
 use rtr_graph::Graph;
 
 /// Statistics of an iterative computation.
@@ -43,18 +44,31 @@ pub fn iterate(
     params: &RankParams,
     direction: Direction,
 ) -> Result<(ScoreVec, IterationStats), CoreError> {
+    iterate_with(&mut IterWorkspace::default(), g, query, params, direction)
+}
+
+/// [`iterate`] reusing `ws`'s dense vectors. The returned [`ScoreVec`]
+/// necessarily takes ownership of the converged iterate's buffer, so one
+/// `|V|`-sized allocation per query remains; the start and scratch
+/// vectors (two of the three) are recycled.
+pub fn iterate_with(
+    ws: &mut IterWorkspace,
+    g: &Graph,
+    query: &Query,
+    params: &RankParams,
+    direction: Direction,
+) -> Result<(ScoreVec, IterationStats), CoreError> {
     params.validate()?;
     query.validate(g)?;
 
     let n = g.node_count();
     let alpha = params.alpha;
-    let mut start = vec![0.0f64; n];
+    ws.reset(n);
+    let IterWorkspace { start, cur, next } = ws;
     for (node, w) in query.iter() {
         start[node.index()] += w;
     }
 
-    let mut cur = vec![0.0f64; n];
-    let mut next = vec![0.0f64; n];
     let mut stats = IterationStats {
         iterations: 0,
         final_residual: f64::INFINITY,
@@ -85,14 +99,14 @@ pub fn iterate(
         }
         let residual = cur
             .iter()
-            .zip(&next)
+            .zip(next.iter())
             .map(|(a, b)| (a - b).abs())
             .fold(0.0, f64::max);
-        std::mem::swap(&mut cur, &mut next);
+        std::mem::swap(cur, next);
         stats.iterations = it;
         stats.final_residual = residual;
         if residual < params.tolerance {
-            return Ok((ScoreVec::from_vec(cur), stats));
+            return Ok((ws.take_result(), stats));
         }
     }
     Err(CoreError::NoConvergence {

@@ -29,6 +29,9 @@
 //!   the paper's improved unseen upper bound (Prop. 4).
 //! * [`enumerate`] — exact round-trip enumeration on tiny graphs with
 //!   constant walk lengths, validating the by-hand numbers of paper Fig. 4.
+//! * [`workspace`] — reusable per-query workspaces ([`BcaWorkspace`],
+//!   [`IterWorkspace`]) so serving workers run queries with zero
+//!   steady-state allocation.
 //!
 //! ## Queries
 //!
@@ -65,11 +68,13 @@ pub mod rtr_plus;
 pub mod scores;
 pub mod trank;
 pub mod walk;
+pub mod workspace;
 
 pub use error::CoreError;
 pub use params::RankParams;
 pub use query::Query;
 pub use scores::ScoreVec;
+pub use workspace::{BcaWorkspace, IterWorkspace};
 
 /// Convenient glob-import surface for downstream crates.
 pub mod prelude {
@@ -83,4 +88,5 @@ pub mod prelude {
     pub use crate::scores::ScoreVec;
     pub use crate::trank::TRank;
     pub use crate::walk::WalkLength;
+    pub use crate::workspace::{BcaWorkspace, IterWorkspace};
 }

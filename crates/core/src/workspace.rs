@@ -1,0 +1,137 @@
+//! Reusable per-query workspaces for the core engines.
+//!
+//! Online serving runs the same engines over and over against one shared
+//! graph. The engines' per-query state — BCA's `ρ`/`µ` score maps, the
+//! dense vectors of the exact iteration — is identical in shape from query
+//! to query, so a worker that keeps a workspace alive between queries pays
+//! the allocation cost once and thereafter only the O(touched) cost of
+//! wiping the previous query's entries.
+//!
+//! Each engine exposes a `*_with` / `with_workspace` entry point that
+//! borrows or consumes a workspace, and keeps its original allocating API
+//! as a thin wrapper over a freshly created workspace, so results are
+//! identical either way (the determinism suite in `tests/` enforces
+//! bit-identity).
+
+use crate::scores::ScoreVec;
+use rtr_graph::ScoreMap;
+
+/// Reusable state for one [`crate::bca::Bca`] run: the `ρ` / `µ` score maps
+/// plus the Stage-I selection scratch.
+///
+/// Obtain one with [`BcaWorkspace::default`], pass it to
+/// [`crate::bca::Bca::with_workspace`], and recover it afterwards with
+/// [`crate::bca::Bca::into_workspace`]:
+///
+/// ```
+/// use rtr_core::prelude::*;
+/// use rtr_core::workspace::BcaWorkspace;
+/// use rtr_graph::toy::fig2_toy;
+///
+/// let (g, ids) = fig2_toy();
+/// let mut ws = BcaWorkspace::default();
+/// for q in [ids.t1, ids.t2] {
+///     let mut bca = Bca::with_workspace(&g, q, &RankParams::default(), ws).unwrap();
+///     bca.run_to_residual(1e-6, 100);
+///     assert!(bca.rho(q) > 0.0);
+///     ws = bca.into_workspace(); // buffers survive for the next query
+/// }
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct BcaWorkspace {
+    /// Estimated PPR `ρ(q,·)`.
+    pub(crate) rho: ScoreMap,
+    /// Residual `µ(q,·)`.
+    pub(crate) mu: ScoreMap,
+    /// Stage-I benefit-selection scratch.
+    pub(crate) candidates: Vec<(u32, f64)>,
+}
+
+impl BcaWorkspace {
+    /// A workspace pre-sized for graphs of `n` nodes.
+    pub fn with_capacity(n: usize) -> Self {
+        BcaWorkspace {
+            rho: ScoreMap::with_capacity(n),
+            mu: ScoreMap::with_capacity(n),
+            candidates: Vec::new(),
+        }
+    }
+
+    /// Wipe previous-query state (O(touched)) and admit node ids `0..n`.
+    pub(crate) fn reset(&mut self, n: usize) {
+        self.rho.ensure_capacity(n);
+        self.mu.ensure_capacity(n);
+        self.rho.clear();
+        self.mu.clear();
+        self.candidates.clear();
+    }
+}
+
+/// Reusable dense vectors for [`crate::iterative::iterate_with`]: the start
+/// distribution and the two iterates the fixed point ping-pongs between.
+///
+/// The exact engines ([`crate::frank::FRank`], [`crate::trank::TRank`]) are
+/// O(|V|) in state; re-serving them from a warm workspace avoids two of
+/// the three `|V|`-sized allocations per query (the returned
+/// [`ScoreVec`] necessarily owns the third — the converged iterate's
+/// buffer).
+#[derive(Clone, Debug, Default)]
+pub struct IterWorkspace {
+    pub(crate) start: Vec<f64>,
+    pub(crate) cur: Vec<f64>,
+    pub(crate) next: Vec<f64>,
+}
+
+impl IterWorkspace {
+    /// A workspace pre-sized for graphs of `n` nodes.
+    pub fn with_capacity(n: usize) -> Self {
+        IterWorkspace {
+            start: Vec::with_capacity(n),
+            cur: Vec::with_capacity(n),
+            next: Vec::with_capacity(n),
+        }
+    }
+
+    /// Zero all three vectors at length `n` (retaining their allocations).
+    pub(crate) fn reset(&mut self, n: usize) {
+        for v in [&mut self.start, &mut self.cur, &mut self.next] {
+            v.clear();
+            v.resize(n, 0.0);
+        }
+    }
+
+    /// Move the converged iterate out as a [`ScoreVec`], leaving an empty
+    /// (but still allocated) slot behind.
+    pub(crate) fn take_result(&mut self) -> ScoreVec {
+        ScoreVec::from_vec(std::mem::take(&mut self.cur))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bca_workspace_reset_clears_state() {
+        let mut ws = BcaWorkspace::with_capacity(4);
+        ws.rho.insert(1, 0.5);
+        ws.mu.insert(2, 0.5);
+        ws.candidates.push((1, 0.5));
+        ws.reset(8);
+        assert!(ws.rho.is_empty());
+        assert!(ws.mu.is_empty());
+        assert!(ws.candidates.is_empty());
+        assert!(ws.rho.capacity() >= 8);
+    }
+
+    #[test]
+    fn iter_workspace_reset_zeroes() {
+        let mut ws = IterWorkspace::with_capacity(2);
+        ws.reset(3);
+        ws.cur[1] = 9.0;
+        ws.reset(3);
+        assert_eq!(ws.cur, vec![0.0; 3]);
+        assert_eq!(ws.start.len(), 3);
+        assert_eq!(ws.next.len(), 3);
+    }
+}

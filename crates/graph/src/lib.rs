@@ -32,6 +32,9 @@
 //!   make a graph irreducible by adding some dummy edges").
 //! * [`view`] — induced subgraphs and cumulative growth snapshots
 //!   (used by the scalability study, paper Sect. VI-B2).
+//! * [`score_map`] — dense-backed sparse per-query state ([`ScoreMap`],
+//!   [`NodeSet`]) with O(touched) clearing, the workspace primitive that
+//!   lets the serving layer run queries with zero steady-state allocation.
 //! * [`stats`] — degree statistics and memory-footprint accounting (the
 //!   "active set" measurements of Fig. 12 need byte sizes).
 //! * [`wire`] — a compact binary wire format for shipping node/edge blocks
@@ -65,6 +68,7 @@ pub mod graph;
 pub mod io;
 pub mod node;
 pub mod scc;
+pub mod score_map;
 pub mod stats;
 pub mod toy;
 pub mod view;
@@ -73,6 +77,7 @@ pub mod wire;
 pub use builder::GraphBuilder;
 pub use graph::Graph;
 pub use node::{NodeId, NodeTypeId, TypeRegistry};
+pub use score_map::{NodeSet, ScoreMap, SparseMap};
 
 /// Convenient glob-import surface for downstream crates.
 pub mod prelude {
@@ -80,5 +85,6 @@ pub mod prelude {
     pub use crate::graph::Graph;
     pub use crate::node::{NodeId, NodeTypeId, TypeRegistry};
     pub use crate::scc::IrreducibilityRepair;
+    pub use crate::score_map::{NodeSet, ScoreMap, SparseMap};
     pub use crate::view::{GrowthSchedule, Subgraph};
 }

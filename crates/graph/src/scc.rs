@@ -3,7 +3,7 @@
 //! RoundTripRank needs walks both from and to the query; on a graph that is
 //! not strongly connected, `t(q,v) = 0` can zero out arbitrarily important
 //! nodes. The paper's remedy (Sect. III-B): *"In practice, we can always make
-//! a graph irreducible by adding some dummy edges"* (citing Haveliwala [18]).
+//! a graph irreducible by adding some dummy edges"* (citing Haveliwala \[18\]).
 //!
 //! [`IrreducibilityRepair`] implements exactly that: it computes the SCC
 //! condensation (iterative Tarjan, no recursion so million-node graphs don't

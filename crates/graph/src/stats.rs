@@ -1,7 +1,7 @@
 //! Degree statistics and power-law accounting.
 //!
 //! The paper's active-set growth analysis (Sect. V-B1) models the average
-//! degree by the densification power law of Leskovec et al. [21]:
+//! degree by the densification power law of Leskovec et al. \[21\]:
 //! `D̄ ≈ c·|V|^(a-1)` with `1 < a < 2`. [`DegreeStats`] summarizes a graph and
 //! [`fit_densification`] estimates `(c, a)` from a series of growing
 //! snapshots, which the Fig. 13 reproduction reports alongside the measured

@@ -1,0 +1,79 @@
+//! Serving configuration.
+
+use rtr_core::RankParams;
+use rtr_topk::{Scheme, TopKConfig};
+
+/// Configuration of a [`crate::ServeEngine`]: pool size plus the ranking
+/// engine every worker runs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Number of worker threads (clamped to at least 1 at pool start).
+    pub workers: usize,
+    /// Random-walk parameters shared by all queries.
+    pub params: RankParams,
+    /// Top-K search configuration shared by all queries.
+    pub topk: TopKConfig,
+    /// Which computational scheme the workers run (the paper's full
+    /// 2SBound by default; the Fig. 11a ablations are available for
+    /// benchmarking).
+    pub scheme: Scheme,
+}
+
+impl Default for ServeConfig {
+    /// Paper defaults (α = 0.25, K = 10, ε = 0.01, full 2SBound) with one
+    /// worker per available CPU.
+    fn default() -> Self {
+        ServeConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            params: RankParams::default(),
+            topk: TopKConfig::default(),
+            scheme: Scheme::TwoSBound,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// This configuration with `workers` threads.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// This configuration with the given top-K settings.
+    pub fn with_topk(mut self, topk: TopKConfig) -> Self {
+        self.topk = topk;
+        self
+    }
+
+    /// This configuration with the given scheme.
+    pub fn with_scheme(mut self, scheme: Scheme) -> Self {
+        self.scheme = scheme;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_full_two_sbound() {
+        let c = ServeConfig::default();
+        assert!(c.workers >= 1);
+        assert_eq!(c.scheme, Scheme::TwoSBound);
+        assert_eq!(c.topk.k, 10);
+    }
+
+    #[test]
+    fn builders_apply() {
+        let c = ServeConfig::default()
+            .with_workers(3)
+            .with_scheme(Scheme::Gupta)
+            .with_topk(TopKConfig::toy());
+        assert_eq!(c.workers, 3);
+        assert_eq!(c.scheme, Scheme::Gupta);
+        assert_eq!(c.topk.k, TopKConfig::toy().k);
+    }
+}

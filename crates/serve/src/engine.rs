@@ -1,0 +1,350 @@
+//! The worker pool.
+//!
+//! One [`ServeEngine`] owns `workers` long-lived threads. Each worker loops
+//! on a shared crossbeam job queue, runs the query with
+//! [`TwoSBound::run_with`] against its *own* persistent
+//! [`TopKWorkspace`], and sends the output down the batch's reply channel.
+//! The workspace is what makes steady-state serving allocation-free: the
+//! sparse maps and scratch vectors are wiped in O(touched) between queries
+//! and never freed while the worker lives.
+//!
+//! Shutdown is by hangup: dropping the engine drops the job sender, every
+//! worker's `recv` errors out, and the threads are joined.
+
+use crate::config::ServeConfig;
+use crossbeam::channel::{self, Sender};
+use rtr_core::CoreError;
+use rtr_graph::{Graph, NodeId};
+use rtr_topk::{TopKResult, TopKWorkspace, TwoSBound};
+use std::fmt;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Why a served query produced no result. Workers survive *any* failing
+/// query — including one that panics inside the engine — so a bad query
+/// can never hang or poison the rest of its batch.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServeError {
+    /// The engine rejected or failed the query (e.g. an out-of-range node
+    /// id).
+    Query(CoreError),
+    /// The query panicked inside the engine; the worker caught it,
+    /// discarded its (possibly mid-mutation) workspace, and kept serving.
+    Panicked(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Query(e) => write!(f, "query failed: {e}"),
+            ServeError::Panicked(msg) => write!(f, "query panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<CoreError> for ServeError {
+    fn from(e: CoreError) -> Self {
+        ServeError::Query(e)
+    }
+}
+
+/// One served query's output.
+#[derive(Clone, Debug)]
+pub struct QueryOutput {
+    /// Position of the query in its batch (outputs are returned sorted by
+    /// this, so a batch's outputs align with its input slice).
+    pub id: usize,
+    /// The query node.
+    pub query: NodeId,
+    /// The top-K result, or the per-query error.
+    pub result: Result<TopKResult, ServeError>,
+    /// Wall-clock time the worker spent on this query.
+    pub latency: Duration,
+}
+
+/// Human-readable payload of a caught panic.
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// A unit of work: which query to run and where to send the output.
+struct Job {
+    id: usize,
+    query: NodeId,
+    reply: Sender<QueryOutput>,
+}
+
+/// A fixed pool of query workers over a shared read-only graph.
+///
+/// See the [crate docs](crate) for an end-to-end example. Batches may be
+/// submitted from multiple threads concurrently; each batch collects only
+/// its own outputs.
+pub struct ServeEngine {
+    graph: Arc<Graph>,
+    config: ServeConfig,
+    job_tx: Option<Sender<Job>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl ServeEngine {
+    /// Start `config.workers` (at least 1) worker threads over `graph`.
+    pub fn start(graph: Arc<Graph>, config: ServeConfig) -> Self {
+        let workers = config.workers.max(1);
+        let runner = TwoSBound::with_scheme(config.params, config.topk, config.scheme);
+        let (job_tx, job_rx) = channel::unbounded::<Job>();
+        let handles = (0..workers)
+            .map(|_| {
+                let rx = job_rx.clone();
+                let g = Arc::clone(&graph);
+                std::thread::spawn(move || {
+                    // The worker's reusable workspace: allocated lazily on
+                    // the first query, then recycled for every later one.
+                    let mut ws = TopKWorkspace::new();
+                    while let Ok(job) = rx.recv() {
+                        let started = Instant::now();
+                        // catch_unwind keeps the worker alive through a
+                        // panicking query; a dead worker would strand the
+                        // jobs still queued and hang their batches.
+                        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            runner.run_with(&g, job.query, &mut ws)
+                        }));
+                        let result = match result {
+                            Ok(r) => r.map_err(ServeError::Query),
+                            Err(panic) => {
+                                // The workspace may have been mid-mutation
+                                // when the panic unwound through it.
+                                ws = TopKWorkspace::new();
+                                Err(ServeError::Panicked(panic_message(&*panic)))
+                            }
+                        };
+                        let out = QueryOutput {
+                            id: job.id,
+                            query: job.query,
+                            result,
+                            latency: started.elapsed(),
+                        };
+                        // A dropped reply receiver means the batch caller
+                        // gave up; keep serving other batches.
+                        let _ = job.reply.send(out);
+                    }
+                })
+            })
+            .collect();
+        ServeEngine {
+            graph,
+            config,
+            job_tx: Some(job_tx),
+            handles,
+        }
+    }
+
+    /// The shared graph.
+    pub fn graph(&self) -> &Arc<Graph> {
+        &self.graph
+    }
+
+    /// The serving configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Number of live worker threads.
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Execute a batch of queries across the pool and return the outputs in
+    /// input order. Blocks until the whole batch is done.
+    ///
+    /// Output values are bit-identical to [`run_serial`] at any worker
+    /// count: queries are independent and every engine is deterministic.
+    pub fn run_batch(&self, queries: &[NodeId]) -> Vec<QueryOutput> {
+        let (reply_tx, reply_rx) = channel::unbounded::<QueryOutput>();
+        let job_tx = self.job_tx.as_ref().expect("pool is running");
+        for (id, &query) in queries.iter().enumerate() {
+            job_tx
+                .send(Job {
+                    id,
+                    query,
+                    reply: reply_tx.clone(),
+                })
+                .expect("workers alive while engine exists");
+        }
+        // Drop our handle so the reply stream ends once every job replied.
+        drop(reply_tx);
+        let mut outputs: Vec<QueryOutput> = reply_rx.iter().collect();
+        assert_eq!(
+            outputs.len(),
+            queries.len(),
+            "worker died mid-batch (panicked query?)"
+        );
+        outputs.sort_unstable_by_key(|o| o.id);
+        outputs
+    }
+
+    /// Stop the pool: hang up the job queue and join every worker. Called
+    /// automatically on drop; explicit form for callers that want to
+    /// observe the join.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        drop(self.job_tx.take());
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServeEngine {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// The serial reference executor: the same engine and workspace reuse as a
+/// single pool worker, on the caller's thread. Batch serving at any worker
+/// count must be bit-identical to this.
+pub fn run_serial(g: &Graph, config: &ServeConfig, queries: &[NodeId]) -> Vec<QueryOutput> {
+    let runner = TwoSBound::with_scheme(config.params, config.topk, config.scheme);
+    let mut ws = TopKWorkspace::new();
+    queries
+        .iter()
+        .enumerate()
+        .map(|(id, &query)| {
+            let started = Instant::now();
+            let result = runner.run_with(g, query, &mut ws).map_err(ServeError::from);
+            QueryOutput {
+                id,
+                query,
+                result,
+                latency: started.elapsed(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtr_graph::toy::fig2_toy;
+    use rtr_topk::TopKConfig;
+
+    fn toy_engine(workers: usize) -> (ServeEngine, rtr_graph::toy::Fig2Ids) {
+        let (g, ids) = fig2_toy();
+        let config = ServeConfig::default()
+            .with_workers(workers)
+            .with_topk(TopKConfig::toy());
+        (ServeEngine::start(Arc::new(g), config), ids)
+    }
+
+    #[test]
+    fn batch_outputs_align_with_inputs() {
+        let (engine, ids) = toy_engine(3);
+        let queries = vec![ids.t1, ids.v1, ids.t2, ids.v2];
+        let outputs = engine.run_batch(&queries);
+        assert_eq!(outputs.len(), queries.len());
+        for (i, out) in outputs.iter().enumerate() {
+            assert_eq!(out.id, i);
+            assert_eq!(out.query, queries[i]);
+            assert_eq!(out.result.as_ref().unwrap().ranking[0], queries[i]);
+        }
+    }
+
+    #[test]
+    fn pool_matches_serial_bit_for_bit() {
+        let (g, ids) = fig2_toy();
+        let config = ServeConfig::default()
+            .with_workers(4)
+            .with_topk(TopKConfig::toy());
+        let queries: Vec<NodeId> = g.nodes().collect();
+        let serial = run_serial(&g, &config, &queries);
+        let engine = ServeEngine::start(Arc::new(g), config);
+        let pooled = engine.run_batch(&queries);
+        let _ = ids;
+        for (s, p) in serial.iter().zip(&pooled) {
+            let (s, p) = (s.result.as_ref().unwrap(), p.result.as_ref().unwrap());
+            assert_eq!(s.ranking, p.ranking);
+            assert_eq!(s.bounds, p.bounds); // exact f64 equality
+            assert_eq!(s.expansions, p.expansions);
+        }
+    }
+
+    #[test]
+    fn engine_survives_many_batches() {
+        let (engine, ids) = toy_engine(2);
+        let first = engine.run_batch(&[ids.t1]);
+        for _ in 0..5 {
+            let again = engine.run_batch(&[ids.t1]);
+            assert_eq!(
+                first[0].result.as_ref().unwrap().ranking,
+                again[0].result.as_ref().unwrap().ranking
+            );
+        }
+    }
+
+    #[test]
+    fn bad_query_reports_error_without_poisoning_batch() {
+        let (engine, ids) = toy_engine(2);
+        let outputs = engine.run_batch(&[ids.t1, NodeId(9999), ids.t2]);
+        assert!(outputs[0].result.is_ok());
+        assert!(matches!(
+            outputs[1].result,
+            Err(ServeError::Query(CoreError::NodeOutOfRange { .. }))
+        ));
+        assert!(outputs[2].result.is_ok());
+    }
+
+    #[test]
+    fn bad_query_does_not_cost_the_worker_its_buffers() {
+        // A rejected query must be answered from the same recycled
+        // workspace path as a good one: running bad-good-bad-good serially
+        // with one workspace must equal a fresh run of the good queries.
+        let (g, ids) = fig2_toy();
+        let config = ServeConfig::default()
+            .with_workers(1)
+            .with_topk(TopKConfig::toy());
+        let mixed = run_serial(&g, &config, &[ids.t1, NodeId(9999), ids.t2, NodeId(8888)]);
+        let clean = run_serial(&g, &config, &[ids.t1, ids.t2]);
+        assert_eq!(
+            mixed[0].result.as_ref().unwrap().bounds,
+            clean[0].result.as_ref().unwrap().bounds
+        );
+        assert_eq!(
+            mixed[2].result.as_ref().unwrap().bounds,
+            clean[1].result.as_ref().unwrap().bounds
+        );
+        assert!(mixed[1].result.is_err() && mixed[3].result.is_err());
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let (engine, _) = toy_engine(2);
+        assert!(engine.run_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        let (engine, ids) = toy_engine(0);
+        assert_eq!(engine.workers(), 1);
+        let outputs = engine.run_batch(&[ids.t1]);
+        assert!(outputs[0].result.is_ok());
+    }
+
+    #[test]
+    fn explicit_shutdown_joins() {
+        let (engine, ids) = toy_engine(2);
+        let _ = engine.run_batch(&[ids.t1]);
+        engine.shutdown(); // must not hang
+    }
+}

@@ -1,0 +1,43 @@
+//! # rtr-serve — concurrent query serving for RoundTripRank top-K
+//!
+//! The paper builds 2SBound so that top-K RoundTripRank queries are cheap
+//! enough for *online* use; this crate is the layer that actually serves
+//! them online. It pairs
+//!
+//! * a **shared read-only graph** (`Arc<Graph>` — the frozen dual-CSR is
+//!   `Send + Sync`, so queries need no locks), with
+//! * a **fixed pool of worker threads**, each owning one reusable
+//!   [`rtr_topk::TopKWorkspace`] so that steady-state serving performs
+//!   zero per-query allocation on the hot path, fed through
+//! * **crossbeam channels** as the job and result queues (workers compete
+//!   for jobs on a shared queue; each batch gets its own reply channel, so
+//!   concurrent batches never interleave results).
+//!
+//! Concurrency never changes answers: every query is independent and every
+//! engine deterministic, so a batch executed at any worker count is
+//! bit-identical to the serial reference ([`run_serial`]) — the
+//! `serve_determinism` integration suite enforces this at 1, 2, and 8
+//! workers.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use rtr_graph::toy::fig2_toy;
+//! use rtr_serve::{ServeConfig, ServeEngine};
+//!
+//! let (g, ids) = fig2_toy();
+//! let engine = ServeEngine::start(Arc::new(g), ServeConfig::default().with_workers(2));
+//! let outputs = engine.run_batch(&[ids.t1, ids.t2]);
+//! assert_eq!(outputs.len(), 2);
+//! // Results come back in request order regardless of completion order.
+//! assert_eq!(outputs[0].query, ids.t1);
+//! assert_eq!(outputs[0].result.as_ref().unwrap().ranking[0], ids.t1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod config;
+pub mod engine;
+
+pub use config::ServeConfig;
+pub use engine::{run_serial, QueryOutput, ServeEngine, ServeError};

@@ -6,8 +6,7 @@
 //! byte size against graph snapshots; this module computes the same
 //! quantity.
 
-use rtr_graph::{Graph, NodeId};
-use std::collections::HashSet;
+use rtr_graph::{Graph, NodeId, NodeSet};
 
 /// Size statistics of one query's active set.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -32,7 +31,19 @@ impl ActiveSetStats {
         I: IntoIterator<Item = NodeId>,
         J: IntoIterator<Item = NodeId>,
     {
-        let mut union: HashSet<u32> = HashSet::new();
+        Self::measure_in(&mut NodeSet::new(), g, f_nodes, t_nodes)
+    }
+
+    /// [`ActiveSetStats::measure`] reusing `union` as the scratch set (it is
+    /// cleared first and sized to the graph), so per-query serving performs
+    /// no allocation here.
+    pub fn measure_in<I, J>(union: &mut NodeSet, g: &Graph, f_nodes: I, t_nodes: J) -> Self
+    where
+        I: IntoIterator<Item = NodeId>,
+        J: IntoIterator<Item = NodeId>,
+    {
+        union.ensure_capacity(g.node_count());
+        union.clear();
         let mut f_count = 0usize;
         let mut t_count = 0usize;
         for v in f_nodes {
@@ -45,7 +56,7 @@ impl ActiveSetStats {
         }
         let mut edges = 0usize;
         let mut bytes = 0usize;
-        for &v in &union {
+        for v in union.iter() {
             let v = NodeId(v);
             edges += g.out_degree(v) + g.in_degree(v);
             bytes += g.node_footprint_bytes(v);

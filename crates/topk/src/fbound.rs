@@ -19,28 +19,33 @@
 //! the weaker first-arrival bound `f̂(q) = Σ_u µ(q,u)` and skips Stage II.
 
 use crate::bounds::Bounds;
+use crate::workspace::FWorkspace;
 use rtr_core::bca::Bca;
 use rtr_core::{CoreError, RankParams};
-use rtr_graph::{Graph, NodeId};
-use std::collections::HashMap;
+use rtr_graph::{Graph, NodeId, SparseMap};
 
 /// Which Stage-I/II realization the f-neighborhood uses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum FBoundMode {
     /// The paper's full realization: Prop. 4 bound + Stage II refinement.
     TwoStage,
-    /// Gupta et al. [16] baseline: first-arrival bound, no Stage II.
+    /// Gupta et al. \[16\] baseline: first-arrival bound, no Stage II.
     Gupta,
 }
 
 /// The f-neighborhood with its bounds.
+///
+/// Per-query state lives in an [`FWorkspace`]; [`FNeighborhood::new`]
+/// allocates a fresh one, [`FNeighborhood::with_workspace`] reuses a
+/// worker's buffers.
 pub struct FNeighborhood<'g> {
     g: &'g Graph,
     q: NodeId,
     alpha: f64,
     mode: FBoundMode,
     bca: Bca<'g>,
-    bounds: HashMap<u32, Bounds>,
+    bounds: SparseMap<Bounds>,
+    order: Vec<u32>,
     unseen_upper: f64,
 }
 
@@ -53,18 +58,49 @@ impl<'g> FNeighborhood<'g> {
         params: &RankParams,
         mode: FBoundMode,
     ) -> Result<Self, CoreError> {
-        let bca = Bca::new(g, q, params)?;
+        Self::with_workspace(g, q, params, mode, FWorkspace::default())
+    }
+
+    /// Initialize like [`FNeighborhood::new`] but reusing `ws`'s buffers
+    /// (cleared in O(previous query's touched entries)). Recover the
+    /// workspace with [`FNeighborhood::into_workspace`].
+    pub fn with_workspace(
+        g: &'g Graph,
+        q: NodeId,
+        params: &RankParams,
+        mode: FBoundMode,
+        ws: FWorkspace,
+    ) -> Result<Self, CoreError> {
+        let FWorkspace {
+            bca: bca_ws,
+            mut bounds,
+            mut order,
+        } = ws;
+        let bca = Bca::with_workspace(g, q, params, bca_ws)?;
+        bounds.ensure_capacity(g.node_count());
+        bounds.clear();
+        order.clear();
         let mut nb = FNeighborhood {
             g,
             q,
             alpha: params.alpha,
             mode,
             bca,
-            bounds: HashMap::new(),
+            bounds,
+            order,
             unseen_upper: 1.0,
         };
         nb.unseen_upper = nb.fresh_unseen_upper();
         Ok(nb)
+    }
+
+    /// Dissolve into the workspace so its buffers serve the next query.
+    pub fn into_workspace(self) -> FWorkspace {
+        FWorkspace {
+            bca: self.bca.into_workspace(),
+            bounds: self.bounds,
+            order: self.order,
+        }
     }
 
     fn fresh_unseen_upper(&self) -> f64 {
@@ -77,22 +113,19 @@ impl<'g> FNeighborhood<'g> {
     /// Stage I: expand by up to `m` nodes and (re)initialize bounds.
     /// Returns the number of nodes processed.
     pub fn expand(&mut self, m: usize) -> usize {
-        let picked = self.bca.process_batch(m);
+        let picked = self.bca.process_batch_count(m);
         self.unseen_upper = self.fresh_unseen_upper();
         // (Re)initialize: ρ is a valid lower bound, ρ + f̂(q) an upper bound.
         // Previous expansions' refined bounds are kept when tighter
         // (monotone tightening only).
         let unseen = self.unseen_upper;
-        let seen: Vec<(NodeId, f64)> = self.bca.seen().collect();
-        for (v, rho) in seen {
-            let entry = self
-                .bounds
-                .entry(v.0)
-                .or_insert_with(|| Bounds::unseen(1.0));
+        let bounds = &mut self.bounds;
+        for (v, rho) in self.bca.seen() {
+            let entry = bounds.get_or_insert(v.0, Bounds::unseen(1.0));
             entry.tighten_lower(rho);
             entry.tighten_upper(rho + unseen);
         }
-        picked.len()
+        picked
     }
 
     /// Stage II: iteratively refine all seen bounds over `S_f` using the
@@ -102,17 +135,19 @@ impl<'g> FNeighborhood<'g> {
         if self.mode == FBoundMode::Gupta {
             return 0;
         }
-        let mut members: Vec<u32> = self.bounds.keys().copied().collect();
-        members.sort_unstable(); // deterministic Gauss-Seidel sweep order
+        self.order.clear();
+        self.order.extend(self.bounds.keys());
+        self.order.sort_unstable(); // deterministic Gauss-Seidel sweep order
         for sweep in 1..=max_sweeps {
             let mut max_change = 0.0f64;
-            for &vid in &members {
+            for i in 0..self.order.len() {
+                let vid = self.order[i];
                 let v = NodeId(vid);
                 let indicator = if v == self.q { self.alpha } else { 0.0 };
                 let mut lo_acc = 0.0;
                 let mut hi_acc = 0.0;
                 for (src, prob) in self.g.in_edges(v) {
-                    match self.bounds.get(&src.0) {
+                    match self.bounds.get(src.0) {
                         Some(b) => {
                             lo_acc += prob * b.lower;
                             hi_acc += prob * b.upper;
@@ -125,7 +160,7 @@ impl<'g> FNeighborhood<'g> {
                 }
                 let cand_lo = indicator + (1.0 - self.alpha) * lo_acc;
                 let cand_hi = indicator + (1.0 - self.alpha) * hi_acc;
-                let b = self.bounds.get_mut(&vid).expect("member");
+                let b = self.bounds.get_mut(vid).expect("member");
                 max_change = max_change.max(b.tighten_lower(cand_lo));
                 max_change = max_change.max(b.tighten_upper(cand_hi));
             }
@@ -143,7 +178,7 @@ impl<'g> FNeighborhood<'g> {
 
     /// Bounds of a seen node, if seen.
     pub fn bounds(&self, v: NodeId) -> Option<Bounds> {
-        self.bounds.get(&v.0).copied()
+        self.bounds.get(v.0)
     }
 
     /// Effective bounds of *any* node (unseen ⇒ `[0, f̂(q)]`).
@@ -154,12 +189,12 @@ impl<'g> FNeighborhood<'g> {
 
     /// Whether `v` is in `S_f`.
     pub fn contains(&self, v: NodeId) -> bool {
-        self.bounds.contains_key(&v.0)
+        self.bounds.contains(v.0)
     }
 
     /// Iterate over seen nodes and their bounds.
     pub fn seen(&self) -> impl Iterator<Item = (NodeId, Bounds)> + '_ {
-        self.bounds.iter().map(|(&v, &b)| (NodeId(v), b))
+        self.bounds.iter().map(|(v, b)| (NodeId(v), b))
     }
 
     /// `|S_f|`.

@@ -47,11 +47,13 @@ pub mod plus;
 pub mod schemes;
 pub mod tbound;
 pub mod two_sbound;
+pub mod workspace;
 
 pub use config::TopKConfig;
 pub use plus::TwoSBoundPlus;
 pub use schemes::{NaiveTopK, Scheme};
 pub use two_sbound::{TopKResult, TwoSBound};
+pub use workspace::{FWorkspace, TWorkspace, TopKWorkspace};
 
 /// Convenient glob-import surface for downstream crates.
 pub mod prelude {
@@ -60,4 +62,5 @@ pub mod prelude {
     pub use crate::plus::TwoSBoundPlus;
     pub use crate::schemes::{NaiveTopK, Scheme};
     pub use crate::two_sbound::{TopKResult, TwoSBound};
+    pub use crate::workspace::{FWorkspace, TWorkspace, TopKWorkspace};
 }

@@ -68,6 +68,17 @@ impl TwoSBoundPlus {
         let mut f = FNeighborhood::new(g, q, &self.params, FBoundMode::TwoStage)?;
         let mut t = TNeighborhood::new(g, q, &self.params, TBoundMode::TwoStage)?;
         let k = cfg.k.min(g.node_count());
+        if k == 0 {
+            // K = 0 (or an empty graph): trivial answer; `conditions_hold`
+            // indexes members[k-1] and must not see it.
+            return Ok(TopKResult {
+                ranking: Vec::new(),
+                bounds: Vec::new(),
+                expansions: 0,
+                converged: true,
+                active: ActiveSetStats::default(),
+            });
+        }
         let refine_tol = cfg.refine_tolerance.max(cfg.epsilon * 1e-2);
         let (wa, wb) = (1.0 - self.beta, self.beta);
 

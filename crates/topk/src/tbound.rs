@@ -22,9 +22,9 @@
 //! instead of iterating to convergence.
 
 use crate::bounds::Bounds;
+use crate::workspace::TWorkspace;
 use rtr_core::{CoreError, RankParams};
-use rtr_graph::{Graph, NodeId};
-use std::collections::HashMap;
+use rtr_graph::{Graph, NodeId, SparseMap};
 
 /// Which Stage-II realization the t-neighborhood uses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -36,12 +36,18 @@ pub enum TBoundMode {
 }
 
 /// The t-neighborhood with its bounds.
+///
+/// Per-query state lives in a [`TWorkspace`]; [`TNeighborhood::new`]
+/// allocates a fresh one, [`TNeighborhood::with_workspace`] reuses a
+/// worker's buffers.
 pub struct TNeighborhood<'g> {
     g: &'g Graph,
     q: NodeId,
     alpha: f64,
     mode: TBoundMode,
-    bounds: HashMap<u32, Bounds>,
+    bounds: SparseMap<Bounds>,
+    order: Vec<u32>,
+    border_scratch: Vec<(u32, f64)>,
     unseen_upper: f64,
 }
 
@@ -54,6 +60,19 @@ impl<'g> TNeighborhood<'g> {
         params: &RankParams,
         mode: TBoundMode,
     ) -> Result<Self, CoreError> {
+        Self::with_workspace(g, q, params, mode, TWorkspace::default())
+    }
+
+    /// Initialize like [`TNeighborhood::new`] but reusing `ws`'s buffers
+    /// (cleared in O(previous query's touched entries)). Recover the
+    /// workspace with [`TNeighborhood::into_workspace`].
+    pub fn with_workspace(
+        g: &'g Graph,
+        q: NodeId,
+        params: &RankParams,
+        mode: TBoundMode,
+        ws: TWorkspace,
+    ) -> Result<Self, CoreError> {
         params.validate()?;
         if q.index() >= g.node_count() {
             return Err(CoreError::NodeOutOfRange {
@@ -61,7 +80,15 @@ impl<'g> TNeighborhood<'g> {
                 node_count: g.node_count(),
             });
         }
-        let mut bounds = HashMap::new();
+        let TWorkspace {
+            mut bounds,
+            mut order,
+            mut border,
+        } = ws;
+        bounds.ensure_capacity(g.node_count());
+        bounds.clear();
+        order.clear();
+        border.clear();
         bounds.insert(
             q.0,
             Bounds {
@@ -75,34 +102,42 @@ impl<'g> TNeighborhood<'g> {
             alpha: params.alpha,
             mode,
             bounds,
+            order,
+            border_scratch: border,
             unseen_upper: 1.0 - params.alpha,
         })
     }
 
-    /// Whether `v` is a border node: in `S_t` with an in-neighbor outside.
-    fn is_border(&self, v: NodeId) -> bool {
-        self.g
-            .in_neighbors(v)
-            .iter()
-            .any(|n| !self.bounds.contains_key(&n.0))
+    /// Dissolve into the workspace so its buffers serve the next query.
+    pub fn into_workspace(self) -> TWorkspace {
+        TWorkspace {
+            bounds: self.bounds,
+            order: self.order,
+            border: self.border_scratch,
+        }
+    }
+
+    /// Whether `v` is a border node of the member set: in `S_t` with an
+    /// in-neighbor outside.
+    fn is_border_of(g: &Graph, bounds: &SparseMap<Bounds>, v: NodeId) -> bool {
+        g.in_neighbors(v).iter().any(|n| !bounds.contains(n.0))
     }
 
     /// Current border nodes `∂(S_t)`.
     pub fn border(&self) -> Vec<NodeId> {
         self.bounds
             .keys()
-            .map(|&v| NodeId(v))
-            .filter(|&v| self.is_border(v))
+            .map(NodeId)
+            .filter(|&v| Self::is_border_of(self.g, &self.bounds, v))
             .collect()
     }
 
     fn recompute_unseen_upper(&mut self) {
         let max_border = self
             .bounds
-            .keys()
-            .map(|&v| NodeId(v))
-            .filter(|&v| self.is_border(v))
-            .map(|v| self.bounds[&v.0].upper)
+            .iter()
+            .filter(|&(v, _)| Self::is_border_of(self.g, &self.bounds, NodeId(v)))
+            .map(|(_, b)| b.upper)
             .fold(f64::NEG_INFINITY, f64::max);
         let fresh = if max_border.is_finite() {
             (1.0 - self.alpha) * max_border
@@ -119,12 +154,13 @@ impl<'g> TNeighborhood<'g> {
     /// nodes; initialize newcomers to `[0, previous unseen bound]`; refresh
     /// the unseen bound. Returns the number of newly added nodes.
     pub fn expand(&mut self, m: usize) -> usize {
-        let mut border: Vec<(NodeId, f64)> = self
-            .bounds
-            .iter()
-            .map(|(&v, b)| (NodeId(v), b.upper))
-            .filter(|&(v, _)| self.is_border(v))
-            .collect();
+        let border = &mut self.border_scratch;
+        border.clear();
+        for (v, b) in self.bounds.iter() {
+            if Self::is_border_of(self.g, &self.bounds, NodeId(v)) {
+                border.push((v, b.upper));
+            }
+        }
         if border.is_empty() {
             self.recompute_unseen_upper();
             return 0;
@@ -140,10 +176,13 @@ impl<'g> TNeighborhood<'g> {
 
         let prev_unseen = self.unseen_upper;
         let mut added = 0usize;
-        for (u, _) in border {
+        for i in 0..take {
+            let u = NodeId(self.border_scratch[i].0);
             for &src in self.g.in_neighbors(u) {
-                if let std::collections::hash_map::Entry::Vacant(e) = self.bounds.entry(src.0) {
-                    e.insert(Bounds::unseen(prev_unseen));
+                if self
+                    .bounds
+                    .insert_if_vacant(src.0, Bounds::unseen(prev_unseen))
+                {
                     added += 1;
                 }
             }
@@ -160,17 +199,19 @@ impl<'g> TNeighborhood<'g> {
             TBoundMode::TwoStage => max_sweeps,
             TBoundMode::Sarkar => 1,
         };
-        let mut members: Vec<u32> = self.bounds.keys().copied().collect();
-        members.sort_unstable(); // deterministic Gauss-Seidel sweep order
+        self.order.clear();
+        self.order.extend(self.bounds.keys());
+        self.order.sort_unstable(); // deterministic Gauss-Seidel sweep order
         for sweep in 1..=sweeps_cap {
             let mut max_change = 0.0f64;
-            for &vid in &members {
+            for i in 0..self.order.len() {
+                let vid = self.order[i];
                 let v = NodeId(vid);
                 let indicator = if v == self.q { self.alpha } else { 0.0 };
                 let mut lo_acc = 0.0;
                 let mut hi_acc = 0.0;
                 for (dst, prob) in self.g.out_edges(v) {
-                    match self.bounds.get(&dst.0) {
+                    match self.bounds.get(dst.0) {
                         Some(b) => {
                             lo_acc += prob * b.lower;
                             hi_acc += prob * b.upper;
@@ -182,7 +223,7 @@ impl<'g> TNeighborhood<'g> {
                 }
                 let cand_lo = indicator + (1.0 - self.alpha) * lo_acc;
                 let cand_hi = indicator + (1.0 - self.alpha) * hi_acc;
-                let b = self.bounds.get_mut(&vid).expect("member");
+                let b = self.bounds.get_mut(vid).expect("member");
                 max_change = max_change.max(b.tighten_lower(cand_lo));
                 max_change = max_change.max(b.tighten_upper(cand_hi));
             }
@@ -201,7 +242,7 @@ impl<'g> TNeighborhood<'g> {
 
     /// Bounds of a seen node, if seen.
     pub fn bounds(&self, v: NodeId) -> Option<Bounds> {
-        self.bounds.get(&v.0).copied()
+        self.bounds.get(v.0)
     }
 
     /// Effective bounds of *any* node (unseen ⇒ `[0, t̂(q)]`).
@@ -212,12 +253,12 @@ impl<'g> TNeighborhood<'g> {
 
     /// Whether `v` is in `S_t`.
     pub fn contains(&self, v: NodeId) -> bool {
-        self.bounds.contains_key(&v.0)
+        self.bounds.contains(v.0)
     }
 
     /// Iterate over seen nodes and their bounds.
     pub fn seen(&self) -> impl Iterator<Item = (NodeId, Bounds)> + '_ {
-        self.bounds.iter().map(|(&v, &b)| (NodeId(v), b))
+        self.bounds.iter().map(|(v, b)| (NodeId(v), b))
     }
 
     /// `|S_t|`.

@@ -19,6 +19,7 @@ use crate::config::TopKConfig;
 use crate::fbound::FNeighborhood;
 use crate::schemes::Scheme;
 use crate::tbound::TNeighborhood;
+use crate::workspace::TopKWorkspace;
 use rtr_core::{CoreError, RankParams};
 use rtr_graph::{Graph, NodeId};
 
@@ -77,18 +78,66 @@ impl TwoSBound {
         &self.config
     }
 
-    /// Run the top-K search for query node `q`.
+    /// Run the top-K search for query node `q`, allocating fresh per-query
+    /// state. Serving paths use [`TwoSBound::run_with`] instead.
     pub fn run(&self, g: &Graph, q: NodeId) -> Result<TopKResult, CoreError> {
+        self.run_with(g, q, &mut TopKWorkspace::default())
+    }
+
+    /// Run the top-K search for query node `q` reusing `ws`'s buffers.
+    ///
+    /// Results are bit-identical to [`TwoSBound::run`] (the determinism
+    /// suite in `tests/` enforces this); the difference is purely that the
+    /// sparse maps, sweep orders, and selection scratch survive between
+    /// queries, so a long-lived worker allocates nothing on the hot path.
+    pub fn run_with(
+        &self,
+        g: &Graph,
+        q: NodeId,
+        ws: &mut TopKWorkspace,
+    ) -> Result<TopKResult, CoreError> {
         let cfg = &self.config;
-        let mut f = FNeighborhood::new(g, q, &self.params, self.scheme.f_mode())?;
-        let mut t = TNeighborhood::new(g, q, &self.params, self.scheme.t_mode())?;
+        // Validate before borrowing any workspace buffer: a rejected query
+        // (bad α, out-of-range node) must not cost the worker its buffers.
+        self.params.validate()?;
+        if q.index() >= g.node_count() {
+            return Err(CoreError::NodeOutOfRange {
+                node: q,
+                node_count: g.node_count(),
+            });
+        }
+        let f_ws = std::mem::take(&mut ws.f);
+        let mut f = FNeighborhood::with_workspace(g, q, &self.params, self.scheme.f_mode(), f_ws)?;
+        let t_ws = std::mem::take(&mut ws.t);
+        let mut t =
+            match TNeighborhood::with_workspace(g, q, &self.params, self.scheme.t_mode(), t_ws) {
+                Ok(t) => t,
+                Err(e) => {
+                    ws.f = f.into_workspace();
+                    return Err(e);
+                }
+            };
         let k = cfg.k.min(g.node_count());
+        if k == 0 {
+            // K = 0 (or an empty graph) has a trivial answer; the stopping
+            // conditions below index members[k-1] and must not see it.
+            ws.f = f.into_workspace();
+            ws.t = t.into_workspace();
+            return Ok(TopKResult {
+                ranking: Vec::new(),
+                bounds: Vec::new(),
+                expansions: 0,
+                converged: true,
+                active: ActiveSetStats::default(),
+            });
+        }
         // Stage II only needs bounds tight relative to the slack: refining
         // far past ε wastes sweeps without changing the stopping decision.
         let refine_tol = cfg.refine_tolerance.max(cfg.epsilon * 1e-2);
 
+        let members = &mut ws.members;
         let mut expansions = 0usize;
-        loop {
+        let result = loop {
             expansions += 1;
             // Two-stage bounds updating (Stage I + Stage II), per neighborhood.
             f.expand(cfg.m_f);
@@ -97,10 +146,11 @@ impl TwoSBound {
             t.refine(refine_tol, cfg.refine_max_sweeps);
 
             // r-neighborhood S = S_f ∩ S_t with product bounds (Eq. 15).
-            let mut members: Vec<(NodeId, Bounds)> = f
-                .seen()
-                .filter_map(|(v, fb)| t.bounds(v).map(|tb| (v, fb.product(&tb))))
-                .collect();
+            members.clear();
+            members.extend(
+                f.seen()
+                    .filter_map(|(v, fb)| t.bounds(v).map(|tb| (v, fb.product(&tb)))),
+            );
             members.sort_by(|a, b| {
                 b.1.lower
                     .partial_cmp(&a.1.lower)
@@ -112,23 +162,30 @@ impl TwoSBound {
             let r_unseen = self.unseen_upper(&f, &t);
 
             let done =
-                members.len() >= k && Self::conditions_hold(&members, k, cfg.epsilon, r_unseen);
+                members.len() >= k && Self::conditions_hold(members, k, cfg.epsilon, r_unseen);
             // Bounds can no longer improve once the residual is exhausted
             // and the border has emptied; return whatever we have.
             let exhausted = f.residual() < 1e-15 && t.unseen_upper() == 0.0;
             if done || exhausted || expansions >= cfg.max_expansions {
-                let active =
-                    ActiveSetStats::measure(g, f.seen().map(|(v, _)| v), t.seen().map(|(v, _)| v));
+                let active = ActiveSetStats::measure_in(
+                    &mut ws.active,
+                    g,
+                    f.seen().map(|(v, _)| v),
+                    t.seen().map(|(v, _)| v),
+                );
                 members.truncate(k);
-                return Ok(TopKResult {
+                break TopKResult {
                     ranking: members.iter().map(|&(v, _)| v).collect(),
                     bounds: members.iter().map(|&(_, b)| (b.lower, b.upper)).collect(),
                     expansions,
                     converged: done,
                     active,
-                });
+                };
             }
-        }
+        };
+        ws.f = f.into_workspace();
+        ws.t = t.into_workspace();
+        Ok(result)
     }
 
     /// Eq. 16: `r̂(q) = max{f̂(q)·t̂(q), max_{v∈Sf\S} f̂(q,v)·t̂(q),

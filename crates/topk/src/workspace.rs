@@ -1,0 +1,66 @@
+//! Reusable per-query workspaces for the top-K machinery.
+//!
+//! One 2SBound query touches four sparse structures — BCA's `ρ`/`µ` maps,
+//! the f- and t-neighborhood bounds maps — plus a handful of scratch
+//! vectors (sweep orders, border selection, the r-neighborhood member
+//! list, the active-set union). [`TopKWorkspace`] owns all of them so a
+//! serving worker can run query after query against a shared graph with
+//! zero steady-state allocation: every buffer is cleared in O(touched)
+//! and re-used.
+//!
+//! The workspace is deliberately *not* tied to a graph: capacities grow on
+//! first use (and when a larger graph appears) and are retained after.
+
+use crate::bounds::Bounds;
+use rtr_core::BcaWorkspace;
+use rtr_graph::{NodeSet, SparseMap};
+
+/// Reusable state for one [`crate::fbound::FNeighborhood`]: the underlying
+/// BCA workspace, the bounds map over `S_f`, and the Stage-II sweep order.
+#[derive(Clone, Debug, Default)]
+pub struct FWorkspace {
+    pub(crate) bca: BcaWorkspace,
+    pub(crate) bounds: SparseMap<Bounds>,
+    pub(crate) order: Vec<u32>,
+}
+
+/// Reusable state for one [`crate::tbound::TNeighborhood`]: the bounds map
+/// over `S_t`, the Stage-II sweep order, and the border-selection scratch.
+#[derive(Clone, Debug, Default)]
+pub struct TWorkspace {
+    pub(crate) bounds: SparseMap<Bounds>,
+    pub(crate) order: Vec<u32>,
+    pub(crate) border: Vec<(u32, f64)>,
+}
+
+/// Everything one [`crate::two_sbound::TwoSBound`] query needs, bundled for
+/// per-worker reuse; pass to [`crate::two_sbound::TwoSBound::run_with`].
+///
+/// ```
+/// use rtr_graph::toy::fig2_toy;
+/// use rtr_core::prelude::*;
+/// use rtr_topk::prelude::*;
+///
+/// let (g, ids) = fig2_toy();
+/// let engine = TwoSBound::new(RankParams::default(), TopKConfig::toy());
+/// let mut ws = TopKWorkspace::default();
+/// for q in [ids.t1, ids.t2] {
+///     // Bit-identical to `engine.run(&g, q)`, without its allocations.
+///     let result = engine.run_with(&g, q, &mut ws).unwrap();
+///     assert_eq!(result.ranking[0], q);
+/// }
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct TopKWorkspace {
+    pub(crate) f: FWorkspace,
+    pub(crate) t: TWorkspace,
+    pub(crate) members: Vec<(rtr_graph::NodeId, Bounds)>,
+    pub(crate) active: NodeSet,
+}
+
+impl TopKWorkspace {
+    /// A workspace (all buffers empty) ready for any graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}

@@ -1,58 +1,142 @@
-//! Offline stand-in for `crossbeam`'s channel module, backed by
-//! `std::sync::mpsc`. Only the unbounded channel surface the distributed
-//! simulation uses is provided (`unbounded`, `Sender::send`,
-//! `Receiver::recv`/`try_recv`/`iter`). Unlike crossbeam, the receiver is
-//! not `Clone` — the workspace never clones receivers.
+//! Offline stand-in for `crossbeam`'s channel module. Only the unbounded
+//! channel surface the workspace uses is provided (`unbounded`,
+//! `Sender::send`, `Receiver::recv` / `try_recv` / `iter`). Like real
+//! crossbeam — and unlike raw `mpsc` — both halves are `Clone`, so a pool
+//! of workers can compete for jobs on one shared queue.
+//!
+//! The queue is a `Mutex<VecDeque>` + `Condvar`: the lock is held only to
+//! push or pop, never across a blocking wait, so a receiver parked in
+//! `recv()` does not serialize the other consumers (the failure mode of
+//! the naive `Mutex<mpsc::Receiver>` wrapping this shim started with).
 
-/// Multi-producer channels.
+/// Multi-producer, multi-consumer channels.
 pub mod channel {
-    use std::sync::mpsc;
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
 
     pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
 
-    /// The sending half of an unbounded channel.
-    #[derive(Debug)]
-    pub struct Sender<T>(mpsc::Sender<T>);
+    struct Inner<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
 
-    // Derived Clone would require T: Clone; the inner sender clones freely.
+    struct Shared<T> {
+        inner: Mutex<Inner<T>>,
+        ready: Condvar,
+    }
+
+    /// The sending half of an unbounded channel.
+    pub struct Sender<T>(Arc<Shared<T>>);
+
+    impl<T> std::fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Sender(..)")
+        }
+    }
+
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
-            Sender(self.0.clone())
+            self.0.inner.lock().expect("channel poisoned").senders += 1;
+            Sender(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut inner = self.0.inner.lock().expect("channel poisoned");
+            inner.senders -= 1;
+            if inner.senders == 0 {
+                // Receivers blocked in recv() must observe the hangup.
+                drop(inner);
+                self.0.ready.notify_all();
+            }
         }
     }
 
     impl<T> Sender<T> {
         /// Send a value; errors only if every receiver is gone.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            self.0.send(value)
+            let mut inner = self.0.inner.lock().expect("channel poisoned");
+            if inner.receivers == 0 {
+                return Err(SendError(value));
+            }
+            inner.queue.push_back(value);
+            drop(inner);
+            self.0.ready.notify_one();
+            Ok(())
         }
     }
 
-    /// The receiving half of an unbounded channel.
-    #[derive(Debug)]
-    pub struct Receiver<T>(mpsc::Receiver<T>);
+    /// The receiving half of an unbounded channel. Cloning yields another
+    /// handle onto the *same* queue: each message is delivered to exactly
+    /// one receiver, crossbeam's work-queue semantics.
+    pub struct Receiver<T>(Arc<Shared<T>>);
+
+    impl<T> std::fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Receiver(..)")
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.0.inner.lock().expect("channel poisoned").receivers += 1;
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.0.inner.lock().expect("channel poisoned").receivers -= 1;
+        }
+    }
 
     impl<T> Receiver<T> {
-        /// Block until a value arrives; errors once all senders are gone.
+        /// Block until a value arrives; errors once all senders are gone
+        /// and the queue has drained.
         pub fn recv(&self) -> Result<T, RecvError> {
-            self.0.recv()
+            let mut inner = self.0.inner.lock().expect("channel poisoned");
+            loop {
+                if let Some(v) = inner.queue.pop_front() {
+                    return Ok(v);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvError);
+                }
+                inner = self.0.ready.wait(inner).expect("channel poisoned");
+            }
         }
 
         /// Non-blocking receive.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
-            self.0.try_recv()
+            let mut inner = self.0.inner.lock().expect("channel poisoned");
+            match inner.queue.pop_front() {
+                Some(v) => Ok(v),
+                None if inner.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
         }
 
-        /// Blocking iterator over received values.
+        /// Blocking iterator over received values; ends when all senders
+        /// are gone.
         pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
-            self.0.iter()
+            std::iter::from_fn(move || self.recv().ok())
         }
     }
 
     /// Create an unbounded FIFO channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
-        let (tx, rx) = mpsc::channel();
-        (Sender(tx), Receiver(rx))
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            ready: Condvar::new(),
+        });
+        (Sender(Arc::clone(&shared)), Receiver(shared))
     }
 
     #[cfg(test)]
@@ -71,6 +155,84 @@ pub mod channel {
             h.join().unwrap();
             assert_eq!(sum, 42);
             assert!(rx.try_recv().is_err());
+        }
+
+        #[test]
+        fn cloned_receivers_share_one_queue() {
+            let (tx, rx) = unbounded::<u32>();
+            let rx2 = rx.clone();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            drop(tx);
+            // Each message goes to exactly one receiver handle.
+            let mut got = vec![rx.recv().unwrap(), rx2.recv().unwrap()];
+            got.sort_unstable();
+            assert_eq!(got, vec![1, 2]);
+            assert!(rx.recv().is_err());
+            assert!(rx2.recv().is_err());
+        }
+
+        #[test]
+        fn competing_consumers_drain_everything() {
+            let (tx, rx) = unbounded::<u64>();
+            let n = 1000u64;
+            let workers: Vec<_> = (0..4)
+                .map(|_| {
+                    let rx = rx.clone();
+                    std::thread::spawn(move || {
+                        let mut sum = 0u64;
+                        while let Ok(v) = rx.recv() {
+                            sum += v;
+                        }
+                        sum
+                    })
+                })
+                .collect();
+            for v in 1..=n {
+                tx.send(v).unwrap();
+            }
+            drop(tx);
+            let total: u64 = workers.into_iter().map(|h| h.join().unwrap()).sum();
+            assert_eq!(total, n * (n + 1) / 2);
+        }
+
+        #[test]
+        fn try_recv_is_nonblocking_while_another_handle_waits_in_recv() {
+            let (tx, rx) = unbounded::<u32>();
+            let rx2 = rx.clone();
+            // Park one handle in recv() on another thread.
+            let parked = std::thread::spawn(move || rx2.recv());
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            // The parked recv must not wedge this try_recv.
+            assert!(matches!(rx.try_recv(), Err(TryRecvError::Empty)));
+            tx.send(5).unwrap();
+            assert_eq!(parked.join().unwrap().unwrap(), 5);
+        }
+
+        #[test]
+        fn send_fails_once_all_receivers_dropped() {
+            let (tx, rx) = unbounded::<u32>();
+            drop(rx);
+            assert!(tx.send(1).is_err());
+        }
+
+        #[test]
+        fn iter_ends_on_disconnect() {
+            let (tx, rx) = unbounded::<u32>();
+            tx.send(7).unwrap();
+            tx.send(8).unwrap();
+            drop(tx);
+            let all: Vec<u32> = rx.iter().collect();
+            assert_eq!(all, vec![7, 8]);
+        }
+
+        #[test]
+        fn recv_errors_only_after_drain() {
+            let (tx, rx) = unbounded::<u32>();
+            tx.send(9).unwrap();
+            drop(tx);
+            assert_eq!(rx.recv().unwrap(), 9);
+            assert!(rx.recv().is_err());
         }
     }
 }
