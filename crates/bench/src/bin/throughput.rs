@@ -8,24 +8,32 @@
 //!
 //! ```text
 //! throughput [--workers 1,2,4,8] [--queries N] [--k K] [--epsilon E]
-//!            [--out PATH] [--check bench/baseline.json]
+//!            [--skew S] [--cache CAPACITY] [--json PATH]
+//!            [--check bench/baseline.json]
 //! ```
 //!
 //! Without `--check`, the workload follows `RTR_SCALE` / `RTR_SEED` like
 //! every other bench binary. With `--check PATH`, the binary ignores the
 //! environment and runs the **canonical gate workload** (small QLog, seed
-//! 2013, 1000 queries, workers {1, 2, 4}), then fails — exit code 1 — if
-//! the measured best QPS falls more than 30% below the committed
-//! baseline's `qps` field, so the gate runs identically locally and in CI.
+//! 2013, 1000 queries, cache off), then fails — exit code 1 — if the
+//! measured best QPS falls more than 30% below the committed baseline's
+//! `qps` field, so the gate runs identically locally and in CI.
+//!
+//! With `--skew S`, the workload switches to a **Zipf-repeat stream**: a
+//! hot pool of query nodes sampled with exponent `S` (real logs are
+//! head-heavy — the hot queries repeat constantly). In this mode every
+//! worker count is measured twice, cache **off** then cache **on**, the
+//! two result streams are asserted bit-identical, and the JSON gains
+//! cached QPS, hit rate, and speedup columns.
 
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
 use rtr_bench::json::{number, number_field};
 use rtr_bench::{percentile, qlog, seed, Scale};
 use rtr_core::RankParams;
-use rtr_datagen::{QLog, QLogConfig};
+use rtr_datagen::{QLog, QLogConfig, Zipf};
 use rtr_graph::{Graph, NodeId};
-use rtr_serve::{ServeConfig, ServeEngine};
+use rtr_serve::{QueryOutput, ServeConfig, ServeEngine};
 use rtr_topk::TopKConfig;
 use std::sync::Arc;
 use std::time::Instant;
@@ -34,24 +42,57 @@ use std::time::Instant;
 /// fails (the ISSUE's ">30% drop" contract).
 const MAX_QPS_DROP: f64 = 0.30;
 
+/// Size of the hot query pool the `--skew` workload draws from: the head
+/// of the shuffled phrase pool. Production logs concentrate traffic on a
+/// small popular set; a bounded pool models that while keeping the tail
+/// (high Zipf ranks) genuinely cold.
+const SKEW_HOT_POOL: usize = 256;
+
+/// Default cache capacity when a cached run is requested without an
+/// explicit `--cache` (entries; a cached top-10 ranking is a few hundred
+/// bytes).
+const DEFAULT_CACHE_CAPACITY: usize = 4096;
+
 struct Args {
     workers: Vec<usize>,
-    queries: usize,
+    queries: Option<usize>,
     k: usize,
     epsilon: f64,
     out: String,
     check: Option<String>,
+    skew: Option<f64>,
+    cache: usize,
 }
 
 impl Default for Args {
     fn default() -> Self {
         Args {
             workers: vec![1, 2, 4, 8],
-            queries: 200,
+            queries: None,
             k: 10,
             epsilon: 0.01,
             out: "BENCH_throughput.json".to_owned(),
             check: None,
+            skew: None,
+            cache: 0,
+        }
+    }
+}
+
+impl Args {
+    /// Query count: explicit `--queries`, else 2000 for the skewed workload
+    /// (repeats need volume to show) and 200 for the uniform one.
+    fn query_count(&self) -> usize {
+        self.queries
+            .unwrap_or(if self.skew.is_some() { 2000 } else { 200 })
+    }
+
+    /// Cache capacity for cached runs: explicit `--cache`, else the default.
+    fn cache_capacity(&self) -> usize {
+        if self.cache > 0 {
+            self.cache
+        } else {
+            DEFAULT_CACHE_CAPACITY
         }
     }
 }
@@ -72,15 +113,24 @@ fn parse_args() -> Args {
                     .collect();
                 assert!(!args.workers.is_empty(), "--workers needs at least one");
             }
-            "--queries" => args.queries = value("--queries").parse().expect("query count"),
+            "--queries" => args.queries = Some(value("--queries").parse().expect("query count")),
             "--k" => args.k = value("--k").parse().expect("k"),
             "--epsilon" => args.epsilon = value("--epsilon").parse().expect("epsilon"),
-            "--out" => args.out = value("--out"),
+            // --json is the canonical artifact-path flag; --out remains as
+            // an alias for older invocations.
+            "--json" | "--out" => args.out = value(flag.as_str()),
             "--check" => args.check = Some(value("--check")),
+            "--skew" => {
+                let s: f64 = value("--skew").parse().expect("skew exponent");
+                assert!(s > 0.0 && s.is_finite(), "--skew must be positive");
+                args.skew = Some(s);
+            }
+            "--cache" => args.cache = value("--cache").parse().expect("cache capacity"),
             "--help" | "-h" => {
                 eprintln!(
                     "throughput [--workers 1,2,4,8] [--queries N] [--k K] \
-                     [--epsilon E] [--out PATH] [--check BASELINE_JSON]"
+                     [--epsilon E] [--skew S] [--cache CAPACITY] \
+                     [--json PATH] [--check BASELINE_JSON]"
                 );
                 std::process::exit(0);
             }
@@ -92,24 +142,22 @@ fn parse_args() -> Args {
 
 /// The fixed-seed workload the CI gate replays (environment-independent:
 /// `RTR_SCALE` / `RTR_SEED` are ignored so local and CI runs are the same
-/// measurement).
-fn canonical_gate_args(check: String) -> (Args, QLog) {
+/// measurement). The gate always measures the cold path — cache off — so a
+/// cache can never mask a compute regression.
+fn canonical_gate_args(check: String, out: String) -> (Args, QLog) {
     let args = Args {
         workers: vec![1, 2, 4],
-        queries: 1000,
-        k: 10,
-        epsilon: 0.01,
-        out: "BENCH_throughput.json".to_owned(),
+        queries: Some(1000),
         check: Some(check),
+        out,
+        ..Args::default()
     };
     eprintln!("[throughput] check mode: canonical workload (small QLog, seed 2013)");
     (args, QLog::generate(&QLogConfig::small(), 2013))
 }
 
-/// Deterministic query stream: shuffled non-dangling phrase nodes, cycled
-/// up to `n` (real logs repeat popular phrases; cycling models that while
-/// keeping the stream deterministic).
-fn sample_queries(log: &QLog, n: usize, seed: u64) -> Vec<NodeId> {
+/// Non-dangling phrase nodes, deterministically shuffled: the query pool.
+fn query_pool(log: &QLog, seed: u64) -> Vec<NodeId> {
     let g = &log.graph;
     let mut pool: Vec<NodeId> = log
         .phrases
@@ -120,27 +168,60 @@ fn sample_queries(log: &QLog, n: usize, seed: u64) -> Vec<NodeId> {
     assert!(!pool.is_empty(), "QLog has no usable phrase queries");
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     pool.shuffle(&mut rng);
+    pool
+}
+
+/// Deterministic uniform query stream: the shuffled pool cycled up to `n`
+/// (real logs repeat popular phrases; cycling models that while keeping
+/// the stream deterministic).
+fn sample_queries(log: &QLog, n: usize, seed: u64) -> Vec<NodeId> {
+    let pool = query_pool(log, seed);
     (0..n).map(|i| pool[i % pool.len()]).collect()
 }
 
+/// Deterministic Zipf-repeat query stream: rank `r` of the hot pool is
+/// drawn with probability ∝ 1/(r+1)^s, so the head repeats heavily and the
+/// tail stays cold — the skewed-traffic shape `rtr-datagen` models for
+/// clicks, applied to the queries themselves.
+fn sample_queries_zipf(log: &QLog, n: usize, seed: u64, s: f64) -> (Vec<NodeId>, usize) {
+    let pool = query_pool(log, seed);
+    let hot = &pool[..pool.len().min(SKEW_HOT_POOL)];
+    let zipf = Zipf::new(hot.len(), s);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x5e3a);
+    let queries = (0..n).map(|_| hot[zipf.sample(&mut rng)]).collect();
+    (queries, hot.len())
+}
+
+#[derive(Clone, Copy)]
 struct RunRow {
     workers: usize,
     qps: f64,
     p50_ms: f64,
     p99_ms: f64,
     wall_ms: f64,
+    /// Steady-state cache hit rate over the measured pass (cached runs).
+    hit_rate: Option<f64>,
 }
 
-fn run_at(g: &Arc<Graph>, config: ServeConfig, queries: &[NodeId], workers: usize) -> RunRow {
+struct Measured {
+    row: RunRow,
+    outputs: Vec<QueryOutput>,
+}
+
+fn run_at(g: &Arc<Graph>, config: ServeConfig, queries: &[NodeId], workers: usize) -> Measured {
     let engine = ServeEngine::start(Arc::clone(g), config.with_workers(workers));
     // Warmup: populate every worker's workspace (and the OS scheduler)
     // before the measured pass.
     let warm = queries.len().min(workers.max(1) * 4);
     let _ = engine.run_batch(&queries[..warm]);
+    let cache_mark = engine.cache_stats();
 
     let started = Instant::now();
     let outputs = engine.run_batch(queries);
     let wall = started.elapsed();
+    let hit_rate = engine
+        .cache_stats()
+        .map(|now| cache_mark.map_or(now, |mark| now.since(&mark)).hit_rate());
 
     let mut latencies_ms = Vec::with_capacity(outputs.len());
     for out in &outputs {
@@ -149,15 +230,48 @@ fn run_at(g: &Arc<Graph>, config: ServeConfig, queries: &[NodeId], workers: usiz
             .unwrap_or_else(|e| panic!("query {:?} failed: {e}", out.query));
         latencies_ms.push(out.latency.as_secs_f64() * 1e3);
     }
-    RunRow {
-        workers,
-        qps: queries.len() as f64 / wall.as_secs_f64(),
-        p50_ms: percentile(&latencies_ms, 50.0),
-        p99_ms: percentile(&latencies_ms, 99.0),
-        wall_ms: wall.as_secs_f64() * 1e3,
+    Measured {
+        row: RunRow {
+            workers,
+            qps: queries.len() as f64 / wall.as_secs_f64(),
+            p50_ms: percentile(&latencies_ms, 50.0),
+            p99_ms: percentile(&latencies_ms, 99.0),
+            wall_ms: wall.as_secs_f64() * 1e3,
+            hit_rate,
+        },
+        outputs,
     }
 }
 
+/// The skewed workload's correctness clause: cached serving must be
+/// bit-identical to uncached serving, query by query.
+fn assert_identical(uncached: &[QueryOutput], cached: &[QueryOutput], workers: usize) {
+    assert_eq!(uncached.len(), cached.len());
+    for (u, c) in uncached.iter().zip(cached) {
+        let (u, c) = (u.result.as_ref().unwrap(), c.result.as_ref().unwrap());
+        assert_eq!(
+            u.ranking, c.ranking,
+            "cached ranking diverged at {workers} workers"
+        );
+        assert_eq!(
+            u.bounds, c.bounds,
+            "cached bounds diverged at {workers} workers"
+        );
+    }
+}
+
+struct SkewRow {
+    uncached: RunRow,
+    cached: RunRow,
+}
+
+impl SkewRow {
+    fn speedup(&self) -> f64 {
+        self.cached.qps / self.uncached.qps
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn emit_json(
     path: &str,
     scale_label: &str,
@@ -165,34 +279,62 @@ fn emit_json(
     args: &Args,
     g: &Graph,
     rows: &[RunRow],
+    skew_rows: &[SkewRow],
 ) {
     let best = rows
         .iter()
         .max_by(|a, b| a.qps.partial_cmp(&b.qps).expect("NaN qps"))
         .expect("at least one run");
+    let run_json = |r: &RunRow| {
+        let mut s = format!(
+            "{{ \"workers\": {}, \"qps\": {}, \"p50_ms\": {}, \"p99_ms\": {}, \"wall_ms\": {}",
+            r.workers,
+            number(r.qps),
+            number(r.p50_ms),
+            number(r.p99_ms),
+            number(r.wall_ms)
+        );
+        if let Some(h) = r.hit_rate {
+            s.push_str(&format!(", \"hit_rate\": {}", number(h)));
+        }
+        s.push_str(" }");
+        s
+    };
     let runs: Vec<String> = rows
         .iter()
-        .map(|r| {
-            format!(
-                "    {{ \"workers\": {}, \"qps\": {}, \"p50_ms\": {}, \"p99_ms\": {}, \"wall_ms\": {} }}",
-                r.workers,
-                number(r.qps),
-                number(r.p50_ms),
-                number(r.p99_ms),
-                number(r.wall_ms)
-            )
-        })
+        .map(|r| format!("    {}", run_json(r)))
         .collect();
+    let mut extra = String::new();
+    if let Some(s) = args.skew {
+        let skew_runs: Vec<String> = skew_rows
+            .iter()
+            .map(|sr| {
+                format!(
+                    "    {{ \"workers\": {}, \"uncached\": {}, \"cached\": {}, \"speedup\": {} }}",
+                    sr.uncached.workers,
+                    run_json(&sr.uncached),
+                    run_json(&sr.cached),
+                    number(sr.speedup())
+                )
+            })
+            .collect();
+        extra = format!(
+            ",\n  \"skew\": {},\n  \"cache_capacity\": {},\n  \"skew_runs\": [\n{}\n  ]",
+            number(s),
+            args.cache_capacity(),
+            skew_runs.join(",\n")
+        );
+    }
     let json = format!(
         "{{\n  \"bench\": \"throughput\",\n  \"scale\": \"{scale_label}\",\n  \"seed\": {},\n  \
          \"graph\": {{ \"nodes\": {}, \"edges\": {} }},\n  \"k\": {},\n  \"epsilon\": {},\n  \
-         \"queries\": {},\n  \"runs\": [\n{}\n  ],\n  \"best_workers\": {},\n  \"best_qps\": {}\n}}\n",
+         \"queries\": {},\n  \"runs\": [\n{}\n  ],\n  \"best_workers\": {},\n  \"best_qps\": {}{extra}\n}}\n",
         workload_seed,
         g.node_count(),
         g.edge_count(),
         args.k,
         number(args.epsilon),
-        args.queries,
+        args.query_count(),
         runs.join(",\n"),
         best.workers,
         number(best.qps),
@@ -204,7 +346,7 @@ fn emit_json(
 fn main() {
     let parsed = parse_args();
     let (args, log) = match parsed.check.clone() {
-        Some(baseline) => canonical_gate_args(baseline),
+        Some(baseline) => canonical_gate_args(baseline, parsed.out.clone()),
         None => (parsed, qlog()),
     };
     let scale_label = if args.check.is_some() {
@@ -216,7 +358,11 @@ fn main() {
     // In check mode the workload is hard-pinned to seed 2013; the JSON
     // must record the seed that actually ran, not the RTR_SEED env.
     let workload_seed = if args.check.is_some() { 2013 } else { seed() };
-    let queries = sample_queries(&log, args.queries, workload_seed);
+    let n_queries = args.query_count();
+    let (queries, hot_pool) = match args.skew {
+        Some(s) => sample_queries_zipf(&log, n_queries, workload_seed, s),
+        None => (sample_queries(&log, n_queries, workload_seed), 0),
+    };
     let g = Arc::new(log.graph);
     let config = ServeConfig {
         workers: 1,
@@ -226,31 +372,83 @@ fn main() {
             epsilon: args.epsilon,
             ..TopKConfig::default()
         },
-        scheme: rtr_topk::Scheme::TwoSBound,
-    };
+        // The gate always measures the cold path; plain runs honor --cache.
+        ..ServeConfig::default()
+    }
+    .with_cache_capacity(if args.check.is_some() { 0 } else { args.cache });
 
     println!(
         "=== serving throughput: {} queries, K = {}, ε = {} on {} nodes / {} edges ===",
-        args.queries,
+        n_queries,
         args.k,
         args.epsilon,
         g.node_count(),
         g.edge_count()
     );
-    println!(
-        "{:>8} {:>12} {:>10} {:>10} {:>10}",
-        "workers", "QPS", "p50/ms", "p99/ms", "wall/ms"
-    );
     let mut rows = Vec::new();
-    for &workers in &args.workers {
-        let row = run_at(&g, config, &queries, workers);
+    let mut skew_rows = Vec::new();
+    if let Some(s) = args.skew {
         println!(
-            "{:>8} {:>12.1} {:>10.3} {:>10.3} {:>10.1}",
-            row.workers, row.qps, row.p50_ms, row.p99_ms, row.wall_ms
+            "--- Zipf-repeat workload: s = {s}, hot pool {hot_pool}, cache capacity {} ---",
+            args.cache_capacity()
         );
-        rows.push(row);
+        println!(
+            "{:>8} {:>12} {:>12} {:>10} {:>9}",
+            "workers", "QPS(off)", "QPS(on)", "hit rate", "speedup"
+        );
+        for &workers in &args.workers {
+            let uncached = run_at(&g, config.with_cache_capacity(0), &queries, workers);
+            let cached = run_at(
+                &g,
+                config.with_cache_capacity(args.cache_capacity()),
+                &queries,
+                workers,
+            );
+            assert_identical(&uncached.outputs, &cached.outputs, workers);
+            let sr = SkewRow {
+                uncached: uncached.row,
+                cached: cached.row,
+            };
+            println!(
+                "{:>8} {:>12.1} {:>12.1} {:>9.1}% {:>8.2}x",
+                workers,
+                sr.uncached.qps,
+                sr.cached.qps,
+                sr.cached.hit_rate.unwrap_or(0.0) * 100.0,
+                sr.speedup()
+            );
+            // The uncached run doubles as this worker count's plain row, so
+            // best_qps keeps its cold-path meaning in skew mode too.
+            rows.push(RunRow {
+                hit_rate: None,
+                ..sr.uncached
+            });
+            skew_rows.push(sr);
+        }
+    } else {
+        println!(
+            "{:>8} {:>12} {:>10} {:>10} {:>10}",
+            "workers", "QPS", "p50/ms", "p99/ms", "wall/ms"
+        );
+        for &workers in &args.workers {
+            let m = run_at(&g, config, &queries, workers);
+            let row = m.row;
+            println!(
+                "{:>8} {:>12.1} {:>10.3} {:>10.3} {:>10.1}",
+                row.workers, row.qps, row.p50_ms, row.p99_ms, row.wall_ms
+            );
+            rows.push(row);
+        }
     }
-    emit_json(&args.out, &scale_label, workload_seed, &args, &g, &rows);
+    emit_json(
+        &args.out,
+        &scale_label,
+        workload_seed,
+        &args,
+        &g,
+        &rows,
+        &skew_rows,
+    );
 
     if let Some(baseline_path) = &args.check {
         let text = std::fs::read_to_string(baseline_path)

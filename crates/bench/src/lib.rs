@@ -148,14 +148,21 @@ pub fn mean_ci99(samples: &[f64]) -> (f64, f64) {
 }
 
 /// The `p`-th percentile (`0 ≤ p ≤ 100`) of a sample by the nearest-rank
-/// method on a sorted copy; 0 for an empty sample. Used for the latency
-/// quantiles the throughput harness reports.
+/// method on a sorted copy. Used for the latency quantiles the throughput
+/// harness reports.
+///
+/// Total on degenerate inputs — the throughput harness feeds it whatever a
+/// run produced: an **empty** sample returns 0 (there is no latency to
+/// report), a **single** sample is every percentile of itself, and `p`
+/// outside `[0, 100]` is clamped rather than allowed to index out of
+/// bounds.
 pub fn percentile(samples: &[f64], p: f64) -> f64 {
     if samples.is_empty() {
         return 0.0;
     }
     let mut sorted = samples.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+    let p = p.clamp(0.0, 100.0);
     let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
     sorted[rank.clamp(1, sorted.len()) - 1]
 }
@@ -173,6 +180,40 @@ mod tests {
         assert_eq!(percentile(&s, 100.0), 5.0);
         assert_eq!(percentile(&[], 50.0), 0.0);
         assert_eq!(percentile(&[7.0], 99.0), 7.0);
+    }
+
+    #[test]
+    fn percentile_zero_samples() {
+        // No latencies (e.g. an all-warmup run): every percentile is 0.
+        for p in [0.0, 50.0, 99.0, 100.0] {
+            assert_eq!(percentile(&[], p), 0.0);
+        }
+    }
+
+    #[test]
+    fn percentile_one_sample() {
+        // A single sample is its own p50, p99, and extremes.
+        for p in [0.0, 1.0, 50.0, 99.0, 100.0] {
+            assert_eq!(percentile(&[3.25], p), 3.25);
+        }
+    }
+
+    #[test]
+    fn percentile_two_samples() {
+        let s = [10.0, 2.0]; // unsorted on purpose
+        assert_eq!(percentile(&s, 0.0), 2.0);
+        // Nearest-rank: ceil(0.50 * 2) = rank 1 -> the smaller sample.
+        assert_eq!(percentile(&s, 50.0), 2.0);
+        assert_eq!(percentile(&s, 50.1), 10.0);
+        assert_eq!(percentile(&s, 99.0), 10.0);
+        assert_eq!(percentile(&s, 100.0), 10.0);
+    }
+
+    #[test]
+    fn percentile_out_of_range_p_clamps() {
+        let s = [1.0, 2.0, 3.0];
+        assert_eq!(percentile(&s, -5.0), 1.0);
+        assert_eq!(percentile(&s, 250.0), 3.0);
     }
 
     #[test]

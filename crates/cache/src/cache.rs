@@ -1,0 +1,358 @@
+//! The sharded concurrent cache: N independently locked LRU shards plus
+//! lock-free statistics.
+//!
+//! A key's hash picks its shard, so concurrent queries for different keys
+//! contend only when they collide on a shard — with the default 16 shards
+//! and a worker pool sized to the machine, lock hold times (one hash-map
+//! probe plus two list splices) are far below a single 2SBound expansion,
+//! keeping the cache invisible on the miss path.
+
+use crate::lru::LruShard;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Shape of a [`ShardedCache`]: total entry budget and shard count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total entry budget across all shards (each shard gets
+    /// `ceil(capacity / shards)`, so the whole cache holds at least
+    /// `capacity` entries).
+    pub capacity: usize,
+    /// Number of independently locked shards.
+    pub shards: usize,
+}
+
+impl Default for CacheConfig {
+    /// 4096 entries across 16 shards — small enough to be memory-harmless
+    /// (a cached top-10 ranking is a few hundred bytes), large enough to
+    /// hold the hot head of a Zipf workload.
+    fn default() -> Self {
+        CacheConfig {
+            capacity: 4096,
+            shards: 16,
+        }
+    }
+}
+
+impl CacheConfig {
+    /// A config with the given total capacity and default sharding.
+    pub fn with_capacity(capacity: usize) -> Self {
+        CacheConfig {
+            capacity,
+            ..Self::default()
+        }
+    }
+}
+
+/// A point-in-time snapshot of cache traffic counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries written (first insert and updates alike).
+    pub inserts: u64,
+    /// Entries displaced by LRU pressure.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Total lookups (hits + misses).
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of lookups that hit, or 0 with no traffic.
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups() as f64
+        }
+    }
+
+    /// Counter-wise difference against an earlier snapshot (for measuring
+    /// one phase of a run).
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            inserts: self.inserts - earlier.inserts,
+            evictions: self.evictions - earlier.evictions,
+        }
+    }
+}
+
+/// A concurrent bounded map: `shards` independent [`LruShard`]s behind
+/// mutexes, with atomic traffic counters. Values are returned by clone, so
+/// `V` is typically an `Arc<…>`.
+pub struct ShardedCache<K, V> {
+    shards: Vec<Mutex<LruShard<K, V>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
+    /// An empty cache shaped by `config` (shards and capacity are clamped
+    /// to at least 1).
+    pub fn new(config: CacheConfig) -> Self {
+        let shards = config.shards.max(1);
+        let per_shard = config.capacity.max(1).div_ceil(shards);
+        ShardedCache {
+            shards: (0..shards)
+                .map(|_| Mutex::new(LruShard::new(per_shard)))
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total entry budget (shard count × per-shard capacity).
+    pub fn capacity(&self) -> usize {
+        self.shards.len()
+            * self.shards[0]
+                .lock()
+                .expect("cache shard poisoned")
+                .capacity()
+    }
+
+    /// Entries currently resident across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").len())
+            .sum()
+    }
+
+    /// `true` when no shard holds an entry.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Look up `key`, refreshing its recency and counting a hit or miss.
+    pub fn get(&self, key: &K) -> Option<V> {
+        let found = self
+            .shard(key)
+            .lock()
+            .expect("cache shard poisoned")
+            .get(key)
+            .cloned();
+        match found {
+            Some(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Look up `key` like [`ShardedCache::get`], but record only a hit
+    /// when found — an absent entry records nothing. For double-checked
+    /// patterns (single-flight re-checks the cache after winning the
+    /// in-flight claim): the caller already recorded the real miss, so a
+    /// recheck-miss must not inflate the counters, while a recheck-hit is
+    /// genuinely served from the cache and counts (and refreshes recency)
+    /// like any other hit.
+    pub fn recheck(&self, key: &K) -> Option<V> {
+        let found = self
+            .shard(key)
+            .lock()
+            .expect("cache shard poisoned")
+            .get(key)
+            .cloned();
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    /// Insert or update `key`, evicting its shard's LRU entry if full.
+    pub fn insert(&self, key: K, value: V) {
+        let evicted = self
+            .shard(&key)
+            .lock()
+            .expect("cache shard poisoned")
+            .insert(key, value);
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+        if evicted.is_some() {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Drop every entry; traffic counters keep accumulating.
+    pub fn clear(&self) {
+        for s in &self.shards {
+            s.lock().expect("cache shard poisoned").clear();
+        }
+    }
+
+    /// Snapshot the traffic counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    fn shard(&self, key: &K) -> &Mutex<LruShard<K, V>> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn get_insert_and_stats() {
+        let c: ShardedCache<u32, u32> = ShardedCache::new(CacheConfig::default());
+        assert!(c.is_empty());
+        assert_eq!(c.get(&1), None);
+        c.insert(1, 10);
+        assert_eq!(c.get(&1), Some(10));
+        c.insert(1, 11);
+        assert_eq!(c.get(&1), Some(11));
+        let s = c.stats();
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.inserts, 2);
+        assert_eq!(s.evictions, 0);
+        assert_eq!(s.lookups(), 3);
+        assert!((s.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn recheck_counts_hits_but_never_misses() {
+        let c: ShardedCache<u32, u32> = ShardedCache::new(CacheConfig::default());
+        assert_eq!(c.recheck(&1), None);
+        c.insert(1, 10);
+        assert_eq!(c.recheck(&1), Some(10));
+        let s = c.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 0, "recheck must not record misses");
+    }
+
+    #[test]
+    fn recheck_refreshes_recency() {
+        let c: ShardedCache<u32, u32> = ShardedCache::new(CacheConfig {
+            capacity: 2,
+            shards: 1,
+        });
+        c.insert(1, 1);
+        c.insert(2, 2);
+        assert_eq!(c.recheck(&1), Some(1)); // 2 becomes the LRU
+        c.insert(3, 3);
+        assert_eq!(c.recheck(&1), Some(1));
+        assert_eq!(c.recheck(&2), None, "LRU entry 2 was evicted");
+    }
+
+    #[test]
+    fn stats_since_measures_a_phase() {
+        let c: ShardedCache<u32, u32> = ShardedCache::new(CacheConfig::default());
+        c.insert(1, 1);
+        let _ = c.get(&1);
+        let mark = c.stats();
+        let _ = c.get(&1);
+        let _ = c.get(&2);
+        let delta = c.stats().since(&mark);
+        assert_eq!(delta.hits, 1);
+        assert_eq!(delta.misses, 1);
+        assert_eq!(delta.inserts, 0);
+    }
+
+    #[test]
+    fn capacity_is_at_least_requested_and_evicts_under_pressure() {
+        let c: ShardedCache<u32, u32> = ShardedCache::new(CacheConfig {
+            capacity: 8,
+            shards: 4,
+        });
+        assert!(c.capacity() >= 8);
+        for k in 0..1000 {
+            c.insert(k, k);
+        }
+        assert!(c.len() <= c.capacity());
+        assert!(c.stats().evictions > 0);
+        // Everything still resident must read back correctly.
+        for k in 0..1000 {
+            if let Some(v) = c.get(&k) {
+                assert_eq!(v, k);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_shapes_clamp() {
+        let c: ShardedCache<u32, u32> = ShardedCache::new(CacheConfig {
+            capacity: 0,
+            shards: 0,
+        });
+        assert_eq!(c.shard_count(), 1);
+        assert!(c.capacity() >= 1);
+        c.insert(1, 1);
+        assert_eq!(c.get(&1), Some(1));
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_counting() {
+        let c: ShardedCache<u32, u32> = ShardedCache::new(CacheConfig::default());
+        c.insert(1, 1);
+        let _ = c.get(&1);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.get(&1), None);
+        let s = c.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+    }
+
+    #[test]
+    fn concurrent_mixed_traffic_is_safe_and_counted() {
+        let c: Arc<ShardedCache<u64, u64>> = Arc::new(ShardedCache::new(CacheConfig {
+            capacity: 64,
+            shards: 8,
+        }));
+        let threads: Vec<_> = (0..8u64)
+            .map(|t| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for i in 0..500u64 {
+                        let k = (t * 31 + i) % 128;
+                        if i % 3 == 0 {
+                            c.insert(k, k * 2);
+                        } else if let Some(v) = c.get(&k) {
+                            assert_eq!(v, k * 2);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let s = c.stats();
+        // 8 threads × 500 ops; i % 3 == 0 hits 167 of 0..500 per thread.
+        assert_eq!(s.inserts, 8 * 167);
+        assert_eq!(s.lookups(), 8 * 500 - s.inserts);
+        assert!(c.len() <= c.capacity());
+    }
+}

@@ -1,0 +1,132 @@
+//! The result-cache key: everything that determines a top-K answer.
+//!
+//! A cached ranking may be served in place of a fresh [`rtr_topk::TwoSBound`]
+//! run only when *every* input that could change the output matches: the
+//! query node, the graph (via its construction epoch — see
+//! [`rtr_graph::Graph::epoch`]), the random-walk parameters, the top-K
+//! configuration, and the computational scheme. Folding the epoch into the
+//! key is what makes invalidation free: when a new graph replaces an old
+//! one, entries computed against the old epoch simply stop being
+//! addressable and age out of the LRU.
+
+use crate::cache::ShardedCache;
+use rtr_core::RankParams;
+use rtr_graph::NodeId;
+use rtr_topk::{Scheme, TopKCacheKey, TopKConfig, TopKResult};
+use std::sync::Arc;
+
+/// Identity of one served top-K computation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    query: NodeId,
+    epoch: u64,
+    scheme: Scheme,
+    topk: TopKCacheKey,
+    // RankParams by IEEE-754 bits: runs are bit-identical exactly when the
+    // parameter bits are.
+    alpha_bits: u64,
+    tolerance_bits: u64,
+    max_iterations: usize,
+}
+
+impl CacheKey {
+    /// Key for running `query` on a graph stamped `epoch` under the given
+    /// parameters, configuration, and scheme.
+    pub fn new(
+        query: NodeId,
+        epoch: u64,
+        params: &RankParams,
+        config: &TopKConfig,
+        scheme: Scheme,
+    ) -> Self {
+        CacheKey {
+            query,
+            epoch,
+            scheme,
+            topk: config.cache_key(),
+            alpha_bits: params.alpha.to_bits(),
+            tolerance_bits: params.tolerance.to_bits(),
+            max_iterations: params.max_iterations,
+        }
+    }
+
+    /// The query node.
+    pub fn query(&self) -> NodeId {
+        self.query
+    }
+
+    /// The graph epoch this key is valid for.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+}
+
+/// The serving layer's cache type: results are shared as `Arc`s so a hit
+/// never clones the ranking vectors under the shard lock.
+pub type ResultCache = ShardedCache<CacheKey, Arc<TopKResult>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> CacheKey {
+        CacheKey::new(
+            NodeId(3),
+            7,
+            &RankParams::default(),
+            &TopKConfig::default(),
+            Scheme::TwoSBound,
+        )
+    }
+
+    #[test]
+    fn identical_inputs_identical_keys() {
+        assert_eq!(base(), base());
+    }
+
+    #[test]
+    fn every_component_separates_keys() {
+        let b = base();
+        let params = RankParams::default();
+        let config = TopKConfig::default();
+        let variants = [
+            CacheKey::new(NodeId(4), 7, &params, &config, Scheme::TwoSBound),
+            CacheKey::new(NodeId(3), 8, &params, &config, Scheme::TwoSBound),
+            CacheKey::new(NodeId(3), 7, &params, &config, Scheme::Gupta),
+            CacheKey::new(
+                NodeId(3),
+                7,
+                &RankParams::with_alpha(0.5),
+                &config,
+                Scheme::TwoSBound,
+            ),
+            CacheKey::new(
+                NodeId(3),
+                7,
+                &params,
+                &TopKConfig { k: 3, ..config },
+                Scheme::TwoSBound,
+            ),
+            CacheKey::new(
+                NodeId(3),
+                7,
+                &RankParams {
+                    max_iterations: 5,
+                    ..params
+                },
+                &config,
+                Scheme::TwoSBound,
+            ),
+        ];
+        for v in variants {
+            assert_ne!(v, b, "{v:?} collided with base");
+        }
+    }
+
+    #[test]
+    fn accessors_expose_query_and_epoch() {
+        let k = base();
+        assert_eq!(k.query(), NodeId(3));
+        assert_eq!(k.epoch(), 7);
+    }
+}

@@ -1,0 +1,51 @@
+//! # rtr-cache — sharded top-K result cache for RoundTripRank serving
+//!
+//! Real query traffic is heavily skewed: a small set of hot query nodes
+//! dominates any bibliographic-search workload (the paper's own QLog
+//! dataset is Zipf-distributed in phrase popularity, and `rtr-datagen`
+//! models exactly that). 2SBound makes a single top-K query cheap; this
+//! crate makes a *repeated* top-K query nearly free by remembering its
+//! full ranking.
+//!
+//! The design, bottom-up:
+//!
+//! * [`lru::LruShard`] — a bounded LRU map (hash map over an intrusive
+//!   recency list in a slab): O(1) get/insert/evict, allocation-free once
+//!   warm. Pinned to a `HashMap` + recency-list model by the `cache_model`
+//!   property suite.
+//! * [`ShardedCache`] — N independently locked shards (a key's hash picks
+//!   its shard) with atomic hit/miss/insert/eviction counters, snapshotted
+//!   as [`CacheStats`].
+//! * [`CacheKey`] / [`ResultCache`] — the serving key: `(query node, graph
+//!   epoch, RankParams, TopKConfig, Scheme)`. The **graph epoch**
+//!   ([`rtr_graph::Graph::epoch`]) makes invalidation structural: replace
+//!   the graph and every stale entry stops being addressable — no scanning,
+//!   no tombstones; the LRU ages them out.
+//!
+//! Correctness stance: a cache hit returns the *bit-identical* `TopKResult`
+//! a fresh run would produce, because every input that can change a run's
+//! output is part of the key and the engines are deterministic. The
+//! `serve_cache_determinism` suite enforces this end to end through
+//! `rtr-serve`.
+//!
+//! ```
+//! use rtr_cache::{CacheConfig, ShardedCache};
+//!
+//! let cache: ShardedCache<u32, u64> = ShardedCache::new(CacheConfig::with_capacity(128));
+//! assert_eq!(cache.get(&7), None);       // miss
+//! cache.insert(7, 700);
+//! assert_eq!(cache.get(&7), Some(700));  // hit
+//! let stats = cache.stats();
+//! assert_eq!((stats.hits, stats.misses, stats.inserts), (1, 1, 1));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cache;
+pub mod key;
+pub mod lru;
+
+pub use cache::{CacheConfig, CacheStats, ShardedCache};
+pub use key::{CacheKey, ResultCache};
+pub use lru::LruShard;

@@ -1,0 +1,286 @@
+//! The single-shard LRU: a hash map over an intrusive doubly-linked
+//! recency list stored in a slab.
+//!
+//! Every operation is O(1) amortized: `get` unlinks the entry and relinks
+//! it at the most-recently-used head, `insert` at capacity evicts the tail
+//! before linking the new entry. Slots are recycled through a free list,
+//! so a shard serving a steady hit/miss mix performs no allocation once
+//! warm — the same discipline the serving workspaces follow.
+//!
+//! The `cache_model` property suite pins this structure to a reference
+//! `HashMap` + recency-`Vec` model under random operation sequences.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Sentinel "no slot" index for the linked list.
+const NIL: usize = usize::MAX;
+
+struct Slot<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// A bounded LRU map: one shard of the concurrent cache.
+pub struct LruShard<K, V> {
+    map: HashMap<K, usize>,
+    slots: Vec<Slot<K, V>>,
+    free: Vec<usize>,
+    /// Most-recently-used slot, or `NIL` when empty.
+    head: usize,
+    /// Least-recently-used slot (the eviction candidate), or `NIL`.
+    tail: usize,
+    capacity: usize,
+}
+
+impl<K: Hash + Eq + Clone, V> LruShard<K, V> {
+    /// An empty shard holding at most `capacity` entries (at least 1).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "LRU capacity must be at least 1");
+        LruShard {
+            map: HashMap::with_capacity(capacity),
+            slots: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    /// Maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when no entries are resident.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Look up `key`, marking it most recently used on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        let &slot = self.map.get(key)?;
+        self.unlink(slot);
+        self.push_front(slot);
+        Some(&self.slots[slot].value)
+    }
+
+    /// Look up `key` without touching recency (model/diagnostic use).
+    pub fn peek(&self, key: &K) -> Option<&V> {
+        self.map.get(key).map(|&slot| &self.slots[slot].value)
+    }
+
+    /// Insert or update `key`, marking it most recently used. Returns the
+    /// `(key, value)` evicted to make room, if the shard was full and
+    /// `key` was not already resident.
+    pub fn insert(&mut self, key: K, value: V) -> Option<(K, V)> {
+        if let Some(&slot) = self.map.get(&key) {
+            self.slots[slot].value = value;
+            self.unlink(slot);
+            self.push_front(slot);
+            return None;
+        }
+        if self.map.len() == self.capacity {
+            // Full: reuse the LRU slot in place for the new entry.
+            let lru = self.tail;
+            self.unlink(lru);
+            let old = std::mem::replace(
+                &mut self.slots[lru],
+                Slot {
+                    key: key.clone(),
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                },
+            );
+            self.map.remove(&old.key);
+            self.map.insert(key, lru);
+            self.push_front(lru);
+            return Some((old.key, old.value));
+        }
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot] = Slot {
+                    key: key.clone(),
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                };
+                slot
+            }
+            None => {
+                self.slots.push(Slot {
+                    key: key.clone(),
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.slots.len() - 1
+            }
+        };
+        self.map.insert(key, slot);
+        self.push_front(slot);
+        None
+    }
+
+    /// Drop every entry — keys and values included, so cleared payloads
+    /// (e.g. `Arc`ed rankings) are actually released. The map's, slab's,
+    /// and free list's own buffers are retained for refill.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slots.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    /// Keys and values from most to least recently used.
+    pub fn iter_mru(&self) -> impl Iterator<Item = (&K, &V)> {
+        let mut cursor = self.head;
+        std::iter::from_fn(move || {
+            if cursor == NIL {
+                return None;
+            }
+            let s = &self.slots[cursor];
+            cursor = s.next;
+            Some((&s.key, &s.value))
+        })
+    }
+
+    fn unlink(&mut self, slot: usize) {
+        let (prev, next) = (self.slots[slot].prev, self.slots[slot].next);
+        if prev == NIL {
+            if self.head == slot {
+                self.head = next;
+            }
+        } else {
+            self.slots[prev].next = next;
+        }
+        if next == NIL {
+            if self.tail == slot {
+                self.tail = prev;
+            }
+        } else {
+            self.slots[next].prev = prev;
+        }
+        self.slots[slot].prev = NIL;
+        self.slots[slot].next = NIL;
+    }
+
+    fn push_front(&mut self, slot: usize) {
+        self.slots[slot].prev = NIL;
+        self.slots[slot].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mru_keys(l: &LruShard<u32, u32>) -> Vec<u32> {
+        l.iter_mru().map(|(&k, _)| k).collect()
+    }
+
+    #[test]
+    fn insert_get_update() {
+        let mut l = LruShard::new(4);
+        assert!(l.is_empty());
+        assert_eq!(l.insert(1, 10), None);
+        assert_eq!(l.insert(2, 20), None);
+        assert_eq!(l.get(&1), Some(&10));
+        assert_eq!(l.get(&3), None);
+        assert_eq!(l.insert(1, 11), None); // update, no eviction
+        assert_eq!(l.get(&1), Some(&11));
+        assert_eq!(l.len(), 2);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut l = LruShard::new(3);
+        l.insert(1, 1);
+        l.insert(2, 2);
+        l.insert(3, 3);
+        // Touch 1 so 2 becomes the LRU.
+        assert_eq!(l.get(&1), Some(&1));
+        assert_eq!(l.insert(4, 4), Some((2, 2)));
+        assert_eq!(l.len(), 3);
+        assert_eq!(l.peek(&2), None);
+        assert_eq!(mru_keys(&l), vec![4, 1, 3]);
+    }
+
+    #[test]
+    fn update_refreshes_recency() {
+        let mut l = LruShard::new(2);
+        l.insert(1, 1);
+        l.insert(2, 2);
+        l.insert(1, 100); // 2 is now the LRU
+        assert_eq!(l.insert(3, 3), Some((2, 2)));
+        assert_eq!(l.peek(&1), Some(&100));
+    }
+
+    #[test]
+    fn capacity_one_degenerates_to_last_writer() {
+        let mut l = LruShard::new(1);
+        assert_eq!(l.insert(1, 1), None);
+        assert_eq!(l.insert(2, 2), Some((1, 1)));
+        assert_eq!(l.insert(3, 3), Some((2, 2)));
+        assert_eq!(l.len(), 1);
+        assert_eq!(l.get(&3), Some(&3));
+    }
+
+    #[test]
+    fn clear_retains_capacity_and_slots() {
+        let mut l = LruShard::new(3);
+        for k in 0..3 {
+            l.insert(k, k);
+        }
+        l.clear();
+        assert!(l.is_empty());
+        assert_eq!(l.capacity(), 3);
+        assert_eq!(mru_keys(&l), Vec::<u32>::new());
+        // Refill after clear behaves like a fresh shard.
+        l.insert(7, 7);
+        l.insert(8, 8);
+        assert_eq!(mru_keys(&l), vec![8, 7]);
+    }
+
+    #[test]
+    fn clear_releases_stored_values() {
+        use std::sync::Arc;
+        let mut l: LruShard<u32, Arc<u32>> = LruShard::new(4);
+        let v = Arc::new(7u32);
+        l.insert(1, Arc::clone(&v));
+        assert_eq!(Arc::strong_count(&v), 2);
+        l.clear();
+        assert_eq!(Arc::strong_count(&v), 1, "clear must drop the payloads");
+    }
+
+    #[test]
+    fn peek_does_not_touch() {
+        let mut l = LruShard::new(2);
+        l.insert(1, 1);
+        l.insert(2, 2);
+        assert_eq!(l.peek(&1), Some(&1)); // 1 stays the LRU
+        assert_eq!(l.insert(3, 3), Some((1, 1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_capacity_rejected() {
+        LruShard::<u32, u32>::new(0);
+    }
+}

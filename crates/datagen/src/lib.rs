@@ -48,3 +48,4 @@ pub mod zipf;
 
 pub use bibnet::{BibNet, BibNetConfig};
 pub use qlog::{QLog, QLogConfig};
+pub use zipf::Zipf;

@@ -6,6 +6,19 @@
 
 use crate::node::{NodeId, NodeTypeId, TypeRegistry};
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide epoch source. Every constructed [`Graph`] draws a fresh,
+/// strictly increasing epoch from here, so two graphs built in the same
+/// process — even byte-identical ones — never share an epoch. Caches key
+/// results by `(query, epoch, …)` and thereby invalidate stale entries by
+/// key alone, without scanning, when the graph they were computed against
+/// is replaced.
+static NEXT_EPOCH: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_epoch() -> u64 {
+    NEXT_EPOCH.fetch_add(1, Ordering::Relaxed)
+}
 
 /// A directed, weighted, typed graph in dual-CSR form.
 ///
@@ -33,6 +46,12 @@ pub struct Graph {
 
     weighted_out_degree: Vec<f64>,
     has_self_loops: bool,
+    // Never serialized: the epoch is process-unique by construction, and a
+    // stored stamp could collide with a live graph's after a round trip. A
+    // deserialized graph is new content to this process, so it draws a
+    // fresh epoch — cached results never bleed across the boundary.
+    #[serde(skip, default = "fresh_epoch")]
+    epoch: u64,
 }
 
 impl Graph {
@@ -76,6 +95,7 @@ impl Graph {
             in_probs,
             weighted_out_degree,
             has_self_loops,
+            epoch: fresh_epoch(),
         }
     }
 
@@ -98,6 +118,26 @@ impl Graph {
     /// Iterate over all node ids `0..|V|`.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
         (0..self.node_count() as u32).map(NodeId)
+    }
+
+    /// This graph's epoch: a process-unique, monotonically increasing stamp
+    /// assigned at construction. Two graphs built at different times always
+    /// carry different epochs (a clone keeps its source's — identical
+    /// content, identical answers), so any cache keying results by
+    /// `(query, epoch, …)` is invalidated automatically when a new graph
+    /// replaces an old one: stale entries simply stop being addressable.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Re-stamp this graph with a fresh epoch, invalidating every cache
+    /// entry keyed against the old one. The hook future dynamic-graph
+    /// layers call after an in-place mutation (edge insertion, weight
+    /// update) so cached rankings computed on the pre-mutation topology
+    /// can never be served again.
+    pub fn bump_epoch(&mut self) {
+        self.epoch = fresh_epoch();
     }
 
     /// The type registry.
@@ -371,6 +411,28 @@ mod tests {
         assert!(g.memory_bytes() > 0);
         // Higher-degree nodes have larger footprints.
         assert!(g.node_footprint_bytes(ids.v1) > g.node_footprint_bytes(ids.v3));
+    }
+
+    #[test]
+    fn epochs_are_unique_and_monotone() {
+        let (a, _) = fig2_toy();
+        let (b, _) = fig2_toy();
+        assert!(a.epoch() > 0);
+        assert!(b.epoch() > a.epoch(), "later build gets a later epoch");
+        // A clone is the same content, so it keeps the same epoch: cached
+        // answers computed against the original stay valid for the clone.
+        assert_eq!(a.clone().epoch(), a.epoch());
+    }
+
+    #[test]
+    fn bump_epoch_restamps_forward() {
+        let (mut g, _) = fig2_toy();
+        let before = g.epoch();
+        g.bump_epoch();
+        assert!(g.epoch() > before);
+        let again = g.epoch();
+        g.bump_epoch();
+        assert!(g.epoch() > again);
     }
 
     #[test]

@@ -17,6 +17,19 @@ pub struct ServeConfig {
     /// 2SBound by default; the Fig. 11a ablations are available for
     /// benchmarking).
     pub scheme: Scheme,
+    /// Total entry budget of the shared result cache; **0 disables the
+    /// cache entirely** (the default), in which case serving behaves
+    /// bit-for-bit as it did before the cache existed — every query is
+    /// computed, nothing is remembered, no key is ever built.
+    pub cache_capacity: usize,
+    /// Shard count of the result cache (only read when the cache is on).
+    /// More shards, less lock contention; 16 is plenty for CPU-sized pools.
+    pub cache_shards: usize,
+    /// Single-flight deduplication: when the cache is on, M concurrent
+    /// identical queries compute once and share the result; the M−1
+    /// duplicates wait on the in-flight table instead of burning workers.
+    /// Inert while the cache is off (there is nowhere to share results).
+    pub single_flight: bool,
 }
 
 impl Default for ServeConfig {
@@ -30,6 +43,9 @@ impl Default for ServeConfig {
             params: RankParams::default(),
             topk: TopKConfig::default(),
             scheme: Scheme::TwoSBound,
+            cache_capacity: 0,
+            cache_shards: 16,
+            single_flight: true,
         }
     }
 }
@@ -52,6 +68,30 @@ impl ServeConfig {
         self.scheme = scheme;
         self
     }
+
+    /// This configuration with a result cache of `capacity` total entries
+    /// (0 turns caching off).
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// This configuration with `shards` cache shards.
+    pub fn with_cache_shards(mut self, shards: usize) -> Self {
+        self.cache_shards = shards;
+        self
+    }
+
+    /// This configuration with single-flight deduplication on or off.
+    pub fn with_single_flight(mut self, single_flight: bool) -> Self {
+        self.single_flight = single_flight;
+        self
+    }
+
+    /// Whether the result cache is enabled.
+    pub fn cache_enabled(&self) -> bool {
+        self.cache_capacity > 0
+    }
 }
 
 #[cfg(test)]
@@ -64,6 +104,24 @@ mod tests {
         assert!(c.workers >= 1);
         assert_eq!(c.scheme, Scheme::TwoSBound);
         assert_eq!(c.topk.k, 10);
+        // The cache ships off by default: the pre-cache serving behavior is
+        // the default behavior.
+        assert!(!c.cache_enabled());
+        assert_eq!(c.cache_capacity, 0);
+        assert!(c.cache_shards >= 1);
+        assert!(c.single_flight);
+    }
+
+    #[test]
+    fn cache_builders_apply() {
+        let c = ServeConfig::default()
+            .with_cache_capacity(1024)
+            .with_cache_shards(4)
+            .with_single_flight(false);
+        assert!(c.cache_enabled());
+        assert_eq!(c.cache_capacity, 1024);
+        assert_eq!(c.cache_shards, 4);
+        assert!(!c.single_flight);
     }
 
     #[test]

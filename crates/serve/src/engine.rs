@@ -12,11 +12,14 @@
 //! worker's `recv` errors out, and the threads are joined.
 
 use crate::config::ServeConfig;
+use crate::flight::InFlight;
 use crossbeam::channel::{self, Sender};
+use rtr_cache::{CacheConfig, CacheKey, CacheStats, ResultCache};
 use rtr_core::CoreError;
 use rtr_graph::{Graph, NodeId};
 use rtr_topk::{TopKResult, TopKWorkspace, TwoSBound};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -83,14 +86,102 @@ struct Job {
     reply: Sender<QueryOutput>,
 }
 
+/// State every worker shares: the graph, the runner, and (when caching is
+/// on) the result cache, the single-flight table, and the computation
+/// counter the single-flight tests assert on.
+struct Shared {
+    graph: Arc<Graph>,
+    config: ServeConfig,
+    runner: TwoSBound,
+    cache: Option<ResultCache>,
+    flight: InFlight<CacheKey>,
+    /// Queries that actually ran an engine (as opposed to being answered
+    /// from the cache or a shared in-flight computation).
+    computed: AtomicU64,
+}
+
+impl Shared {
+    /// Run one query against the engine, recycling `ws`. Catches panics so
+    /// a bad query can never kill the worker, and counts the computation.
+    fn compute(&self, query: NodeId, ws: &mut TopKWorkspace) -> Result<TopKResult, ServeError> {
+        self.computed.fetch_add(1, Ordering::Relaxed);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.runner.run_with(&self.graph, query, ws)
+        }));
+        match result {
+            Ok(r) => r.map_err(ServeError::Query),
+            Err(panic) => {
+                // The workspace may have been mid-mutation when the panic
+                // unwound through it.
+                *ws = TopKWorkspace::new();
+                Err(ServeError::Panicked(panic_message(&*panic)))
+            }
+        }
+    }
+
+    /// The full serving path for one query: cache lookup, single-flight
+    /// deduplication, compute, insert. With the cache off this is exactly
+    /// one [`Shared::compute`] call — the pre-cache behavior.
+    fn serve(&self, query: NodeId, ws: &mut TopKWorkspace) -> Result<TopKResult, ServeError> {
+        let Some(cache) = &self.cache else {
+            return self.compute(query, ws);
+        };
+        let key = CacheKey::new(
+            query,
+            self.graph.epoch(),
+            &self.config.params,
+            &self.config.topk,
+            self.config.scheme,
+        );
+        loop {
+            if let Some(hit) = cache.get(&key) {
+                // Engines are deterministic and every output-relevant input
+                // is in the key, so the cached ranking is bit-identical to
+                // what a fresh run would produce.
+                return Ok((*hit).clone());
+            }
+            if !self.config.single_flight {
+                let result = self.compute(query, ws);
+                if let Ok(r) = &result {
+                    cache.insert(key, Arc::new(r.clone()));
+                }
+                return result;
+            }
+            if self.flight.begin(&key) {
+                // Double-check while owning the key: between our miss above
+                // and our claim, the previous owner may have inserted and
+                // finished — computing now would break compute-exactly-once.
+                // Every insert happens under ownership of the key, so an
+                // owner's recheck-miss is authoritative.
+                let result = match cache.recheck(&key) {
+                    Some(hit) => Ok((*hit).clone()),
+                    None => {
+                        let result = self.compute(query, ws);
+                        if let Ok(r) = &result {
+                            cache.insert(key, Arc::new(r.clone()));
+                        }
+                        result
+                    }
+                };
+                // Failed queries are not cached (and are cheap to redo);
+                // release the key on every path so waiters never strand.
+                self.flight.finish(&key);
+                return result;
+            }
+            // Someone else is computing this exact key: wait for them,
+            // then re-check the cache (hit unless their run failed).
+            self.flight.wait(&key);
+        }
+    }
+}
+
 /// A fixed pool of query workers over a shared read-only graph.
 ///
 /// See the [crate docs](crate) for an end-to-end example. Batches may be
 /// submitted from multiple threads concurrently; each batch collects only
 /// its own outputs.
 pub struct ServeEngine {
-    graph: Arc<Graph>,
-    config: ServeConfig,
+    shared: Arc<Shared>,
     job_tx: Option<Sender<Job>>,
     handles: Vec<JoinHandle<()>>,
 }
@@ -99,33 +190,34 @@ impl ServeEngine {
     /// Start `config.workers` (at least 1) worker threads over `graph`.
     pub fn start(graph: Arc<Graph>, config: ServeConfig) -> Self {
         let workers = config.workers.max(1);
-        let runner = TwoSBound::with_scheme(config.params, config.topk, config.scheme);
+        let shared = Arc::new(Shared {
+            runner: TwoSBound::with_scheme(config.params, config.topk, config.scheme),
+            cache: config.cache_enabled().then(|| {
+                ResultCache::new(CacheConfig {
+                    capacity: config.cache_capacity,
+                    shards: config.cache_shards,
+                })
+            }),
+            flight: InFlight::new(),
+            computed: AtomicU64::new(0),
+            graph,
+            config,
+        });
         let (job_tx, job_rx) = channel::unbounded::<Job>();
         let handles = (0..workers)
             .map(|_| {
                 let rx = job_rx.clone();
-                let g = Arc::clone(&graph);
+                let shared = Arc::clone(&shared);
                 std::thread::spawn(move || {
                     // The worker's reusable workspace: allocated lazily on
                     // the first query, then recycled for every later one.
+                    // Panics inside a query are caught in Shared::compute;
+                    // a dead worker would strand the jobs still queued and
+                    // hang their batches.
                     let mut ws = TopKWorkspace::new();
                     while let Ok(job) = rx.recv() {
                         let started = Instant::now();
-                        // catch_unwind keeps the worker alive through a
-                        // panicking query; a dead worker would strand the
-                        // jobs still queued and hang their batches.
-                        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                            runner.run_with(&g, job.query, &mut ws)
-                        }));
-                        let result = match result {
-                            Ok(r) => r.map_err(ServeError::Query),
-                            Err(panic) => {
-                                // The workspace may have been mid-mutation
-                                // when the panic unwound through it.
-                                ws = TopKWorkspace::new();
-                                Err(ServeError::Panicked(panic_message(&*panic)))
-                            }
-                        };
+                        let result = shared.serve(job.query, &mut ws);
                         let out = QueryOutput {
                             id: job.id,
                             query: job.query,
@@ -140,8 +232,7 @@ impl ServeEngine {
             })
             .collect();
         ServeEngine {
-            graph,
-            config,
+            shared,
             job_tx: Some(job_tx),
             handles,
         }
@@ -149,12 +240,30 @@ impl ServeEngine {
 
     /// The shared graph.
     pub fn graph(&self) -> &Arc<Graph> {
-        &self.graph
+        &self.shared.graph
+    }
+
+    /// Result-cache traffic counters, or `None` when the cache is off.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.shared.cache.as_ref().map(|c| c.stats())
+    }
+
+    /// Entries currently resident in the result cache (0 when off).
+    pub fn cache_len(&self) -> usize {
+        self.shared.cache.as_ref().map_or(0, |c| c.len())
+    }
+
+    /// How many queries actually ran an engine, as opposed to being served
+    /// from the cache or a shared in-flight computation. With single-flight
+    /// on, a batch of M copies of one (new) query advances this by exactly
+    /// 1 — the `single_flight` stress suite pins that.
+    pub fn computed_queries(&self) -> u64 {
+        self.shared.computed.load(Ordering::Relaxed)
     }
 
     /// The serving configuration.
     pub fn config(&self) -> &ServeConfig {
-        &self.config
+        &self.shared.config
     }
 
     /// Number of live worker threads.
@@ -346,5 +455,108 @@ mod tests {
         let (engine, ids) = toy_engine(2);
         let _ = engine.run_batch(&[ids.t1]);
         engine.shutdown(); // must not hang
+    }
+
+    #[test]
+    fn duplicate_queries_in_one_batch_all_answered_identically() {
+        // The same query node several times in one batch must yield one
+        // output per occurrence, aligned by position, all bit-identical —
+        // through the pool path, cache off and cache on.
+        for capacity in [0usize, 64] {
+            let (g, ids) = fig2_toy();
+            let config = ServeConfig::default()
+                .with_workers(4)
+                .with_topk(TopKConfig::toy())
+                .with_cache_capacity(capacity);
+            let engine = ServeEngine::start(Arc::new(g), config);
+            let queries = vec![ids.t1, ids.v1, ids.t1, ids.t1, ids.v1];
+            let outputs = engine.run_batch(&queries);
+            assert_eq!(outputs.len(), queries.len());
+            let first = outputs[0].result.as_ref().unwrap();
+            for dup in [2, 3] {
+                let r = outputs[dup].result.as_ref().unwrap();
+                assert_eq!(outputs[dup].query, ids.t1);
+                assert_eq!(r.ranking, first.ranking, "capacity {capacity}");
+                assert_eq!(r.bounds, first.bounds, "capacity {capacity}");
+            }
+            assert_eq!(
+                outputs[4].result.as_ref().unwrap().ranking,
+                outputs[1].result.as_ref().unwrap().ranking
+            );
+        }
+    }
+
+    #[test]
+    fn k_zero_queries_through_the_pool() {
+        // K = 0 short-circuits inside the engine; the pool (and the cache
+        // path) must carry the empty result through unchanged.
+        for capacity in [0usize, 64] {
+            let (g, ids) = fig2_toy();
+            let config = ServeConfig::default()
+                .with_workers(3)
+                .with_topk(TopKConfig {
+                    k: 0,
+                    ..TopKConfig::toy()
+                })
+                .with_cache_capacity(capacity);
+            let engine = ServeEngine::start(Arc::new(g), config);
+            let outputs = engine.run_batch(&[ids.t1, ids.v1, ids.t1]);
+            for out in &outputs {
+                let r = out.result.as_ref().unwrap();
+                assert!(r.ranking.is_empty(), "capacity {capacity}");
+                assert!(r.bounds.is_empty());
+                assert!(r.converged);
+            }
+        }
+    }
+
+    #[test]
+    fn cache_off_reports_no_stats_and_counts_every_computation() {
+        let (engine, ids) = toy_engine(2);
+        assert!(engine.cache_stats().is_none());
+        let n = engine.run_batch(&[ids.t1, ids.t1, ids.t2]).len() as u64;
+        assert_eq!(engine.computed_queries(), n);
+        assert_eq!(engine.cache_len(), 0);
+    }
+
+    #[test]
+    fn cache_hits_repeated_batches() {
+        let (g, ids) = fig2_toy();
+        let config = ServeConfig::default()
+            .with_workers(2)
+            .with_topk(TopKConfig::toy())
+            .with_cache_capacity(128);
+        let engine = ServeEngine::start(Arc::new(g), config);
+        let queries = vec![ids.t1, ids.t2, ids.v1];
+        let cold = engine.run_batch(&queries);
+        let warm = engine.run_batch(&queries);
+        let stats = engine.cache_stats().expect("cache on");
+        assert_eq!(stats.inserts, 3);
+        assert!(stats.hits >= 3, "warm batch must hit, got {stats:?}");
+        assert_eq!(engine.computed_queries(), 3);
+        assert_eq!(engine.cache_len(), 3);
+        for (c, w) in cold.iter().zip(&warm) {
+            let (c, w) = (c.result.as_ref().unwrap(), w.result.as_ref().unwrap());
+            assert_eq!(c.ranking, w.ranking);
+            assert_eq!(c.bounds, w.bounds); // exact f64 equality
+        }
+    }
+
+    #[test]
+    fn failed_queries_are_not_cached() {
+        let (g, ids) = fig2_toy();
+        let config = ServeConfig::default()
+            .with_workers(1)
+            .with_topk(TopKConfig::toy())
+            .with_cache_capacity(128);
+        let engine = ServeEngine::start(Arc::new(g), config);
+        let bad = NodeId(9999);
+        let outputs = engine.run_batch(&[bad, ids.t1, bad]);
+        assert!(outputs[0].result.is_err());
+        assert!(outputs[1].result.is_ok());
+        assert!(outputs[2].result.is_err());
+        assert_eq!(engine.cache_len(), 1, "only the good query is cached");
+        // Both bad occurrences computed (errors are never served stale).
+        assert_eq!(engine.computed_queries(), 3);
     }
 }

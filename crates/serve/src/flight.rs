@@ -1,0 +1,108 @@
+//! Single-flight deduplication.
+//!
+//! When M identical queries are in flight at once, only the first should
+//! pay for the computation; the rest wait and read the shared result out
+//! of the cache. The primitive is a set of in-flight keys behind a mutex
+//! plus a condvar: the first claimant of a key computes, later claimants
+//! block until the key is released and then re-check the cache.
+//!
+//! Progress is guaranteed because a key is only ever claimed by a worker
+//! that is actively running its job: the computing worker never waits, so
+//! waiters always have a live computation to wait *for*. If the
+//! computation fails (the result is never cached), each waiter wakes,
+//! misses, and claims the key itself — errors are cheap to recompute and
+//! deterministic, so answers are unchanged.
+
+use std::collections::HashSet;
+use std::hash::Hash;
+use std::sync::{Condvar, Mutex};
+
+/// A table of keys currently being computed.
+pub(crate) struct InFlight<K> {
+    inner: Mutex<HashSet<K>>,
+    done: Condvar,
+}
+
+impl<K: Hash + Eq + Clone> InFlight<K> {
+    pub(crate) fn new() -> Self {
+        InFlight {
+            inner: Mutex::new(HashSet::new()),
+            done: Condvar::new(),
+        }
+    }
+
+    /// Try to claim `key`. `true` means the caller owns the computation
+    /// and must call [`InFlight::finish`] when done (on every path).
+    pub(crate) fn begin(&self, key: &K) -> bool {
+        self.inner
+            .lock()
+            .expect("in-flight table poisoned")
+            .insert(key.clone())
+    }
+
+    /// Block until `key` is no longer in flight. Spurious wakeups are
+    /// absorbed by re-checking membership.
+    pub(crate) fn wait(&self, key: &K) {
+        let mut guard = self.inner.lock().expect("in-flight table poisoned");
+        while guard.contains(key) {
+            guard = self.done.wait(guard).expect("in-flight table poisoned");
+        }
+    }
+
+    /// Release `key` and wake all waiters (each re-checks the cache).
+    pub(crate) fn finish(&self, key: &K) {
+        self.inner
+            .lock()
+            .expect("in-flight table poisoned")
+            .remove(key);
+        self.done.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn first_claim_wins_until_finished() {
+        let f: InFlight<u32> = InFlight::new();
+        assert!(f.begin(&1));
+        assert!(!f.begin(&1));
+        assert!(f.begin(&2), "distinct keys are independent");
+        f.finish(&1);
+        assert!(f.begin(&1), "released key is claimable again");
+    }
+
+    #[test]
+    fn waiters_block_until_finish() {
+        let f = Arc::new(InFlight::<u32>::new());
+        let woke = Arc::new(AtomicUsize::new(0));
+        assert!(f.begin(&7));
+        let waiters: Vec<_> = (0..4)
+            .map(|_| {
+                let f = Arc::clone(&f);
+                let woke = Arc::clone(&woke);
+                std::thread::spawn(move || {
+                    f.wait(&7);
+                    woke.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        // Give the waiters time to park; none may wake early.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        assert_eq!(woke.load(Ordering::SeqCst), 0);
+        f.finish(&7);
+        for w in waiters {
+            w.join().unwrap();
+        }
+        assert_eq!(woke.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn wait_on_idle_key_returns_immediately() {
+        let f: InFlight<u32> = InFlight::new();
+        f.wait(&99); // must not block
+    }
+}

@@ -19,6 +19,19 @@
 //! `serve_determinism` integration suite enforces this at 1, 2, and 8
 //! workers.
 //!
+//! **Caching.** Real traffic is Zipf-skewed, so the engine can optionally
+//! front the pool with an `rtr-cache` sharded top-K result cache
+//! ([`ServeConfig::cache_capacity`] > 0): workers look up
+//! `(query, graph epoch, params, config, scheme)` before dispatch and
+//! insert on completion, and **single-flight deduplication**
+//! ([`ServeConfig::single_flight`]) collapses M concurrent identical
+//! queries into one computation whose result all M share. Because every
+//! output-relevant input is part of the cache key and the engines are
+//! deterministic, cached serving stays bit-identical to [`run_serial`] —
+//! the `serve_cache_determinism` suite enforces that too. With the cache
+//! off (the default) the engine behaves exactly as it did before the cache
+//! existed.
+//!
 //! ```
 //! use std::sync::Arc;
 //! use rtr_graph::toy::fig2_toy;
@@ -38,6 +51,10 @@
 
 pub mod config;
 pub mod engine;
+mod flight;
 
 pub use config::ServeConfig;
 pub use engine::{run_serial, QueryOutput, ServeEngine, ServeError};
+// Re-exported so callers reading `ServeEngine::cache_stats` need no direct
+// rtr-cache dependency.
+pub use rtr_cache::CacheStats;

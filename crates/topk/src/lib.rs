@@ -49,7 +49,7 @@ pub mod tbound;
 pub mod two_sbound;
 pub mod workspace;
 
-pub use config::TopKConfig;
+pub use config::{TopKCacheKey, TopKConfig};
 pub use plus::TwoSBoundPlus;
 pub use schemes::{NaiveTopK, Scheme};
 pub use two_sbound::{TopKResult, TwoSBound};
@@ -58,7 +58,7 @@ pub use workspace::{FWorkspace, TWorkspace, TopKWorkspace};
 /// Convenient glob-import surface for downstream crates.
 pub mod prelude {
     pub use crate::active_set::ActiveSetStats;
-    pub use crate::config::TopKConfig;
+    pub use crate::config::{TopKCacheKey, TopKConfig};
     pub use crate::plus::TwoSBoundPlus;
     pub use crate::schemes::{NaiveTopK, Scheme};
     pub use crate::two_sbound::{TopKResult, TwoSBound};

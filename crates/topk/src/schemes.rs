@@ -16,7 +16,11 @@ use rtr_core::prelude::*;
 use rtr_graph::{Graph, NodeId};
 
 /// Which bound realizations a run uses (the Fig. 11a ablation grid).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+///
+/// `Hash` so the scheme can participate directly in result-cache keys:
+/// different schemes may return different (still ε-valid) rankings, so
+/// cached results must never be shared across schemes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Scheme {
     /// Full 2SBound: Prop. 4 + Stage II for F, border + Stage II for T.
     TwoSBound,

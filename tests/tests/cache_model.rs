@@ -1,0 +1,176 @@
+//! Property suite: the `rtr-cache` LRU against a `HashMap` + recency-list
+//! model.
+//!
+//! The sharded cache is the layer that lets serving skip recomputation, so
+//! its semantics must be boringly exact: a bounded map with
+//! least-recently-used eviction, where both `get` and `insert` refresh
+//! recency. The reference model is the obvious O(n) implementation — a
+//! `HashMap` for contents plus a `Vec` ordered most-recent-first — driven
+//! through random operation sequences alongside the real structure.
+
+use proptest::collection;
+use proptest::prelude::*;
+use rtr_cache::{CacheConfig, LruShard, ShardedCache};
+use std::collections::HashMap;
+
+/// The O(n) reference: contents + explicit recency order (front = MRU).
+struct Model {
+    map: HashMap<u32, u32>,
+    recency: Vec<u32>,
+    capacity: usize,
+}
+
+impl Model {
+    fn new(capacity: usize) -> Self {
+        Model {
+            map: HashMap::new(),
+            recency: Vec::new(),
+            capacity,
+        }
+    }
+
+    fn touch(&mut self, k: u32) {
+        self.recency.retain(|&r| r != k);
+        self.recency.insert(0, k);
+    }
+
+    fn get(&mut self, k: u32) -> Option<u32> {
+        let v = self.map.get(&k).copied();
+        if v.is_some() {
+            self.touch(k);
+        }
+        v
+    }
+
+    /// Insert/update; returns the evicted `(key, value)` if one fell out.
+    fn insert(&mut self, k: u32, v: u32) -> Option<(u32, u32)> {
+        if self.map.insert(k, v).is_some() {
+            self.touch(k);
+            return None;
+        }
+        let evicted = if self.map.len() > self.capacity {
+            let lru = self.recency.pop().expect("over capacity implies entries");
+            let ev = self.map.remove(&lru).expect("recency tracks contents");
+            Some((lru, ev))
+        } else {
+            None
+        };
+        self.touch(k);
+        evicted
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+        self.recency.clear();
+    }
+}
+
+/// Key universe deliberately larger than any tested capacity, so eviction,
+/// re-insertion of evicted keys, and hit/miss mixes all occur.
+const KEYS: u32 = 32;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    // The single shard IS the LRU: every operation must agree with the
+    // model exactly, including which entry each insert evicts.
+    #[test]
+    fn lru_shard_matches_model(
+        capacity in 1usize..12,
+        ops in collection::vec((0..4u8, 0..KEYS, 0..1000u32), 1..150)
+    ) {
+        let mut lru = LruShard::new(capacity);
+        let mut model = Model::new(capacity);
+        for (op, k, v) in ops {
+            match op {
+                0 | 1 => {
+                    // Insert twice as often as the other ops: pressure on
+                    // the eviction path is where LRU bugs live.
+                    prop_assert_eq!(lru.insert(k, v), model.insert(k, v));
+                }
+                2 => prop_assert_eq!(lru.get(&k).copied(), model.get(k)),
+                _ => {
+                    lru.clear();
+                    model.clear();
+                }
+            }
+            prop_assert_eq!(lru.len(), model.map.len());
+            prop_assert!(lru.len() <= capacity);
+            // Recency order must agree wholesale, not just per-op.
+            let got: Vec<u32> = lru.iter_mru().map(|(&k, _)| k).collect();
+            prop_assert_eq!(&got, &model.recency);
+        }
+        // Final contents agree key by key (peek leaves recency alone).
+        for k in 0..KEYS {
+            prop_assert_eq!(lru.peek(&k).copied(), model.map.get(&k).copied());
+        }
+    }
+
+    // A single-shard ShardedCache degenerates to one global LRU, so the
+    // same model pins the concurrent wrapper's sequential semantics —
+    // plus its hit/miss accounting.
+    #[test]
+    fn single_shard_cache_matches_model(
+        capacity in 1usize..12,
+        ops in collection::vec((0..3u8, 0..KEYS, 0..1000u32), 1..150)
+    ) {
+        let cache: ShardedCache<u32, u32> = ShardedCache::new(CacheConfig {
+            capacity,
+            shards: 1,
+        });
+        let mut model = Model::new(capacity);
+        let (mut hits, mut misses) = (0u64, 0u64);
+        for (op, k, v) in ops {
+            match op {
+                0 | 1 => {
+                    cache.insert(k, v);
+                    model.insert(k, v);
+                }
+                _ => {
+                    let got = cache.get(&k);
+                    prop_assert_eq!(got, model.get(k));
+                    match got {
+                        Some(_) => hits += 1,
+                        None => misses += 1,
+                    }
+                }
+            }
+            prop_assert_eq!(cache.len(), model.map.len());
+        }
+        let stats = cache.stats();
+        prop_assert_eq!(stats.hits, hits);
+        prop_assert_eq!(stats.misses, misses);
+    }
+
+    // Multi-shard coherence: whatever the shard layout, a hit must return
+    // the *latest* value inserted for that key, and the cache never holds
+    // more than its budget.
+    #[test]
+    fn multi_shard_cache_serves_latest_values(
+        shards in 1usize..6,
+        capacity in 1usize..24,
+        ops in collection::vec((0..3u8, 0..KEYS, 0..1000u32), 1..150)
+    ) {
+        let cache: ShardedCache<u32, u32> = ShardedCache::new(CacheConfig {
+            capacity,
+            shards,
+        });
+        let mut latest: HashMap<u32, u32> = HashMap::new();
+        for (op, k, v) in ops {
+            match op {
+                0 | 1 => {
+                    cache.insert(k, v);
+                    latest.insert(k, v);
+                }
+                _ => {
+                    if let Some(got) = cache.get(&k) {
+                        // Entries may be evicted at the cache's discretion
+                        // (per-shard LRU), but never served stale.
+                        prop_assert_eq!(Some(got), latest.get(&k).copied());
+                    }
+                }
+            }
+            prop_assert!(cache.len() <= cache.capacity());
+        }
+    }
+}

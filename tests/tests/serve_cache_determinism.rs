@@ -1,0 +1,186 @@
+//! Determinism suite for the *cached* serving path.
+//!
+//! The contract extends `serve_determinism`: turning the result cache on —
+//! at any worker count, with or without single-flight — must leave every
+//! computed value bit-identical to the serial reference. A cache hit is a
+//! clone of a deterministic engine's output and every output-relevant
+//! input is part of the cache key, so hits can never differ from fresh
+//! runs; these tests enforce that end to end, including second batches
+//! served almost entirely from cache.
+
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use rtr_datagen::{QLog, QLogConfig};
+use rtr_graph::toy::fig2_toy;
+use rtr_graph::{Graph, NodeId};
+use rtr_serve::{run_serial, QueryOutput, ServeConfig, ServeEngine};
+use rtr_topk::TopKConfig;
+use std::sync::Arc;
+
+/// Strict comparison: every value that the engine computes must agree
+/// exactly (no tolerances — determinism means bit-identity).
+fn assert_outputs_identical(label: &str, a: &[QueryOutput], b: &[QueryOutput]) {
+    assert_eq!(a.len(), b.len(), "{label}: batch sizes differ");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.id, y.id, "{label}: ids diverge");
+        assert_eq!(x.query, y.query, "{label}: queries diverge");
+        let (rx, ry) = (
+            x.result.as_ref().expect("query failed"),
+            y.result.as_ref().expect("query failed"),
+        );
+        assert_eq!(rx.ranking, ry.ranking, "{label}: rankings diverge");
+        // Bit-exact f64 equality, deliberately not an epsilon comparison.
+        assert_eq!(rx.bounds, ry.bounds, "{label}: bounds diverge");
+        assert_eq!(rx.expansions, ry.expansions, "{label}: expansions diverge");
+        assert_eq!(rx.converged, ry.converged, "{label}: convergence diverges");
+        assert_eq!(rx.active, ry.active, "{label}: active sets diverge");
+    }
+}
+
+/// A workload with heavy repetition (every query appears `repeats` times,
+/// shuffled): the shape a cache exists for.
+fn repeated_shuffled(queries: &[NodeId], repeats: usize, seed: u64) -> Vec<NodeId> {
+    let mut out: Vec<NodeId> = queries
+        .iter()
+        .flat_map(|&q| std::iter::repeat_n(q, repeats))
+        .collect();
+    out.shuffle(&mut ChaCha8Rng::seed_from_u64(seed));
+    out
+}
+
+fn check_cached_matches_serial(g: Graph, queries: Vec<NodeId>, config: ServeConfig) {
+    assert!(config.cache_enabled(), "suite exercises the cached path");
+    // The reference is the plain serial engine — no cache involved.
+    let serial = run_serial(&g, &config.with_cache_capacity(0), &queries);
+    let g = Arc::new(g);
+    for workers in [1usize, 2, 8] {
+        for single_flight in [true, false] {
+            let label = format!("{workers} workers, single_flight={single_flight}");
+            let engine = ServeEngine::start(
+                Arc::clone(&g),
+                config
+                    .with_workers(workers)
+                    .with_single_flight(single_flight),
+            );
+            // Cold pass: misses compute and populate the cache.
+            let cold = engine.run_batch(&queries);
+            assert_outputs_identical(&format!("{label}, cold"), &cold, &serial);
+            // Warm pass: served from cache, still bit-identical.
+            let warm = engine.run_batch(&queries);
+            assert_outputs_identical(&format!("{label}, warm"), &warm, &serial);
+            let stats = engine.cache_stats().expect("cache on");
+            assert!(
+                stats.hits > 0,
+                "{label}: a repeated workload must hit the cache, got {stats:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn fig2_toy_cached_identical_at_1_2_8_workers() {
+    let (g, _) = fig2_toy();
+    let base: Vec<NodeId> = g.nodes().collect();
+    let queries = repeated_shuffled(&base, 3, 11);
+    let config = ServeConfig::default()
+        .with_cache_capacity(256)
+        .with_topk(TopKConfig {
+            k: 5,
+            epsilon: 0.0,
+            m_f: 4,
+            m_t: 2,
+            max_expansions: 500,
+            ..TopKConfig::default()
+        });
+    check_cached_matches_serial(g, queries, config);
+}
+
+#[test]
+fn seeded_qlog_cached_identical_at_1_2_8_workers() {
+    let log = QLog::generate(&QLogConfig::tiny(), 77);
+    let g = log.graph.clone();
+    let mut base: Vec<NodeId> = log.phrases.clone();
+    base.shuffle(&mut ChaCha8Rng::seed_from_u64(7));
+    base.truncate(10);
+    let queries = repeated_shuffled(&base, 4, 23);
+    // Paper defaults: K = 10, ε = 0.01.
+    let config = ServeConfig::default().with_cache_capacity(64);
+    check_cached_matches_serial(g, queries, config);
+}
+
+#[test]
+fn tiny_cache_evicts_but_stays_correct() {
+    // A cache far smaller than the distinct-query set thrashes (insert /
+    // evict constantly) yet must never change an answer.
+    let log = QLog::generate(&QLogConfig::tiny(), 5);
+    let g = log.graph.clone();
+    let base: Vec<NodeId> = log.phrases.iter().copied().take(12).collect();
+    let queries = repeated_shuffled(&base, 3, 41);
+    let config = ServeConfig::default()
+        .with_cache_capacity(4)
+        .with_cache_shards(2);
+    let serial = run_serial(&g, &config.with_cache_capacity(0), &queries);
+    let engine = ServeEngine::start(Arc::new(g), config.with_workers(4));
+    let outputs = engine.run_batch(&queries);
+    assert_outputs_identical("thrashing cache", &outputs, &serial);
+    let stats = engine.cache_stats().expect("cache on");
+    assert!(stats.evictions > 0, "capacity 4 must evict, got {stats:?}");
+}
+
+#[test]
+fn ablation_schemes_cached_identical() {
+    // The cache key includes the scheme, so every Fig. 11a ablation must
+    // round-trip the cached path unchanged — and never share entries.
+    let (g, _) = fig2_toy();
+    let base: Vec<NodeId> = g.nodes().collect();
+    let queries = repeated_shuffled(&base, 2, 31);
+    for scheme in rtr_topk::Scheme::all() {
+        let config = ServeConfig::default()
+            .with_scheme(scheme)
+            .with_cache_capacity(128)
+            .with_topk(TopKConfig {
+                k: 3,
+                epsilon: 0.0,
+                m_f: 4,
+                m_t: 2,
+                max_expansions: 500,
+                ..TopKConfig::default()
+            });
+        let serial = run_serial(&g, &config.with_cache_capacity(0), &queries);
+        let engine = ServeEngine::start(Arc::new(g.clone()), config.with_workers(4));
+        let outputs = engine.run_batch(&queries);
+        assert_outputs_identical(&format!("{scheme:?} cached vs serial"), &outputs, &serial);
+    }
+}
+
+#[test]
+fn graph_epoch_separates_cache_entries() {
+    // Two byte-identical graphs have different epochs: an engine over the
+    // second must not see (or be poisoned by) entries computed on the
+    // first. Sharing one cache across engines isn't possible through the
+    // public API today (each engine owns its cache), so pin the epoch
+    // property directly: keys built on clone vs rebuild differ.
+    let (g1, _) = fig2_toy();
+    let (g2, _) = fig2_toy();
+    assert_ne!(g1.epoch(), g2.epoch());
+    let params = rtr_core::RankParams::default();
+    let cfg = TopKConfig::toy();
+    let k1 = rtr_cache::CacheKey::new(
+        NodeId(0),
+        g1.epoch(),
+        &params,
+        &cfg,
+        rtr_topk::Scheme::TwoSBound,
+    );
+    let k2 = rtr_cache::CacheKey::new(
+        NodeId(0),
+        g2.epoch(),
+        &params,
+        &cfg,
+        rtr_topk::Scheme::TwoSBound,
+    );
+    assert_ne!(k1, k2, "same query, different graph epoch: distinct keys");
+    // A clone is the same graph content and keeps the epoch: cached
+    // answers stay valid.
+    assert_eq!(g1.clone().epoch(), g1.epoch());
+}

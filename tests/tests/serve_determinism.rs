@@ -98,6 +98,7 @@ fn seeded_qlog_identical_at_1_2_8_workers() {
         params: RankParams::default(),
         topk: TopKConfig::default(), // paper defaults: K = 10, ε = 0.01
         scheme: rtr_topk::Scheme::TwoSBound,
+        ..ServeConfig::default() // cache off: the uncached contract
     };
     check_all_worker_counts(g, queries, config);
 }

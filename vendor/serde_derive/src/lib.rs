@@ -7,14 +7,16 @@
 
 use proc_macro::TokenStream;
 
-/// Accept and discard a `#[derive(Serialize)]`.
-#[proc_macro_derive(Serialize)]
+/// Accept and discard a `#[derive(Serialize)]` (and any `#[serde(...)]`
+/// field attributes, as the real derive does).
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
 }
 
-/// Accept and discard a `#[derive(Deserialize)]`.
-#[proc_macro_derive(Deserialize)]
+/// Accept and discard a `#[derive(Deserialize)]` (and any `#[serde(...)]`
+/// field attributes, as the real derive does).
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
 }
