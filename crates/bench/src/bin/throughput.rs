@@ -8,7 +8,7 @@
 //!
 //! ```text
 //! throughput [--workers 1,2,4,8] [--queries N] [--k K] [--epsilon E]
-//!            [--skew S] [--cache CAPACITY] [--json PATH]
+//!            [--skew S] [--mixed] [--cache CAPACITY] [--json PATH]
 //!            [--check bench/baseline.json]
 //! ```
 //!
@@ -25,18 +25,31 @@
 //! worker count is measured twice, cache **off** then cache **on**, the
 //! two result streams are asserted bit-identical, and the JSON gains
 //! cached QPS, hit rate, and speedup columns.
+//!
+//! With `--mixed`, the workload replays a **seeded heterogeneous request
+//! mix** through one pool: F-Rank, T-Rank, RTR, and RTR+ (two β values),
+//! single- and multi-node queries, two k values — the traffic shape the
+//! per-request `QueryRequest` API exists for. Every worker count is
+//! measured cache-off then cache-on, both asserted bit-identical to the
+//! serial reference, and the JSON gains a `mixed_runs` section.
+//!
+//! All modes report latency **split into queue-wait and compute**
+//! percentiles alongside the end-to-end numbers: under load, queue-wait
+//! growing while compute stays flat is the saturation signature.
 
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
 use rtr_bench::json::{number, number_field};
 use rtr_bench::{percentile, qlog, seed, Scale};
-use rtr_core::RankParams;
+use rtr_core::{Measure, RankParams};
 use rtr_datagen::{QLog, QLogConfig, Zipf};
 use rtr_graph::{Graph, NodeId};
-use rtr_serve::{QueryOutput, ServeConfig, ServeEngine};
+use rtr_serve::{
+    run_serial_requests, QueryOutput, QueryRequest, QueryResponse, ServeConfig, ServeEngine,
+};
 use rtr_topk::TopKConfig;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Allowed QPS regression against the committed baseline before the gate
 /// fails (the ISSUE's ">30% drop" contract).
@@ -61,6 +74,7 @@ struct Args {
     out: String,
     check: Option<String>,
     skew: Option<f64>,
+    mixed: bool,
     cache: usize,
 }
 
@@ -74,6 +88,7 @@ impl Default for Args {
             out: "BENCH_throughput.json".to_owned(),
             check: None,
             skew: None,
+            mixed: false,
             cache: 0,
         }
     }
@@ -81,10 +96,16 @@ impl Default for Args {
 
 impl Args {
     /// Query count: explicit `--queries`, else 2000 for the skewed workload
-    /// (repeats need volume to show) and 200 for the uniform one.
+    /// (repeats need volume to show), 600 for the mixed one (the exact
+    /// measures are O(|V|) per query), and 200 for the uniform one.
     fn query_count(&self) -> usize {
-        self.queries
-            .unwrap_or(if self.skew.is_some() { 2000 } else { 200 })
+        self.queries.unwrap_or(if self.skew.is_some() {
+            2000
+        } else if self.mixed {
+            600
+        } else {
+            200
+        })
     }
 
     /// Cache capacity for cached runs: explicit `--cache`, else the default.
@@ -125,11 +146,12 @@ fn parse_args() -> Args {
                 assert!(s > 0.0 && s.is_finite(), "--skew must be positive");
                 args.skew = Some(s);
             }
+            "--mixed" => args.mixed = true,
             "--cache" => args.cache = value("--cache").parse().expect("cache capacity"),
             "--help" | "-h" => {
                 eprintln!(
                     "throughput [--workers 1,2,4,8] [--queries N] [--k K] \
-                     [--epsilon E] [--skew S] [--cache CAPACITY] \
+                     [--epsilon E] [--skew S] [--mixed] [--cache CAPACITY] \
                      [--json PATH] [--check BASELINE_JSON]"
                 );
                 std::process::exit(0);
@@ -137,6 +159,10 @@ fn parse_args() -> Args {
             other => panic!("unknown flag '{other}' (try --help)"),
         }
     }
+    assert!(
+        !(args.mixed && args.skew.is_some()),
+        "--mixed and --skew are separate workloads; pick one"
+    );
     args
 }
 
@@ -192,15 +218,80 @@ fn sample_queries_zipf(log: &QLog, n: usize, seed: u64, s: f64) -> (Vec<NodeId>,
     (queries, hot.len())
 }
 
+/// Deterministic heterogeneous request mix: hot-pool Zipf query nodes
+/// (exponent 1.0 so the cache has a head to hold) crossed with the measure
+/// space — F-Rank, T-Rank, RTR, RTR+ at two β values — ~10% two-node
+/// queries, and two k values. The shape one `QueryRequest`-serving pool
+/// handles that the old per-engine API could not.
+fn sample_requests_mixed(log: &QLog, n: usize, seed: u64) -> Vec<QueryRequest> {
+    let pool = query_pool(log, seed);
+    let hot = &pool[..pool.len().min(SKEW_HOT_POOL)];
+    let zipf = Zipf::new(hot.len(), 1.0);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x6d17);
+    (0..n)
+        .map(|_| {
+            let node = hot[zipf.sample(&mut rng)];
+            let mut request = if rng.gen_bool(0.1) {
+                let other = hot[zipf.sample(&mut rng)];
+                QueryRequest::nodes(&[node, other])
+            } else {
+                QueryRequest::node(node)
+            };
+            request = match rng.gen_range(0..5) {
+                0 => request.with_measure(Measure::F),
+                1 => request.with_measure(Measure::T),
+                2 => request.with_measure(Measure::RtrPlus { beta: 0.3 }),
+                3 => request.with_measure(Measure::RtrPlus { beta: 0.7 }),
+                _ => request, // RoundTripRank
+            };
+            if rng.gen_bool(0.5) {
+                request = request.with_k(5);
+            }
+            request
+        })
+        .collect()
+}
+
 #[derive(Clone, Copy)]
 struct RunRow {
     workers: usize,
     qps: f64,
     p50_ms: f64,
     p99_ms: f64,
+    p50_queue_ms: f64,
+    p99_queue_ms: f64,
+    p50_compute_ms: f64,
+    p99_compute_ms: f64,
     wall_ms: f64,
     /// Steady-state cache hit rate over the measured pass (cached runs).
     hit_rate: Option<f64>,
+}
+
+impl RunRow {
+    /// Percentile rows from per-query `(queue_wait, compute)` pairs.
+    fn measure(
+        workers: usize,
+        wall: Duration,
+        splits: &[(Duration, Duration)],
+        hit_rate: Option<f64>,
+    ) -> RunRow {
+        let ms = |d: &Duration| d.as_secs_f64() * 1e3;
+        let queue: Vec<f64> = splits.iter().map(|(q, _)| ms(q)).collect();
+        let compute: Vec<f64> = splits.iter().map(|(_, c)| ms(c)).collect();
+        let total: Vec<f64> = splits.iter().map(|(q, c)| ms(q) + ms(c)).collect();
+        RunRow {
+            workers,
+            qps: splits.len() as f64 / wall.as_secs_f64(),
+            p50_ms: percentile(&total, 50.0),
+            p99_ms: percentile(&total, 99.0),
+            p50_queue_ms: percentile(&queue, 50.0),
+            p99_queue_ms: percentile(&queue, 99.0),
+            p50_compute_ms: percentile(&compute, 50.0),
+            p99_compute_ms: percentile(&compute, 99.0),
+            wall_ms: wall.as_secs_f64() * 1e3,
+            hit_rate,
+        }
+    }
 }
 
 struct Measured {
@@ -223,24 +314,46 @@ fn run_at(g: &Arc<Graph>, config: ServeConfig, queries: &[NodeId], workers: usiz
         .cache_stats()
         .map(|now| cache_mark.map_or(now, |mark| now.since(&mark)).hit_rate());
 
-    let mut latencies_ms = Vec::with_capacity(outputs.len());
+    let mut splits = Vec::with_capacity(outputs.len());
     for out in &outputs {
         out.result
             .as_ref()
             .unwrap_or_else(|e| panic!("query {:?} failed: {e}", out.query));
-        latencies_ms.push(out.latency.as_secs_f64() * 1e3);
+        splits.push((out.queue_wait, out.compute));
     }
     Measured {
-        row: RunRow {
-            workers,
-            qps: queries.len() as f64 / wall.as_secs_f64(),
-            p50_ms: percentile(&latencies_ms, 50.0),
-            p99_ms: percentile(&latencies_ms, 99.0),
-            wall_ms: wall.as_secs_f64() * 1e3,
-            hit_rate,
-        },
+        row: RunRow::measure(workers, wall, &splits, hit_rate),
         outputs,
     }
+}
+
+/// [`run_at`] for a heterogeneous request workload.
+fn run_requests_at(
+    g: &Arc<Graph>,
+    config: ServeConfig,
+    requests: &[QueryRequest],
+    workers: usize,
+) -> (RunRow, Vec<QueryResponse>) {
+    let engine = ServeEngine::start(Arc::clone(g), config.with_workers(workers));
+    let warm = requests.len().min(workers.max(1) * 4);
+    let _ = engine.run_requests(&requests[..warm]);
+    let cache_mark = engine.cache_stats();
+
+    let started = Instant::now();
+    let responses = engine.run_requests(requests);
+    let wall = started.elapsed();
+    let hit_rate = engine
+        .cache_stats()
+        .map(|now| cache_mark.map_or(now, |mark| now.since(&mark)).hit_rate());
+
+    let mut splits = Vec::with_capacity(responses.len());
+    for r in &responses {
+        r.result
+            .as_ref()
+            .unwrap_or_else(|e| panic!("request {:?} failed: {e}", r.request.query.nodes()));
+        splits.push((r.queue_wait, r.compute));
+    }
+    (RunRow::measure(workers, wall, &splits, hit_rate), responses)
 }
 
 /// The skewed workload's correctness clause: cached serving must be
@@ -257,6 +370,17 @@ fn assert_identical(uncached: &[QueryOutput], cached: &[QueryOutput], workers: u
             u.bounds, c.bounds,
             "cached bounds diverged at {workers} workers"
         );
+    }
+}
+
+/// The mixed workload's correctness clause: pooled serving (cache off or
+/// on) must be bit-identical to the serial reference, request by request.
+fn assert_responses_identical(got: &[QueryResponse], want: &[QueryResponse], label: &str) {
+    assert_eq!(got.len(), want.len());
+    for (g, w) in got.iter().zip(want) {
+        let (g, w) = (g.result.as_ref().unwrap(), w.result.as_ref().unwrap());
+        assert_eq!(g.ranking, w.ranking, "ranking diverged: {label}");
+        assert_eq!(g.bounds, w.bounds, "bounds diverged: {label}");
     }
 }
 
@@ -280,6 +404,7 @@ fn emit_json(
     g: &Graph,
     rows: &[RunRow],
     skew_rows: &[SkewRow],
+    mixed_rows: &[SkewRow],
 ) {
     let best = rows
         .iter()
@@ -287,11 +412,17 @@ fn emit_json(
         .expect("at least one run");
     let run_json = |r: &RunRow| {
         let mut s = format!(
-            "{{ \"workers\": {}, \"qps\": {}, \"p50_ms\": {}, \"p99_ms\": {}, \"wall_ms\": {}",
+            "{{ \"workers\": {}, \"qps\": {}, \"p50_ms\": {}, \"p99_ms\": {}, \
+             \"p50_queue_ms\": {}, \"p99_queue_ms\": {}, \
+             \"p50_compute_ms\": {}, \"p99_compute_ms\": {}, \"wall_ms\": {}",
             r.workers,
             number(r.qps),
             number(r.p50_ms),
             number(r.p99_ms),
+            number(r.p50_queue_ms),
+            number(r.p99_queue_ms),
+            number(r.p50_compute_ms),
+            number(r.p99_compute_ms),
             number(r.wall_ms)
         );
         if let Some(h) = r.hit_rate {
@@ -300,13 +431,8 @@ fn emit_json(
         s.push_str(" }");
         s
     };
-    let runs: Vec<String> = rows
-        .iter()
-        .map(|r| format!("    {}", run_json(r)))
-        .collect();
-    let mut extra = String::new();
-    if let Some(s) = args.skew {
-        let skew_runs: Vec<String> = skew_rows
+    let paired_runs = |pairs: &[SkewRow]| -> String {
+        pairs
             .iter()
             .map(|sr| {
                 format!(
@@ -317,12 +443,27 @@ fn emit_json(
                     number(sr.speedup())
                 )
             })
-            .collect();
+            .collect::<Vec<String>>()
+            .join(",\n")
+    };
+    let runs: Vec<String> = rows
+        .iter()
+        .map(|r| format!("    {}", run_json(r)))
+        .collect();
+    let mut extra = String::new();
+    if let Some(s) = args.skew {
         extra = format!(
             ",\n  \"skew\": {},\n  \"cache_capacity\": {},\n  \"skew_runs\": [\n{}\n  ]",
             number(s),
             args.cache_capacity(),
-            skew_runs.join(",\n")
+            paired_runs(skew_rows)
+        );
+    }
+    if args.mixed {
+        extra = format!(
+            ",\n  \"mixed\": true,\n  \"cache_capacity\": {},\n  \"mixed_runs\": [\n{}\n  ]",
+            args.cache_capacity(),
+            paired_runs(mixed_rows)
         );
     }
     let json = format!(
@@ -361,7 +502,13 @@ fn main() {
     let n_queries = args.query_count();
     let (queries, hot_pool) = match args.skew {
         Some(s) => sample_queries_zipf(&log, n_queries, workload_seed, s),
+        None if args.mixed => (Vec::new(), 0),
         None => (sample_queries(&log, n_queries, workload_seed), 0),
+    };
+    let mixed_requests = if args.mixed {
+        sample_requests_mixed(&log, n_queries, workload_seed)
+    } else {
+        Vec::new()
     };
     let g = Arc::new(log.graph);
     let config = ServeConfig {
@@ -387,7 +534,51 @@ fn main() {
     );
     let mut rows = Vec::new();
     let mut skew_rows = Vec::new();
-    if let Some(s) = args.skew {
+    let mut mixed_rows = Vec::new();
+    if args.mixed {
+        println!(
+            "--- mixed-request workload: F/T/RTR/RTR+β, 1-2 nodes, k ∈ {{5, {}}}, cache capacity {} ---",
+            args.k,
+            args.cache_capacity()
+        );
+        // The ground truth every measured pass must reproduce bit for bit.
+        let serial = run_serial_requests(&g, &config, &mixed_requests);
+        println!(
+            "{:>8} {:>12} {:>12} {:>10} {:>9}",
+            "workers", "QPS(off)", "QPS(on)", "hit rate", "speedup"
+        );
+        for &workers in &args.workers {
+            let (off_row, off) =
+                run_requests_at(&g, config.with_cache_capacity(0), &mixed_requests, workers);
+            let (on_row, on) = run_requests_at(
+                &g,
+                config.with_cache_capacity(args.cache_capacity()),
+                &mixed_requests,
+                workers,
+            );
+            assert_responses_identical(&off, &serial, &format!("{workers} workers, cache off"));
+            assert_responses_identical(&on, &serial, &format!("{workers} workers, cache on"));
+            let sr = SkewRow {
+                uncached: off_row,
+                cached: on_row,
+            };
+            println!(
+                "{:>8} {:>12.1} {:>12.1} {:>9.1}% {:>8.2}x",
+                workers,
+                sr.uncached.qps,
+                sr.cached.qps,
+                sr.cached.hit_rate.unwrap_or(0.0) * 100.0,
+                sr.speedup()
+            );
+            // The uncached run doubles as this worker count's plain row, so
+            // best_qps keeps its cold-path meaning in mixed mode too.
+            rows.push(RunRow {
+                hit_rate: None,
+                ..sr.uncached
+            });
+            mixed_rows.push(sr);
+        }
+    } else if let Some(s) = args.skew {
         println!(
             "--- Zipf-repeat workload: s = {s}, hot pool {hot_pool}, cache capacity {} ---",
             args.cache_capacity()
@@ -448,6 +639,7 @@ fn main() {
         &g,
         &rows,
         &skew_rows,
+        &mixed_rows,
     );
 
     if let Some(baseline_path) = &args.check {

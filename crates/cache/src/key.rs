@@ -1,58 +1,82 @@
-//! The result-cache key: everything that determines a top-K answer.
+//! The result-cache key: everything that determines a served answer.
 //!
-//! A cached ranking may be served in place of a fresh [`rtr_topk::TwoSBound`]
-//! run only when *every* input that could change the output matches: the
-//! query node, the graph (via its construction epoch — see
-//! [`rtr_graph::Graph::epoch`]), the random-walk parameters, the top-K
-//! configuration, and the computational scheme. Folding the epoch into the
-//! key is what makes invalidation free: when a new graph replaces an old
-//! one, entries computed against the old epoch simply stop being
-//! addressable and age out of the LRU.
+//! A cached ranking may be served in place of a fresh engine run only when
+//! *every* input that could change the output matches: the query (single
+//! node or weighted multi-node set, in canonical order), the proximity
+//! measure (including the RTR+ β bit pattern), the graph (via its
+//! construction epoch — see [`rtr_graph::Graph::epoch`]), the random-walk
+//! parameters, the top-K configuration, and the computational scheme.
+//! Folding the epoch into the key is what makes invalidation free: when a
+//! new graph replaces an old one, entries computed against the old epoch
+//! simply stop being addressable and age out of the LRU.
+//!
+//! Since PR 4 the key covers the full per-request parameter space, so one
+//! cache stays bit-correct across heterogeneous traffic: an F-Rank top-5
+//! and an RTR+β top-10 for the same node never collide, and two
+//! order-permuted copies of one multi-node query share an entry *provided
+//! the caller canonicalizes the query first* ([`rtr_core::Query::canonicalize`]
+//! — the serving layer does this at request construction).
 
 use crate::cache::ShardedCache;
-use rtr_core::RankParams;
+use rtr_core::{Measure, MeasureKey, Query, QueryCacheKey, RankParams, RankParamsKey};
 use rtr_graph::NodeId;
 use rtr_topk::{Scheme, TopKCacheKey, TopKConfig, TopKResult};
 use std::sync::Arc;
 
-/// Identity of one served top-K computation.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+/// Identity of one served computation.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct CacheKey {
-    query: NodeId,
+    query: QueryCacheKey,
+    measure: MeasureKey,
     epoch: u64,
     scheme: Scheme,
     topk: TopKCacheKey,
-    // RankParams by IEEE-754 bits: runs are bit-identical exactly when the
-    // parameter bits are.
-    alpha_bits: u64,
-    tolerance_bits: u64,
-    max_iterations: usize,
+    params: RankParamsKey,
 }
 
 impl CacheKey {
-    /// Key for running `query` on a graph stamped `epoch` under the given
-    /// parameters, configuration, and scheme.
+    /// Key for ranking `query` under `measure` on a graph stamped `epoch`
+    /// with the given parameters, configuration, and scheme.
+    ///
+    /// The query's pair order is keyed as-is: multi-node engines accumulate
+    /// in query order, so permutations are not bit-equivalent in general.
+    /// Canonicalize the query first when permutations should share an
+    /// entry.
     pub fn new(
-        query: NodeId,
+        query: &Query,
+        measure: Measure,
         epoch: u64,
         params: &RankParams,
         config: &TopKConfig,
         scheme: Scheme,
     ) -> Self {
         CacheKey {
-            query,
+            query: query.cache_key(),
+            measure: measure.cache_key(),
             epoch,
             scheme,
             topk: config.cache_key(),
-            alpha_bits: params.alpha.to_bits(),
-            tolerance_bits: params.tolerance.to_bits(),
-            max_iterations: params.max_iterations,
+            params: params.cache_key(),
         }
     }
 
-    /// The query node.
-    pub fn query(&self) -> NodeId {
-        self.query
+    /// Convenience for the pre-PR-4 key shape: a single-node RoundTripRank
+    /// query.
+    pub fn single(
+        node: NodeId,
+        epoch: u64,
+        params: &RankParams,
+        config: &TopKConfig,
+        scheme: Scheme,
+    ) -> Self {
+        Self::new(
+            &Query::single(node),
+            Measure::Rtr,
+            epoch,
+            params,
+            config,
+            scheme,
+        )
     }
 
     /// The graph epoch this key is valid for.
@@ -70,7 +94,7 @@ mod tests {
     use super::*;
 
     fn base() -> CacheKey {
-        CacheKey::new(
+        CacheKey::single(
             NodeId(3),
             7,
             &RankParams::default(),
@@ -90,24 +114,24 @@ mod tests {
         let params = RankParams::default();
         let config = TopKConfig::default();
         let variants = [
-            CacheKey::new(NodeId(4), 7, &params, &config, Scheme::TwoSBound),
-            CacheKey::new(NodeId(3), 8, &params, &config, Scheme::TwoSBound),
-            CacheKey::new(NodeId(3), 7, &params, &config, Scheme::Gupta),
-            CacheKey::new(
+            CacheKey::single(NodeId(4), 7, &params, &config, Scheme::TwoSBound),
+            CacheKey::single(NodeId(3), 8, &params, &config, Scheme::TwoSBound),
+            CacheKey::single(NodeId(3), 7, &params, &config, Scheme::Gupta),
+            CacheKey::single(
                 NodeId(3),
                 7,
                 &RankParams::with_alpha(0.5),
                 &config,
                 Scheme::TwoSBound,
             ),
-            CacheKey::new(
+            CacheKey::single(
                 NodeId(3),
                 7,
                 &params,
                 &TopKConfig { k: 3, ..config },
                 Scheme::TwoSBound,
             ),
-            CacheKey::new(
+            CacheKey::single(
                 NodeId(3),
                 7,
                 &RankParams {
@@ -124,9 +148,86 @@ mod tests {
     }
 
     #[test]
-    fn accessors_expose_query_and_epoch() {
-        let k = base();
-        assert_eq!(k.query(), NodeId(3));
-        assert_eq!(k.epoch(), 7);
+    fn measures_never_share_entries() {
+        let params = RankParams::default();
+        let config = TopKConfig::default();
+        let q = Query::single(NodeId(3));
+        let keys = [
+            CacheKey::new(&q, Measure::F, 7, &params, &config, Scheme::TwoSBound),
+            CacheKey::new(&q, Measure::T, 7, &params, &config, Scheme::TwoSBound),
+            CacheKey::new(&q, Measure::Rtr, 7, &params, &config, Scheme::TwoSBound),
+            CacheKey::new(
+                &q,
+                Measure::RtrPlus { beta: 0.3 },
+                7,
+                &params,
+                &config,
+                Scheme::TwoSBound,
+            ),
+            CacheKey::new(
+                &q,
+                Measure::RtrPlus { beta: 0.7 },
+                7,
+                &params,
+                &config,
+                Scheme::TwoSBound,
+            ),
+        ];
+        for (i, a) in keys.iter().enumerate() {
+            for b in &keys[i + 1..] {
+                assert_ne!(a, b, "distinct measures must have distinct keys");
+            }
+        }
+        // β = 0.5 RTR+ is rank-equivalent to RTR but not bit-equivalent
+        // (different bound arithmetic): still a distinct key.
+        assert_ne!(
+            CacheKey::new(
+                &q,
+                Measure::RtrPlus { beta: 0.5 },
+                7,
+                &params,
+                &config,
+                Scheme::TwoSBound
+            ),
+            CacheKey::new(&q, Measure::Rtr, 7, &params, &config, Scheme::TwoSBound)
+        );
+    }
+
+    #[test]
+    fn canonicalized_multi_node_queries_share_entries() {
+        let params = RankParams::default();
+        let config = TopKConfig::default();
+        let a = Query::weighted(&[(NodeId(1), 1.0), (NodeId(4), 3.0)]).unwrap();
+        let b = Query::weighted(&[(NodeId(4), 3.0), (NodeId(1), 1.0)]).unwrap();
+        let key =
+            |q: &Query| CacheKey::new(q, Measure::Rtr, 7, &params, &config, Scheme::TwoSBound);
+        // Raw order is part of the key...
+        assert_ne!(key(&a), key(&b));
+        // ...the canonical forms collapse to one entry.
+        assert_eq!(key(&a.canonicalize()), key(&b.canonicalize()));
+        // Different weights stay distinct.
+        let c = Query::weighted(&[(NodeId(1), 2.0), (NodeId(4), 3.0)]).unwrap();
+        assert_ne!(key(&a.canonicalize()), key(&c.canonicalize()));
+    }
+
+    #[test]
+    fn accessors_expose_epoch() {
+        assert_eq!(base().epoch(), 7);
+    }
+
+    #[test]
+    fn single_is_a_rtr_single_node_key() {
+        let params = RankParams::default();
+        let config = TopKConfig::default();
+        let via_single = CacheKey::single(NodeId(3), 7, &params, &config, Scheme::TwoSBound);
+        let via_new = CacheKey::new(
+            &Query::single(NodeId(3)),
+            Measure::Rtr,
+            7,
+            &params,
+            &config,
+            Scheme::TwoSBound,
+        );
+        assert_eq!(via_single, via_new);
     }
 }

@@ -61,6 +61,7 @@ pub mod enumerate;
 pub mod error;
 pub mod frank;
 pub mod iterative;
+pub mod measure;
 pub mod params;
 pub mod query;
 pub mod rtr;
@@ -71,8 +72,9 @@ pub mod walk;
 pub mod workspace;
 
 pub use error::CoreError;
-pub use params::RankParams;
-pub use query::Query;
+pub use measure::{Measure, MeasureKey};
+pub use params::{RankParams, RankParamsKey};
+pub use query::{Query, QueryCacheKey};
 pub use scores::ScoreVec;
 pub use workspace::{BcaWorkspace, IterWorkspace};
 
@@ -81,6 +83,7 @@ pub mod prelude {
     pub use crate::bca::Bca;
     pub use crate::error::CoreError;
     pub use crate::frank::FRank;
+    pub use crate::measure::Measure;
     pub use crate::params::RankParams;
     pub use crate::query::Query;
     pub use crate::rtr::RoundTripRank;

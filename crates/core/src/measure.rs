@@ -1,0 +1,157 @@
+//! The proximity measure a query asks for.
+//!
+//! One graph answers four kinds of proximity queries (the paper's whole
+//! framework): F-Rank (importance, Eq. 1), T-Rank (specificity, Eq. 2),
+//! RoundTripRank (their product, Prop. 2), and RoundTripRank+ with a
+//! per-query specificity bias β (Eq. 12). A serving layer that freezes the
+//! measure at construction needs one engine per measure; [`Measure`] makes
+//! the measure part of the *request* instead, so a single pool covers the
+//! whole space.
+//!
+//! Because β is an `f64`, `Measure` cannot derive `Eq`/`Hash`; result
+//! caches key on [`MeasureKey`], which hashes β by its IEEE-754 bits — two
+//! measures share cache entries exactly when runs under them are
+//! bit-identical.
+
+use crate::error::CoreError;
+use std::fmt;
+
+/// Which proximity measure a query should be ranked by.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Measure {
+    /// F-Rank / Personalized PageRank: reachability *from* the query
+    /// (importance).
+    F,
+    /// T-Rank: reachability *to* the query (specificity).
+    T,
+    /// RoundTripRank: `r ∝ f · t` (balanced, the paper's headline measure).
+    Rtr,
+    /// RoundTripRank+: `r_β ∝ f^(1-β) · t^β` with specificity bias
+    /// `beta ∈ [0, 1]` (β=0 ranks like F, β=1 like T, β=0.5 like RTR).
+    RtrPlus {
+        /// The specificity bias β of paper Eq. 12.
+        beta: f64,
+    },
+}
+
+impl Measure {
+    /// Validate measure-level parameters (β range for RTR+; the other
+    /// measures are parameterless).
+    pub fn validate(&self) -> Result<(), CoreError> {
+        match *self {
+            Measure::RtrPlus { beta } if !(0.0..=1.0).contains(&beta) || beta.is_nan() => {
+                Err(CoreError::InvalidBeta(beta))
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// A stable, hashable identity of this measure for result-cache keys.
+    pub fn cache_key(&self) -> MeasureKey {
+        match *self {
+            Measure::F => MeasureKey {
+                tag: 0,
+                beta_bits: 0,
+            },
+            Measure::T => MeasureKey {
+                tag: 1,
+                beta_bits: 0,
+            },
+            Measure::Rtr => MeasureKey {
+                tag: 2,
+                beta_bits: 0,
+            },
+            Measure::RtrPlus { beta } => MeasureKey {
+                tag: 3,
+                beta_bits: beta.to_bits(),
+            },
+        }
+    }
+}
+
+impl fmt::Display for Measure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Measure::F => write!(f, "F-Rank"),
+            Measure::T => write!(f, "T-Rank"),
+            Measure::Rtr => write!(f, "RoundTripRank"),
+            Measure::RtrPlus { beta } => write!(f, "RoundTripRank+(β={beta})"),
+        }
+    }
+}
+
+/// Hashable identity of a [`Measure`] (see [`Measure::cache_key`]). β is
+/// keyed by its IEEE-754 bits: measures compare equal exactly when runs
+/// under them are bit-identical (`RtrPlus` at `-0.0` vs `0.0` hash
+/// differently, which is merely a missed dedup, never a wrong answer).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct MeasureKey {
+    tag: u8,
+    beta_bits: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_accepts_in_range_betas() {
+        for m in [
+            Measure::F,
+            Measure::T,
+            Measure::Rtr,
+            Measure::RtrPlus { beta: 0.0 },
+            Measure::RtrPlus { beta: 0.5 },
+            Measure::RtrPlus { beta: 1.0 },
+        ] {
+            assert!(m.validate().is_ok(), "{m} should be valid");
+        }
+    }
+
+    #[test]
+    fn validate_rejects_bad_betas() {
+        for beta in [-0.1, 1.5, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                Measure::RtrPlus { beta }.validate(),
+                Err(CoreError::InvalidBeta(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn cache_keys_separate_measures() {
+        let keys = [
+            Measure::F.cache_key(),
+            Measure::T.cache_key(),
+            Measure::Rtr.cache_key(),
+            Measure::RtrPlus { beta: 0.3 }.cache_key(),
+            Measure::RtrPlus { beta: 0.7 }.cache_key(),
+        ];
+        for (i, a) in keys.iter().enumerate() {
+            for b in &keys[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn beta_keys_by_bit_pattern() {
+        let a = Measure::RtrPlus { beta: 0.5 }.cache_key();
+        let b = Measure::RtrPlus { beta: 0.5 }.cache_key();
+        assert_eq!(a, b);
+        // -0.0 and 0.0 are distinct bit patterns: distinct keys.
+        assert_ne!(
+            Measure::RtrPlus { beta: 0.0 }.cache_key(),
+            Measure::RtrPlus { beta: -0.0 }.cache_key()
+        );
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Measure::F.to_string(), "F-Rank");
+        assert_eq!(
+            Measure::RtrPlus { beta: 0.5 }.to_string(),
+            "RoundTripRank+(β=0.5)"
+        );
+    }
+}

@@ -36,11 +36,21 @@ impl Query {
     }
 
     /// A weighted multi-node query; weights are normalized to sum to 1.
+    ///
+    /// The normalization total is summed in a canonical (sorted) order, so
+    /// two permutations of one pair list normalize to bit-identical
+    /// weights — which is what lets [`Query::canonicalize`] map them to
+    /// the *same* query (f64 addition is not order-independent; summing in
+    /// input order would leave an ulp of permutation residue).
     pub fn weighted(pairs: &[(NodeId, f64)]) -> Result<Self, CoreError> {
         if pairs.is_empty() {
             return Err(CoreError::EmptyQuery);
         }
-        let total: f64 = pairs.iter().map(|&(_, w)| w).sum();
+        let total: f64 = {
+            let mut ws: Vec<f64> = pairs.iter().map(|&(_, w)| w).collect();
+            ws.sort_by(f64::total_cmp);
+            ws.iter().sum()
+        };
         // NaN weights must be rejected, so test for the valid case and negate.
         let weights_valid = pairs.iter().all(|&(_, w)| w.is_finite() && w >= 0.0);
         if !weights_valid || total.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
@@ -86,6 +96,51 @@ impl Query {
         self.nodes.contains(&v)
     }
 
+    /// The canonical form of this query: pairs sorted by node id (weight
+    /// bits as tie-break), duplicate nodes merged by summing their weights
+    /// in that order.
+    ///
+    /// Two queries with the same node/weight multiset canonicalize to the
+    /// *same* pair sequence, so computing the canonical form is the same
+    /// computation bit for bit — which is what lets a result cache treat
+    /// order-permuted multi-node queries as one entry. The serving layer
+    /// canonicalizes every request at construction; weights are **not**
+    /// re-normalized (they already sum to 1, and dividing by ~1.0 would
+    /// perturb the bits).
+    pub fn canonicalize(&self) -> Query {
+        let mut pairs: Vec<(NodeId, f64)> = self.iter().collect();
+        pairs.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
+        let mut nodes: Vec<NodeId> = Vec::with_capacity(pairs.len());
+        let mut weights: Vec<f64> = Vec::with_capacity(pairs.len());
+        for (n, w) in pairs {
+            if nodes.last() == Some(&n) {
+                *weights.last_mut().expect("nodes and weights align") += w;
+            } else {
+                nodes.push(n);
+                weights.push(w);
+            }
+        }
+        Query { nodes, weights }
+    }
+
+    /// A stable, hashable identity of this query for result-cache keys:
+    /// the `(node, weight-bits)` pairs in their current order.
+    ///
+    /// Deliberately order-*preserving*: multi-node engines accumulate
+    /// per-node scores in query order, and `f64` addition is not
+    /// associative, so permuted queries are not bit-equivalent in general.
+    /// Canonicalize first ([`Query::canonicalize`]) when permutations
+    /// should share an identity — the serving layer does.
+    pub fn cache_key(&self) -> QueryCacheKey {
+        // Single-node queries — the dominant serving traffic — get an
+        // inline key so building (and cloning) one never allocates.
+        if let ([n], [w]) = (self.nodes.as_slice(), self.weights.as_slice()) {
+            QueryCacheKey::Single(n.0, w.to_bits())
+        } else {
+            QueryCacheKey::Multi(self.iter().map(|(n, w)| (n.0, w.to_bits())).collect())
+        }
+    }
+
     /// Validate the query against a graph.
     pub fn validate(&self, g: &Graph) -> Result<(), CoreError> {
         if self.nodes.is_empty() {
@@ -103,10 +158,63 @@ impl Query {
     }
 }
 
+/// Hashable identity of a [`Query`] (see [`Query::cache_key`]).
+/// Deliberately opaque: consumers treat it as a key component only.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum QueryCacheKey {
+    /// A single `(node, weight-bits)` pair, held inline so the hot
+    /// single-node serving path builds and clones keys without touching
+    /// the heap.
+    Single(u32, u64),
+    /// The general weighted multi-node pair list.
+    Multi(Vec<(u32, u64)>),
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use rtr_graph::toy::fig2_toy;
+
+    #[test]
+    fn canonicalize_sorts_and_merges() {
+        let q = Query::weighted(&[(NodeId(5), 1.0), (NodeId(2), 2.0), (NodeId(5), 1.0)]).unwrap();
+        let c = q.canonicalize();
+        assert_eq!(c.nodes(), &[NodeId(2), NodeId(5)]);
+        assert!((c.weights()[0] - 0.5).abs() < 1e-12);
+        assert!((c.weights()[1] - 0.5).abs() < 1e-12);
+        // Weight mass is preserved exactly, not re-normalized.
+        assert_eq!(c.weights().iter().sum::<f64>(), q.weights().iter().sum());
+    }
+
+    #[test]
+    fn permuted_queries_share_a_canonical_cache_key() {
+        let a = Query::weighted(&[(NodeId(1), 1.0), (NodeId(4), 3.0)]).unwrap();
+        let b = Query::weighted(&[(NodeId(4), 3.0), (NodeId(1), 1.0)]).unwrap();
+        // Raw keys are order-preserving and differ...
+        assert_ne!(a.cache_key(), b.cache_key());
+        // ...canonical keys agree.
+        assert_eq!(a.canonicalize().cache_key(), b.canonicalize().cache_key());
+    }
+
+    #[test]
+    fn cache_key_distinguishes_nodes_and_weights() {
+        let base = Query::weighted(&[(NodeId(1), 1.0), (NodeId(2), 3.0)]).unwrap();
+        let other_node = Query::weighted(&[(NodeId(1), 1.0), (NodeId(3), 3.0)]).unwrap();
+        let other_weight = Query::weighted(&[(NodeId(1), 1.0), (NodeId(2), 2.0)]).unwrap();
+        assert_ne!(base.cache_key(), other_node.cache_key());
+        assert_ne!(base.cache_key(), other_weight.cache_key());
+        assert_ne!(base.cache_key(), Query::single(NodeId(1)).cache_key());
+    }
+
+    #[test]
+    fn single_node_keys_are_inline_and_construction_independent() {
+        // A one-pair weighted query normalizes to weight 1.0 and must key
+        // identically to Query::single — both via the inline variant.
+        let a = Query::single(NodeId(7)).cache_key();
+        let b = Query::weighted(&[(NodeId(7), 5.0)]).unwrap().cache_key();
+        assert_eq!(a, b);
+        assert!(matches!(a, QueryCacheKey::Single(7, _)));
+    }
 
     #[test]
     fn single_query() {

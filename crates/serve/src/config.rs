@@ -3,9 +3,9 @@
 use rtr_core::RankParams;
 use rtr_topk::{Scheme, TopKConfig};
 
-/// Configuration of a [`crate::ServeEngine`]: pool size plus the ranking
-/// engine every worker runs.
-#[derive(Clone, Copy, Debug)]
+/// Configuration of a [`crate::ServeEngine`]: pool size plus the default
+/// parameters a [`crate::QueryRequest`] falls back to.
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ServeConfig {
     /// Number of worker threads (clamped to at least 1 at pool start).
     pub workers: usize,
@@ -92,6 +92,108 @@ impl ServeConfig {
     pub fn cache_enabled(&self) -> bool {
         self.cache_capacity > 0
     }
+
+    /// A validating builder seeded with the defaults, so callers set only
+    /// what they care about and get shape errors at build time instead of
+    /// silent clamping at pool start.
+    pub fn builder() -> ServeConfigBuilder {
+        ServeConfigBuilder {
+            config: ServeConfig::default(),
+        }
+    }
+}
+
+/// Why a [`ServeConfigBuilder`] refused to build.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServeConfigError {
+    /// `workers` was 0 — a pool needs at least one thread.
+    ZeroWorkers,
+    /// The cache was enabled with a shard count of 0 — entries would have
+    /// nowhere to live.
+    ZeroCacheShards,
+}
+
+impl std::fmt::Display for ServeConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeConfigError::ZeroWorkers => write!(f, "workers must be at least 1"),
+            ServeConfigError::ZeroCacheShards => {
+                write!(f, "cache_shards must be at least 1 when the cache is on")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeConfigError {}
+
+/// Builder for [`ServeConfig`] (see [`ServeConfig::builder`]): every field
+/// starts at its default, and [`ServeConfigBuilder::build`] validates the
+/// shape.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfigBuilder {
+    config: ServeConfig,
+}
+
+impl Default for ServeConfigBuilder {
+    fn default() -> Self {
+        ServeConfig::builder()
+    }
+}
+
+impl ServeConfigBuilder {
+    /// Number of worker threads (validated ≥ 1 at build).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers;
+        self
+    }
+
+    /// Default random-walk parameters (requests may override per query).
+    pub fn params(mut self, params: RankParams) -> Self {
+        self.config.params = params;
+        self
+    }
+
+    /// Default top-K configuration (requests may override per query).
+    pub fn topk(mut self, topk: TopKConfig) -> Self {
+        self.config.topk = topk;
+        self
+    }
+
+    /// Default computational scheme (requests may override per query).
+    pub fn scheme(mut self, scheme: Scheme) -> Self {
+        self.config.scheme = scheme;
+        self
+    }
+
+    /// Result-cache entry budget (0 keeps the cache off).
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.config.cache_capacity = capacity;
+        self
+    }
+
+    /// Result-cache shard count (validated ≥ 1 at build when the cache is
+    /// on).
+    pub fn cache_shards(mut self, shards: usize) -> Self {
+        self.config.cache_shards = shards;
+        self
+    }
+
+    /// Single-flight deduplication on or off.
+    pub fn single_flight(mut self, single_flight: bool) -> Self {
+        self.config.single_flight = single_flight;
+        self
+    }
+
+    /// Validate and produce the configuration.
+    pub fn build(self) -> Result<ServeConfig, ServeConfigError> {
+        if self.config.workers == 0 {
+            return Err(ServeConfigError::ZeroWorkers);
+        }
+        if self.config.cache_enabled() && self.config.cache_shards == 0 {
+            return Err(ServeConfigError::ZeroCacheShards);
+        }
+        Ok(self.config)
+    }
 }
 
 #[cfg(test)]
@@ -133,5 +235,53 @@ mod tests {
         assert_eq!(c.workers, 3);
         assert_eq!(c.scheme, Scheme::Gupta);
         assert_eq!(c.topk.k, TopKConfig::toy().k);
+    }
+
+    #[test]
+    fn validating_builder_defaults_match_default() {
+        let built = ServeConfig::builder().build().unwrap();
+        let default = ServeConfig::default();
+        assert_eq!(built.workers, default.workers);
+        assert_eq!(built.scheme, default.scheme);
+        assert_eq!(built.cache_capacity, default.cache_capacity);
+        assert_eq!(built.single_flight, default.single_flight);
+    }
+
+    #[test]
+    fn validating_builder_sets_every_field() {
+        let c = ServeConfig::builder()
+            .workers(3)
+            .params(RankParams::with_alpha(0.4))
+            .topk(TopKConfig::toy())
+            .scheme(Scheme::Sarkar)
+            .cache_capacity(512)
+            .cache_shards(4)
+            .single_flight(false)
+            .build()
+            .unwrap();
+        assert_eq!(c.workers, 3);
+        assert_eq!(c.params.alpha, 0.4);
+        assert_eq!(c.topk.k, TopKConfig::toy().k);
+        assert_eq!(c.scheme, Scheme::Sarkar);
+        assert_eq!(c.cache_capacity, 512);
+        assert_eq!(c.cache_shards, 4);
+        assert!(!c.single_flight);
+    }
+
+    #[test]
+    fn validating_builder_rejects_bad_shapes() {
+        assert_eq!(
+            ServeConfig::builder().workers(0).build(),
+            Err(ServeConfigError::ZeroWorkers)
+        );
+        assert_eq!(
+            ServeConfig::builder()
+                .cache_capacity(64)
+                .cache_shards(0)
+                .build(),
+            Err(ServeConfigError::ZeroCacheShards)
+        );
+        // Zero shards with the cache off is harmless: nothing reads them.
+        assert!(ServeConfig::builder().cache_shards(0).build().is_ok());
     }
 }

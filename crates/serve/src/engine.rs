@@ -1,23 +1,27 @@
 //! The worker pool.
 //!
 //! One [`ServeEngine`] owns `workers` long-lived threads. Each worker loops
-//! on a shared crossbeam job queue, runs the query with
-//! [`TwoSBound::run_with`] against its *own* persistent
-//! [`TopKWorkspace`], and sends the output down the batch's reply channel.
-//! The workspace is what makes steady-state serving allocation-free: the
-//! sparse maps and scratch vectors are wiped in O(touched) between queries
-//! and never freed while the worker lives.
+//! on a shared crossbeam job queue, resolves nothing (requests arrive
+//! pre-resolved against the engine defaults), dispatches on the request's
+//! measure to the right engine path via [`ResolvedRequest::run`], and sends
+//! a [`QueryResponse`] down the request's reply channel. Every worker owns
+//! one persistent [`ServeWorkspace`] — the sparse top-K buffers for the
+//! bound engines plus the dense vectors for the exact ones — wiped in
+//! O(touched) between queries and never freed while the worker lives, so
+//! steady-state serving is allocation-free on the bound paths.
 //!
 //! Shutdown is by hangup: dropping the engine drops the job sender, every
 //! worker's `recv` errors out, and the threads are joined.
 
 use crate::config::ServeConfig;
 use crate::flight::InFlight;
+use crate::request::{QueryRequest, ResolvedRequest, ServeWorkspace};
+use crate::response::{QueryResponse, QueryTicket};
 use crossbeam::channel::{self, Sender};
 use rtr_cache::{CacheConfig, CacheKey, CacheStats, ResultCache};
 use rtr_core::CoreError;
 use rtr_graph::{Graph, NodeId};
-use rtr_topk::{TopKResult, TopKWorkspace, TwoSBound};
+use rtr_topk::TopKResult;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -30,7 +34,7 @@ use std::time::{Duration, Instant};
 #[derive(Clone, Debug, PartialEq)]
 pub enum ServeError {
     /// The engine rejected or failed the query (e.g. an out-of-range node
-    /// id).
+    /// id, an invalid β).
     Query(CoreError),
     /// The query panicked inside the engine; the worker caught it,
     /// discarded its (possibly mid-mutation) workspace, and kept serving.
@@ -54,7 +58,9 @@ impl From<CoreError> for ServeError {
     }
 }
 
-/// One served query's output.
+/// One served query's output, in the pre-PR-4 single-node batch shape
+/// (see [`ServeEngine::run_batch`]). New code should prefer
+/// [`QueryResponse`], which carries the full request and cache telemetry.
 #[derive(Clone, Debug)]
 pub struct QueryOutput {
     /// Position of the query in its batch (outputs are returned sorted by
@@ -64,8 +70,27 @@ pub struct QueryOutput {
     pub query: NodeId,
     /// The top-K result, or the per-query error.
     pub result: Result<TopKResult, ServeError>,
-    /// Wall-clock time the worker spent on this query.
-    pub latency: Duration,
+    /// Time between submission and a worker picking the query up.
+    pub queue_wait: Duration,
+    /// Time the worker spent serving it.
+    pub compute: Duration,
+}
+
+impl QueryOutput {
+    /// End-to-end latency: queue-wait plus compute.
+    pub fn latency(&self) -> Duration {
+        self.queue_wait + self.compute
+    }
+
+    fn from_response(response: QueryResponse) -> QueryOutput {
+        QueryOutput {
+            id: response.id,
+            query: response.request.query.nodes()[0],
+            result: response.result,
+            queue_wait: response.queue_wait,
+            compute: response.compute,
+        }
+    }
 }
 
 /// Human-readable payload of a caught panic.
@@ -79,20 +104,20 @@ fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// A unit of work: which query to run and where to send the output.
+/// A unit of work: which request to run and where to send the response.
 struct Job {
     id: usize,
-    query: NodeId,
-    reply: Sender<QueryOutput>,
+    request: ResolvedRequest,
+    enqueued: Instant,
+    reply: Sender<QueryResponse>,
 }
 
-/// State every worker shares: the graph, the runner, and (when caching is
-/// on) the result cache, the single-flight table, and the computation
-/// counter the single-flight tests assert on.
+/// State every worker shares: the graph and (when caching is on) the
+/// result cache, the single-flight table, and the computation counter the
+/// single-flight tests assert on.
 struct Shared {
     graph: Arc<Graph>,
     config: ServeConfig,
-    runner: TwoSBound,
     cache: Option<ResultCache>,
     flight: InFlight<CacheKey>,
     /// Queries that actually ran an engine (as opposed to being answered
@@ -101,51 +126,55 @@ struct Shared {
 }
 
 impl Shared {
-    /// Run one query against the engine, recycling `ws`. Catches panics so
-    /// a bad query can never kill the worker, and counts the computation.
-    fn compute(&self, query: NodeId, ws: &mut TopKWorkspace) -> Result<TopKResult, ServeError> {
+    /// Run one request against its engine path, recycling `ws`. Catches
+    /// panics so a bad query can never kill the worker, and counts the
+    /// computation.
+    fn compute(
+        &self,
+        request: &ResolvedRequest,
+        ws: &mut ServeWorkspace,
+    ) -> Result<TopKResult, ServeError> {
         self.computed.fetch_add(1, Ordering::Relaxed);
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            self.runner.run_with(&self.graph, query, ws)
+            request.run(&self.graph, ws)
         }));
         match result {
             Ok(r) => r.map_err(ServeError::Query),
             Err(panic) => {
                 // The workspace may have been mid-mutation when the panic
                 // unwound through it.
-                *ws = TopKWorkspace::new();
+                *ws = ServeWorkspace::new();
                 Err(ServeError::Panicked(panic_message(&*panic)))
             }
         }
     }
 
-    /// The full serving path for one query: cache lookup, single-flight
-    /// deduplication, compute, insert. With the cache off this is exactly
-    /// one [`Shared::compute`] call — the pre-cache behavior.
-    fn serve(&self, query: NodeId, ws: &mut TopKWorkspace) -> Result<TopKResult, ServeError> {
+    /// The full serving path for one request: cache lookup, single-flight
+    /// deduplication, compute, insert. Returns the result and whether it
+    /// came from the cache. With the cache off this is exactly one
+    /// [`Shared::compute`] call — the uncached behavior.
+    fn serve(
+        &self,
+        request: &ResolvedRequest,
+        ws: &mut ServeWorkspace,
+    ) -> (Result<TopKResult, ServeError>, bool) {
         let Some(cache) = &self.cache else {
-            return self.compute(query, ws);
+            return (self.compute(request, ws), false);
         };
-        let key = CacheKey::new(
-            query,
-            self.graph.epoch(),
-            &self.config.params,
-            &self.config.topk,
-            self.config.scheme,
-        );
+        let key = request.cache_key(self.graph.epoch());
         loop {
             if let Some(hit) = cache.get(&key) {
                 // Engines are deterministic and every output-relevant input
                 // is in the key, so the cached ranking is bit-identical to
                 // what a fresh run would produce.
-                return Ok((*hit).clone());
+                return (Ok((*hit).clone()), true);
             }
             if !self.config.single_flight {
-                let result = self.compute(query, ws);
+                let result = self.compute(request, ws);
                 if let Ok(r) = &result {
                     cache.insert(key, Arc::new(r.clone()));
                 }
-                return result;
+                return (result, false);
             }
             if self.flight.begin(&key) {
                 // Double-check while owning the key: between our miss above
@@ -153,20 +182,20 @@ impl Shared {
                 // finished — computing now would break compute-exactly-once.
                 // Every insert happens under ownership of the key, so an
                 // owner's recheck-miss is authoritative.
-                let result = match cache.recheck(&key) {
-                    Some(hit) => Ok((*hit).clone()),
+                let (result, from_cache) = match cache.recheck(&key) {
+                    Some(hit) => (Ok((*hit).clone()), true),
                     None => {
-                        let result = self.compute(query, ws);
+                        let result = self.compute(request, ws);
                         if let Ok(r) = &result {
-                            cache.insert(key, Arc::new(r.clone()));
+                            cache.insert(key.clone(), Arc::new(r.clone()));
                         }
-                        result
+                        (result, false)
                     }
                 };
                 // Failed queries are not cached (and are cheap to redo);
                 // release the key on every path so waiters never strand.
                 self.flight.finish(&key);
-                return result;
+                return (result, from_cache);
             }
             // Someone else is computing this exact key: wait for them,
             // then re-check the cache (hit unless their run failed).
@@ -175,11 +204,12 @@ impl Shared {
     }
 }
 
-/// A fixed pool of query workers over a shared read-only graph.
+/// A fixed pool of query workers over a shared read-only graph, serving
+/// self-describing [`QueryRequest`]s.
 ///
-/// See the [crate docs](crate) for an end-to-end example. Batches may be
-/// submitted from multiple threads concurrently; each batch collects only
-/// its own outputs.
+/// See the [crate docs](crate) for an end-to-end example. Requests and
+/// batches may be submitted from multiple threads concurrently; each batch
+/// collects only its own responses.
 pub struct ServeEngine {
     shared: Arc<Shared>,
     job_tx: Option<Sender<Job>>,
@@ -191,7 +221,6 @@ impl ServeEngine {
     pub fn start(graph: Arc<Graph>, config: ServeConfig) -> Self {
         let workers = config.workers.max(1);
         let shared = Arc::new(Shared {
-            runner: TwoSBound::with_scheme(config.params, config.topk, config.scheme),
             cache: config.cache_enabled().then(|| {
                 ResultCache::new(CacheConfig {
                     capacity: config.cache_capacity,
@@ -214,19 +243,22 @@ impl ServeEngine {
                     // Panics inside a query are caught in Shared::compute;
                     // a dead worker would strand the jobs still queued and
                     // hang their batches.
-                    let mut ws = TopKWorkspace::new();
+                    let mut ws = ServeWorkspace::new();
                     while let Ok(job) = rx.recv() {
-                        let started = Instant::now();
-                        let result = shared.serve(job.query, &mut ws);
-                        let out = QueryOutput {
+                        let picked = Instant::now();
+                        let queue_wait = picked.duration_since(job.enqueued);
+                        let (result, from_cache) = shared.serve(&job.request, &mut ws);
+                        let response = QueryResponse {
                             id: job.id,
-                            query: job.query,
+                            request: job.request,
                             result,
-                            latency: started.elapsed(),
+                            from_cache,
+                            queue_wait,
+                            compute: picked.elapsed(),
                         };
-                        // A dropped reply receiver means the batch caller
-                        // gave up; keep serving other batches.
-                        let _ = job.reply.send(out);
+                        // A dropped reply receiver means the caller gave
+                        // up; keep serving other batches.
+                        let _ = job.reply.send(response);
                     }
                 })
             })
@@ -255,13 +287,13 @@ impl ServeEngine {
 
     /// How many queries actually ran an engine, as opposed to being served
     /// from the cache or a shared in-flight computation. With single-flight
-    /// on, a batch of M copies of one (new) query advances this by exactly
-    /// 1 — the `single_flight` stress suite pins that.
+    /// on, a batch of M copies of one (new) request advances this by
+    /// exactly 1 — the `single_flight` stress suite pins that.
     pub fn computed_queries(&self) -> u64 {
         self.shared.computed.load(Ordering::Relaxed)
     }
 
-    /// The serving configuration.
+    /// The serving configuration (the per-request fallback defaults).
     pub fn config(&self) -> &ServeConfig {
         &self.shared.config
     }
@@ -271,33 +303,78 @@ impl ServeEngine {
         self.handles.len()
     }
 
-    /// Execute a batch of queries across the pool and return the outputs in
-    /// input order. Blocks until the whole batch is done.
+    /// Submit one request to the pool without blocking: the returned
+    /// [`QueryTicket`] joins the response whenever the caller is ready.
     ///
-    /// Output values are bit-identical to [`run_serial`] at any worker
-    /// count: queries are independent and every engine is deterministic.
-    pub fn run_batch(&self, queries: &[NodeId]) -> Vec<QueryOutput> {
-        let (reply_tx, reply_rx) = channel::unbounded::<QueryOutput>();
-        let job_tx = self.job_tx.as_ref().expect("pool is running");
-        for (id, &query) in queries.iter().enumerate() {
-            job_tx
-                .send(Job {
-                    id,
-                    query,
-                    reply: reply_tx.clone(),
-                })
-                .expect("workers alive while engine exists");
+    /// ```
+    /// use std::sync::Arc;
+    /// use rtr_core::Measure;
+    /// use rtr_graph::toy::fig2_toy;
+    /// use rtr_serve::{QueryRequest, ServeConfig, ServeEngine};
+    ///
+    /// let (g, ids) = fig2_toy();
+    /// let engine = ServeEngine::start(Arc::new(g), ServeConfig::default().with_workers(2));
+    /// let ticket = engine.submit(
+    ///     QueryRequest::node(ids.t1).with_measure(Measure::RtrPlus { beta: 0.7 }).with_k(3),
+    /// );
+    /// let response = ticket.wait();
+    /// assert_eq!(response.result.unwrap().ranking.len(), 3);
+    /// ```
+    pub fn submit(&self, request: QueryRequest) -> QueryTicket {
+        let (reply_tx, reply_rx) = channel::unbounded::<QueryResponse>();
+        self.enqueue(0, request, reply_tx);
+        QueryTicket { reply: reply_rx }
+    }
+
+    fn enqueue(&self, id: usize, request: QueryRequest, reply: Sender<QueryResponse>) {
+        let job = Job {
+            id,
+            request: request.resolve(&self.shared.config),
+            enqueued: Instant::now(),
+            reply,
+        };
+        self.job_tx
+            .as_ref()
+            .expect("pool is running")
+            .send(job)
+            .expect("workers alive while engine exists");
+    }
+
+    /// Execute a batch of heterogeneous requests across the pool and
+    /// return the responses in input order. Blocks until the whole batch
+    /// is done.
+    ///
+    /// Response values are bit-identical to [`run_serial_requests`] at any
+    /// worker count: requests are independent and every engine path is
+    /// deterministic.
+    pub fn run_requests(&self, requests: &[QueryRequest]) -> Vec<QueryResponse> {
+        let (reply_tx, reply_rx) = channel::unbounded::<QueryResponse>();
+        for (id, request) in requests.iter().enumerate() {
+            self.enqueue(id, request.clone(), reply_tx.clone());
         }
         // Drop our handle so the reply stream ends once every job replied.
         drop(reply_tx);
-        let mut outputs: Vec<QueryOutput> = reply_rx.iter().collect();
+        let mut responses: Vec<QueryResponse> = reply_rx.iter().collect();
         assert_eq!(
-            outputs.len(),
-            queries.len(),
+            responses.len(),
+            requests.len(),
             "worker died mid-batch (panicked query?)"
         );
-        outputs.sort_unstable_by_key(|o| o.id);
-        outputs
+        responses.sort_unstable_by_key(|r| r.id);
+        responses
+    }
+
+    /// Execute a batch of single-node RoundTripRank queries under the
+    /// engine defaults — the pre-PR-4 API, now a thin wrapper over
+    /// [`ServeEngine::run_requests`]. Blocks until the whole batch is done;
+    /// outputs come back in input order and are bit-identical to
+    /// [`run_serial`] at any worker count.
+    pub fn run_batch(&self, queries: &[NodeId]) -> Vec<QueryOutput> {
+        let requests: Vec<QueryRequest> = queries.iter().map(|&q| QueryRequest::node(q)).collect();
+        self.run_requests(&requests)
+            .into_iter()
+            .map(QueryOutput::from_response)
+            .collect()
     }
 
     /// Stop the pool: hang up the job queue and join every worker. Called
@@ -321,31 +398,49 @@ impl Drop for ServeEngine {
     }
 }
 
-/// The serial reference executor: the same engine and workspace reuse as a
-/// single pool worker, on the caller's thread. Batch serving at any worker
-/// count must be bit-identical to this.
-pub fn run_serial(g: &Graph, config: &ServeConfig, queries: &[NodeId]) -> Vec<QueryOutput> {
-    let runner = TwoSBound::with_scheme(config.params, config.topk, config.scheme);
-    let mut ws = TopKWorkspace::new();
-    queries
+/// The serial reference executor for heterogeneous requests: the same
+/// dispatch and workspace reuse as a single pool worker, on the caller's
+/// thread, cache off. Batch serving at any worker count (cache on or off)
+/// must be bit-identical to this.
+pub fn run_serial_requests(
+    g: &Graph,
+    config: &ServeConfig,
+    requests: &[QueryRequest],
+) -> Vec<QueryResponse> {
+    let mut ws = ServeWorkspace::new();
+    requests
         .iter()
         .enumerate()
-        .map(|(id, &query)| {
+        .map(|(id, request)| {
+            let resolved = request.resolve(config);
             let started = Instant::now();
-            let result = runner.run_with(g, query, &mut ws).map_err(ServeError::from);
-            QueryOutput {
+            let result = resolved.run(g, &mut ws).map_err(ServeError::from);
+            QueryResponse {
                 id,
-                query,
+                request: resolved,
                 result,
-                latency: started.elapsed(),
+                from_cache: false,
+                queue_wait: Duration::ZERO,
+                compute: started.elapsed(),
             }
         })
+        .collect()
+}
+
+/// The serial reference executor for the single-node batch shape: a thin
+/// wrapper over [`run_serial_requests`].
+pub fn run_serial(g: &Graph, config: &ServeConfig, queries: &[NodeId]) -> Vec<QueryOutput> {
+    let requests: Vec<QueryRequest> = queries.iter().map(|&q| QueryRequest::node(q)).collect();
+    run_serial_requests(g, config, &requests)
+        .into_iter()
+        .map(QueryOutput::from_response)
         .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rtr_core::Measure;
     use rtr_graph::toy::fig2_toy;
     use rtr_topk::TopKConfig;
 
@@ -386,6 +481,56 @@ mod tests {
             assert_eq!(s.ranking, p.ranking);
             assert_eq!(s.bounds, p.bounds); // exact f64 equality
             assert_eq!(s.expansions, p.expansions);
+        }
+    }
+
+    #[test]
+    fn submit_ticket_joins_one_request() {
+        let (engine, ids) = toy_engine(2);
+        let ticket = engine.submit(QueryRequest::node(ids.t1).with_k(3));
+        let response = ticket.wait();
+        assert_eq!(response.id, 0);
+        assert_eq!(response.request.topk.k, 3);
+        assert!(!response.from_cache);
+        let result = response.result.unwrap();
+        assert_eq!(result.ranking.len(), 3);
+        assert_eq!(result.ranking[0], ids.t1);
+    }
+
+    #[test]
+    fn try_wait_eventually_yields_the_response() {
+        let (engine, ids) = toy_engine(1);
+        let mut ticket = engine.submit(QueryRequest::node(ids.t1));
+        let response = loop {
+            match ticket.try_wait() {
+                Ok(response) => break response,
+                Err(t) => {
+                    ticket = t;
+                    std::thread::yield_now();
+                }
+            }
+        };
+        assert!(response.result.is_ok());
+    }
+
+    #[test]
+    fn heterogeneous_batch_reports_what_ran() {
+        let (engine, ids) = toy_engine(2);
+        let requests = vec![
+            QueryRequest::node(ids.t1),
+            QueryRequest::node(ids.t1)
+                .with_measure(Measure::F)
+                .with_k(2),
+            QueryRequest::nodes(&[ids.t1, ids.t2]).with_measure(Measure::RtrPlus { beta: 0.7 }),
+        ];
+        let responses = engine.run_requests(&requests);
+        assert_eq!(responses[0].request.measure, Measure::Rtr);
+        assert_eq!(responses[1].request.measure, Measure::F);
+        assert_eq!(responses[1].request.topk.k, 2);
+        assert_eq!(responses[1].result.as_ref().unwrap().ranking.len(), 2);
+        assert_eq!(responses[2].request.query.len(), 2);
+        for r in &responses {
+            assert!(r.result.is_ok());
         }
     }
 
@@ -440,6 +585,7 @@ mod tests {
     fn empty_batch_is_fine() {
         let (engine, _) = toy_engine(2);
         assert!(engine.run_batch(&[]).is_empty());
+        assert!(engine.run_requests(&[]).is_empty());
     }
 
     #[test]
@@ -520,7 +666,7 @@ mod tests {
     }
 
     #[test]
-    fn cache_hits_repeated_batches() {
+    fn cache_hits_repeated_batches_and_reports_from_cache() {
         let (g, ids) = fig2_toy();
         let config = ServeConfig::default()
             .with_workers(2)
@@ -529,17 +675,56 @@ mod tests {
         let engine = ServeEngine::start(Arc::new(g), config);
         let queries = vec![ids.t1, ids.t2, ids.v1];
         let cold = engine.run_batch(&queries);
-        let warm = engine.run_batch(&queries);
+        let requests: Vec<QueryRequest> = queries.iter().map(|&q| QueryRequest::node(q)).collect();
+        let warm = engine.run_requests(&requests);
         let stats = engine.cache_stats().expect("cache on");
         assert_eq!(stats.inserts, 3);
         assert!(stats.hits >= 3, "warm batch must hit, got {stats:?}");
         assert_eq!(engine.computed_queries(), 3);
         assert_eq!(engine.cache_len(), 3);
         for (c, w) in cold.iter().zip(&warm) {
+            assert!(w.from_cache, "warm responses must be flagged cached");
             let (c, w) = (c.result.as_ref().unwrap(), w.result.as_ref().unwrap());
             assert_eq!(c.ranking, w.ranking);
             assert_eq!(c.bounds, w.bounds); // exact f64 equality
         }
+    }
+
+    #[test]
+    fn distinct_measures_never_share_cache_entries() {
+        // The same node under four measures: four cache entries, four
+        // computations, no cross-measure aliasing even on a warm cache.
+        let (g, ids) = fig2_toy();
+        let config = ServeConfig::default()
+            .with_workers(2)
+            .with_topk(TopKConfig::toy())
+            .with_cache_capacity(128);
+        let engine = ServeEngine::start(Arc::new(g), config);
+        let requests: Vec<QueryRequest> = [
+            Measure::Rtr,
+            Measure::F,
+            Measure::T,
+            Measure::RtrPlus { beta: 0.5 },
+        ]
+        .into_iter()
+        .map(|m| QueryRequest::node(ids.t1).with_measure(m))
+        .collect();
+        let cold = engine.run_requests(&requests);
+        let warm = engine.run_requests(&requests);
+        assert_eq!(engine.computed_queries(), 4);
+        assert_eq!(engine.cache_len(), 4);
+        for (c, w) in cold.iter().zip(&warm) {
+            assert_eq!(
+                c.result.as_ref().unwrap().ranking,
+                w.result.as_ref().unwrap().ranking
+            );
+        }
+        // RTR and RTR+(0.5) rank alike but bound differently: both were
+        // computed, not aliased.
+        assert_ne!(
+            cold[0].result.as_ref().unwrap().bounds,
+            cold[3].result.as_ref().unwrap().bounds
+        );
     }
 
     #[test]

@@ -1,49 +1,73 @@
-//! # rtr-serve — concurrent query serving for RoundTripRank top-K
+//! # rtr-serve — concurrent query serving for every RoundTripRank measure
 //!
 //! The paper builds 2SBound so that top-K RoundTripRank queries are cheap
 //! enough for *online* use; this crate is the layer that actually serves
-//! them online. It pairs
+//! them online — and not just RoundTripRank: one engine serves the full
+//! measure space (F-Rank, T-Rank, RTR, RTR+β), with per-request k,
+//! parameters, and scheme. It pairs
 //!
+//! * **self-describing requests** ([`QueryRequest`]: single- or weighted
+//!   multi-node query, [`rtr_core::Measure`], optional k /
+//!   [`rtr_core::RankParams`] / [`rtr_topk::TopKConfig`] /
+//!   [`rtr_topk::Scheme`] overrides falling back to the engine's
+//!   [`ServeConfig`] defaults), dispatched per measure to the right engine
+//!   path (bound search for single-node RTR/RTR+, exact iteration for
+//!   F/T and the multi-node linearity reduction), with
 //! * a **shared read-only graph** (`Arc<Graph>` — the frozen dual-CSR is
-//!   `Send + Sync`, so queries need no locks), with
+//!   `Send + Sync`, so queries need no locks), served by
 //! * a **fixed pool of worker threads**, each owning one reusable
-//!   [`rtr_topk::TopKWorkspace`] so that steady-state serving performs
-//!   zero per-query allocation on the hot path, fed through
-//! * **crossbeam channels** as the job and result queues (workers compete
-//!   for jobs on a shared queue; each batch gets its own reply channel, so
-//!   concurrent batches never interleave results).
+//!   [`ServeWorkspace`] so that steady-state serving performs zero
+//!   per-query allocation on the bound paths, fed through
+//! * **crossbeam channels** as the job and reply queues (workers compete
+//!   for jobs on a shared queue; each submission gets its own reply
+//!   channel, so concurrent batches never interleave results).
 //!
-//! Concurrency never changes answers: every query is independent and every
-//! engine deterministic, so a batch executed at any worker count is
-//! bit-identical to the serial reference ([`run_serial`]) — the
-//! `serve_determinism` integration suite enforces this at 1, 2, and 8
-//! workers.
+//! Submission is non-blocking: [`ServeEngine::submit`] returns a
+//! [`QueryTicket`] to join later, and [`ServeEngine::run_requests`] /
+//! [`ServeEngine::run_batch`] are the blocking batch forms. Every
+//! [`QueryResponse`] reports the request as it actually ran, a
+//! `from_cache` flag, and its latency split into queue-wait and compute.
+//!
+//! Concurrency never changes answers: every request is independent and
+//! every engine path deterministic, so a batch executed at any worker
+//! count is bit-identical to the serial reference
+//! ([`run_serial_requests`]) — the `serve_determinism` and
+//! `serve_requests` integration suites enforce this at 1, 2, and 8
+//! workers, for heterogeneous measure mixes.
 //!
 //! **Caching.** Real traffic is Zipf-skewed, so the engine can optionally
-//! front the pool with an `rtr-cache` sharded top-K result cache
-//! ([`ServeConfig::cache_capacity`] > 0): workers look up
-//! `(query, graph epoch, params, config, scheme)` before dispatch and
-//! insert on completion, and **single-flight deduplication**
+//! front the pool with an `rtr-cache` sharded result cache
+//! ([`ServeConfig::cache_capacity`] > 0): workers look up the full request
+//! identity — canonicalized query, measure (β bits included), graph epoch,
+//! params, top-K config, scheme — before dispatch and insert on
+//! completion, and **single-flight deduplication**
 //! ([`ServeConfig::single_flight`]) collapses M concurrent identical
-//! queries into one computation whose result all M share. Because every
+//! requests into one computation whose result all M share. Because every
 //! output-relevant input is part of the cache key and the engines are
-//! deterministic, cached serving stays bit-identical to [`run_serial`] —
-//! the `serve_cache_determinism` suite enforces that too. With the cache
-//! off (the default) the engine behaves exactly as it did before the cache
-//! existed.
+//! deterministic, cached serving stays bit-identical to
+//! [`run_serial_requests`] even under heterogeneous traffic — the
+//! `serve_cache_determinism` suite enforces that too. With the cache off
+//! (the default) the engine behaves exactly as an uncached pool.
 //!
 //! ```
 //! use std::sync::Arc;
+//! use rtr_core::Measure;
 //! use rtr_graph::toy::fig2_toy;
-//! use rtr_serve::{ServeConfig, ServeEngine};
+//! use rtr_serve::{QueryRequest, ServeConfig, ServeEngine};
 //!
 //! let (g, ids) = fig2_toy();
 //! let engine = ServeEngine::start(Arc::new(g), ServeConfig::default().with_workers(2));
-//! let outputs = engine.run_batch(&[ids.t1, ids.t2]);
-//! assert_eq!(outputs.len(), 2);
-//! // Results come back in request order regardless of completion order.
-//! assert_eq!(outputs[0].query, ids.t1);
-//! assert_eq!(outputs[0].result.as_ref().unwrap().ranking[0], ids.t1);
+//! // One pool, four kinds of proximity query.
+//! let responses = engine.run_requests(&[
+//!     QueryRequest::node(ids.t1),                                        // RoundTripRank
+//!     QueryRequest::node(ids.t1).with_measure(Measure::F).with_k(3),     // importance, top-3
+//!     QueryRequest::node(ids.t2).with_measure(Measure::RtrPlus { beta: 0.8 }),
+//!     QueryRequest::nodes(&[ids.t1, ids.t2]),                            // multi-node query
+//! ]);
+//! assert_eq!(responses.len(), 4);
+//! // Responses come back in request order and say what actually ran.
+//! assert_eq!(responses[1].request.topk.k, 3);
+//! assert_eq!(responses[0].result.as_ref().unwrap().ranking[0], ids.t1);
 //! ```
 
 #![warn(missing_docs)]
@@ -52,9 +76,14 @@
 pub mod config;
 pub mod engine;
 mod flight;
+pub mod request;
+pub mod response;
 
-pub use config::ServeConfig;
-pub use engine::{run_serial, QueryOutput, ServeEngine, ServeError};
-// Re-exported so callers reading `ServeEngine::cache_stats` need no direct
-// rtr-cache dependency.
+pub use config::{ServeConfig, ServeConfigBuilder, ServeConfigError};
+pub use engine::{run_serial, run_serial_requests, QueryOutput, ServeEngine, ServeError};
+pub use request::{QueryRequest, ResolvedRequest, ServeWorkspace};
+pub use response::{QueryResponse, QueryTicket};
+// Re-exported so callers reading `ServeEngine::cache_stats` or building
+// requests need no direct rtr-cache / rtr-core dependency.
 pub use rtr_cache::CacheStats;
+pub use rtr_core::Measure;

@@ -1,0 +1,75 @@
+//! Responses and the non-blocking submission handle.
+//!
+//! A [`QueryResponse`] reports not just the ranking but the request as it
+//! actually ran ([`ResolvedRequest`]: scheme, params, effective k), whether
+//! it was served from the result cache, and the latency split into
+//! queue-wait (submission → a worker picked it up) and compute (the
+//! worker's serving time, cache lookups included). The split is what makes
+//! saturation visible: under load, queue-wait grows while compute stays
+//! flat.
+
+use crate::engine::ServeError;
+use crate::request::ResolvedRequest;
+use crossbeam::channel::Receiver;
+use rtr_topk::TopKResult;
+use std::time::Duration;
+
+/// One served request's outcome.
+#[derive(Clone, Debug)]
+pub struct QueryResponse {
+    /// Position of the request in its batch (batch APIs return responses
+    /// sorted by this; [`crate::ServeEngine::submit`] always uses 0).
+    pub id: usize,
+    /// The request exactly as it ran: canonical query, measure, and the
+    /// params/topk/scheme actually used after fallback resolution.
+    pub request: ResolvedRequest,
+    /// The ranking, or the per-request error.
+    pub result: Result<TopKResult, ServeError>,
+    /// Whether the ranking came out of the result cache (including a
+    /// result shared from another request's in-flight computation) rather
+    /// than an engine run of this request.
+    pub from_cache: bool,
+    /// Time between submission and a worker picking the request up.
+    pub queue_wait: Duration,
+    /// Time the worker spent serving it (cache lookup + engine run).
+    pub compute: Duration,
+}
+
+impl QueryResponse {
+    /// End-to-end latency: queue-wait plus compute.
+    pub fn latency(&self) -> Duration {
+        self.queue_wait + self.compute
+    }
+}
+
+/// A non-blocking handle to one submitted request.
+///
+/// Returned by [`crate::ServeEngine::submit`]; the worker pool computes in
+/// the background while the caller holds the ticket. Join with
+/// [`QueryTicket::wait`], or poll with [`QueryTicket::try_wait`].
+#[derive(Debug)]
+pub struct QueryTicket {
+    pub(crate) reply: Receiver<QueryResponse>,
+}
+
+impl QueryTicket {
+    /// Block until the response is ready.
+    ///
+    /// # Panics
+    /// If the engine was torn down so abruptly that the request can never
+    /// complete (cannot happen through the public API: shutdown drains the
+    /// job queue first).
+    pub fn wait(self) -> QueryResponse {
+        self.reply
+            .recv()
+            .expect("serve worker dropped a submitted request")
+    }
+
+    /// The response if it is already ready, else the ticket back.
+    pub fn try_wait(self) -> Result<QueryResponse, QueryTicket> {
+        match self.reply.try_recv() {
+            Ok(response) => Ok(response),
+            Err(_) => Err(self),
+        }
+    }
+}

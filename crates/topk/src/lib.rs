@@ -49,6 +49,7 @@ pub mod tbound;
 pub mod two_sbound;
 pub mod workspace;
 
+pub use active_set::ActiveSetStats;
 pub use config::{TopKCacheKey, TopKConfig};
 pub use plus::TwoSBoundPlus;
 pub use schemes::{NaiveTopK, Scheme};

@@ -19,9 +19,11 @@
 use crate::active_set::ActiveSetStats;
 use crate::bounds::Bounds;
 use crate::config::TopKConfig;
-use crate::fbound::{FBoundMode, FNeighborhood};
-use crate::tbound::{TBoundMode, TNeighborhood};
+use crate::fbound::FNeighborhood;
+use crate::schemes::Scheme;
+use crate::tbound::TNeighborhood;
 use crate::two_sbound::TopKResult;
+use crate::workspace::TopKWorkspace;
 use rtr_core::{CoreError, RankParams};
 use rtr_graph::{Graph, NodeId};
 
@@ -32,18 +34,31 @@ const TIE_EPS: f64 = 1e-12;
 pub struct TwoSBoundPlus {
     params: RankParams,
     config: TopKConfig,
+    scheme: Scheme,
     beta: f64,
 }
 
 impl TwoSBoundPlus {
-    /// Create for a given β ∈ [0, 1].
+    /// Create for a given β ∈ [0, 1] (the paper's full scheme).
     pub fn new(params: RankParams, config: TopKConfig, beta: f64) -> Result<Self, CoreError> {
+        Self::with_scheme(params, config, Scheme::TwoSBound, beta)
+    }
+
+    /// Create with an explicit computational scheme (the Fig. 11a
+    /// ablations, generalized to β exponents exactly like the bounds).
+    pub fn with_scheme(
+        params: RankParams,
+        config: TopKConfig,
+        scheme: Scheme,
+        beta: f64,
+    ) -> Result<Self, CoreError> {
         if !(0.0..=1.0).contains(&beta) || beta.is_nan() {
             return Err(CoreError::InvalidBeta(beta));
         }
         Ok(TwoSBoundPlus {
             params,
             config,
+            scheme,
             beta,
         })
     }
@@ -51,6 +66,11 @@ impl TwoSBoundPlus {
     /// The specificity bias in use.
     pub fn beta(&self) -> f64 {
         self.beta
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &TopKConfig {
+        &self.config
     }
 
     #[inline]
@@ -62,15 +82,50 @@ impl TwoSBoundPlus {
         }
     }
 
-    /// Run the β-weighted top-K search for query node `q`.
+    /// Run the β-weighted top-K search for query node `q`, allocating
+    /// fresh per-query state. Serving paths use
+    /// [`TwoSBoundPlus::run_with`] instead.
     pub fn run(&self, g: &Graph, q: NodeId) -> Result<TopKResult, CoreError> {
+        self.run_with(g, q, &mut TopKWorkspace::default())
+    }
+
+    /// Run the β-weighted top-K search for query node `q` reusing `ws`'s
+    /// buffers. Results are bit-identical to [`TwoSBoundPlus::run`]; the
+    /// sparse maps and scratch vectors survive between queries, mirroring
+    /// [`crate::TwoSBound::run_with`].
+    pub fn run_with(
+        &self,
+        g: &Graph,
+        q: NodeId,
+        ws: &mut TopKWorkspace,
+    ) -> Result<TopKResult, CoreError> {
         let cfg = &self.config;
-        let mut f = FNeighborhood::new(g, q, &self.params, FBoundMode::TwoStage)?;
-        let mut t = TNeighborhood::new(g, q, &self.params, TBoundMode::TwoStage)?;
+        // Validate before borrowing any workspace buffer: a rejected query
+        // must not cost the worker its buffers.
+        self.params.validate()?;
+        if q.index() >= g.node_count() {
+            return Err(CoreError::NodeOutOfRange {
+                node: q,
+                node_count: g.node_count(),
+            });
+        }
+        let f_ws = std::mem::take(&mut ws.f);
+        let mut f = FNeighborhood::with_workspace(g, q, &self.params, self.scheme.f_mode(), f_ws)?;
+        let t_ws = std::mem::take(&mut ws.t);
+        let mut t =
+            match TNeighborhood::with_workspace(g, q, &self.params, self.scheme.t_mode(), t_ws) {
+                Ok(t) => t,
+                Err(e) => {
+                    ws.f = f.into_workspace();
+                    return Err(e);
+                }
+            };
         let k = cfg.k.min(g.node_count());
         if k == 0 {
             // K = 0 (or an empty graph): trivial answer; `conditions_hold`
             // indexes members[k-1] and must not see it.
+            ws.f = f.into_workspace();
+            ws.t = t.into_workspace();
             return Ok(TopKResult {
                 ranking: Vec::new(),
                 bounds: Vec::new(),
@@ -82,18 +137,20 @@ impl TwoSBoundPlus {
         let refine_tol = cfg.refine_tolerance.max(cfg.epsilon * 1e-2);
         let (wa, wb) = (1.0 - self.beta, self.beta);
 
+        let members = &mut ws.members;
         let mut expansions = 0usize;
-        loop {
+        let result = loop {
             expansions += 1;
             f.expand(cfg.m_f);
             f.refine(refine_tol, cfg.refine_max_sweeps);
             t.expand(cfg.m_t);
             t.refine(refine_tol, cfg.refine_max_sweeps);
 
-            let mut members: Vec<(NodeId, Bounds)> = f
-                .seen()
-                .filter_map(|(v, fb)| t.bounds(v).map(|tb| (v, self.blend(&fb, &tb))))
-                .collect();
+            members.clear();
+            members.extend(
+                f.seen()
+                    .filter_map(|(v, fb)| t.bounds(v).map(|tb| (v, self.blend(&fb, &tb)))),
+            );
             members.sort_by(|a, b| {
                 b.1.lower
                     .partial_cmp(&a.1.lower)
@@ -116,21 +173,28 @@ impl TwoSBoundPlus {
                 }
             }
 
-            let done = members.len() >= k && conditions_hold(&members, k, cfg.epsilon, r_unseen);
+            let done = members.len() >= k && conditions_hold(members, k, cfg.epsilon, r_unseen);
             let exhausted = f.residual() < 1e-15 && t.unseen_upper() == 0.0;
             if done || exhausted || expansions >= cfg.max_expansions {
-                let active =
-                    ActiveSetStats::measure(g, f.seen().map(|(v, _)| v), t.seen().map(|(v, _)| v));
+                let active = ActiveSetStats::measure_in(
+                    &mut ws.active,
+                    g,
+                    f.seen().map(|(v, _)| v),
+                    t.seen().map(|(v, _)| v),
+                );
                 members.truncate(k);
-                return Ok(TopKResult {
+                break TopKResult {
                     ranking: members.iter().map(|&(v, _)| v).collect(),
                     bounds: members.iter().map(|&(_, b)| (b.lower, b.upper)).collect(),
                     expansions,
                     converged: done,
                     active,
-                });
+                };
             }
-        }
+        };
+        ws.f = f.into_workspace();
+        ws.t = t.into_workspace();
+        Ok(result)
     }
 }
 
@@ -235,6 +299,59 @@ mod tests {
         if let (Some(a), Some(b)) = (p_v3, p_v1) {
             assert!(a < b, "specificity should favor v3 over v1");
         }
+    }
+
+    #[test]
+    fn run_with_is_bit_identical_to_run_across_betas() {
+        // Workspace reuse must leave no residue: a long-lived workspace fed
+        // a β sweep must reproduce the allocating path exactly.
+        let (g, ids) = fig2_toy();
+        let params = RankParams::default();
+        let mut ws = crate::workspace::TopKWorkspace::default();
+        for beta in [0.0, 0.3, 0.5, 0.8, 1.0] {
+            for q in [ids.t1, ids.v1, ids.p[0]] {
+                let engine = TwoSBoundPlus::new(params, toy_cfg(4), beta).unwrap();
+                let fresh = engine.run(&g, q).unwrap();
+                let reused = engine.run_with(&g, q, &mut ws).unwrap();
+                assert_eq!(fresh.ranking, reused.ranking, "β={beta} {q:?}");
+                assert_eq!(fresh.bounds, reused.bounds, "β={beta} {q:?}");
+                assert_eq!(fresh.expansions, reused.expansions);
+                assert_eq!(fresh.active, reused.active);
+            }
+        }
+    }
+
+    #[test]
+    fn ablation_schemes_agree_on_plus_scores() {
+        let (g, ids) = fig2_toy();
+        let beta = 0.3;
+        let exact = exact_plus(&g, ids.t1, beta);
+        let expected: Vec<f64> = exact.top_k(3).iter().map(|&v| exact.score(v)).collect();
+        for scheme in Scheme::all() {
+            let result =
+                TwoSBoundPlus::with_scheme(RankParams::default(), toy_cfg(3), scheme, beta)
+                    .unwrap()
+                    .run(&g, ids.t1)
+                    .unwrap();
+            let got: Vec<f64> = result.ranking.iter().map(|&v| exact.score(v)).collect();
+            for (a, b) in got.iter().zip(&expected) {
+                assert!(
+                    (a - b).abs() < 1e-9,
+                    "{scheme:?}: scores {got:?} != {expected:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rejected_query_keeps_workspace_usable() {
+        let (g, ids) = fig2_toy();
+        let engine = TwoSBoundPlus::new(RankParams::default(), toy_cfg(4), 0.4).unwrap();
+        let mut ws = crate::workspace::TopKWorkspace::default();
+        let clean = engine.run_with(&g, ids.t1, &mut ws).unwrap();
+        assert!(engine.run_with(&g, NodeId(9999), &mut ws).is_err());
+        let after = engine.run_with(&g, ids.t1, &mut ws).unwrap();
+        assert_eq!(clean.bounds, after.bounds);
     }
 
     #[test]

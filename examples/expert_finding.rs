@@ -5,18 +5,24 @@
 //! latest development, while a very specific researcher like a student may
 //! lack authoritativeness." — i.e. β ≈ 0.5.
 //!
+//! Serving-style: the whole β sweep goes through **one** `ServeEngine` as
+//! per-request `QueryRequest`s — the pool dispatches each β to the right
+//! engine path, so a reviewer-matching service never needs one engine per
+//! trade-off setting.
+//!
 //! ```sh
 //! cargo run --release -p rtr-examples --bin expert_finding
 //! ```
 
 use rtr_core::prelude::*;
 use rtr_datagen::{BibNet, BibNetConfig};
+use rtr_serve::{QueryRequest, ServeConfig, ServeEngine};
 use rtr_topk::prelude::*;
+use std::sync::Arc;
 
 fn main() {
     let net = BibNet::generate(&BibNetConfig::small(), 11);
-    let g = &net.graph;
-    let params = RankParams::default();
+    let g = Arc::new(net.graph.clone());
     let author_ty = net.author_type();
 
     // Pick a paper with several authors as the submission under review.
@@ -36,36 +42,54 @@ fn main() {
             .collect::<Vec<_>>()
     );
 
-    let query = Query::single(paper);
     // Exclude the paper's own authors — they are conflicted, and in the
     // evaluation protocol they are the reserved ground truth.
     let mut exclude = vec![paper];
     exclude.extend_from_slice(&net.paper_authors[idx]);
 
-    println!("\nreviewer candidates under different trade-offs:");
-    for (label, beta) in [
+    // One pool serves every trade-off. A full ranking (k = |V|) dispatches
+    // to the exact engine — zero-width bounds — and we filter to authors.
+    let engine = ServeEngine::start(
+        Arc::clone(&g),
+        ServeConfig::builder()
+            .workers(2)
+            .build()
+            .expect("valid config"),
+    );
+    let sweeps = [
         ("broad authority (β=0.1)", 0.1),
         ("balanced reviewer (β=0.5)", 0.5),
         ("narrow specialist (β=0.9)", 0.9),
-    ] {
-        let scores = RoundTripRankPlus::new(params, beta)
-            .expect("β in range")
-            .compute(g, &query)
-            .expect("compute");
-        let names: Vec<&str> = scores
-            .filtered_ranking(g, author_ty, &exclude)
-            .into_iter()
+    ];
+    let requests: Vec<QueryRequest> = sweeps
+        .iter()
+        .map(|&(_, beta)| {
+            QueryRequest::node(paper)
+                .with_measure(Measure::RtrPlus { beta })
+                .with_k(g.node_count())
+        })
+        .collect();
+    let responses = engine.run_requests(&requests);
+
+    println!("\nreviewer candidates under different trade-offs:");
+    for ((label, _), response) in sweeps.iter().zip(&responses) {
+        let ranking = &response.result.as_ref().expect("compute").ranking;
+        let names: Vec<&str> = ranking
+            .iter()
+            .filter(|&&v| g.node_type(v) == author_ty && !exclude.contains(&v))
             .take(4)
-            .map(|v| g.label(v))
+            .map(|&v| g.label(v))
             .collect();
         println!("  {label:<28} {names:?}");
     }
 
-    // Online variant: 2SBound retrieves a top-K list without scoring the
-    // whole graph — here over *all* node types; filter as needed.
-    let result = TwoSBound::new(params, TopKConfig::default())
-        .run(g, paper)
-        .expect("top-k");
+    // Online variant through the same pool: a top-K RoundTripRank request
+    // runs 2SBound and touches only a neighborhood of the graph — here
+    // over *all* node types; filter as needed.
+    let response = engine
+        .submit(QueryRequest::node(paper).with_topk(TopKConfig::default()))
+        .wait();
+    let result = response.result.as_ref().expect("top-k");
     println!(
         "\n2SBound touched {} of {} nodes ({:.1}% of the graph, {} expansions)",
         result.active.active_nodes,

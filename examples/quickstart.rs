@@ -8,6 +8,7 @@
 //! ```
 
 use rtr_core::prelude::*;
+use rtr_serve::{QueryRequest, ServeConfig, ServeEngine};
 use rtr_topk::prelude::*;
 
 fn main() {
@@ -79,5 +80,46 @@ fn main() {
     );
     for (v, (lo, hi)) in result.ranking.iter().zip(&result.bounds) {
         println!("  {:<18} r ∈ [{lo:.6}, {hi:.6}]", g.label(*v));
+    }
+
+    // 6. Serve it all online: one worker pool answers every measure, with
+    //    per-request β and k — that is what self-describing QueryRequests
+    //    are for.
+    let engine = ServeEngine::start(
+        std::sync::Arc::new(g),
+        ServeConfig::builder()
+            .workers(2)
+            .topk(TopKConfig {
+                k: 3,
+                epsilon: 0.0,
+                ..TopKConfig::toy()
+            })
+            .cache_capacity(256) // repeated requests become O(1) lookups
+            .build()
+            .expect("valid config"),
+    );
+    let responses = engine.run_requests(&[
+        QueryRequest::node(ids.t1),                          // RoundTripRank
+        QueryRequest::node(ids.t1).with_measure(Measure::F), // importance only
+        QueryRequest::node(ids.t1).with_measure(Measure::RtrPlus { beta: 0.8 }),
+        QueryRequest::nodes(&[ids.t1, ids.t2]).with_k(2), // multi-node query
+    ]);
+    println!("\none pool, four kinds of proximity query:");
+    for r in &responses {
+        let g = engine.graph();
+        let top: Vec<&str> = r
+            .result
+            .as_ref()
+            .expect("toy queries succeed")
+            .ranking
+            .iter()
+            .map(|&v| g.label(v))
+            .collect();
+        println!(
+            "  {:<28} top-{} {top:?} ({:.0}µs compute)",
+            r.request.measure.to_string(),
+            r.request.topk.k,
+            r.compute.as_secs_f64() * 1e6
+        );
     }
 }

@@ -165,14 +165,14 @@ fn graph_epoch_separates_cache_entries() {
     assert_ne!(g1.epoch(), g2.epoch());
     let params = rtr_core::RankParams::default();
     let cfg = TopKConfig::toy();
-    let k1 = rtr_cache::CacheKey::new(
+    let k1 = rtr_cache::CacheKey::single(
         NodeId(0),
         g1.epoch(),
         &params,
         &cfg,
         rtr_topk::Scheme::TwoSBound,
     );
-    let k2 = rtr_cache::CacheKey::new(
+    let k2 = rtr_cache::CacheKey::single(
         NodeId(0),
         g2.epoch(),
         &params,

@@ -48,7 +48,8 @@ fn run_allocating(g: &Graph, config: &ServeConfig, queries: &[NodeId]) -> Vec<Qu
             id,
             query,
             result: runner.run(g, query).map_err(rtr_serve::ServeError::Query),
-            latency: std::time::Duration::ZERO,
+            queue_wait: std::time::Duration::ZERO,
+            compute: std::time::Duration::ZERO,
         })
         .collect()
 }

@@ -1,0 +1,290 @@
+//! Determinism + equivalence suite for the per-request serving API.
+//!
+//! One `ServeEngine` now serves heterogeneous traffic: F-Rank, T-Rank,
+//! RoundTripRank, and RoundTripRank+ at per-request β, over single- and
+//! multi-node queries, with per-request k/params/scheme overrides. The
+//! contract has two halves:
+//!
+//! 1. **Concurrency + caching change nothing**: a mixed batch at 1, 2, and
+//!    8 workers, cache on or off, single-flight on or off, is bit-identical
+//!    to the serial reference (`run_serial_requests`).
+//! 2. **The pool is the engines**: every response is bit-identical to
+//!    running the corresponding *direct* engine — `FRank`/`TRank` for the
+//!    exact measures, `TwoSBound`/`TwoSBoundPlus` for the bound paths,
+//!    `RoundTripRank`/`RoundTripRankPlus` for multi-node queries — with
+//!    the request's effective parameters.
+
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use rtr_core::prelude::*;
+use rtr_datagen::{QLog, QLogConfig};
+use rtr_graph::toy::fig2_toy;
+use rtr_graph::{Graph, NodeId};
+use rtr_serve::{run_serial_requests, QueryRequest, QueryResponse, ServeConfig, ServeEngine};
+use rtr_topk::{Scheme, TopKConfig, TwoSBound, TwoSBoundPlus};
+use std::sync::Arc;
+
+/// Strict comparison: every value that the engine computes must agree
+/// exactly (no tolerances — determinism means bit-identity).
+fn assert_responses_identical(label: &str, a: &[QueryResponse], b: &[QueryResponse]) {
+    assert_eq!(a.len(), b.len(), "{label}: batch sizes differ");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.id, y.id, "{label}: ids diverge");
+        assert_eq!(x.request, y.request, "{label}: resolved requests diverge");
+        let (rx, ry) = (
+            x.result.as_ref().expect("query failed"),
+            y.result.as_ref().expect("query failed"),
+        );
+        assert_eq!(rx.ranking, ry.ranking, "{label}: rankings diverge");
+        // Bit-exact f64 equality, deliberately not an epsilon comparison.
+        assert_eq!(rx.bounds, ry.bounds, "{label}: bounds diverge");
+        assert_eq!(rx.expansions, ry.expansions, "{label}: expansions diverge");
+        assert_eq!(rx.converged, ry.converged, "{label}: convergence diverges");
+        assert_eq!(rx.active, ry.active, "{label}: active sets diverge");
+    }
+}
+
+/// The full measure/β/k mix over a pool of query nodes: the traffic shape
+/// the `QueryRequest` redesign exists for.
+fn mixed_requests(nodes: &[NodeId]) -> Vec<QueryRequest> {
+    let mut requests = Vec::new();
+    for (i, &q) in nodes.iter().enumerate() {
+        requests.push(QueryRequest::node(q)); // RTR, default k
+        requests.push(QueryRequest::node(q).with_measure(Measure::F).with_k(3));
+        requests.push(QueryRequest::node(q).with_measure(Measure::T).with_k(8));
+        requests.push(QueryRequest::node(q).with_measure(Measure::RtrPlus { beta: 0.3 }));
+        requests.push(
+            QueryRequest::node(q)
+                .with_measure(Measure::RtrPlus { beta: 0.7 })
+                .with_k(3),
+        );
+        if i + 1 < nodes.len() {
+            requests.push(QueryRequest::nodes(&[q, nodes[i + 1]]).with_k(6));
+            requests.push(
+                QueryRequest::new(Query::weighted(&[(q, 3.0), (nodes[i + 1], 1.0)]).unwrap())
+                    .with_measure(Measure::F),
+            );
+        }
+        // Per-request scheme and params overrides ride along.
+        requests.push(QueryRequest::node(q).with_scheme(Scheme::Gupta).with_k(3));
+        requests.push(QueryRequest::node(q).with_params(RankParams::with_alpha(0.35)));
+    }
+    // Interleave duplicates so the cache and single-flight paths see
+    // repeats of every measure in flight together.
+    let dups: Vec<QueryRequest> = requests.iter().step_by(3).cloned().collect();
+    requests.extend(dups);
+    requests
+}
+
+fn check_all_worker_counts(g: Graph, requests: Vec<QueryRequest>, config: ServeConfig) {
+    let serial = run_serial_requests(&g, &config, &requests);
+    let g = Arc::new(g);
+    for workers in [1usize, 2, 8] {
+        for cache in [0usize, 256] {
+            for single_flight in [true, false] {
+                let label =
+                    format!("{workers} workers, cache {cache}, single_flight {single_flight}");
+                let engine = ServeEngine::start(
+                    Arc::clone(&g),
+                    config
+                        .with_workers(workers)
+                        .with_cache_capacity(cache)
+                        .with_single_flight(single_flight),
+                );
+                let pooled = engine.run_requests(&requests);
+                assert_responses_identical(&label, &pooled, &serial);
+                if cache > 0 {
+                    // Warm pass: served from cache, still bit-identical,
+                    // and flagged as cached.
+                    let warm = engine.run_requests(&requests);
+                    assert_responses_identical(&format!("{label}, warm"), &warm, &serial);
+                    assert!(
+                        warm.iter().all(|r| r.from_cache),
+                        "{label}: every warm response must come from the cache"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn fig2_toy_mixed_measures_identical_at_1_2_8_workers() {
+    let (g, ids) = fig2_toy();
+    let config = ServeConfig::default().with_topk(TopKConfig {
+        k: 5,
+        epsilon: 0.0,
+        m_f: 4,
+        m_t: 2,
+        max_expansions: 500,
+        ..TopKConfig::default()
+    });
+    let requests = mixed_requests(&[ids.t1, ids.t2, ids.v1, ids.p[0]]);
+    check_all_worker_counts(g, requests, config);
+}
+
+#[test]
+fn seeded_qlog_mixed_measures_identical_at_1_2_8_workers() {
+    let log = QLog::generate(&QLogConfig::tiny(), 77);
+    let g = log.graph.clone();
+    let mut nodes: Vec<NodeId> = log.phrases.clone();
+    nodes.shuffle(&mut ChaCha8Rng::seed_from_u64(7));
+    nodes.truncate(4);
+    // Paper defaults: K = 10, ε = 0.01.
+    check_all_worker_counts(g, mixed_requests(&nodes), ServeConfig::default());
+}
+
+/// The acceptance clause: one engine, one batch mixing every measure (two
+/// distinct β values), multi-node queries, and two k values, with cache and
+/// single-flight on — each response bit-identical to the corresponding
+/// direct engine run.
+#[test]
+fn mixed_batch_matches_direct_engines_with_cache_and_single_flight_on() {
+    let (g, ids) = fig2_toy();
+    let topk = TopKConfig {
+        k: 5,
+        epsilon: 0.0,
+        m_f: 4,
+        m_t: 2,
+        max_expansions: 500,
+        ..TopKConfig::default()
+    };
+    let config = ServeConfig::builder()
+        .workers(4)
+        .topk(topk)
+        .cache_capacity(256)
+        .single_flight(true)
+        .build()
+        .unwrap();
+    let params = config.params;
+
+    let requests = vec![
+        QueryRequest::node(ids.t1), // RTR, k=5
+        QueryRequest::node(ids.t1)
+            .with_measure(Measure::F)
+            .with_k(3), // F, k=3
+        QueryRequest::node(ids.t1).with_measure(Measure::T), // T, k=5
+        QueryRequest::node(ids.t2).with_measure(Measure::RtrPlus { beta: 0.3 }),
+        QueryRequest::node(ids.t2)
+            .with_measure(Measure::RtrPlus { beta: 0.7 })
+            .with_k(3),
+        QueryRequest::nodes(&[ids.t1, ids.t2]).with_k(3), // multi-node RTR
+        QueryRequest::nodes(&[ids.t1, ids.t2]).with_measure(Measure::RtrPlus { beta: 0.7 }),
+    ];
+    let engine = ServeEngine::start(Arc::new(g.clone()), config);
+    let responses = engine.run_requests(&requests);
+
+    // Direct engines, one per request, with the request's effective
+    // parameters.
+    let check_exact = |response: &QueryResponse, scores: &ScoreVec| {
+        let result = response.result.as_ref().unwrap();
+        let k = response.request.topk.k;
+        assert_eq!(result.ranking, scores.top_k(k));
+        for (v, &(lo, hi)) in result.ranking.iter().zip(&result.bounds) {
+            assert_eq!(lo, scores.score(*v), "exact bounds are the exact score");
+            assert_eq!(hi, lo);
+        }
+        assert!(result.converged);
+    };
+
+    // [0] single-node RTR → 2SBound.
+    let direct = TwoSBound::new(params, topk).run(&g, ids.t1).unwrap();
+    let got = responses[0].result.as_ref().unwrap();
+    assert_eq!(got.ranking, direct.ranking);
+    assert_eq!(got.bounds, direct.bounds);
+    assert_eq!(got.expansions, direct.expansions);
+    assert_eq!(got.active, direct.active);
+
+    // [1] F-Rank → exact PPR, top-3.
+    let f = FRank::new(params)
+        .compute(&g, &Query::single(ids.t1))
+        .unwrap();
+    assert_eq!(responses[1].request.topk.k, 3);
+    check_exact(&responses[1], &f);
+
+    // [2] T-Rank → exact, k from engine default.
+    let t = TRank::new(params)
+        .compute(&g, &Query::single(ids.t1))
+        .unwrap();
+    assert_eq!(responses[2].request.topk.k, 5);
+    check_exact(&responses[2], &t);
+
+    // [3, 4] single-node RTR+ at two βs → 2SBound+.
+    for (idx, beta, k) in [(3usize, 0.3, 5usize), (4, 0.7, 3)] {
+        let direct = TwoSBoundPlus::new(params, TopKConfig { k, ..topk }, beta)
+            .unwrap()
+            .run(&g, ids.t2)
+            .unwrap();
+        let got = responses[idx].result.as_ref().unwrap();
+        assert_eq!(got.ranking, direct.ranking, "β={beta}");
+        assert_eq!(got.bounds, direct.bounds, "β={beta}");
+        assert_eq!(got.expansions, direct.expansions, "β={beta}");
+    }
+
+    // [5] multi-node RTR → exact linearity reduction.
+    let multi = Query::uniform(&[ids.t1, ids.t2]);
+    let rtr = RoundTripRank::new(params).compute(&g, &multi).unwrap();
+    assert_eq!(responses[5].request.topk.k, 3);
+    check_exact(&responses[5], &rtr);
+
+    // [6] multi-node RTR+ → exact linearity reduction with β blend.
+    let plus = RoundTripRankPlus::new(params, 0.7)
+        .unwrap()
+        .compute(&g, &multi)
+        .unwrap();
+    check_exact(&responses[6], &plus);
+
+    // Distinct parameterizations may never share cache entries.
+    assert_eq!(engine.cache_len(), requests.len());
+    assert_eq!(engine.computed_queries(), requests.len() as u64);
+}
+
+#[test]
+fn per_request_errors_do_not_disturb_the_rest_of_a_mixed_batch() {
+    let (g, ids) = fig2_toy();
+    let config = ServeConfig::default()
+        .with_workers(2)
+        .with_topk(TopKConfig::toy())
+        .with_cache_capacity(64);
+    let engine = ServeEngine::start(Arc::new(g), config);
+    let requests = vec![
+        QueryRequest::node(ids.t1),
+        QueryRequest::node(NodeId(9999)), // out of range
+        QueryRequest::node(ids.t1).with_measure(Measure::RtrPlus { beta: 2.0 }), // bad β
+        QueryRequest::nodes(&[]),         // empty query
+        QueryRequest::node(ids.t2).with_measure(Measure::F),
+    ];
+    let responses = engine.run_requests(&requests);
+    assert!(responses[0].result.is_ok());
+    assert!(responses[1].result.is_err());
+    assert!(responses[2].result.is_err());
+    assert!(responses[3].result.is_err());
+    assert!(responses[4].result.is_ok());
+    // Only the good requests were cached.
+    assert_eq!(engine.cache_len(), 2);
+}
+
+#[test]
+fn tiny_cache_thrashes_but_mixed_traffic_stays_correct() {
+    // A 4-entry cache under 5-measure traffic evicts constantly and must
+    // never change an answer.
+    let (g, ids) = fig2_toy();
+    let config = ServeConfig::default()
+        .with_topk(TopKConfig {
+            k: 4,
+            epsilon: 0.0,
+            m_f: 4,
+            m_t: 2,
+            max_expansions: 500,
+            ..TopKConfig::default()
+        })
+        .with_cache_capacity(4)
+        .with_cache_shards(2);
+    let requests = mixed_requests(&[ids.t1, ids.v2, ids.p[1]]);
+    let serial = run_serial_requests(&g, &config, &requests);
+    let engine = ServeEngine::start(Arc::new(g), config.with_workers(4));
+    let pooled = engine.run_requests(&requests);
+    assert_responses_identical("thrashing mixed cache", &pooled, &serial);
+    let stats = engine.cache_stats().expect("cache on");
+    assert!(stats.evictions > 0, "capacity 4 must evict, got {stats:?}");
+}

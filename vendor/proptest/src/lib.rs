@@ -223,7 +223,7 @@ pub mod collection {
 pub mod prelude {
     pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::{ProptestConfig, TestCaseError};
-    pub use crate::{prop_assert, prop_assert_eq, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
 }
 
 /// Assert inside a `proptest!` body; failures abort the case with a message.
@@ -247,6 +247,15 @@ macro_rules! prop_assert_eq {
     ($a:expr, $b:expr) => {{
         let (a, b) = (&$a, &$b);
         $crate::prop_assert!(a == b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+}
+
+/// Inequality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "assertion failed: {:?} == {:?}", a, b);
     }};
 }
 
