@@ -9,6 +9,7 @@
 //! ```text
 //! throughput [--workers 1,2,4,8] [--queries N] [--k K] [--epsilon E]
 //!            [--skew S] [--mixed] [--cache CAPACITY] [--json PATH]
+//!            [--backend local|distributed] [--gps N]
 //!            [--check bench/baseline.json]
 //! ```
 //!
@@ -33,6 +34,17 @@
 //! measured cache-off then cache-on, both asserted bit-identical to the
 //! serial reference, and the JSON gains a `mixed_runs` section.
 //!
+//! With `--backend distributed` (plus `--gps N`, default 4), the uniform
+//! workload is served by the **AP/GP execution backend**: the graph is
+//! striped across N graph-processor threads and every worker acts as an
+//! active processor fetching node blocks on demand. The result stream is
+//! asserted bit-identical to the serial local reference (the backends
+//! mirror each other exactly), and the JSON gains a `distributed` section
+//! with the wire-cost observables of the paper's Fig. 12: mean payload
+//! bytes per query, mean fetch rounds, and active-set size percentiles.
+//! In this mode the artifact defaults to `BENCH_throughput_dist.json` so
+//! the local trajectory artifact is never clobbered by a distributed run.
+//!
 //! All modes report latency **split into queue-wait and compute**
 //! percentiles alongside the end-to-end numbers: under load, queue-wait
 //! growing while compute stays flat is the saturation signature.
@@ -45,7 +57,8 @@ use rtr_core::{Measure, RankParams};
 use rtr_datagen::{QLog, QLogConfig, Zipf};
 use rtr_graph::{Graph, NodeId};
 use rtr_serve::{
-    run_serial_requests, QueryOutput, QueryRequest, QueryResponse, ServeConfig, ServeEngine,
+    run_serial_requests, Backend, BackendKind, QueryOutput, QueryRequest, QueryResponse,
+    ServeConfig, ServeEngine,
 };
 use rtr_topk::TopKConfig;
 use std::sync::Arc;
@@ -76,6 +89,10 @@ struct Args {
     skew: Option<f64>,
     mixed: bool,
     cache: usize,
+    /// Execution backend for the uniform workload (`--backend`).
+    distributed: bool,
+    /// Graph processors for the distributed backend (`--gps`).
+    gps: usize,
 }
 
 impl Default for Args {
@@ -90,6 +107,8 @@ impl Default for Args {
             skew: None,
             mixed: false,
             cache: 0,
+            distributed: false,
+            gps: 4,
         }
     }
 }
@@ -148,10 +167,22 @@ fn parse_args() -> Args {
             }
             "--mixed" => args.mixed = true,
             "--cache" => args.cache = value("--cache").parse().expect("cache capacity"),
+            "--backend" => {
+                args.distributed = match value("--backend").as_str() {
+                    "local" => false,
+                    "distributed" => true,
+                    other => panic!("unknown backend '{other}' (local|distributed)"),
+                }
+            }
+            "--gps" => {
+                args.gps = value("--gps").parse().expect("gp count");
+                assert!(args.gps > 0, "--gps must be at least 1");
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "throughput [--workers 1,2,4,8] [--queries N] [--k K] \
                      [--epsilon E] [--skew S] [--mixed] [--cache CAPACITY] \
+                     [--backend local|distributed] [--gps N] \
                      [--json PATH] [--check BASELINE_JSON]"
                 );
                 std::process::exit(0);
@@ -163,6 +194,16 @@ fn parse_args() -> Args {
         !(args.mixed && args.skew.is_some()),
         "--mixed and --skew are separate workloads; pick one"
     );
+    assert!(
+        !(args.distributed && (args.mixed || args.skew.is_some() || args.check.is_some())),
+        "--backend distributed measures the uniform workload (the gate and \
+         the skew/mixed studies stay on the cold local path)"
+    );
+    // The distributed mode writes a different document shape; without an
+    // explicit --json it must not clobber the local trajectory artifact.
+    if args.distributed && args.out == Args::default().out {
+        args.out = "BENCH_throughput_dist.json".to_owned();
+    }
     args
 }
 
@@ -395,6 +436,70 @@ impl SkewRow {
     }
 }
 
+/// Wire-cost aggregates of a distributed-backend run (the paper's Fig. 12
+/// observables, summarized over the measured pass).
+struct DistSummary {
+    gps: usize,
+    mean_bytes_per_query: f64,
+    mean_fetch_requests: f64,
+    active_bytes_p50: f64,
+    active_bytes_p99: f64,
+    active_nodes_p50: f64,
+    active_nodes_p99: f64,
+}
+
+impl DistSummary {
+    /// Aggregate the per-response [`rtr_serve::DistributedStats`]; every
+    /// response in the uniform RTR workload must be genuinely distributed.
+    fn collect(gps: usize, responses: &[QueryResponse]) -> DistSummary {
+        let mut bytes = Vec::with_capacity(responses.len());
+        let mut fetches = Vec::with_capacity(responses.len());
+        let mut active_bytes = Vec::with_capacity(responses.len());
+        let mut active_nodes = Vec::with_capacity(responses.len());
+        for r in responses {
+            assert_eq!(
+                r.backend,
+                BackendKind::Distributed,
+                "uniform RTR workload must run distributed"
+            );
+            let s = r.distributed.expect("distributed stats");
+            assert!(
+                s.bytes_transferred > 0,
+                "a distributed run crossed no wire?"
+            );
+            bytes.push(s.bytes_transferred as f64);
+            fetches.push(s.fetch_requests as f64);
+            active_bytes.push(s.active_bytes as f64);
+            active_nodes.push(s.active_nodes as f64);
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        DistSummary {
+            gps,
+            mean_bytes_per_query: mean(&bytes),
+            mean_fetch_requests: mean(&fetches),
+            active_bytes_p50: percentile(&active_bytes, 50.0),
+            active_bytes_p99: percentile(&active_bytes, 99.0),
+            active_nodes_p50: percentile(&active_nodes, 50.0),
+            active_nodes_p99: percentile(&active_nodes, 99.0),
+        }
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{ \"gps\": {}, \"mean_bytes_per_query\": {}, \"mean_fetch_requests\": {}, \
+             \"active_bytes_p50\": {}, \"active_bytes_p99\": {}, \
+             \"active_nodes_p50\": {}, \"active_nodes_p99\": {} }}",
+            self.gps,
+            number(self.mean_bytes_per_query),
+            number(self.mean_fetch_requests),
+            number(self.active_bytes_p50),
+            number(self.active_bytes_p99),
+            number(self.active_nodes_p50),
+            number(self.active_nodes_p99)
+        )
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn emit_json(
     path: &str,
@@ -405,6 +510,7 @@ fn emit_json(
     rows: &[RunRow],
     skew_rows: &[SkewRow],
     mixed_rows: &[SkewRow],
+    dist: Option<&DistSummary>,
 ) {
     let best = rows
         .iter()
@@ -466,8 +572,17 @@ fn emit_json(
             paired_runs(mixed_rows)
         );
     }
+    if let Some(d) = dist {
+        extra = format!(",\n  \"distributed\": {}", d.json());
+    }
+    let backend = if args.distributed {
+        "distributed"
+    } else {
+        "local"
+    };
     let json = format!(
         "{{\n  \"bench\": \"throughput\",\n  \"scale\": \"{scale_label}\",\n  \"seed\": {},\n  \
+         \"backend\": \"{backend}\",\n  \
          \"graph\": {{ \"nodes\": {}, \"edges\": {} }},\n  \"k\": {},\n  \"epsilon\": {},\n  \
          \"queries\": {},\n  \"runs\": [\n{}\n  ],\n  \"best_workers\": {},\n  \"best_qps\": {}{extra}\n}}\n",
         workload_seed,
@@ -535,7 +650,44 @@ fn main() {
     let mut rows = Vec::new();
     let mut skew_rows = Vec::new();
     let mut mixed_rows = Vec::new();
-    if args.mixed {
+    let mut dist_summary: Option<DistSummary> = None;
+    if args.distributed {
+        println!(
+            "--- distributed backend: {} GPs, uniform RTR workload ---",
+            args.gps
+        );
+        let requests: Vec<QueryRequest> = queries.iter().map(|&q| QueryRequest::node(q)).collect();
+        // The ground truth every distributed pass must reproduce bit for
+        // bit: the serial local reference (the backends mirror exactly).
+        let serial = run_serial_requests(&g, &config, &requests);
+        let dconfig = config.with_backend(Backend::Distributed { gps: args.gps });
+        println!(
+            "{:>8} {:>12} {:>10} {:>10} {:>13} {:>9}",
+            "workers", "QPS", "p50/ms", "p99/ms", "KB/query", "fetches"
+        );
+        for &workers in &args.workers {
+            let (row, responses) = run_requests_at(&g, dconfig, &requests, workers);
+            assert_responses_identical(
+                &responses,
+                &serial,
+                &format!("{workers} workers, distributed vs serial local"),
+            );
+            let d = DistSummary::collect(args.gps, &responses);
+            println!(
+                "{:>8} {:>12.1} {:>10.3} {:>10.3} {:>13.2} {:>9.1}",
+                row.workers,
+                row.qps,
+                row.p50_ms,
+                row.p99_ms,
+                d.mean_bytes_per_query / 1024.0,
+                d.mean_fetch_requests
+            );
+            rows.push(row);
+            // Per-query wire costs are deterministic and identical at any
+            // worker count; keep the last pass's aggregates.
+            dist_summary = Some(d);
+        }
+    } else if args.mixed {
         println!(
             "--- mixed-request workload: F/T/RTR/RTR+β, 1-2 nodes, k ∈ {{5, {}}}, cache capacity {} ---",
             args.k,
@@ -640,6 +792,7 @@ fn main() {
         &rows,
         &skew_rows,
         &mixed_rows,
+        dist_summary.as_ref(),
     );
 
     if let Some(baseline_path) = &args.check {

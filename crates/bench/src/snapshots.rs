@@ -48,11 +48,12 @@ pub fn measure_prepared(snaps: &[Graph], n_queries: usize) -> Vec<SnapshotRow> {
         pool.truncate(n_queries);
 
         let runner = DistributedTwoSBound::new(params, cfg);
+        let mut ws = rtr_distributed::DistributedWorkspace::new();
         let mut times = Vec::new();
         let mut actives = Vec::new();
         for &q in &pool {
             let ((_, stats), dt) =
-                time_it(|| runner.run(&cluster, sg.node_count(), q).expect("query"));
+                time_it(|| runner.run_with(&cluster, q, &mut ws).expect("query"));
             times.push(dt.as_secs_f64() * 1e3);
             actives.push(stats.active_bytes as f64 / 1024.0);
         }

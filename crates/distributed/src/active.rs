@@ -26,16 +26,35 @@ pub struct ActiveGraph<'c> {
 }
 
 impl<'c> ActiveGraph<'c> {
-    /// Start with an empty active set over a graph of `node_count` nodes.
-    pub fn new(cluster: &'c GpCluster, node_count: usize) -> Self {
+    /// Start with an empty active set over `cluster`'s graph.
+    pub fn new(cluster: &'c GpCluster) -> Self {
+        Self::with_storage(cluster, HashMap::new())
+    }
+
+    /// Like [`ActiveGraph::new`] but reusing `blocks` as the resident-block
+    /// storage (cleared first), so a long-lived worker pays the map's
+    /// allocation once instead of per query. Recover the storage with
+    /// [`ActiveGraph::into_storage`].
+    pub fn with_storage(cluster: &'c GpCluster, mut blocks: HashMap<u32, NodeBlock>) -> Self {
+        blocks.clear();
         ActiveGraph {
+            node_count: cluster.node_count(),
             cluster,
-            node_count,
-            blocks: HashMap::new(),
+            blocks,
             fetch_requests: 0,
             blocks_fetched: 0,
             bytes_transferred: 0,
         }
+    }
+
+    /// Dissolve into the block storage so its buckets serve the next query.
+    pub fn into_storage(self) -> HashMap<u32, NodeBlock> {
+        self.blocks
+    }
+
+    /// The resident block for `v`, if fetched.
+    pub fn block(&self, v: NodeId) -> Option<&NodeBlock> {
+        self.blocks.get(&v.0)
     }
 
     /// Total nodes in the underlying graph.
@@ -136,7 +155,7 @@ mod tests {
     fn demand_paging_fetches_once() {
         let (g, ids) = fig2_toy();
         let cluster = GpCluster::spawn(&g, 2);
-        let mut active = ActiveGraph::new(&cluster, g.node_count());
+        let mut active = ActiveGraph::new(&cluster);
         active.ensure(&[ids.t1]);
         assert_eq!(active.fetch_requests(), 1);
         assert_eq!(active.blocks_fetched(), 1);
@@ -150,7 +169,7 @@ mod tests {
     fn adjacency_matches_source_graph() {
         let (g, ids) = fig2_toy();
         let cluster = GpCluster::spawn(&g, 3);
-        let mut active = ActiveGraph::new(&cluster, g.node_count());
+        let mut active = ActiveGraph::new(&cluster);
         active.ensure(&[ids.v2]);
         let expected: Vec<(NodeId, f64)> = g.out_edges(ids.v2).collect();
         assert_eq!(active.out_edges(ids.v2), expected.as_slice());
@@ -162,7 +181,7 @@ mod tests {
     fn touching_unfetched_node_panics() {
         let (g, ids) = fig2_toy();
         let cluster = GpCluster::spawn(&g, 2);
-        let active = ActiveGraph::new(&cluster, g.node_count());
+        let active = ActiveGraph::new(&cluster);
         let _ = active.out_edges(ids.t1);
     }
 
@@ -170,7 +189,7 @@ mod tests {
     fn meters_accumulate() {
         let (g, ids) = fig2_toy();
         let cluster = GpCluster::spawn(&g, 2);
-        let mut active = ActiveGraph::new(&cluster, g.node_count());
+        let mut active = ActiveGraph::new(&cluster);
         active.ensure(&[ids.t1, ids.v1]);
         let b1 = active.bytes_transferred();
         assert!(b1 > 0);

@@ -2,23 +2,44 @@
 //! every adjacency access served from the incrementally assembled active
 //! set (paper Sect. V-B2).
 //!
-//! The algorithm is the same two-stage bounds machinery as `rtr_topk`
-//! (BCA + Prop. 4 for F-Rank, border nodes + Eq. 22 for T-Rank, refinement
-//! Eq. 17–18, stopping conditions Eq. 13–14); the difference is purely
-//! operational — the AP `ensure`s node blocks before touching them, so the
+//! The AP-side state machine is an **operation-for-operation mirror** of
+//! the single-machine engines ([`TwoSBound`](rtr_topk::TwoSBound) /
+//! [`TwoSBoundPlus`](rtr_topk::TwoSBoundPlus)): the same BCA batch
+//! selection (benefit `µ/|Out|`, ties by id, processed in ascending id
+//! order), the same Prop. 4 / first-arrival unseen bounds, the same border
+//! expansion, the same Gauss-Seidel refinement sweeps in the same
+//! deterministic order, the same stopping conditions (Eq. 13–14) — down to
+//! the floating-point accumulation order. The difference is purely
+//! operational: the AP `ensure`s node blocks before touching them, so the
 //! measured fetch traffic and resident bytes are exactly the paper's
-//! active-set quantities.
+//! active-set quantities (Fig. 12), **and the returned
+//! [`TopKResult`] is bit-identical to the local engine's** — ranking,
+//! bounds, expansion count, and active-set statistics. That bit-identity
+//! is what lets a serving cache share entries between local and
+//! distributed backends: the answers are interchangeable, only the wire
+//! cost differs.
+//!
+//! Like the local engines, the distributed processors honor the full
+//! [`TopKConfig`] and the Fig. 11a ablation [`Scheme`]s (`with_scheme`),
+//! and expose workspace-reusing `run_with` entry points so a pooled worker
+//! serves query after query without reallocating its AP-side maps.
 
 use crate::active::ActiveGraph;
 use crate::gp::GpCluster;
 use rtr_core::{CoreError, RankParams};
+use rtr_graph::wire::NodeBlock;
 use rtr_graph::NodeId;
 use rtr_topk::active_set::ActiveSetStats;
 use rtr_topk::bounds::Bounds;
 use rtr_topk::config::TopKConfig;
+use rtr_topk::fbound::FBoundMode;
+use rtr_topk::schemes::Scheme;
+use rtr_topk::tbound::TBoundMode;
 use rtr_topk::two_sbound::TopKResult;
-use std::collections::HashMap;
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, HashSet};
 
+/// Matches the local engines' tie tolerance so stopping decisions agree.
 const TIE_EPS: f64 = 1e-12;
 
 /// Network-level statistics of one distributed query.
@@ -39,301 +60,600 @@ pub struct DistributedStats {
     pub active_bytes: usize,
 }
 
-/// Distributed 2SBound processor.
+/// Reusable AP-side state for one distributed query: the BCA `ρ`/`µ` maps,
+/// both bounds maps, every scratch vector, and the resident-block storage.
+/// Cleared in O(previous query's touched entries) at the start of each run,
+/// so a long-lived serving worker allocates nothing on the steady-state
+/// path — the distributed mirror of `rtr_topk::TopKWorkspace`.
+#[derive(Debug, Default)]
+pub struct DistributedWorkspace {
+    rho: HashMap<u32, f64>,
+    mu: HashMap<u32, f64>,
+    f_bounds: HashMap<u32, Bounds>,
+    t_bounds: HashMap<u32, Bounds>,
+    order: Vec<u32>,
+    border: Vec<(u32, f64)>,
+    members: Vec<(NodeId, Bounds)>,
+    nodes_scratch: Vec<NodeId>,
+    cands: Vec<(u32, f64)>,
+    edges_scratch: Vec<(NodeId, f64)>,
+    union: HashSet<u32>,
+    blocks: HashMap<u32, NodeBlock>,
+}
+
+impl DistributedWorkspace {
+    /// A workspace (all buffers empty) ready for any cluster.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn clear(&mut self) {
+        self.rho.clear();
+        self.mu.clear();
+        self.f_bounds.clear();
+        self.t_bounds.clear();
+        self.order.clear();
+        self.border.clear();
+        self.members.clear();
+        self.nodes_scratch.clear();
+        self.cands.clear();
+        self.edges_scratch.clear();
+        self.union.clear();
+        // blocks are cleared by ActiveGraph::with_storage.
+    }
+}
+
+/// How f- and t-bounds combine into RoundTripRank bounds: the plain product
+/// of Eq. 15, or the β-exponent blend of RoundTripRank+ (mirroring
+/// `TwoSBoundPlus` exactly, `powf` included, so β = 0.5 is bit-identical to
+/// the plus engine rather than to the product one).
+#[derive(Clone, Copy, Debug)]
+enum Blend {
+    Product,
+    Beta { wf: f64, wt: f64 },
+}
+
+impl Blend {
+    #[inline]
+    fn bounds(&self, f: &Bounds, t: &Bounds) -> Bounds {
+        match *self {
+            Blend::Product => f.product(t),
+            Blend::Beta { wf, wt } => Bounds {
+                lower: f.lower.powf(wf) * t.lower.powf(wt),
+                upper: f.upper.powf(wf) * t.upper.powf(wt),
+            },
+        }
+    }
+
+    #[inline]
+    fn scalar(&self, f: f64, t: f64) -> f64 {
+        match *self {
+            Blend::Product => f * t,
+            Blend::Beta { wf, wt } => f.powf(wf) * t.powf(wt),
+        }
+    }
+}
+
+/// Distributed 2SBound processor (RoundTripRank).
 #[derive(Clone, Copy, Debug)]
 pub struct DistributedTwoSBound {
     params: RankParams,
     config: TopKConfig,
+    scheme: Scheme,
 }
 
 impl DistributedTwoSBound {
-    /// Create with the given walk parameters and top-K configuration.
+    /// Create with the paper's full scheme.
     pub fn new(params: RankParams, config: TopKConfig) -> Self {
-        DistributedTwoSBound { params, config }
+        Self::with_scheme(params, config, Scheme::TwoSBound)
     }
 
-    /// Run the query against a GP cluster. `node_count` is the graph's total
-    /// node count (the only global metadata the AP holds).
+    /// Create with an explicit computational scheme (the Fig. 11a
+    /// ablations), honored exactly as `TwoSBound::run_with` honors it.
+    pub fn with_scheme(params: RankParams, config: TopKConfig, scheme: Scheme) -> Self {
+        DistributedTwoSBound {
+            params,
+            config,
+            scheme,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &TopKConfig {
+        &self.config
+    }
+
+    /// Run the query against a GP cluster, allocating fresh AP state.
+    /// Serving paths use [`DistributedTwoSBound::run_with`] instead.
     pub fn run(
         &self,
         cluster: &GpCluster,
-        node_count: usize,
         q: NodeId,
     ) -> Result<(TopKResult, DistributedStats), CoreError> {
-        self.params.validate()?;
-        if q.index() >= node_count {
-            return Err(CoreError::NodeOutOfRange {
-                node: q,
-                node_count,
-            });
+        self.run_with(cluster, q, &mut DistributedWorkspace::default())
+    }
+
+    /// Run the query reusing `ws`'s buffers. The [`TopKResult`] is
+    /// bit-identical to [`DistributedTwoSBound::run`] — and to the local
+    /// `TwoSBound::run_with` under the same parameters.
+    pub fn run_with(
+        &self,
+        cluster: &GpCluster,
+        q: NodeId,
+        ws: &mut DistributedWorkspace,
+    ) -> Result<(TopKResult, DistributedStats), CoreError> {
+        run_distributed(
+            &self.params,
+            &self.config,
+            self.scheme,
+            Blend::Product,
+            cluster,
+            q,
+            ws,
+        )
+    }
+}
+
+/// Distributed 2SBound for RoundTripRank+ with specificity bias β —
+/// mirrors `TwoSBoundPlus` exactly (β-exponent bound blending, Eq. 15/16
+/// generalized).
+#[derive(Clone, Copy, Debug)]
+pub struct DistributedTwoSBoundPlus {
+    params: RankParams,
+    config: TopKConfig,
+    scheme: Scheme,
+    beta: f64,
+}
+
+impl DistributedTwoSBoundPlus {
+    /// Create for a given β ∈ [0, 1] (the paper's full scheme).
+    pub fn new(params: RankParams, config: TopKConfig, beta: f64) -> Result<Self, CoreError> {
+        Self::with_scheme(params, config, Scheme::TwoSBound, beta)
+    }
+
+    /// Create with an explicit computational scheme.
+    pub fn with_scheme(
+        params: RankParams,
+        config: TopKConfig,
+        scheme: Scheme,
+        beta: f64,
+    ) -> Result<Self, CoreError> {
+        if !(0.0..=1.0).contains(&beta) || beta.is_nan() {
+            return Err(CoreError::InvalidBeta(beta));
         }
-        let cfg = &self.config;
-        let alpha = self.params.alpha;
-        let mut active = ActiveGraph::new(cluster, node_count);
+        Ok(DistributedTwoSBoundPlus {
+            params,
+            config,
+            scheme,
+            beta,
+        })
+    }
 
-        // ---- F side: BCA state + bounds --------------------------------
-        let mut rho: HashMap<u32, f64> = HashMap::new();
-        let mut mu: HashMap<u32, f64> = HashMap::new();
-        mu.insert(q.0, 1.0);
-        let mut total_residual = 1.0f64;
-        let mut f_bounds: HashMap<u32, Bounds> = HashMap::new();
-        let mut f_unseen: f64; // set by Stage I before every use
+    /// The specificity bias in use.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
 
-        // ---- T side: membership + bounds --------------------------------
-        let mut t_bounds: HashMap<u32, Bounds> = HashMap::new();
-        active.ensure(&[q]);
-        t_bounds.insert(
-            q.0,
-            Bounds {
-                lower: alpha,
-                upper: 1.0,
+    /// The configuration in use.
+    pub fn config(&self) -> &TopKConfig {
+        &self.config
+    }
+
+    /// Run the β-weighted query, allocating fresh AP state.
+    pub fn run(
+        &self,
+        cluster: &GpCluster,
+        q: NodeId,
+    ) -> Result<(TopKResult, DistributedStats), CoreError> {
+        self.run_with(cluster, q, &mut DistributedWorkspace::default())
+    }
+
+    /// Run the β-weighted query reusing `ws`'s buffers; bit-identical to
+    /// the local `TwoSBoundPlus::run_with`.
+    pub fn run_with(
+        &self,
+        cluster: &GpCluster,
+        q: NodeId,
+        ws: &mut DistributedWorkspace,
+    ) -> Result<(TopKResult, DistributedStats), CoreError> {
+        run_distributed(
+            &self.params,
+            &self.config,
+            self.scheme,
+            Blend::Beta {
+                wf: 1.0 - self.beta,
+                wt: self.beta,
             },
-        );
-        let mut t_unseen = 1.0 - alpha;
+            cluster,
+            q,
+            ws,
+        )
+    }
+}
 
-        let k = cfg.k.min(node_count);
-        // Match the single-machine adaptive refinement tolerance.
-        let refine_tol = cfg.refine_tolerance.max(cfg.epsilon * 1e-2);
-        let mut expansions = 0usize;
-        loop {
-            expansions += 1;
+/// Whether `vid` is a border node of `S_t`: a member with at least one
+/// in-neighbor outside the membership.
+fn is_border(active: &ActiveGraph<'_>, t_bounds: &HashMap<u32, Bounds>, vid: u32) -> bool {
+    active
+        .in_edges(NodeId(vid))
+        .iter()
+        .any(|&(s, _)| !t_bounds.contains_key(&s.0))
+}
 
-            // ---------------- F Stage I: BCA batch ----------------------
-            f_unseen = {
+/// Refresh the t-side unseen bound (Eq. 22), monotonically.
+fn refresh_t_unseen(
+    active: &ActiveGraph<'_>,
+    t_bounds: &HashMap<u32, Bounds>,
+    alpha: f64,
+    t_unseen: &mut f64,
+) {
+    let max_border = t_bounds
+        .iter()
+        .filter(|&(&v, _)| is_border(active, t_bounds, v))
+        .map(|(_, b)| b.upper)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let fresh = if max_border.is_finite() {
+        (1.0 - alpha) * max_border
+    } else {
+        0.0 // no border: every remaining node is unreachable-to-q
+    };
+    if fresh < *t_unseen {
+        *t_unseen = fresh;
+    }
+}
+
+/// The shared AP driver behind both distributed processors. Each round
+/// mirrors one iteration of the local engines' loop — F Stage I/II, T
+/// Stage I/II, then the combined decision — with every adjacency access
+/// routed through the active set.
+fn run_distributed(
+    params: &RankParams,
+    cfg: &TopKConfig,
+    scheme: Scheme,
+    blend: Blend,
+    cluster: &GpCluster,
+    q: NodeId,
+    ws: &mut DistributedWorkspace,
+) -> Result<(TopKResult, DistributedStats), CoreError> {
+    // Validate before borrowing any workspace buffer, exactly like the
+    // local engines: a rejected query must not cost a worker its state.
+    params.validate()?;
+    let node_count = cluster.node_count();
+    if q.index() >= node_count {
+        return Err(CoreError::NodeOutOfRange {
+            node: q,
+            node_count,
+        });
+    }
+    let alpha = params.alpha;
+    let f_mode = scheme.f_mode();
+    let t_mode = scheme.t_mode();
+    ws.clear();
+    let mut active = ActiveGraph::with_storage(cluster, std::mem::take(&mut ws.blocks));
+
+    let k = cfg.k.min(node_count);
+    if k == 0 {
+        // K = 0 (or an empty graph) has a trivial answer; the stopping
+        // conditions below index members[k-1] and must not see it. The
+        // local engines return the same shape without touching the graph.
+        let stats = DistributedStats::default();
+        ws.blocks = active.into_storage();
+        return Ok((
+            TopKResult {
+                ranking: Vec::new(),
+                bounds: Vec::new(),
+                expansions: 0,
+                converged: true,
+                active: ActiveSetStats::default(),
+            },
+            stats,
+        ));
+    }
+
+    // ---- F side: BCA state + bounds (mirrors Bca + FNeighborhood) ------
+    let rho = &mut ws.rho;
+    let mu = &mut ws.mu;
+    mu.insert(q.0, 1.0);
+    let mut total_residual = 1.0f64;
+    let f_bounds = &mut ws.f_bounds;
+    let mut f_unseen: f64; // set by Stage I before every use
+
+    // ---- T side: membership + bounds (mirrors TNeighborhood) -----------
+    let t_bounds = &mut ws.t_bounds;
+    active.ensure(&[q]);
+    t_bounds.insert(
+        q.0,
+        Bounds {
+            lower: alpha,
+            upper: 1.0,
+        },
+    );
+    let mut t_unseen = 1.0 - alpha;
+
+    // Match the single-machine adaptive refinement tolerance.
+    let refine_tol = cfg.refine_tolerance.max(cfg.epsilon * 1e-2);
+    let mut expansions = 0usize;
+    loop {
+        expansions += 1;
+
+        // ---------------- F Stage I: BCA batch ----------------------
+        {
+            ws.cands.clear();
+            if cfg.m_f > 0 && !mu.is_empty() {
                 // Benefit needs |Out|: bring residual holders into the
-                // active set (they are about to join it anyway).
-                let mut holders: Vec<NodeId> = mu
-                    .iter()
-                    .filter(|(_, &r)| r > 0.0)
-                    .map(|(&v, _)| NodeId(v))
-                    .collect();
-                holders.sort_unstable();
-                active.ensure(&holders);
-                let mut cands: Vec<(u32, f64)> = holders
-                    .iter()
-                    .map(|&v| {
-                        let out = active.out_degree(v).max(1);
-                        (v.0, mu[&v.0] / out as f64)
-                    })
-                    .collect();
-                let take = cfg.m_f.min(cands.len());
-                if take > 0 {
-                    // Ties break by node id for reproducibility.
-                    cands.select_nth_unstable_by(take - 1, |a, b| {
+                // active set (the selected ones are about to join it
+                // anyway). Sorted so the fetch batch is deterministic.
+                ws.nodes_scratch.clear();
+                ws.nodes_scratch.extend(
+                    mu.iter()
+                        .filter(|&(_, &r)| r > 0.0)
+                        .map(|(&v, _)| NodeId(v)),
+                );
+                ws.nodes_scratch.sort_unstable();
+                active.ensure(&ws.nodes_scratch);
+                for &v in &ws.nodes_scratch {
+                    let out = active.out_degree(v).max(1);
+                    ws.cands.push((v.0, mu[&v.0] / out as f64));
+                }
+            }
+            if !ws.cands.is_empty() {
+                let take = cfg.m_f.min(ws.cands.len());
+                // Top-m benefits; ties break by node id, exactly like the
+                // local BCA's selection.
+                ws.cands
+                    .select_nth_unstable_by(take.saturating_sub(1), |a, b| {
                         b.1.partial_cmp(&a.1)
                             .expect("NaN benefit")
                             .then(a.0.cmp(&b.0))
                     });
-                    cands.truncate(take);
-                    cands.sort_unstable_by_key(|&(v, _)| v); // deterministic order
-                    for (vid, _) in cands {
-                        let Some(residual) = mu.remove(&vid) else {
-                            continue;
-                        };
-                        *rho.entry(vid).or_insert(0.0) += alpha * residual;
-                        let spread = (1.0 - alpha) * residual;
-                        let mut spread_out = 0.0;
-                        // Copy the adjacency to end the borrow before mutating mu.
-                        let edges: Vec<(NodeId, f64)> = active.out_edges(NodeId(vid)).to_vec();
-                        for (dst, prob) in edges {
-                            let amt = spread * prob;
-                            *mu.entry(dst.0).or_insert(0.0) += amt;
-                            spread_out += amt;
-                        }
-                        total_residual -= residual - spread_out;
-                    }
-                }
-                // Prop. 4 unseen bound — sound only on self-loop-free
-                // graphs; otherwise the safe first-arrival bound.
-                let bound = if cluster.has_self_loops() {
-                    total_residual.max(0.0)
-                } else {
-                    let max_mu = mu.values().copied().fold(0.0, f64::max);
-                    alpha / (2.0 - alpha) * max_mu
-                        + (1.0 - alpha) / (2.0 - alpha) * total_residual.max(0.0)
-                };
-                for (&vid, &r) in &rho {
-                    let e = f_bounds.entry(vid).or_insert_with(|| Bounds::unseen(1.0));
-                    e.tighten_lower(r);
-                    e.tighten_upper(r + bound);
-                }
-                bound
-            };
-
-            // ---------------- F Stage II: refinement --------------------
-            {
-                let mut members: Vec<u32> = f_bounds.keys().copied().collect();
-                members.sort_unstable(); // deterministic sweep order
-                let as_nodes: Vec<NodeId> = members.iter().map(|&v| NodeId(v)).collect();
-                active.ensure(&as_nodes);
-                for _ in 0..cfg.refine_max_sweeps {
-                    let mut max_change = 0.0f64;
-                    for &vid in &members {
-                        let v = NodeId(vid);
-                        let indicator = if v == q { alpha } else { 0.0 };
-                        let mut lo = 0.0;
-                        let mut hi = 0.0;
-                        for &(src, prob) in active.in_edges(v) {
-                            match f_bounds.get(&src.0) {
-                                Some(b) => {
-                                    lo += prob * b.lower;
-                                    hi += prob * b.upper;
-                                }
-                                None => hi += prob * f_unseen,
-                            }
-                        }
-                        let b = f_bounds.get_mut(&vid).expect("member");
-                        max_change =
-                            max_change.max(b.tighten_lower(indicator + (1.0 - alpha) * lo));
-                        max_change =
-                            max_change.max(b.tighten_upper(indicator + (1.0 - alpha) * hi));
-                    }
-                    if max_change < refine_tol {
-                        break;
-                    }
-                }
-            }
-
-            // ---------------- T Stage I: border expansion ---------------
-            {
-                let is_border =
-                    |vid: u32, active: &ActiveGraph<'_>, t_bounds: &HashMap<u32, Bounds>| {
-                        active
-                            .in_edges(NodeId(vid))
-                            .iter()
-                            .any(|&(s, _)| !t_bounds.contains_key(&s.0))
+                ws.cands.truncate(take);
+                // Process in ascending id order so state evolution is
+                // independent of map iteration order.
+                ws.cands.sort_unstable_by_key(|&(v, _)| v);
+                for i in 0..take {
+                    let vid = ws.cands[i].0;
+                    let Some(residual) = mu.remove(&vid) else {
+                        continue;
                     };
-                let mut border: Vec<(u32, f64)> = t_bounds
-                    .iter()
-                    .filter(|(&v, _)| is_border(v, &active, &t_bounds))
-                    .map(|(&v, b)| (v, b.upper))
-                    .collect();
-                border.sort_unstable_by_key(|&(v, _)| v);
-                if !border.is_empty() {
-                    let take = cfg.m_t.min(border.len());
-                    border.select_nth_unstable_by(take - 1, |a, b| {
-                        b.1.partial_cmp(&a.1)
-                            .expect("NaN upper")
-                            .then(a.0.cmp(&b.0))
-                    });
-                    border.truncate(take);
-                    let prev_unseen = t_unseen;
-                    let mut newcomers = Vec::new();
-                    for (u, _) in border {
-                        for &(src, _) in active.in_edges(NodeId(u)) {
-                            if let std::collections::hash_map::Entry::Vacant(e) =
-                                t_bounds.entry(src.0)
-                            {
-                                e.insert(Bounds::unseen(prev_unseen));
-                                newcomers.push(src);
+                    if residual <= 0.0 {
+                        continue;
+                    }
+                    *rho.entry(vid).or_insert(0.0) += alpha * residual;
+                    let spread = (1.0 - alpha) * residual;
+                    let mut spread_out = 0.0;
+                    // Copy the adjacency into reusable scratch to end the
+                    // active-set borrow before mutating µ.
+                    ws.edges_scratch.clear();
+                    ws.edges_scratch
+                        .extend_from_slice(active.out_edges(NodeId(vid)));
+                    for &(dst, prob) in &ws.edges_scratch {
+                        let amt = spread * prob;
+                        *mu.entry(dst.0).or_insert(0.0) += amt;
+                        spread_out += amt;
+                    }
+                    total_residual -= residual - spread_out;
+                }
+            }
+            // Unseen bound: Prop. 4 in TwoStage mode (first-arrival
+            // fallback on self-loop graphs), first-arrival in Gupta mode —
+            // the same arithmetic as `Bca::unseen_upper_bound` /
+            // `Bca::gupta_upper_bound`.
+            let clamped = total_residual.max(0.0);
+            f_unseen = match f_mode {
+                FBoundMode::Gupta => clamped,
+                FBoundMode::TwoStage => {
+                    if cluster.has_self_loops() {
+                        clamped
+                    } else {
+                        let max_mu = mu.values().copied().fold(0.0, f64::max);
+                        alpha / (2.0 - alpha) * max_mu + (1.0 - alpha) / (2.0 - alpha) * clamped
+                    }
+                }
+            };
+            // (Re)initialize: ρ is a valid lower bound, ρ + f̂(q) an upper
+            // bound (Eq. 20–21); previous refinements are kept when tighter.
+            for (&vid, &r) in rho.iter() {
+                let e = f_bounds.entry(vid).or_insert_with(|| Bounds::unseen(1.0));
+                e.tighten_lower(r);
+                e.tighten_upper(r + f_unseen);
+            }
+        }
+
+        // ---------------- F Stage II: refinement --------------------
+        // (No-op in Gupta mode, exactly like `FNeighborhood::refine`.)
+        if f_mode == FBoundMode::TwoStage {
+            ws.order.clear();
+            ws.order.extend(f_bounds.keys().copied());
+            ws.order.sort_unstable(); // deterministic Gauss-Seidel sweep order
+            ws.nodes_scratch.clear();
+            ws.nodes_scratch.extend(ws.order.iter().map(|&v| NodeId(v)));
+            active.ensure(&ws.nodes_scratch);
+            for _sweep in 1..=cfg.refine_max_sweeps {
+                let mut max_change = 0.0f64;
+                for &vid in &ws.order {
+                    let v = NodeId(vid);
+                    let indicator = if v == q { alpha } else { 0.0 };
+                    let mut lo = 0.0;
+                    let mut hi = 0.0;
+                    for &(src, prob) in active.in_edges(v) {
+                        match f_bounds.get(&src.0) {
+                            Some(b) => {
+                                lo += prob * b.lower;
+                                hi += prob * b.upper;
                             }
+                            None => hi += prob * f_unseen,
                         }
                     }
-                    active.ensure(&newcomers);
+                    let b = f_bounds.get_mut(&vid).expect("member");
+                    max_change = max_change.max(b.tighten_lower(indicator + (1.0 - alpha) * lo));
+                    max_change = max_change.max(b.tighten_upper(indicator + (1.0 - alpha) * hi));
                 }
-                // Refresh unseen bound (Eq. 22), monotone.
-                let max_border = t_bounds
-                    .iter()
-                    .filter(|(&v, _)| is_border(v, &active, &t_bounds))
-                    .map(|(_, b)| b.upper)
-                    .fold(f64::NEG_INFINITY, f64::max);
-                let fresh = if max_border.is_finite() {
-                    (1.0 - alpha) * max_border
-                } else {
-                    0.0
-                };
-                if fresh < t_unseen {
-                    t_unseen = fresh;
+                if max_change < refine_tol {
+                    break;
                 }
             }
+        }
 
-            // ---------------- T Stage II: refinement --------------------
-            {
-                let mut members: Vec<u32> = t_bounds.keys().copied().collect();
-                members.sort_unstable(); // deterministic sweep order
-                for _ in 0..cfg.refine_max_sweeps {
-                    let mut max_change = 0.0f64;
-                    for &vid in &members {
-                        let v = NodeId(vid);
-                        let indicator = if v == q { alpha } else { 0.0 };
-                        let mut lo = 0.0;
-                        let mut hi = 0.0;
-                        for &(dst, prob) in active.out_edges(v) {
-                            match t_bounds.get(&dst.0) {
-                                Some(b) => {
-                                    lo += prob * b.lower;
-                                    hi += prob * b.upper;
-                                }
-                                None => hi += prob * t_unseen,
-                            }
+        // ---------------- T Stage I: border expansion ---------------
+        {
+            ws.border.clear();
+            for (&vid, b) in t_bounds.iter() {
+                if is_border(&active, t_bounds, vid) {
+                    ws.border.push((vid, b.upper));
+                }
+            }
+            if !ws.border.is_empty() {
+                let take = cfg.m_t.min(ws.border.len()).max(1);
+                ws.border.select_nth_unstable_by(take - 1, |a, b| {
+                    b.1.partial_cmp(&a.1)
+                        .expect("NaN upper")
+                        .then(a.0.cmp(&b.0))
+                });
+                ws.border.truncate(take);
+                let prev_unseen = t_unseen;
+                ws.nodes_scratch.clear(); // newcomers
+                for i in 0..take {
+                    let u = NodeId(ws.border[i].0);
+                    for &(src, _) in active.in_edges(u) {
+                        if let Entry::Vacant(e) = t_bounds.entry(src.0) {
+                            e.insert(Bounds::unseen(prev_unseen));
+                            ws.nodes_scratch.push(src);
                         }
-                        let b = t_bounds.get_mut(&vid).expect("member");
-                        max_change =
-                            max_change.max(b.tighten_lower(indicator + (1.0 - alpha) * lo));
-                        max_change =
-                            max_change.max(b.tighten_upper(indicator + (1.0 - alpha) * hi));
-                    }
-                    if max_change < refine_tol {
-                        break;
                     }
                 }
+                active.ensure(&ws.nodes_scratch);
             }
+            refresh_t_unseen(&active, t_bounds, alpha, &mut t_unseen);
+        }
 
-            // ---------------- decision ----------------------------------
-            let mut members: Vec<(NodeId, Bounds)> = f_bounds
-                .iter()
-                .filter_map(|(&v, fb)| t_bounds.get(&v).map(|tb| (NodeId(v), fb.product(tb))))
-                .collect();
-            members.sort_by(|a, b| {
-                b.1.lower
-                    .partial_cmp(&a.1.lower)
-                    .expect("NaN bound")
-                    .then(a.0.cmp(&b.0))
-            });
-            let mut r_unseen = f_unseen * t_unseen;
-            for (&v, fb) in &f_bounds {
-                if !t_bounds.contains_key(&v) {
-                    r_unseen = r_unseen.max(fb.upper * t_unseen);
+        // ---------------- T Stage II: refinement --------------------
+        // (Single sweep in Sarkar mode; the unseen bound refreshes after
+        // every sweep, exactly like `TNeighborhood::refine`.)
+        {
+            let sweeps_cap = match t_mode {
+                TBoundMode::TwoStage => cfg.refine_max_sweeps,
+                TBoundMode::Sarkar => 1,
+            };
+            ws.order.clear();
+            ws.order.extend(t_bounds.keys().copied());
+            ws.order.sort_unstable(); // deterministic Gauss-Seidel sweep order
+            for _sweep in 1..=sweeps_cap {
+                let mut max_change = 0.0f64;
+                for &vid in &ws.order {
+                    let v = NodeId(vid);
+                    let indicator = if v == q { alpha } else { 0.0 };
+                    let mut lo = 0.0;
+                    let mut hi = 0.0;
+                    for &(dst, prob) in active.out_edges(v) {
+                        match t_bounds.get(&dst.0) {
+                            Some(b) => {
+                                lo += prob * b.lower;
+                                hi += prob * b.upper;
+                            }
+                            None => hi += prob * t_unseen,
+                        }
+                    }
+                    let b = t_bounds.get_mut(&vid).expect("member");
+                    max_change = max_change.max(b.tighten_lower(indicator + (1.0 - alpha) * lo));
+                    max_change = max_change.max(b.tighten_upper(indicator + (1.0 - alpha) * hi));
+                }
+                refresh_t_unseen(&active, t_bounds, alpha, &mut t_unseen);
+                if max_change < refine_tol {
+                    break;
                 }
             }
-            for (&v, tb) in &t_bounds {
-                if !f_bounds.contains_key(&v) {
-                    r_unseen = r_unseen.max(f_unseen * tb.upper);
-                }
-            }
+        }
 
-            let done = members.len() >= k && conditions_hold(&members, k, cfg.epsilon, r_unseen);
-            let exhausted = total_residual < 1e-15 && t_unseen == 0.0;
-            if done || exhausted || expansions >= cfg.max_expansions {
-                let stats = DistributedStats {
-                    fetch_requests: active.fetch_requests(),
-                    blocks_fetched: active.blocks_fetched(),
-                    bytes_transferred: active.bytes_transferred(),
-                    active_nodes: active.resident_nodes(),
-                    active_edges: active.resident_edges(),
-                    active_bytes: active.resident_bytes(),
-                };
-                members.truncate(k);
-                let result = TopKResult {
-                    ranking: members.iter().map(|&(v, _)| v).collect(),
-                    bounds: members.iter().map(|&(_, b)| (b.lower, b.upper)).collect(),
-                    expansions,
-                    converged: done,
-                    active: ActiveSetStats {
-                        f_nodes: f_bounds.len(),
-                        t_nodes: t_bounds.len(),
-                        active_nodes: stats.active_nodes,
-                        active_edges: stats.active_edges,
-                        bytes: stats.active_bytes,
-                    },
-                };
-                return Ok((result, stats));
+        // ---------------- decision ----------------------------------
+        // r-neighborhood S = S_f ∩ S_t with blended bounds (Eq. 15) and
+        // the unseen bound of Eq. 16, then the top-K conditions.
+        ws.members.clear();
+        ws.members.extend(
+            f_bounds.iter().filter_map(|(&v, fb)| {
+                t_bounds.get(&v).map(|tb| (NodeId(v), blend.bounds(fb, tb)))
+            }),
+        );
+        ws.members.sort_by(|a, b| {
+            b.1.lower
+                .partial_cmp(&a.1.lower)
+                .expect("NaN bound")
+                .then(a.0.cmp(&b.0))
+        });
+        let mut r_unseen = blend.scalar(f_unseen, t_unseen);
+        for (&v, fb) in f_bounds.iter() {
+            if !t_bounds.contains_key(&v) {
+                r_unseen = r_unseen.max(blend.scalar(fb.upper, t_unseen));
             }
+        }
+        for (&v, tb) in t_bounds.iter() {
+            if !f_bounds.contains_key(&v) {
+                r_unseen = r_unseen.max(blend.scalar(f_unseen, tb.upper));
+            }
+        }
+
+        let done = ws.members.len() >= k && conditions_hold(&ws.members, k, cfg.epsilon, r_unseen);
+        // Bounds can no longer improve once the residual is exhausted and
+        // the border has emptied; return whatever we have.
+        let exhausted = total_residual.max(0.0) < 1e-15 && t_unseen == 0.0;
+        if done || exhausted || expansions >= cfg.max_expansions {
+            // Active-set accounting identical to the local
+            // `ActiveSetStats::measure`: every member of S_f ∪ S_t is
+            // resident (its block was fetched before it was touched), so
+            // the AP can reproduce the graph-side numbers from blocks
+            // alone.
+            ws.union.clear();
+            let mut f_count = 0usize;
+            for &v in f_bounds.keys() {
+                f_count += 1;
+                ws.union.insert(v);
+            }
+            let mut t_count = 0usize;
+            for &v in t_bounds.keys() {
+                t_count += 1;
+                ws.union.insert(v);
+            }
+            let mut active_edges = 0usize;
+            let mut active_bytes = 0usize;
+            for &v in ws.union.iter() {
+                let block = active.block(NodeId(v)).expect("member resident");
+                active_edges += block.out_edges.len() + block.in_edges.len();
+                active_bytes += block.footprint_bytes();
+            }
+            let active_stats = ActiveSetStats {
+                f_nodes: f_count,
+                t_nodes: t_count,
+                active_nodes: ws.union.len(),
+                active_edges,
+                bytes: active_bytes,
+            };
+            let stats = DistributedStats {
+                fetch_requests: active.fetch_requests(),
+                blocks_fetched: active.blocks_fetched(),
+                bytes_transferred: active.bytes_transferred(),
+                active_nodes: active.resident_nodes(),
+                active_edges: active.resident_edges(),
+                active_bytes: active.resident_bytes(),
+            };
+            ws.members.truncate(k);
+            let result = TopKResult {
+                ranking: ws.members.iter().map(|&(v, _)| v).collect(),
+                bounds: ws
+                    .members
+                    .iter()
+                    .map(|&(_, b)| (b.lower, b.upper))
+                    .collect(),
+                expansions,
+                converged: done,
+                active: active_stats,
+            };
+            ws.blocks = active.into_storage();
+            return Ok((result, stats));
         }
     }
 }
 
 fn conditions_hold(members: &[(NodeId, Bounds)], k: usize, epsilon: f64, r_unseen: f64) -> bool {
+    // Eq. 13: the K-th lower bound beats every other upper bound.
     let mut max_other_upper = r_unseen;
     for &(_, b) in &members[k..] {
         max_other_upper = max_other_upper.max(b.upper);
@@ -341,6 +661,7 @@ fn conditions_hold(members: &[(NodeId, Bounds)], k: usize, epsilon: f64, r_unsee
     if members[k - 1].1.lower <= max_other_upper - epsilon - TIE_EPS {
         return false;
     }
+    // Eq. 14: consecutive order within the top K is certain.
     for i in 0..k - 1 {
         if members[i].1.lower <= members[i + 1].1.upper - epsilon - TIE_EPS {
             return false;
@@ -352,7 +673,6 @@ fn conditions_hold(members: &[(NodeId, Bounds)], k: usize, epsilon: f64, r_unsee
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rtr_core::prelude::*;
     use rtr_graph::toy::fig2_toy;
     use rtr_topk::prelude::*;
 
@@ -367,27 +687,96 @@ mod tests {
         }
     }
 
+    /// The acceptance clause, at unit scale: the distributed run is
+    /// bit-identical to the local engine — ranking, bounds, expansions,
+    /// and active-set statistics.
     #[test]
-    fn distributed_matches_single_machine() {
+    fn distributed_is_bit_identical_to_local() {
+        let (g, _) = fig2_toy();
+        let params = RankParams::default();
+        let cluster = GpCluster::spawn(&g, 3);
+        for q in g.nodes() {
+            let local = TwoSBound::new(params, toy_config()).run(&g, q).unwrap();
+            let (dist, stats) = DistributedTwoSBound::new(params, toy_config())
+                .run(&cluster, q)
+                .unwrap();
+            assert_eq!(local.ranking, dist.ranking, "query {q:?}");
+            assert_eq!(local.bounds, dist.bounds, "query {q:?}");
+            assert_eq!(local.expansions, dist.expansions, "query {q:?}");
+            assert_eq!(local.converged, dist.converged, "query {q:?}");
+            assert_eq!(local.active, dist.active, "query {q:?}");
+            assert!(stats.bytes_transferred > 0);
+        }
+    }
+
+    #[test]
+    fn every_scheme_is_bit_identical_to_local() {
         let (g, ids) = fig2_toy();
         let params = RankParams::default();
-        let local = TwoSBound::new(params, toy_config())
-            .run(&g, ids.t1)
-            .unwrap();
-        let cluster = GpCluster::spawn(&g, 3);
-        let (dist, _) = DistributedTwoSBound::new(params, toy_config())
-            .run(&cluster, g.node_count(), ids.t1)
-            .unwrap();
-        let exact = RoundTripRank::new(params)
-            .compute(&g, &Query::single(ids.t1))
-            .unwrap();
-        assert_eq!(local.ranking.len(), dist.ranking.len());
-        for (l, d) in local.ranking.iter().zip(&dist.ranking) {
-            assert!(
-                (exact.score(*l) - exact.score(*d)).abs() < 1e-9,
-                "rank scores differ: {l:?} vs {d:?}"
-            );
+        let cluster = GpCluster::spawn(&g, 2);
+        for scheme in Scheme::all() {
+            let local = TwoSBound::with_scheme(params, toy_config(), scheme)
+                .run(&g, ids.t1)
+                .unwrap();
+            let (dist, _) = DistributedTwoSBound::with_scheme(params, toy_config(), scheme)
+                .run(&cluster, ids.t1)
+                .unwrap();
+            assert_eq!(local.ranking, dist.ranking, "{scheme:?}");
+            assert_eq!(local.bounds, dist.bounds, "{scheme:?}");
+            assert_eq!(local.expansions, dist.expansions, "{scheme:?}");
+            assert_eq!(local.active, dist.active, "{scheme:?}");
         }
+    }
+
+    #[test]
+    fn plus_is_bit_identical_to_local_across_betas() {
+        let (g, ids) = fig2_toy();
+        let params = RankParams::default();
+        let cluster = GpCluster::spawn(&g, 3);
+        for beta in [0.0, 0.3, 0.5, 0.7, 1.0] {
+            let local = TwoSBoundPlus::new(params, toy_config(), beta)
+                .unwrap()
+                .run(&g, ids.t1)
+                .unwrap();
+            let (dist, _) = DistributedTwoSBoundPlus::new(params, toy_config(), beta)
+                .unwrap()
+                .run(&cluster, ids.t1)
+                .unwrap();
+            assert_eq!(local.ranking, dist.ranking, "β={beta}");
+            assert_eq!(local.bounds, dist.bounds, "β={beta}");
+            assert_eq!(local.expansions, dist.expansions, "β={beta}");
+            assert_eq!(local.active, dist.active, "β={beta}");
+        }
+    }
+
+    #[test]
+    fn run_with_reuses_workspace_bit_identically() {
+        let (g, ids) = fig2_toy();
+        let params = RankParams::default();
+        let cluster = GpCluster::spawn(&g, 2);
+        let engine = DistributedTwoSBound::new(params, toy_config());
+        let mut ws = DistributedWorkspace::new();
+        for q in [ids.t1, ids.v1, ids.t2, ids.t1] {
+            let (fresh, fresh_stats) = engine.run(&cluster, q).unwrap();
+            let (reused, reused_stats) = engine.run_with(&cluster, q, &mut ws).unwrap();
+            assert_eq!(fresh.ranking, reused.ranking, "{q:?}");
+            assert_eq!(fresh.bounds, reused.bounds, "{q:?}");
+            assert_eq!(fresh.expansions, reused.expansions, "{q:?}");
+            assert_eq!(fresh.active, reused.active, "{q:?}");
+            assert_eq!(fresh_stats, reused_stats, "{q:?}");
+        }
+    }
+
+    #[test]
+    fn rejected_query_keeps_workspace_usable() {
+        let (g, ids) = fig2_toy();
+        let cluster = GpCluster::spawn(&g, 2);
+        let engine = DistributedTwoSBound::new(RankParams::default(), toy_config());
+        let mut ws = DistributedWorkspace::new();
+        let (clean, _) = engine.run_with(&cluster, ids.t1, &mut ws).unwrap();
+        assert!(engine.run_with(&cluster, NodeId(9999), &mut ws).is_err());
+        let (after, _) = engine.run_with(&cluster, ids.t1, &mut ws).unwrap();
+        assert_eq!(clean.bounds, after.bounds);
     }
 
     #[test]
@@ -398,7 +787,7 @@ mod tests {
         for gps in [1, 2, 5] {
             let cluster = GpCluster::spawn(&g, gps);
             let (res, _) = DistributedTwoSBound::new(params, toy_config())
-                .run(&cluster, g.node_count(), ids.t1)
+                .run(&cluster, ids.t1)
                 .unwrap();
             rankings.push(res.ranking);
         }
@@ -411,7 +800,7 @@ mod tests {
         let (g, ids) = fig2_toy();
         let cluster = GpCluster::spawn(&g, 2);
         let (_, stats) = DistributedTwoSBound::new(RankParams::default(), toy_config())
-            .run(&cluster, g.node_count(), ids.t1)
+            .run(&cluster, ids.t1)
             .unwrap();
         assert!(stats.active_nodes <= g.node_count());
         assert!(stats.active_bytes > 0);
@@ -424,10 +813,27 @@ mod tests {
         let (g, ids) = fig2_toy();
         let cluster = GpCluster::spawn(&g, 2);
         let (res, _) = DistributedTwoSBound::new(RankParams::default(), toy_config())
-            .run(&cluster, g.node_count(), ids.t1)
+            .run(&cluster, ids.t1)
             .unwrap();
         assert!(res.converged);
         assert_eq!(res.ranking[0], ids.t1);
+    }
+
+    #[test]
+    fn k_zero_is_trivially_empty() {
+        let (g, ids) = fig2_toy();
+        let cluster = GpCluster::spawn(&g, 2);
+        let cfg = TopKConfig {
+            k: 0,
+            ..toy_config()
+        };
+        let (res, stats) = DistributedTwoSBound::new(RankParams::default(), cfg)
+            .run(&cluster, ids.t1)
+            .unwrap();
+        assert!(res.ranking.is_empty());
+        assert!(res.converged);
+        assert_eq!(res.expansions, 0);
+        assert_eq!(stats, DistributedStats::default());
     }
 
     #[test]
@@ -435,8 +841,16 @@ mod tests {
         let (g, _) = fig2_toy();
         let cluster = GpCluster::spawn(&g, 2);
         let err = DistributedTwoSBound::new(RankParams::default(), toy_config())
-            .run(&cluster, g.node_count(), NodeId(999))
+            .run(&cluster, NodeId(999))
             .unwrap_err();
         assert!(matches!(err, CoreError::NodeOutOfRange { .. }));
+    }
+
+    #[test]
+    fn plus_rejects_invalid_beta() {
+        let p = RankParams::default();
+        assert!(DistributedTwoSBoundPlus::new(p, toy_config(), -0.1).is_err());
+        assert!(DistributedTwoSBoundPlus::new(p, toy_config(), 1.5).is_err());
+        assert!(DistributedTwoSBoundPlus::new(p, toy_config(), f64::NAN).is_err());
     }
 }

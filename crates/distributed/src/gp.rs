@@ -22,10 +22,19 @@ enum Request {
 }
 
 /// A running cluster of GP threads.
+///
+/// The cluster is the AP side's *only* handle on the graph: it carries just
+/// the global metadata an active processor legitimately holds (node count,
+/// self-loop flag) plus the fetch channels. It is `Send + Sync`, so one
+/// cluster can be shared (`Arc<GpCluster>`) by a whole pool of serving
+/// workers — fetches from concurrent queries interleave safely because each
+/// fetch owns its private reply channel and every GP serves its queue
+/// sequentially.
 pub struct GpCluster {
     senders: Vec<Sender<Request>>,
     handles: Vec<JoinHandle<()>>,
     striping: Striping,
+    node_count: usize,
     has_self_loops: bool,
 }
 
@@ -45,8 +54,15 @@ impl GpCluster {
             senders,
             handles,
             striping,
+            node_count: g.node_count(),
             has_self_loops: g.has_self_loops(),
         }
+    }
+
+    /// Total nodes in the striped graph — the global metadata the AP needs
+    /// for query validation and `k` clamping.
+    pub fn node_count(&self) -> usize {
+        self.node_count
     }
 
     /// Whether the striped graph contains self-loops — global metadata the
@@ -172,7 +188,33 @@ mod tests {
     #[test]
     fn cluster_size_reported() {
         let (g, _) = fig2_toy();
+        let n = g.node_count();
         let cluster = GpCluster::spawn(&g, 5);
         assert_eq!(cluster.gps(), 5);
+        assert_eq!(cluster.node_count(), n);
+    }
+
+    #[test]
+    fn concurrent_fetches_do_not_cross_wires() {
+        // Two AP threads fetching different nodes through one shared cluster
+        // must each get exactly their own blocks (the per-fetch reply
+        // channel is what isolates them).
+        use std::sync::Arc;
+        let (g, ids) = fig2_toy();
+        let cluster = Arc::new(GpCluster::spawn(&g, 3));
+        let mut handles = Vec::new();
+        for want in [ids.t1, ids.v1, ids.v2, ids.t2] {
+            let cluster = Arc::clone(&cluster);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..50 {
+                    let (blocks, _) = cluster.fetch(&[want]);
+                    assert_eq!(blocks.len(), 1);
+                    assert_eq!(blocks[0].node, want);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
     }
 }

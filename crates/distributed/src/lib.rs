@@ -16,6 +16,16 @@
 //! the AP never touches the full graph — every adjacency byte it uses
 //! arrived in a GP response, and the transfer volume is metered.
 //!
+//! The AP-side processors ([`DistributedTwoSBound`] /
+//! [`DistributedTwoSBoundPlus`]) mirror the single-machine engines
+//! operation for operation, so their results are **bit-identical** to
+//! `rtr_topk::TwoSBound` / `TwoSBoundPlus` under the same `TopKConfig` and
+//! [`rtr_topk::Scheme`] — which is what lets a serving layer route the
+//! same traffic to either execution backend (and share one result cache
+//! between them) without changing a single answer. One [`GpCluster`] is
+//! `Send + Sync` and serves any number of concurrent APs; per-worker
+//! [`DistributedWorkspace`]s make steady-state serving allocation-free.
+//!
 //! ## Modules
 //!
 //! * [`stripe`] — round-robin striping and per-GP stores;
@@ -32,6 +42,8 @@ pub mod gp;
 pub mod stripe;
 
 pub use active::ActiveGraph;
-pub use dtopk::{DistributedStats, DistributedTwoSBound};
+pub use dtopk::{
+    DistributedStats, DistributedTwoSBound, DistributedTwoSBoundPlus, DistributedWorkspace,
+};
 pub use gp::GpCluster;
 pub use stripe::Striping;

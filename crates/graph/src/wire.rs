@@ -44,6 +44,20 @@ impl NodeBlock {
         4 + 4 + self.out_edges.len() * 12 + 4 + self.in_edges.len() * 12
     }
 
+    /// Resident bytes of this node in an AP-side active set — the same
+    /// quantity [`Graph::node_footprint_bytes`] reports, computed from the
+    /// shipped adjacency alone so the active processor can account active-set
+    /// sizes (paper Fig. 12) bit-identically to a single-machine run without
+    /// holding the graph.
+    pub fn footprint_bytes(&self) -> usize {
+        use crate::node::NodeTypeId;
+        use std::mem::size_of;
+        size_of::<NodeId>()
+            + size_of::<NodeTypeId>()
+            + self.out_edges.len() * (size_of::<NodeId>() + size_of::<f64>())
+            + self.in_edges.len() * (size_of::<NodeId>() + size_of::<f64>())
+    }
+
     /// Append the encoding of this block to `buf`.
     pub fn encode(&self, buf: &mut BytesMut) {
         buf.reserve(self.encoded_len());
@@ -175,6 +189,17 @@ mod tests {
         let block = NodeBlock::extract(&g, ids.v2);
         // v2 has 2 out and 2 in edges: 4 + 4 + 24 + 4 + 24 = 60 bytes.
         assert_eq!(block.encoded_len(), 60);
+    }
+
+    #[test]
+    fn footprint_matches_graph_accounting() {
+        // The AP computes active-set bytes from blocks alone; the number must
+        // agree with the graph-side accounting for every node.
+        let (g, _) = fig2_toy();
+        for v in g.nodes() {
+            let block = NodeBlock::extract(&g, v);
+            assert_eq!(block.footprint_bytes(), g.node_footprint_bytes(v));
+        }
     }
 
     #[test]

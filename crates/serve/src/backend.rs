@@ -1,0 +1,333 @@
+//! Pluggable execution backends.
+//!
+//! The serving layer's dispatch is a trait, not a hardcoded code path:
+//! an [`ExecBackend`] turns one resolved request into a ranking, and the
+//! engine neither knows nor cares *where* the computation happened. Two
+//! first-class implementations ship:
+//!
+//! * [`LocalBackend`] — the measure-dispatched workspace engines running
+//!   in-process against the shared graph (exactly
+//!   [`ResolvedRequest::run`]);
+//! * [`DistributedBackend`] — the paper's AP/GP architecture (Sect. V-B):
+//!   the worker acts as an active processor driving distributed 2SBound
+//!   against graph-processor threads, fetching node blocks on demand. It
+//!   covers single-node RTR / RTR+ top-K bound searches — the query shape
+//!   the protocol is designed for — and takes a **recorded, deterministic
+//!   fallback** to local execution for everything else (F/T exact
+//!   fixed-points, multi-node linearity reductions, full rankings), so
+//!   every request shape is servable on either backend.
+//!
+//! Because the distributed processors are bit-identical mirrors of the
+//! local engines (see `rtr_distributed::dtopk`), the two backends return
+//! the same rankings, bounds, and expansion counts for every request —
+//! which is why the result cache can stay backend-agnostic: an entry
+//! computed by either backend answers both. What differs is the
+//! *observability*: a distributed run reports the wire cost it paid
+//! ([`DistributedStats`] — bytes transferred, blocks fetched, resident
+//! active-set size, the paper's Fig. 12 quantities) in its
+//! [`ExecOutcome`].
+
+use crate::request::{ResolvedRequest, ServeWorkspace};
+use rtr_core::{CoreError, Measure};
+use rtr_distributed::{
+    DistributedStats, DistributedTwoSBound, DistributedTwoSBoundPlus, GpCluster,
+};
+use rtr_graph::Graph;
+use rtr_topk::TopKResult;
+use std::fmt;
+
+/// Which execution backend a request ran on (or should run on, when used
+/// as a routing override via [`crate::QueryRequest::with_backend`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BackendKind {
+    /// In-process workspace engines over the shared graph.
+    Local,
+    /// AP/GP distributed 2SBound over a [`GpCluster`].
+    Distributed,
+}
+
+impl BackendKind {
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BackendKind::Local => "local",
+            BackendKind::Distributed => "distributed",
+        }
+    }
+}
+
+impl fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Backend construction/selection for a [`crate::ServeConfig`]: which
+/// execution substrate the engine builds at pool start and routes to by
+/// default (requests may override per query).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Backend {
+    /// Serve everything with the in-process engines (the default).
+    #[default]
+    Local,
+    /// Stripe the graph across `gps` graph-processor threads at pool start
+    /// and route eligible queries through distributed 2SBound.
+    Distributed {
+        /// Number of graph processors to spawn (clamped to at least 1).
+        gps: usize,
+    },
+}
+
+impl Backend {
+    /// The routing kind this construction selects by default.
+    pub fn kind(&self) -> BackendKind {
+        match self {
+            Backend::Local => BackendKind::Local,
+            Backend::Distributed { .. } => BackendKind::Distributed,
+        }
+    }
+}
+
+/// What one backend execution produced: the ranking plus provenance —
+/// which backend actually ran (a [`DistributedBackend`] records its local
+/// fallbacks here) and, for genuinely distributed runs, the wire cost.
+#[derive(Clone, Debug)]
+pub struct ExecOutcome {
+    /// The top-K result (bit-identical across backends for the same
+    /// resolved request).
+    pub result: TopKResult,
+    /// The backend that actually executed the request.
+    pub backend: BackendKind,
+    /// Network-level statistics of a distributed execution (`None` for
+    /// local runs, including recorded fallbacks).
+    pub distributed: Option<DistributedStats>,
+}
+
+/// One execution substrate: turns a resolved request into a ranking using
+/// the worker's reusable buffers. Implementations must be shareable across
+/// the whole pool (`Send + Sync`) and deterministic — the serving layer's
+/// bit-identity contract (pool ≡ serial, cached ≡ uncached, distributed ≡
+/// local) rests on it.
+pub trait ExecBackend: Send + Sync {
+    /// Which kind of backend this is (used for routing and provenance).
+    fn kind(&self) -> BackendKind;
+
+    /// Execute `request` against `g`, reusing `ws`'s buffers.
+    fn execute(
+        &self,
+        g: &Graph,
+        request: &ResolvedRequest,
+        ws: &mut ServeWorkspace,
+    ) -> Result<ExecOutcome, CoreError>;
+}
+
+/// The in-process backend: today's measure-dispatched workspace engines
+/// (bound searches for single-node RTR/RTR+, exact fixed-point iteration
+/// for F/T and multi-node reductions) — see [`ResolvedRequest::run`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LocalBackend;
+
+impl ExecBackend for LocalBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Local
+    }
+
+    fn execute(
+        &self,
+        g: &Graph,
+        request: &ResolvedRequest,
+        ws: &mut ServeWorkspace,
+    ) -> Result<ExecOutcome, CoreError> {
+        Ok(ExecOutcome {
+            result: request.run(g, ws)?,
+            backend: BackendKind::Local,
+            distributed: None,
+        })
+    }
+}
+
+/// The AP/GP backend: a [`GpCluster`] shared by every worker, each worker
+/// acting as an active processor with its own reusable AP-side workspace.
+///
+/// Routing table (the fallback column is recorded in the outcome's
+/// `backend` field):
+///
+/// | request shape | execution |
+/// |---|---|
+/// | single-node `Rtr`, k < \|V\| | `DistributedTwoSBound` (AP/GP) |
+/// | single-node `RtrPlus{β}`, k < \|V\| | `DistributedTwoSBoundPlus` (AP/GP) |
+/// | `F` / `T` (exact fixed-point) | local fallback |
+/// | multi-node query (linearity reduction) | local fallback |
+/// | k ≥ \|V\| (full ranking, nothing to prune) | local fallback |
+pub struct DistributedBackend {
+    cluster: GpCluster,
+    local: LocalBackend,
+}
+
+impl DistributedBackend {
+    /// Wrap an already-running cluster.
+    pub fn new(cluster: GpCluster) -> Self {
+        DistributedBackend {
+            cluster,
+            local: LocalBackend,
+        }
+    }
+
+    /// Stripe `g` across `gps` graph processors (clamped to at least 1)
+    /// and start their threads.
+    pub fn spawn(g: &Graph, gps: usize) -> Self {
+        Self::new(GpCluster::spawn(g, gps.max(1)))
+    }
+
+    /// The underlying cluster.
+    pub fn cluster(&self) -> &GpCluster {
+        &self.cluster
+    }
+}
+
+impl ExecBackend for DistributedBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Distributed
+    }
+
+    fn execute(
+        &self,
+        g: &Graph,
+        request: &ResolvedRequest,
+        ws: &mut ServeWorkspace,
+    ) -> Result<ExecOutcome, CoreError> {
+        request.measure.validate()?;
+        // The same eligibility rule as the local dispatch: only a sub-|V|
+        // single-node request gives the bound search something to prune.
+        let bound_query = match request.query.nodes() {
+            [q] if request.topk.k < g.node_count() => Some(*q),
+            _ => None,
+        };
+        let (result, stats) = match (request.measure, bound_query) {
+            (Measure::Rtr, Some(q)) => {
+                DistributedTwoSBound::with_scheme(request.params, request.topk, request.scheme)
+                    .run_with(&self.cluster, q, &mut ws.dist)?
+            }
+            (Measure::RtrPlus { beta }, Some(q)) => DistributedTwoSBoundPlus::with_scheme(
+                request.params,
+                request.topk,
+                request.scheme,
+                beta,
+            )?
+            .run_with(&self.cluster, q, &mut ws.dist)?,
+            // Everything the AP/GP protocol doesn't cover falls back to
+            // the local engines — deterministically (the same request
+            // always takes the same path) and recorded (the outcome says
+            // local ran).
+            _ => return self.local.execute(g, request, ws),
+        };
+        Ok(ExecOutcome {
+            result,
+            backend: BackendKind::Distributed,
+            distributed: Some(stats),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ServeConfig;
+    use crate::request::QueryRequest;
+    use rtr_graph::toy::fig2_toy;
+    use rtr_topk::TopKConfig;
+
+    fn toy_defaults() -> ServeConfig {
+        ServeConfig::default().with_topk(TopKConfig::toy())
+    }
+
+    #[test]
+    fn backend_kinds_and_names() {
+        assert_eq!(Backend::Local.kind(), BackendKind::Local);
+        assert_eq!(
+            Backend::Distributed { gps: 3 }.kind(),
+            BackendKind::Distributed
+        );
+        assert_eq!(BackendKind::Local.name(), "local");
+        assert_eq!(format!("{}", BackendKind::Distributed), "distributed");
+        assert_eq!(Backend::default(), Backend::Local);
+    }
+
+    #[test]
+    fn local_and_distributed_agree_bit_for_bit() {
+        let (g, ids) = fig2_toy();
+        let defaults = toy_defaults();
+        let dist = DistributedBackend::spawn(&g, 3);
+        let mut ws = ServeWorkspace::new();
+        for request in [
+            QueryRequest::node(ids.t1),
+            QueryRequest::node(ids.v1).with_measure(Measure::RtrPlus { beta: 0.7 }),
+        ] {
+            let resolved = request.resolve(&defaults);
+            let local = LocalBackend.execute(&g, &resolved, &mut ws).unwrap();
+            let remote = dist.execute(&g, &resolved, &mut ws).unwrap();
+            assert_eq!(local.backend, BackendKind::Local);
+            assert_eq!(remote.backend, BackendKind::Distributed);
+            assert_eq!(local.result.ranking, remote.result.ranking);
+            assert_eq!(local.result.bounds, remote.result.bounds);
+            assert_eq!(local.result.expansions, remote.result.expansions);
+            assert!(local.distributed.is_none());
+            assert!(remote.distributed.unwrap().bytes_transferred > 0);
+        }
+    }
+
+    #[test]
+    fn uncovered_shapes_fall_back_to_local_and_record_it() {
+        let (g, ids) = fig2_toy();
+        let defaults = toy_defaults();
+        let dist = DistributedBackend::spawn(&g, 2);
+        let mut ws = ServeWorkspace::new();
+        let fallbacks = [
+            QueryRequest::node(ids.t1).with_measure(Measure::F),
+            QueryRequest::node(ids.t1).with_measure(Measure::T),
+            QueryRequest::nodes(&[ids.t1, ids.t2]),
+            QueryRequest::node(ids.t1).with_k(g.node_count()),
+        ];
+        for request in fallbacks {
+            let resolved = request.resolve(&defaults);
+            let outcome = dist.execute(&g, &resolved, &mut ws).unwrap();
+            assert_eq!(outcome.backend, BackendKind::Local, "{resolved:?}");
+            assert!(outcome.distributed.is_none());
+            let local = LocalBackend.execute(&g, &resolved, &mut ws).unwrap();
+            assert_eq!(outcome.result.ranking, local.result.ranking);
+            assert_eq!(outcome.result.bounds, local.result.bounds);
+        }
+    }
+
+    #[test]
+    fn distributed_backend_surfaces_engine_errors() {
+        let (g, ids) = fig2_toy();
+        let defaults = toy_defaults();
+        let dist = DistributedBackend::spawn(&g, 2);
+        let mut ws = ServeWorkspace::new();
+        let bad_beta = QueryRequest::node(ids.t1)
+            .with_measure(Measure::RtrPlus { beta: 1.5 })
+            .resolve(&defaults);
+        assert!(matches!(
+            dist.execute(&g, &bad_beta, &mut ws),
+            Err(CoreError::InvalidBeta(_))
+        ));
+        let bad_node = QueryRequest::node(rtr_graph::NodeId(9999)).resolve(&defaults);
+        assert!(matches!(
+            dist.execute(&g, &bad_node, &mut ws),
+            Err(CoreError::NodeOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_gps_clamps_to_one() {
+        let (g, ids) = fig2_toy();
+        let dist = DistributedBackend::spawn(&g, 0);
+        assert_eq!(dist.cluster().gps(), 1);
+        let resolved = QueryRequest::node(ids.t1).resolve(&toy_defaults());
+        let outcome = dist
+            .execute(&g, &resolved, &mut ServeWorkspace::new())
+            .unwrap();
+        assert_eq!(outcome.backend, BackendKind::Distributed);
+    }
+}

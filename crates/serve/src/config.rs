@@ -1,14 +1,23 @@
 //! Serving configuration.
 
+use crate::backend::Backend;
 use rtr_core::RankParams;
 use rtr_topk::{Scheme, TopKConfig};
 
-/// Configuration of a [`crate::ServeEngine`]: pool size plus the default
-/// parameters a [`crate::QueryRequest`] falls back to.
+/// Configuration of a [`crate::ServeEngine`]: pool size, the execution
+/// backend, plus the default parameters a [`crate::QueryRequest`] falls
+/// back to.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ServeConfig {
     /// Number of worker threads (clamped to at least 1 at pool start).
     pub workers: usize,
+    /// Which execution backend the engine constructs at pool start and
+    /// routes to by default ([`Backend::Local`] unless configured
+    /// otherwise; requests may override per query with
+    /// [`crate::QueryRequest::with_backend`]). Backends are bit-identical,
+    /// so this knob changes *where* work happens — and what the responses
+    /// can observe about it — never the answers.
+    pub backend: Backend,
     /// Random-walk parameters shared by all queries.
     pub params: RankParams,
     /// Top-K search configuration shared by all queries.
@@ -40,6 +49,7 @@ impl Default for ServeConfig {
             workers: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(4),
+            backend: Backend::Local,
             params: RankParams::default(),
             topk: TopKConfig::default(),
             scheme: Scheme::TwoSBound,
@@ -54,6 +64,12 @@ impl ServeConfig {
     /// This configuration with `workers` threads.
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = workers;
+        self
+    }
+
+    /// This configuration with the given execution backend.
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
         self
     }
 
@@ -111,6 +127,9 @@ pub enum ServeConfigError {
     /// The cache was enabled with a shard count of 0 — entries would have
     /// nowhere to live.
     ZeroCacheShards,
+    /// A distributed backend was requested with 0 graph processors — there
+    /// would be no stripe to fetch from.
+    ZeroGps,
 }
 
 impl std::fmt::Display for ServeConfigError {
@@ -119,6 +138,9 @@ impl std::fmt::Display for ServeConfigError {
             ServeConfigError::ZeroWorkers => write!(f, "workers must be at least 1"),
             ServeConfigError::ZeroCacheShards => {
                 write!(f, "cache_shards must be at least 1 when the cache is on")
+            }
+            ServeConfigError::ZeroGps => {
+                write!(f, "a distributed backend needs at least 1 graph processor")
             }
         }
     }
@@ -144,6 +166,13 @@ impl ServeConfigBuilder {
     /// Number of worker threads (validated ≥ 1 at build).
     pub fn workers(mut self, workers: usize) -> Self {
         self.config.workers = workers;
+        self
+    }
+
+    /// Execution backend (a distributed backend's GP count is validated
+    /// ≥ 1 at build).
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.config.backend = backend;
         self
     }
 
@@ -192,6 +221,9 @@ impl ServeConfigBuilder {
         if self.config.cache_enabled() && self.config.cache_shards == 0 {
             return Err(ServeConfigError::ZeroCacheShards);
         }
+        if self.config.backend == (Backend::Distributed { gps: 0 }) {
+            return Err(ServeConfigError::ZeroGps);
+        }
         Ok(self.config)
     }
 }
@@ -204,6 +236,7 @@ mod tests {
     fn default_is_full_two_sbound() {
         let c = ServeConfig::default();
         assert!(c.workers >= 1);
+        assert_eq!(c.backend, Backend::Local);
         assert_eq!(c.scheme, Scheme::TwoSBound);
         assert_eq!(c.topk.k, 10);
         // The cache ships off by default: the pre-cache serving behavior is
@@ -283,5 +316,22 @@ mod tests {
         );
         // Zero shards with the cache off is harmless: nothing reads them.
         assert!(ServeConfig::builder().cache_shards(0).build().is_ok());
+        assert_eq!(
+            ServeConfig::builder()
+                .backend(Backend::Distributed { gps: 0 })
+                .build(),
+            Err(ServeConfigError::ZeroGps)
+        );
+    }
+
+    #[test]
+    fn backend_builders_apply() {
+        let c = ServeConfig::default().with_backend(Backend::Distributed { gps: 4 });
+        assert_eq!(c.backend, Backend::Distributed { gps: 4 });
+        let c = ServeConfig::builder()
+            .backend(Backend::Distributed { gps: 2 })
+            .build()
+            .unwrap();
+        assert_eq!(c.backend.kind(), crate::BackendKind::Distributed);
     }
 }

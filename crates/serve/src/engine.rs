@@ -13,12 +13,15 @@
 //! Shutdown is by hangup: dropping the engine drops the job sender, every
 //! worker's `recv` errors out, and the threads are joined.
 
+use crate::backend::{
+    Backend, BackendKind, DistributedBackend, ExecBackend, ExecOutcome, LocalBackend,
+};
 use crate::config::ServeConfig;
 use crate::flight::InFlight;
 use crate::request::{QueryRequest, ResolvedRequest, ServeWorkspace};
 use crate::response::{QueryResponse, QueryTicket};
 use crossbeam::channel::{self, Sender};
-use rtr_cache::{CacheConfig, CacheKey, CacheStats, ResultCache};
+use rtr_cache::{CacheConfig, CacheKey, CacheStats, ShardedCache};
 use rtr_core::CoreError;
 use rtr_graph::{Graph, NodeId};
 use rtr_topk::TopKResult;
@@ -27,6 +30,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// The engine's result cache: full execution outcomes (ranking + backend
+/// provenance + wire cost), shared as `Arc`s so a hit never clones vectors
+/// under the shard lock. Keys stay backend-agnostic — backends are
+/// bit-identical, so local and distributed traffic share entries.
+type OutcomeCache = ShardedCache<CacheKey, Arc<ExecOutcome>>;
 
 /// Why a served query produced no result. Workers survive *any* failing
 /// query — including one that panics inside the engine — so a bad query
@@ -118,7 +127,14 @@ struct Job {
 struct Shared {
     graph: Arc<Graph>,
     config: ServeConfig,
-    cache: Option<ResultCache>,
+    /// The in-process backend — always available: it serves local-routed
+    /// requests and is the deterministic fallback when a request asks for
+    /// a backend the engine does not have.
+    local: LocalBackend,
+    /// The AP/GP backend, constructed at pool start when the config says
+    /// [`Backend::Distributed`].
+    distributed: Option<DistributedBackend>,
+    cache: Option<OutcomeCache>,
     flight: InFlight<CacheKey>,
     /// Queries that actually ran an engine (as opposed to being answered
     /// from the cache or a shared in-flight computation).
@@ -126,17 +142,34 @@ struct Shared {
 }
 
 impl Shared {
-    /// Run one request against its engine path, recycling `ws`. Catches
+    /// Resolve a request's route — its per-request override, else the
+    /// engine default — to the backend that will execute it. A route to a
+    /// backend the engine did not construct falls back to local,
+    /// deterministically (and the outcome records what actually ran).
+    fn backend_for(&self, request: &ResolvedRequest) -> &dyn ExecBackend {
+        let wanted = request.route.unwrap_or(self.config.backend.kind());
+        match wanted {
+            BackendKind::Local => &self.local,
+            BackendKind::Distributed => self
+                .distributed
+                .as_ref()
+                .map(|d| d as &dyn ExecBackend)
+                .unwrap_or(&self.local),
+        }
+    }
+
+    /// Run one request against its routed backend, recycling `ws`. Catches
     /// panics so a bad query can never kill the worker, and counts the
     /// computation.
     fn compute(
         &self,
         request: &ResolvedRequest,
         ws: &mut ServeWorkspace,
-    ) -> Result<TopKResult, ServeError> {
+    ) -> Result<ExecOutcome, ServeError> {
         self.computed.fetch_add(1, Ordering::Relaxed);
+        let backend = self.backend_for(request);
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            request.run(&self.graph, ws)
+            backend.execute(&self.graph, request, ws)
         }));
         match result {
             Ok(r) => r.map_err(ServeError::Query),
@@ -150,23 +183,25 @@ impl Shared {
     }
 
     /// The full serving path for one request: cache lookup, single-flight
-    /// deduplication, compute, insert. Returns the result and whether it
+    /// deduplication, compute, insert. Returns the outcome and whether it
     /// came from the cache. With the cache off this is exactly one
     /// [`Shared::compute`] call — the uncached behavior.
     fn serve(
         &self,
         request: &ResolvedRequest,
         ws: &mut ServeWorkspace,
-    ) -> (Result<TopKResult, ServeError>, bool) {
+    ) -> (Result<ExecOutcome, ServeError>, bool) {
         let Some(cache) = &self.cache else {
             return (self.compute(request, ws), false);
         };
         let key = request.cache_key(self.graph.epoch());
         loop {
             if let Some(hit) = cache.get(&key) {
-                // Engines are deterministic and every output-relevant input
-                // is in the key, so the cached ranking is bit-identical to
-                // what a fresh run would produce.
+                // Backends are deterministic and bit-identical, and every
+                // output-relevant input is in the (backend-agnostic) key,
+                // so the cached ranking is bit-identical to what a fresh
+                // run on *either* backend would produce. The stored
+                // outcome keeps the original computation's provenance.
                 return (Ok((*hit).clone()), true);
             }
             if !self.config.single_flight {
@@ -217,12 +252,21 @@ pub struct ServeEngine {
 }
 
 impl ServeEngine {
-    /// Start `config.workers` (at least 1) worker threads over `graph`.
+    /// Start `config.workers` (at least 1) worker threads over `graph`,
+    /// constructing the configured execution backend (a
+    /// [`Backend::Distributed`] config stripes the graph across GP threads
+    /// here, once, shared by every worker).
     pub fn start(graph: Arc<Graph>, config: ServeConfig) -> Self {
         let workers = config.workers.max(1);
+        let distributed = match config.backend {
+            Backend::Local => None,
+            Backend::Distributed { gps } => Some(DistributedBackend::spawn(&graph, gps)),
+        };
         let shared = Arc::new(Shared {
+            local: LocalBackend,
+            distributed,
             cache: config.cache_enabled().then(|| {
-                ResultCache::new(CacheConfig {
+                OutcomeCache::new(CacheConfig {
                     capacity: config.cache_capacity,
                     shards: config.cache_shards,
                 })
@@ -247,11 +291,21 @@ impl ServeEngine {
                     while let Ok(job) = rx.recv() {
                         let picked = Instant::now();
                         let queue_wait = picked.duration_since(job.enqueued);
-                        let (result, from_cache) = shared.serve(&job.request, &mut ws);
+                        let (served, from_cache) = shared.serve(&job.request, &mut ws);
+                        let (result, backend, distributed) = match served {
+                            Ok(outcome) => {
+                                (Ok(outcome.result), outcome.backend, outcome.distributed)
+                            }
+                            // A failed request reports the backend it was
+                            // routed to (nothing produced a ranking).
+                            Err(e) => (Err(e), shared.backend_for(&job.request).kind(), None),
+                        };
                         let response = QueryResponse {
                             id: job.id,
                             request: job.request,
                             result,
+                            backend,
+                            distributed,
                             from_cache,
                             queue_wait,
                             compute: picked.elapsed(),
@@ -273,6 +327,18 @@ impl ServeEngine {
     /// The shared graph.
     pub fn graph(&self) -> &Arc<Graph> {
         &self.shared.graph
+    }
+
+    /// The engine's default routing kind (what a request without a
+    /// [`QueryRequest::with_backend`] override runs on).
+    pub fn backend_kind(&self) -> BackendKind {
+        self.shared.config.backend.kind()
+    }
+
+    /// The AP/GP backend, when this engine was started with
+    /// [`Backend::Distributed`].
+    pub fn distributed_backend(&self) -> Option<&DistributedBackend> {
+        self.shared.distributed.as_ref()
     }
 
     /// Result-cache traffic counters, or `None` when the cache is off.
@@ -400,8 +466,11 @@ impl Drop for ServeEngine {
 
 /// The serial reference executor for heterogeneous requests: the same
 /// dispatch and workspace reuse as a single pool worker, on the caller's
-/// thread, cache off. Batch serving at any worker count (cache on or off)
-/// must be bit-identical to this.
+/// thread, **always the local backend**, cache off. Batch serving at any
+/// worker count, cache on or off, on *either* backend must be
+/// bit-identical to this — the distributed bound engines mirror the local
+/// ones operation for operation, so one serial reference anchors the whole
+/// backend matrix.
 pub fn run_serial_requests(
     g: &Graph,
     config: &ServeConfig,
@@ -419,6 +488,8 @@ pub fn run_serial_requests(
                 id,
                 request: resolved,
                 result,
+                backend: BackendKind::Local,
+                distributed: None,
                 from_cache: false,
                 queue_wait: Duration::ZERO,
                 compute: started.elapsed(),
@@ -725,6 +796,95 @@ mod tests {
             cold[0].result.as_ref().unwrap().bounds,
             cold[3].result.as_ref().unwrap().bounds
         );
+    }
+
+    #[test]
+    fn distributed_engine_matches_local_engine_bit_for_bit() {
+        let (g, _) = fig2_toy();
+        let g = Arc::new(g);
+        let base = ServeConfig::default()
+            .with_workers(3)
+            .with_topk(TopKConfig::toy());
+        let requests: Vec<QueryRequest> = g
+            .nodes()
+            .map(QueryRequest::node)
+            .chain([
+                QueryRequest::node(NodeId(0)).with_measure(Measure::F),
+                QueryRequest::node(NodeId(1)).with_measure(Measure::RtrPlus { beta: 0.7 }),
+                QueryRequest::nodes(&[NodeId(0), NodeId(3)]),
+            ])
+            .collect();
+        let local = ServeEngine::start(Arc::clone(&g), base);
+        let dist = ServeEngine::start(
+            Arc::clone(&g),
+            base.with_backend(Backend::Distributed { gps: 3 }),
+        );
+        assert_eq!(local.backend_kind(), BackendKind::Local);
+        assert_eq!(dist.backend_kind(), BackendKind::Distributed);
+        assert!(dist.distributed_backend().is_some());
+        let a = local.run_requests(&requests);
+        let b = dist.run_requests(&requests);
+        for (l, d) in a.iter().zip(&b) {
+            let (lr, dr) = (l.result.as_ref().unwrap(), d.result.as_ref().unwrap());
+            assert_eq!(lr.ranking, dr.ranking);
+            assert_eq!(lr.bounds, dr.bounds);
+            assert_eq!(lr.expansions, dr.expansions);
+            assert_eq!(l.backend, BackendKind::Local);
+            // Single-node RTR/RTR+ runs distributed; F and the multi-node
+            // query are recorded fallbacks.
+            let genuinely_distributed = d.request.query.nodes().len() == 1
+                && matches!(d.request.measure, Measure::Rtr | Measure::RtrPlus { .. });
+            if genuinely_distributed {
+                assert_eq!(d.backend, BackendKind::Distributed);
+                assert!(d.distributed.unwrap().bytes_transferred > 0);
+            } else {
+                assert_eq!(d.backend, BackendKind::Local);
+                assert!(d.distributed.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn cache_preserves_backend_provenance_across_routes() {
+        // One engine on the distributed backend with a cache: a request
+        // computed distributed then re-requested with a local route must
+        // hit the same (backend-agnostic) entry and keep the original
+        // provenance — including the wire cost the computation paid.
+        let (g, ids) = fig2_toy();
+        let config = ServeConfig::default()
+            .with_workers(2)
+            .with_topk(TopKConfig::toy())
+            .with_backend(Backend::Distributed { gps: 2 })
+            .with_cache_capacity(64);
+        let engine = ServeEngine::start(Arc::new(g), config);
+        let cold = engine.submit(QueryRequest::node(ids.t1)).wait();
+        assert!(!cold.from_cache);
+        assert_eq!(cold.backend, BackendKind::Distributed);
+        let cold_stats = cold.distributed.expect("wire cost recorded");
+        assert!(cold_stats.bytes_transferred > 0);
+
+        let warm = engine
+            .submit(QueryRequest::node(ids.t1).with_backend(BackendKind::Local))
+            .wait();
+        assert!(warm.from_cache, "local-routed request must hit the entry");
+        assert_eq!(warm.backend, BackendKind::Distributed, "provenance kept");
+        assert_eq!(warm.distributed, Some(cold_stats));
+        assert_eq!(engine.computed_queries(), 1);
+        assert_eq!(cold.result.unwrap().ranking, warm.result.unwrap().ranking);
+    }
+
+    #[test]
+    fn failed_queries_report_routed_backend() {
+        let (g, _) = fig2_toy();
+        let config = ServeConfig::default()
+            .with_workers(1)
+            .with_topk(TopKConfig::toy())
+            .with_backend(Backend::Distributed { gps: 2 });
+        let engine = ServeEngine::start(Arc::new(g), config);
+        let response = engine.submit(QueryRequest::node(NodeId(9999))).wait();
+        assert!(response.result.is_err());
+        assert_eq!(response.backend, BackendKind::Distributed);
+        assert!(response.distributed.is_none());
     }
 
     #[test]

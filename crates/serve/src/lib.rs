@@ -9,10 +9,22 @@
 //! * **self-describing requests** ([`QueryRequest`]: single- or weighted
 //!   multi-node query, [`rtr_core::Measure`], optional k /
 //!   [`rtr_core::RankParams`] / [`rtr_topk::TopKConfig`] /
-//!   [`rtr_topk::Scheme`] overrides falling back to the engine's
-//!   [`ServeConfig`] defaults), dispatched per measure to the right engine
-//!   path (bound search for single-node RTR/RTR+, exact iteration for
-//!   F/T and the multi-node linearity reduction), with
+//!   [`rtr_topk::Scheme`] / backend-routing overrides falling back to the
+//!   engine's [`ServeConfig`] defaults), dispatched per measure to the
+//!   right engine path (bound search for single-node RTR/RTR+, exact
+//!   iteration for F/T and the multi-node linearity reduction), executed
+//!   by
+//! * a **pluggable execution backend** ([`ExecBackend`]):
+//!   [`LocalBackend`] runs the in-process workspace engines;
+//!   [`DistributedBackend`] runs the paper's AP/GP architecture — the
+//!   graph striped across GP threads, each worker an active processor
+//!   fetching node blocks on demand — with a recorded, deterministic
+//!   local fallback for the shapes the protocol doesn't cover. Backends
+//!   are bit-identical mirrors, so routing (engine-wide via
+//!   [`ServeConfig::backend`], per request via
+//!   [`QueryRequest::with_backend`]) changes where work happens and what
+//!   the response can observe ([`QueryResponse::backend`],
+//!   [`DistributedStats`] wire costs) — never the answers — over
 //! * a **shared read-only graph** (`Arc<Graph>` — the frozen dual-CSR is
 //!   `Send + Sync`, so queries need no locks), served by
 //! * a **fixed pool of worker threads**, each owning one reusable
@@ -46,8 +58,11 @@
 //! output-relevant input is part of the cache key and the engines are
 //! deterministic, cached serving stays bit-identical to
 //! [`run_serial_requests`] even under heterogeneous traffic — the
-//! `serve_cache_determinism` suite enforces that too. With the cache off
-//! (the default) the engine behaves exactly as an uncached pool.
+//! `serve_cache_determinism` suite enforces that too. The key is
+//! **backend-agnostic** (routing is not identity): an entry computed by
+//! either backend answers both, and a hit preserves the computing run's
+//! provenance and wire cost. With the cache off (the default) the engine
+//! behaves exactly as an uncached pool.
 //!
 //! ```
 //! use std::sync::Arc;
@@ -73,17 +88,23 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod backend;
 pub mod config;
 pub mod engine;
 mod flight;
 pub mod request;
 pub mod response;
 
+pub use backend::{
+    Backend, BackendKind, DistributedBackend, ExecBackend, ExecOutcome, LocalBackend,
+};
 pub use config::{ServeConfig, ServeConfigBuilder, ServeConfigError};
 pub use engine::{run_serial, run_serial_requests, QueryOutput, ServeEngine, ServeError};
 pub use request::{QueryRequest, ResolvedRequest, ServeWorkspace};
 pub use response::{QueryResponse, QueryTicket};
-// Re-exported so callers reading `ServeEngine::cache_stats` or building
-// requests need no direct rtr-cache / rtr-core dependency.
+// Re-exported so callers reading `ServeEngine::cache_stats`, building
+// requests, or inspecting distributed wire costs need no direct
+// rtr-cache / rtr-core / rtr-distributed dependency.
 pub use rtr_cache::CacheStats;
 pub use rtr_core::Measure;
+pub use rtr_distributed::DistributedStats;

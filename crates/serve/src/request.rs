@@ -32,11 +32,13 @@
 //! active set is empty — they touch the whole graph, so there is no
 //! neighborhood to report.
 
+use crate::backend::BackendKind;
 use crate::config::ServeConfig;
 use rtr_cache::CacheKey;
 use rtr_core::iterative::{iterate_with, Direction};
 use rtr_core::prelude::*;
 use rtr_core::IterWorkspace;
+use rtr_distributed::DistributedWorkspace;
 use rtr_graph::{Graph, NodeId};
 use rtr_topk::{
     ActiveSetStats, Scheme, TopKConfig, TopKResult, TopKWorkspace, TwoSBound, TwoSBoundPlus,
@@ -68,6 +70,7 @@ pub struct QueryRequest {
     params: Option<RankParams>,
     topk: Option<TopKConfig>,
     scheme: Option<Scheme>,
+    backend: Option<BackendKind>,
 }
 
 impl QueryRequest {
@@ -83,6 +86,7 @@ impl QueryRequest {
             params: None,
             topk: None,
             scheme: None,
+            backend: None,
         }
     }
 
@@ -127,6 +131,16 @@ impl QueryRequest {
         self
     }
 
+    /// This request routed to a specific execution backend, overriding the
+    /// engine's default. Routing never changes the answer (backends are
+    /// bit-identical and an unavailable backend falls back to local,
+    /// recorded in the response) and is **not** part of the cache key —
+    /// local and distributed traffic share entries.
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+
     /// The (canonicalized) query.
     pub fn query(&self) -> &Query {
         &self.query
@@ -142,6 +156,11 @@ impl QueryRequest {
         self.k
     }
 
+    /// The per-query backend routing override, if any.
+    pub fn backend(&self) -> Option<BackendKind> {
+        self.backend
+    }
+
     /// Fill every unset field from `defaults`, producing the exact
     /// parameter set a worker will run (and a response will report).
     pub fn resolve(&self, defaults: &ServeConfig) -> ResolvedRequest {
@@ -155,6 +174,7 @@ impl QueryRequest {
             params: self.params.unwrap_or(defaults.params),
             topk,
             scheme: self.scheme.unwrap_or(defaults.scheme),
+            route: self.backend,
         }
     }
 }
@@ -174,6 +194,11 @@ pub struct ResolvedRequest {
     /// The computational scheme used (bound paths only; exact paths are
     /// scheme-independent).
     pub scheme: Scheme,
+    /// The requested backend routing override (`None` = the engine's
+    /// default backend). Deliberately **not** part of the cache key:
+    /// backends return bit-identical rankings, so where a result was
+    /// computed never determines whether it may be reused.
+    pub route: Option<BackendKind>,
 }
 
 impl ResolvedRequest {
@@ -191,8 +216,11 @@ impl ResolvedRequest {
         )
     }
 
-    /// Run this request against `g`, reusing `ws`'s buffers, dispatching
-    /// on measure and query arity (see the [module docs](self)).
+    /// Run this request on the **local** execution path, reusing `ws`'s
+    /// buffers, dispatching on measure and query arity (see the
+    /// [module docs](self)). This is what [`crate::LocalBackend`] executes
+    /// (and what a distributed backend falls back to); routed serving goes
+    /// through [`crate::ExecBackend`] instead.
     pub fn run(&self, g: &Graph, ws: &mut ServeWorkspace) -> Result<TopKResult, CoreError> {
         self.measure.validate()?;
         // A bound search can only win by *pruning*; a full ranking
@@ -255,6 +283,9 @@ pub struct ServeWorkspace {
     pub topk: TopKWorkspace,
     /// Dense per-query state for the exact fixed-point iterations.
     pub iter: IterWorkspace,
+    /// AP-side state for the distributed bound engines (untouched while
+    /// serving on the local backend).
+    pub dist: DistributedWorkspace,
 }
 
 impl ServeWorkspace {

@@ -1,16 +1,22 @@
 //! Responses and the non-blocking submission handle.
 //!
 //! A [`QueryResponse`] reports not just the ranking but the request as it
-//! actually ran ([`ResolvedRequest`]: scheme, params, effective k), whether
-//! it was served from the result cache, and the latency split into
-//! queue-wait (submission → a worker picked it up) and compute (the
-//! worker's serving time, cache lookups included). The split is what makes
-//! saturation visible: under load, queue-wait grows while compute stays
-//! flat.
+//! actually ran ([`ResolvedRequest`]: scheme, params, effective k), its
+//! **backend provenance** — which execution backend produced the ranking
+//! (a distributed engine records its local fallbacks here) plus, for
+//! genuinely distributed answers, the wire cost paid
+//! ([`DistributedStats`]: bytes transferred, fetch rounds, resident
+//! active-set size — the paper's Fig. 12 measurements) — whether it was
+//! served from the result cache, and the latency split into queue-wait
+//! (submission → a worker picked it up) and compute (the worker's serving
+//! time, cache lookups included). The split is what makes saturation
+//! visible: under load, queue-wait grows while compute stays flat.
 
+use crate::backend::BackendKind;
 use crate::engine::ServeError;
 use crate::request::ResolvedRequest;
 use crossbeam::channel::Receiver;
+use rtr_distributed::DistributedStats;
 use rtr_topk::TopKResult;
 use std::time::Duration;
 
@@ -25,6 +31,17 @@ pub struct QueryResponse {
     pub request: ResolvedRequest,
     /// The ranking, or the per-request error.
     pub result: Result<TopKResult, ServeError>,
+    /// Which backend produced the ranking. For a cache hit this is the
+    /// backend that originally computed the entry (backends are
+    /// bit-identical, so entries are shared across them — provenance is
+    /// preserved with the cached value); for a failed request, the backend
+    /// that was routed to.
+    pub backend: BackendKind,
+    /// Wire cost of a genuinely distributed execution (`None` for local
+    /// runs, recorded fallbacks, and failed requests). Preserved through
+    /// the cache: a hit reports the cost the original computation paid —
+    /// the serving of the hit itself crossed no wire.
+    pub distributed: Option<DistributedStats>,
     /// Whether the ranking came out of the result cache (including a
     /// result shared from another request's in-flight computation) rather
     /// than an engine run of this request.

@@ -1,15 +1,29 @@
 //! Distributed 2SBound must agree with the single-machine algorithm on
-//! generated graphs, for any GP count, while touching only a fraction of
-//! the graph.
+//! generated graphs — **bit-identically**: same ranking, same bounds, same
+//! expansion count, same active-set accounting, for any GP count, while
+//! touching only a fraction of the graph. This is the property that makes
+//! the serving layer's execution backends interchangeable (and lets them
+//! share one result cache).
+//!
+//! The pool-level half of the contract lives below: mixed-measure request
+//! batches driven through a `ServeEngine` on the distributed backend, at
+//! {1, 2, 8} workers × {2, 4} GPs × cache off/on, must be bit-identical to
+//! the serial local reference — including the measures the AP/GP protocol
+//! doesn't cover, which fall back (recorded) to local execution.
 
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
 use rtr_core::prelude::*;
+use rtr_core::Measure;
 use rtr_datagen::{BibNet, BibNetConfig, QLog, QLogConfig};
-use rtr_distributed::{DistributedTwoSBound, GpCluster};
+use rtr_distributed::{DistributedTwoSBound, DistributedTwoSBoundPlus, GpCluster};
 use rtr_graph::{Graph, NodeId};
 use rtr_integration_tests::SEED;
+use rtr_serve::{
+    run_serial_requests, Backend, BackendKind, QueryRequest, ServeConfig, ServeEngine,
+};
 use rtr_topk::prelude::*;
+use std::sync::Arc;
 
 fn queries(g: &Graph, n: usize, seed: u64) -> Vec<NodeId> {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
@@ -28,25 +42,65 @@ fn cfg() -> TopKConfig {
 }
 
 #[test]
-fn distributed_matches_local_on_bibnet() {
+fn distributed_matches_local_bit_for_bit_on_bibnet() {
     let net = BibNet::generate(&BibNetConfig::tiny(), SEED);
     let g = &net.graph;
     let params = RankParams::default();
-    let exact_measure = RoundTripRank::new(params);
     let cluster = GpCluster::spawn(g, 4);
     for q in queries(g, 5, SEED) {
         let local = TwoSBound::new(params, cfg()).run(g, q).expect("local");
-        let (dist, _) = DistributedTwoSBound::new(params, cfg())
-            .run(&cluster, g.node_count(), q)
+        let (dist, stats) = DistributedTwoSBound::new(params, cfg())
+            .run(&cluster, q)
             .expect("distributed");
-        let exact = exact_measure.compute(g, &Query::single(q)).expect("exact");
-        assert_eq!(local.ranking.len(), dist.ranking.len());
-        for (l, d) in local.ranking.iter().zip(&dist.ranking) {
-            assert!(
-                (exact.score(*l) - exact.score(*d)).abs() < 2.0 * cfg().epsilon + 1e-9,
-                "query {q:?}: local {l:?} vs distributed {d:?}"
-            );
-        }
+        assert_eq!(local.ranking, dist.ranking, "query {q:?}");
+        assert_eq!(local.bounds, dist.bounds, "query {q:?}");
+        assert_eq!(local.expansions, dist.expansions, "query {q:?}");
+        assert_eq!(local.converged, dist.converged, "query {q:?}");
+        assert_eq!(local.active, dist.active, "query {q:?}");
+        assert!(stats.bytes_transferred > 0, "query {q:?}");
+    }
+}
+
+#[test]
+fn distributed_plus_matches_local_bit_for_bit_on_qlog() {
+    let qlog = QLog::generate(&QLogConfig::small(), SEED);
+    let g = &qlog.graph;
+    let params = RankParams::default();
+    let cluster = GpCluster::spawn(g, 3);
+    for (i, q) in queries(g, 4, SEED + 7).into_iter().enumerate() {
+        let beta = [0.0, 0.3, 0.7, 1.0][i % 4];
+        let local = TwoSBoundPlus::new(params, cfg(), beta)
+            .unwrap()
+            .run(g, q)
+            .expect("local");
+        let (dist, _) = DistributedTwoSBoundPlus::new(params, cfg(), beta)
+            .unwrap()
+            .run(&cluster, q)
+            .expect("distributed");
+        assert_eq!(local.ranking, dist.ranking, "query {q:?} β={beta}");
+        assert_eq!(local.bounds, dist.bounds, "query {q:?} β={beta}");
+        assert_eq!(local.expansions, dist.expansions, "query {q:?} β={beta}");
+        assert_eq!(local.active, dist.active, "query {q:?} β={beta}");
+    }
+}
+
+#[test]
+fn ablation_schemes_match_local_bit_for_bit() {
+    let net = BibNet::generate(&BibNetConfig::tiny(), SEED + 11);
+    let g = &net.graph;
+    let params = RankParams::default();
+    let cluster = GpCluster::spawn(g, 2);
+    let q = queries(g, 1, SEED + 11)[0];
+    for scheme in Scheme::all() {
+        let local = TwoSBound::with_scheme(params, cfg(), scheme)
+            .run(g, q)
+            .expect("local");
+        let (dist, _) = DistributedTwoSBound::with_scheme(params, cfg(), scheme)
+            .run(&cluster, q)
+            .expect("distributed");
+        assert_eq!(local.ranking, dist.ranking, "{scheme:?}");
+        assert_eq!(local.bounds, dist.bounds, "{scheme:?}");
+        assert_eq!(local.expansions, dist.expansions, "{scheme:?}");
     }
 }
 
@@ -57,9 +111,7 @@ fn active_set_is_partial_on_qlog() {
     let cluster = GpCluster::spawn(g, 3);
     let runner = DistributedTwoSBound::new(RankParams::default(), cfg());
     for q in queries(g, 5, SEED + 1) {
-        let (_, stats) = runner
-            .run(&cluster, g.node_count(), q)
-            .expect("distributed");
+        let (_, stats) = runner.run(&cluster, q).expect("distributed");
         assert!(
             stats.active_nodes < g.node_count(),
             "query {q:?}: active set covered the whole graph"
@@ -80,9 +132,9 @@ fn gp_counts_are_equivalent_on_generated_graph() {
     for gps in [1usize, 3, 7] {
         let cluster = GpCluster::spawn(g, gps);
         let (res, _) = DistributedTwoSBound::new(params, cfg())
-            .run(&cluster, g.node_count(), q)
+            .run(&cluster, q)
             .expect("distributed");
-        results.push(res.ranking);
+        results.push((res.ranking, res.bounds));
     }
     assert_eq!(results[0], results[1], "1 GP vs 3 GPs differ");
     assert_eq!(results[1], results[2], "3 GPs vs 7 GPs differ");
@@ -101,4 +153,124 @@ fn more_gps_spread_the_stripe() {
         let min = stores.iter().map(|s| s.len()).min().expect("stores");
         assert!(max - min <= 1, "unbalanced striping at {gps} GPs");
     }
+}
+
+// ---------------------------------------------------------------------------
+// Pool-level consistency: the distributed backend through `ServeEngine`.
+// ---------------------------------------------------------------------------
+
+/// A deterministic heterogeneous request mix: RTR and RTR+β (served
+/// distributed), F/T and multi-node RTR (recorded fallbacks to local).
+fn mixed_requests(g: &Graph, n: usize, seed: u64) -> Vec<QueryRequest> {
+    let pool = queries(g, 64.min(g.node_count()), seed);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x0d15);
+    (0..n)
+        .map(|_| {
+            let node = pool[rng.gen_range(0..pool.len())];
+            let request = if rng.gen_bool(0.15) {
+                let other = pool[rng.gen_range(0..pool.len())];
+                QueryRequest::nodes(&[node, other])
+            } else {
+                QueryRequest::node(node)
+            };
+            match rng.gen_range(0..6) {
+                0 => request.with_measure(Measure::F),
+                1 => request.with_measure(Measure::T),
+                2 => request.with_measure(Measure::RtrPlus { beta: 0.3 }),
+                3 => request.with_measure(Measure::RtrPlus { beta: 0.7 }),
+                _ => request, // RoundTripRank
+            }
+        })
+        .collect()
+}
+
+/// Whether this request takes the genuinely distributed path (single-node
+/// RTR / RTR+ bound search) or the recorded local fallback.
+fn expect_distributed(r: &QueryRequest, g: &Graph, defaults: &ServeConfig) -> bool {
+    let resolved = r.resolve(defaults);
+    resolved.query.nodes().len() == 1
+        && resolved.topk.k < g.node_count()
+        && matches!(resolved.measure, Measure::Rtr | Measure::RtrPlus { .. })
+}
+
+#[test]
+fn mixed_measure_batches_match_serial_local_at_every_pool_shape() {
+    let net = BibNet::generate(&BibNetConfig::tiny(), SEED + 5);
+    let g = Arc::new(net.graph);
+    let base = ServeConfig::default().with_topk(cfg());
+    let requests = mixed_requests(&g, 40, SEED + 5);
+    // The ground truth: the serial reference on the local backend.
+    let serial = run_serial_requests(&g, &base, &requests);
+
+    for gps in [2usize, 4] {
+        for workers in [1usize, 2, 8] {
+            for cache in [0usize, 256] {
+                let config = base
+                    .with_backend(Backend::Distributed { gps })
+                    .with_workers(workers)
+                    .with_cache_capacity(cache);
+                let engine = ServeEngine::start(Arc::clone(&g), config);
+                let responses = engine.run_requests(&requests);
+                assert_eq!(responses.len(), serial.len());
+                for (got, want) in responses.iter().zip(&serial) {
+                    let label = format!("gps={gps} workers={workers} cache={cache} id={}", want.id);
+                    let (got_r, want_r) = (
+                        got.result.as_ref().expect("served"),
+                        want.result.as_ref().expect("serial"),
+                    );
+                    assert_eq!(got_r.ranking, want_r.ranking, "{label}");
+                    assert_eq!(got_r.bounds, want_r.bounds, "{label}");
+                    assert_eq!(got_r.expansions, want_r.expansions, "{label}");
+                    // Provenance: the distributed path really ran for the
+                    // shapes the protocol covers, the fallback is recorded
+                    // for the rest, and genuinely distributed answers paid
+                    // a measurable wire cost.
+                    if expect_distributed(&requests[want.id], &g, &base) {
+                        assert_eq!(got.backend, BackendKind::Distributed, "{label}");
+                        let stats = got.distributed.expect("distributed stats");
+                        assert!(stats.bytes_transferred > 0, "{label}");
+                    } else {
+                        assert_eq!(got.backend, BackendKind::Local, "{label}");
+                        assert!(got.distributed.is_none(), "{label}");
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn per_request_route_override_wins_over_engine_backend() {
+    let net = BibNet::generate(&BibNetConfig::tiny(), SEED + 6);
+    let g = Arc::new(net.graph);
+    let q = queries(&g, 1, SEED + 6)[0];
+    let base = ServeConfig::default().with_topk(cfg());
+
+    // Distributed engine, request pinned to local.
+    let engine = ServeEngine::start(
+        Arc::clone(&g),
+        base.with_backend(Backend::Distributed { gps: 2 }),
+    );
+    let responses = engine.run_requests(&[
+        QueryRequest::node(q),
+        QueryRequest::node(q).with_backend(BackendKind::Local),
+    ]);
+    assert_eq!(responses[0].backend, BackendKind::Distributed);
+    assert_eq!(responses[1].backend, BackendKind::Local);
+    let (a, b) = (
+        responses[0].result.as_ref().unwrap(),
+        responses[1].result.as_ref().unwrap(),
+    );
+    assert_eq!(a.ranking, b.ranking);
+    assert_eq!(a.bounds, b.bounds);
+
+    // Local engine, request asking for distributed: no cluster exists, so
+    // the route falls back to local — deterministically, and recorded.
+    let engine = ServeEngine::start(Arc::clone(&g), base);
+    let response = engine
+        .submit(QueryRequest::node(q).with_backend(BackendKind::Distributed))
+        .wait();
+    assert_eq!(response.backend, BackendKind::Local);
+    assert!(response.distributed.is_none());
+    assert_eq!(response.result.unwrap().ranking, a.ranking);
 }
