@@ -41,7 +41,7 @@ fn engines(c: &mut Criterion) {
             |b, &eps| {
                 b.iter(|| {
                     let mut bca = rtr_core::bca::Bca::new(g, q, &params).expect("bca");
-                    bca.run_to_residual(eps, 100);
+                    bca.run_to_residual(&mut &*g, eps, 100).expect("in-memory");
                     bca.seen_count()
                 })
             },

@@ -26,7 +26,7 @@
 use crate::error::CoreError;
 use crate::params::RankParams;
 use crate::workspace::BcaWorkspace;
-use rtr_graph::{Graph, NodeId};
+use rtr_graph::{AdjacencyAccess, AdjacencyError, FetchHint, NodeId};
 
 /// BCA state for one query node.
 ///
@@ -35,10 +35,18 @@ use rtr_graph::{Graph, NodeId};
 /// one; a serving worker instead threads one workspace through
 /// [`Bca::with_workspace`] / [`Bca::into_workspace`] so steady-state
 /// queries allocate nothing.
+///
+/// The graph is not captured: every processing step takes the
+/// [`AdjacencyAccess`] it runs against, so the *same* BCA drives both the
+/// in-memory graph and the distributed active graph. Before each batch the
+/// full residual frontier is announced via
+/// [`ensure`](AdjacencyAccess::ensure) with [`FetchHint::OutFrontier`],
+/// which is where a paged adjacency does its demand fetch + prefetch.
 #[derive(Clone, Debug)]
-pub struct Bca<'g> {
-    g: &'g Graph,
+pub struct Bca {
     alpha: f64,
+    /// Captured at init: whether the graph has self-loops (Prop. 4 check).
+    loops: bool,
     /// The `ρ` / `µ` maps and selection scratch.
     ws: BcaWorkspace,
     /// Incrementally maintained `Σ_u µ(q,u)`.
@@ -47,35 +55,40 @@ pub struct Bca<'g> {
     processed: usize,
 }
 
-impl<'g> Bca<'g> {
+impl Bca {
     /// Initialize for query node `q`: one unit of residual at `q`, all
     /// estimates zero (the precondition of the original BCA). Allocates a
     /// fresh workspace; see [`Bca::with_workspace`] for the reusing variant.
-    pub fn new(g: &'g Graph, q: NodeId, params: &RankParams) -> Result<Self, CoreError> {
-        Self::with_workspace(g, q, params, BcaWorkspace::default())
+    pub fn new<A: AdjacencyAccess>(
+        a: &A,
+        q: NodeId,
+        params: &RankParams,
+    ) -> Result<Self, CoreError> {
+        Self::with_workspace(a, q, params, BcaWorkspace::default())
     }
 
     /// Initialize like [`Bca::new`] but reusing `ws`'s buffers (cleared in
     /// O(entries touched by the previous query)). Recover the workspace with
-    /// [`Bca::into_workspace`] when the run is over.
-    pub fn with_workspace(
-        g: &'g Graph,
+    /// [`Bca::into_workspace`] when the run is over. Touches no adjacency —
+    /// a paged source fetches nothing until the first batch runs.
+    pub fn with_workspace<A: AdjacencyAccess>(
+        a: &A,
         q: NodeId,
         params: &RankParams,
         mut ws: BcaWorkspace,
     ) -> Result<Self, CoreError> {
         params.validate()?;
-        if q.index() >= g.node_count() {
+        if q.index() >= a.node_count() {
             return Err(CoreError::NodeOutOfRange {
                 node: q,
-                node_count: g.node_count(),
+                node_count: a.node_count(),
             });
         }
-        ws.reset(g.node_count());
+        ws.reset(a.node_count());
         ws.mu.insert(q.0, 1.0);
         Ok(Bca {
-            g,
             alpha: params.alpha,
+            loops: a.has_self_loops(),
             ws,
             total_residual: 1.0,
             processed: 0,
@@ -128,7 +141,11 @@ impl<'g> Bca<'g> {
     ///
     /// On a dangling node the (1-α) portion has nowhere to go and is lost —
     /// consistent with the substochastic F-Rank a dangling graph defines.
-    pub fn process(&mut self, v: NodeId) {
+    ///
+    /// `v`'s adjacency must be resident in `a` (any node is, for an
+    /// in-memory graph; for a paged source, pass through
+    /// [`Bca::process_batch`], which announces the frontier first).
+    pub fn process<A: AdjacencyAccess>(&mut self, a: &A, v: NodeId) {
         let Some(residual) = self.ws.mu.remove(v.0) else {
             return;
         };
@@ -139,7 +156,7 @@ impl<'g> Bca<'g> {
         self.ws.rho.add(v.0, self.alpha * residual);
         let spread = (1.0 - self.alpha) * residual;
         let mut spread_out = 0.0;
-        for (dst, prob) in self.g.out_edges(v) {
+        for (dst, prob) in a.out_edges(v) {
             let amt = spread * prob;
             self.ws.mu.add(dst.0, amt);
             spread_out += amt;
@@ -153,30 +170,49 @@ impl<'g> Bca<'g> {
     /// nodes (the first expansion returns just the query node, matching the
     /// paper's observation). Allocation-free serving paths use
     /// [`Bca::process_batch_count`] instead.
-    pub fn process_batch(&mut self, m: usize) -> Vec<NodeId> {
-        let picked = self.process_batch_count(m);
-        self.ws.candidates[..picked]
+    pub fn process_batch<A: AdjacencyAccess>(
+        &mut self,
+        a: &mut A,
+        m: usize,
+    ) -> Result<Vec<NodeId>, AdjacencyError> {
+        let picked = self.process_batch_count(a, m)?;
+        Ok(self.ws.candidates[..picked]
             .iter()
             .map(|&(v, _)| NodeId(v))
-            .collect()
+            .collect())
     }
 
     /// [`Bca::process_batch`] without materializing the picked nodes:
     /// returns only how many were processed. The selection scratch lives in
     /// the workspace, so this performs no allocation in steady state.
-    pub fn process_batch_count(&mut self, m: usize) -> usize {
+    pub fn process_batch_count<A: AdjacencyAccess>(
+        &mut self,
+        a: &mut A,
+        m: usize,
+    ) -> Result<usize, AdjacencyError> {
         self.ws.candidates.clear();
         if m == 0 || self.ws.mu.is_empty() {
-            return 0;
+            return Ok(0);
         }
+        // Announce the whole residual frontier before reading any degree:
+        // a paged adjacency demand-fetches the missing blocks here (and may
+        // prefetch the next frontier); the in-memory graph does nothing.
+        self.ws.ensure_ids.clear();
         for (v, r) in self.ws.mu.iter() {
             if r > 0.0 {
-                let out = self.g.out_degree(NodeId(v)).max(1);
-                self.ws.candidates.push((v, r / out as f64));
+                self.ws.ensure_ids.push(v);
             }
         }
-        if self.ws.candidates.is_empty() {
-            return 0;
+        if self.ws.ensure_ids.is_empty() {
+            return Ok(0);
+        }
+        self.ws.ensure_ids.sort_unstable();
+        a.ensure(&self.ws.ensure_ids, FetchHint::OutFrontier)?;
+        for (v, r) in self.ws.mu.iter() {
+            if r > 0.0 {
+                let out = a.out_degree(NodeId(v)).max(1);
+                self.ws.candidates.push((v, r / out as f64));
+            }
         }
         let take = m.min(self.ws.candidates.len());
         // Partial selection of the top-m benefits; ties break by node id so
@@ -194,19 +230,25 @@ impl<'g> Bca<'g> {
         self.ws.candidates.sort_unstable_by_key(|&(v, _)| v);
         for i in 0..take {
             let v = NodeId(self.ws.candidates[i].0);
-            self.process(v);
+            self.process(a, v);
         }
-        take
+        Ok(take)
     }
 
     /// Run batched processing until the total residual drops to `eps`
     /// (asymptotic termination of the original BCA, truncated at `eps`).
-    pub fn run_to_residual(&mut self, eps: f64, m: usize) {
+    pub fn run_to_residual<A: AdjacencyAccess>(
+        &mut self,
+        a: &mut A,
+        eps: f64,
+        m: usize,
+    ) -> Result<(), AdjacencyError> {
         while self.total_residual() > eps {
-            if self.process_batch_count(m) == 0 {
+            if self.process_batch_count(a, m)? == 0 {
                 break; // no residual left anywhere (all dangling-lost)
             }
         }
+        Ok(())
     }
 
     /// The paper's improved unseen upper bound (Prop. 4, Eq. 19):
@@ -215,7 +257,7 @@ impl<'g> Bca<'g> {
     /// Valid for *any* node: `f(q,v) ≤ ρ(q,v) + f̂(q)` (Eq. 21), and in
     /// particular `f(q,v) ≤ f̂(q)` for unseen nodes (ρ = 0).
     pub fn unseen_upper_bound(&self) -> f64 {
-        if self.g.has_self_loops() {
+        if self.loops {
             // Prop. 4's derivation assumes a returning walk needs at least
             // two steps (damping (1-α)² per revisit); a self-loop returns
             // residual in one step and the 1/(2-α) factor becomes unsound.
@@ -241,6 +283,7 @@ mod tests {
     use crate::frank::FRank;
     use crate::query::Query;
     use rtr_graph::toy::fig2_toy;
+    use rtr_graph::Graph;
 
     fn exact_frank(g: &Graph, q: NodeId) -> crate::scores::ScoreVec {
         FRank::new(RankParams::default())
@@ -252,7 +295,7 @@ mod tests {
     fn first_batch_processes_query_only() {
         let (g, ids) = fig2_toy();
         let mut bca = Bca::new(&g, ids.t1, &RankParams::default()).unwrap();
-        let picked = bca.process_batch(100);
+        let picked = bca.process_batch(&mut &g, 100).unwrap();
         assert_eq!(picked, vec![ids.t1]);
         assert!((bca.rho(ids.t1) - 0.25).abs() < 1e-12);
     }
@@ -263,7 +306,7 @@ mod tests {
         let mut bca = Bca::new(&g, ids.t1, &RankParams::default()).unwrap();
         let mut prev = bca.total_residual();
         for _ in 0..20 {
-            bca.process_batch(10);
+            bca.process_batch(&mut &g, 10).unwrap();
             let cur = bca.total_residual();
             assert!(cur <= prev + 1e-12, "residual increased {prev} -> {cur}");
             prev = cur;
@@ -275,7 +318,7 @@ mod tests {
         let (g, ids) = fig2_toy();
         let exact = exact_frank(&g, ids.t1);
         let mut bca = Bca::new(&g, ids.t1, &RankParams::default()).unwrap();
-        bca.run_to_residual(1e-9, 50);
+        bca.run_to_residual(&mut &g, 1e-9, 50).unwrap();
         for v in g.nodes() {
             assert!(
                 (bca.rho(v) - exact.score(v)).abs() < 1e-7,
@@ -292,7 +335,7 @@ mod tests {
         let exact = exact_frank(&g, ids.t1);
         let mut bca = Bca::new(&g, ids.t1, &RankParams::default()).unwrap();
         for _ in 0..30 {
-            bca.process_batch(3);
+            bca.process_batch(&mut &g, 3).unwrap();
             for v in g.nodes() {
                 assert!(
                     bca.rho(v) <= exact.score(v) + 1e-12,
@@ -308,7 +351,7 @@ mod tests {
         let exact = exact_frank(&g, ids.t1);
         let mut bca = Bca::new(&g, ids.t1, &RankParams::default()).unwrap();
         for _ in 0..15 {
-            bca.process_batch(2);
+            bca.process_batch(&mut &g, 2).unwrap();
             let ub = bca.unseen_upper_bound();
             let gupta = bca.gupta_upper_bound();
             // Prop. 4 must still be an upper bound...
@@ -332,7 +375,7 @@ mod tests {
         let (g, ids) = fig2_toy();
         let mut bca = Bca::new(&g, ids.t1, &RankParams::default()).unwrap();
         for _ in 0..10 {
-            bca.process_batch(5);
+            bca.process_batch(&mut &g, 5).unwrap();
             let rho_total: f64 = bca.seen().map(|(_, r)| r).sum();
             assert!(
                 (rho_total + bca.total_residual() - 1.0).abs() < 1e-9,
@@ -351,7 +394,7 @@ mod tests {
         b.add_edge(q, x, 1.0); // x dangling
         let g = b.build();
         let mut bca = Bca::new(&g, q, &RankParams::default()).unwrap();
-        bca.run_to_residual(1e-12, 10);
+        bca.run_to_residual(&mut &g, 1e-12, 10).unwrap();
         let rho_total: f64 = bca.seen().map(|(_, r)| r).sum();
         assert!(rho_total < 1.0, "dangling graph must be substochastic");
         // ρ(q) = α, ρ(x) = (1-α)·α.
@@ -363,7 +406,7 @@ mod tests {
     fn processing_node_without_residual_is_noop() {
         let (g, ids) = fig2_toy();
         let mut bca = Bca::new(&g, ids.t1, &RankParams::default()).unwrap();
-        bca.process(ids.v1); // v1 has no residual yet
+        bca.process(&g, ids.v1); // v1 has no residual yet
         assert_eq!(bca.processed_count(), 0);
         assert_eq!(bca.rho(ids.v1), 0.0);
         assert_eq!(bca.total_residual(), 1.0);
@@ -376,8 +419,8 @@ mod tests {
         // of size 2 should pick exactly 2 of them.
         let (g, ids) = fig2_toy();
         let mut bca = Bca::new(&g, ids.t1, &RankParams::default()).unwrap();
-        bca.process_batch(1);
-        let picked = bca.process_batch(2);
+        bca.process_batch(&mut &g, 1).unwrap();
+        let picked = bca.process_batch(&mut &g, 2).unwrap();
         assert_eq!(picked.len(), 2);
         for v in picked {
             assert!(ids.p.contains(&v), "expected a paper, got {v:?}");

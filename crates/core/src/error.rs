@@ -1,6 +1,6 @@
 //! Error type for ranking computations.
 
-use rtr_graph::NodeId;
+use rtr_graph::{AdjacencyError, NodeId};
 use std::fmt;
 
 /// Errors surfaced by the ranking APIs.
@@ -32,6 +32,16 @@ pub enum CoreError {
         /// Residual change at the last iteration.
         residual: f64,
     },
+    /// The adjacency source backing the run became unavailable mid-query
+    /// (e.g. a graph-processor thread died). Carries the source's own
+    /// diagnosis, which names the failed component.
+    Adjacency(AdjacencyError),
+}
+
+impl From<AdjacencyError> for CoreError {
+    fn from(e: AdjacencyError) -> Self {
+        CoreError::Adjacency(e)
+    }
 }
 
 impl fmt::Display for CoreError {
@@ -55,6 +65,7 @@ impl fmt::Display for CoreError {
                 f,
                 "iteration did not converge after {iterations} iterations (residual {residual:.3e})"
             ),
+            CoreError::Adjacency(e) => write!(f, "{e}"),
         }
     }
 }
@@ -80,5 +91,9 @@ mod tests {
             residual: 1e-3,
         };
         assert!(e.to_string().contains("10"));
+        let e = CoreError::from(AdjacencyError::SourceUnavailable {
+            detail: "graph processor 1 is not running".into(),
+        });
+        assert!(e.to_string().contains("graph processor 1"));
     }
 }

@@ -32,7 +32,7 @@ use rtr_graph::ScoreMap;
 /// let mut ws = BcaWorkspace::default();
 /// for q in [ids.t1, ids.t2] {
 ///     let mut bca = Bca::with_workspace(&g, q, &RankParams::default(), ws).unwrap();
-///     bca.run_to_residual(1e-6, 100);
+///     bca.run_to_residual(&mut &g, 1e-6, 100).unwrap();
 ///     assert!(bca.rho(q) > 0.0);
 ///     ws = bca.into_workspace(); // buffers survive for the next query
 /// }
@@ -45,6 +45,9 @@ pub struct BcaWorkspace {
     pub(crate) mu: ScoreMap,
     /// Stage-I benefit-selection scratch.
     pub(crate) candidates: Vec<(u32, f64)>,
+    /// Sorted frontier ids announced to `AdjacencyAccess::ensure` before
+    /// each batch (demand-paging / prefetch scratch).
+    pub(crate) ensure_ids: Vec<u32>,
 }
 
 impl BcaWorkspace {
@@ -54,6 +57,7 @@ impl BcaWorkspace {
             rho: ScoreMap::with_capacity(n),
             mu: ScoreMap::with_capacity(n),
             candidates: Vec::new(),
+            ensure_ids: Vec::new(),
         }
     }
 
@@ -64,6 +68,7 @@ impl BcaWorkspace {
         self.rho.clear();
         self.mu.clear();
         self.candidates.clear();
+        self.ensure_ids.clear();
     }
 }
 

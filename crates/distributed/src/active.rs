@@ -5,144 +5,322 @@
 //! Subsequently, AP incrementally assembles the active set from the
 //! responses" (paper Sect. V-B2).
 //!
-//! [`ActiveGraph`] is the AP's only view of the graph: adjacency is
-//! available *only* for nodes whose blocks have been fetched, and every
-//! fetch is metered (requests, blocks, payload bytes) so the Fig. 12
-//! active-set measurements fall directly out of the bookkeeping.
+//! [`ActiveGraph`] is the AP's only view of the graph, and it implements
+//! [`AdjacencyAccess`] — the same trait the in-memory [`rtr_graph::Graph`]
+//! implements — so the *local* bound engines run against it unchanged.
+//! Adjacency is available only for nodes whose blocks are resident; the
+//! engines announce what they are about to touch through
+//! [`AdjacencyAccess::ensure`], which is where the two distributed-only
+//! behaviours live:
+//!
+//! * **Cross-query block cache** ([`BlockCache`]): resident blocks are
+//!   keyed by the source graph's epoch and *survive between queries*, so a
+//!   worker serving a warm region stops paying wire cost for it entirely.
+//!   The cache self-invalidates when it meets a cluster striped from a
+//!   different (or `bump_epoch`ed) graph.
+//! * **Frontier prefetch**: an `ensure` carrying a
+//!   [`FetchHint::OutFrontier`] / [`FetchHint::InFrontier`] hint batches a
+//!   speculative fetch of the requested nodes' missing out-/in-neighbors —
+//!   the blocks the next expansion round will demand — collapsing the
+//!   round-trip-per-expansion pattern into roughly one round per two.
+//!
+//! Every fetch is metered (rounds, demanded blocks, prefetched blocks,
+//! cache hits, payload bytes), and the per-query *touched set* is tracked
+//! separately from cache residency so the Fig. 12 active-set measurements
+//! stay exact under caching: `active_nodes = blocks_fetched +
+//! blocks_from_cache` always holds.
 
-use crate::gp::GpCluster;
+use crate::gp::{GpCluster, ReplySlot};
 use rtr_graph::wire::NodeBlock;
-use rtr_graph::NodeId;
+use rtr_graph::{AdjacencyAccess, AdjacencyError, FetchHint, NodeId, NodeSet};
 use std::collections::HashMap;
 
-/// The assembled active set plus fetch plumbing and meters.
-pub struct ActiveGraph<'c> {
-    cluster: &'c GpCluster,
-    node_count: usize,
+/// Default cap on speculative blocks per prefetch round.
+pub const DEFAULT_PREFETCH_LIMIT: usize = 256;
+/// Default resident-block budget before the cache clears itself.
+pub const DEFAULT_MAX_BLOCKS: usize = 65_536;
+
+/// Cross-query resident-block storage for one AP-side worker.
+///
+/// Lives in the worker's `DistributedWorkspace` and is handed to each
+/// query's [`ActiveGraph`]. Blocks persist until the graph epoch changes
+/// or the block budget overflows (checked between queries, so a running
+/// query never loses a block it already touched).
+#[derive(Debug)]
+pub struct BlockCache {
+    /// Epoch of the graph the resident blocks came from.
+    epoch: u64,
     blocks: HashMap<u32, NodeBlock>,
+    /// Per-query touched set (ids this query `ensure`d), cleared per query.
+    touched: NodeSet,
+    /// Scratch: ids already slated for fetch in the current round.
+    pending: NodeSet,
+    /// Scratch: the fetch list under assembly.
+    fetch_ids: Vec<NodeId>,
+    prefetch_limit: usize,
+    max_blocks: usize,
+}
+
+impl BlockCache {
+    /// An empty cache with the default prefetch/budget knobs.
+    pub fn new() -> Self {
+        Self::with_limits(DEFAULT_PREFETCH_LIMIT, DEFAULT_MAX_BLOCKS)
+    }
+
+    /// An empty cache with explicit knobs: `prefetch_limit` caps the
+    /// speculative blocks fetched per frontier round (0 disables
+    /// prefetching), `max_blocks` bounds cross-query residency (the cache
+    /// clears itself between queries once it exceeds the budget).
+    pub fn with_limits(prefetch_limit: usize, max_blocks: usize) -> Self {
+        BlockCache {
+            epoch: 0, // matches no real graph: first use always re-keys
+            blocks: HashMap::new(),
+            touched: NodeSet::new(),
+            pending: NodeSet::new(),
+            fetch_ids: Vec::new(),
+            prefetch_limit,
+            max_blocks,
+        }
+    }
+
+    /// Resident blocks currently held.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether no block is resident.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// The epoch the resident blocks belong to (0 = never used).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+}
+
+impl Default for BlockCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One query's view of the striped graph: the worker's [`BlockCache`] bound
+/// to a [`GpCluster`], with per-query fetch meters. Implements
+/// [`AdjacencyAccess`], so `rtr_topk`'s engines run on it directly.
+pub struct ActiveGraph<'a> {
+    cluster: &'a GpCluster,
+    cache: &'a mut BlockCache,
+    slot: &'a mut ReplySlot,
+    node_count: usize,
     fetch_requests: usize,
     blocks_fetched: usize,
+    blocks_prefetched: usize,
+    blocks_from_cache: usize,
     bytes_transferred: usize,
 }
 
-impl<'c> ActiveGraph<'c> {
-    /// Start with an empty active set over `cluster`'s graph.
-    pub fn new(cluster: &'c GpCluster) -> Self {
-        Self::with_storage(cluster, HashMap::new())
-    }
-
-    /// Like [`ActiveGraph::new`] but reusing `blocks` as the resident-block
-    /// storage (cleared first), so a long-lived worker pays the map's
-    /// allocation once instead of per query. Recover the storage with
-    /// [`ActiveGraph::into_storage`].
-    pub fn with_storage(cluster: &'c GpCluster, mut blocks: HashMap<u32, NodeBlock>) -> Self {
-        blocks.clear();
+impl<'a> ActiveGraph<'a> {
+    /// Bind `cache` (and the reusable reply `slot`) to `cluster` for one
+    /// query. Validates the cache's epoch against the cluster's — stale
+    /// blocks from another graph are dropped wholesale — and enforces the
+    /// block budget, both *before* the query starts, so nothing resident
+    /// can disappear mid-query.
+    pub fn new(cluster: &'a GpCluster, cache: &'a mut BlockCache, slot: &'a mut ReplySlot) -> Self {
+        if cache.epoch != cluster.epoch() || cache.blocks.len() > cache.max_blocks {
+            cache.blocks.clear();
+            cache.epoch = cluster.epoch();
+        }
+        cache.touched.ensure_capacity(cluster.node_count());
+        cache.touched.clear();
+        cache.pending.ensure_capacity(cluster.node_count());
+        cache.pending.clear();
         ActiveGraph {
             node_count: cluster.node_count(),
             cluster,
-            blocks,
+            cache,
+            slot,
             fetch_requests: 0,
             blocks_fetched: 0,
+            blocks_prefetched: 0,
+            blocks_from_cache: 0,
             bytes_transferred: 0,
         }
     }
 
-    /// Dissolve into the block storage so its buckets serve the next query.
-    pub fn into_storage(self) -> HashMap<u32, NodeBlock> {
-        self.blocks
-    }
-
-    /// The resident block for `v`, if fetched.
+    /// The resident block for `v`, if resident.
     pub fn block(&self, v: NodeId) -> Option<&NodeBlock> {
-        self.blocks.get(&v.0)
+        self.cache.blocks.get(&v.0)
     }
 
-    /// Total nodes in the underlying graph.
-    pub fn node_count(&self) -> usize {
-        self.node_count
-    }
-
-    /// Ensure the blocks for `nodes` are resident, fetching missing ones
-    /// from the GPs in one batched request.
-    pub fn ensure(&mut self, nodes: &[NodeId]) {
-        let missing: Vec<NodeId> = nodes
-            .iter()
-            .copied()
-            .filter(|v| !self.blocks.contains_key(&v.0))
-            .collect();
-        if missing.is_empty() {
-            return;
-        }
-        self.fetch_requests += 1;
-        let (blocks, bytes) = self.cluster.fetch(&missing);
-        self.blocks_fetched += blocks.len();
-        self.bytes_transferred += bytes;
-        for b in blocks {
-            self.blocks.insert(b.node.0, b);
-        }
-    }
-
-    /// Out-edges of a resident node (panics if not fetched — the algorithms
-    /// must `ensure` before touching adjacency, exactly as the real AP must
-    /// wait for the GP response).
-    pub fn out_edges(&self, v: NodeId) -> &[(NodeId, f64)] {
-        &self
+    fn resident_block(&self, v: NodeId) -> &NodeBlock {
+        self.cache
             .blocks
             .get(&v.0)
             .unwrap_or_else(|| panic!("node {v:?} not in active set"))
-            .out_edges
     }
 
-    /// In-edges of a resident node.
-    pub fn in_edges(&self, v: NodeId) -> &[(NodeId, f64)] {
-        &self
-            .blocks
-            .get(&v.0)
-            .unwrap_or_else(|| panic!("node {v:?} not in active set"))
-            .in_edges
-    }
-
-    /// Out-degree of a resident node.
-    pub fn out_degree(&self, v: NodeId) -> usize {
-        self.out_edges(v).len()
-    }
-
-    /// Whether a node's block is resident.
+    /// Whether a node's block is resident (cache-wide, not per-query).
     pub fn is_resident(&self, v: NodeId) -> bool {
-        self.blocks.contains_key(&v.0)
+        self.cache.blocks.contains_key(&v.0)
     }
 
-    /// Number of resident nodes (the active-set node count).
-    pub fn resident_nodes(&self) -> usize {
-        self.blocks.len()
+    /// One wire round: fetch `cache.fetch_ids` from the owning GPs and make
+    /// the returned blocks resident. Returns how many blocks arrived.
+    fn fetch_round(&mut self) -> Result<usize, AdjacencyError> {
+        self.fetch_requests += 1;
+        let (blocks, bytes) = self.cluster.fetch(&self.cache.fetch_ids, self.slot)?;
+        self.bytes_transferred += bytes;
+        let n = blocks.len();
+        for b in blocks {
+            self.cache.blocks.insert(b.node.0, b);
+        }
+        Ok(n)
     }
 
-    /// Resident edges (both directions, as stored).
-    pub fn resident_edges(&self) -> usize {
-        self.blocks
-            .values()
-            .map(|b| b.out_edges.len() + b.in_edges.len())
-            .sum()
-    }
-
-    /// Resident bytes (wire-encoding size — the paper's MB numbers).
-    pub fn resident_bytes(&self) -> usize {
-        self.blocks.values().map(|b| b.encoded_len()).sum()
-    }
-
-    /// Fetch requests issued so far.
+    /// Fetch requests (wire rounds, demand + prefetch) issued this query.
     pub fn fetch_requests(&self) -> usize {
         self.fetch_requests
     }
 
-    /// Blocks received so far.
+    /// Demanded blocks received over the wire this query.
     pub fn blocks_fetched(&self) -> usize {
         self.blocks_fetched
     }
 
-    /// Payload bytes received so far.
+    /// Speculatively prefetched blocks received over the wire this query.
+    pub fn blocks_prefetched(&self) -> usize {
+        self.blocks_prefetched
+    }
+
+    /// Demanded blocks served from the warm cache this query (no wire).
+    pub fn blocks_from_cache(&self) -> usize {
+        self.blocks_from_cache
+    }
+
+    /// Payload bytes received over the wire this query.
     pub fn bytes_transferred(&self) -> usize {
         self.bytes_transferred
+    }
+
+    /// Nodes this query touched (demanded), the paper's active-set size —
+    /// always `blocks_fetched() + blocks_from_cache()`.
+    pub fn touched_nodes(&self) -> usize {
+        self.cache.touched.len()
+    }
+
+    /// Directed edges (both stored directions) of the touched nodes.
+    pub fn touched_edges(&self) -> usize {
+        self.cache
+            .touched
+            .iter()
+            .map(|v| {
+                let b = &self.cache.blocks[&v];
+                b.out_edges.len() + b.in_edges.len()
+            })
+            .sum()
+    }
+
+    /// Wire-encoding bytes of the touched nodes' blocks (the paper's MB
+    /// numbers for the active set).
+    pub fn touched_bytes(&self) -> usize {
+        self.cache
+            .touched
+            .iter()
+            .map(|v| self.cache.blocks[&v].encoded_len())
+            .sum()
+    }
+}
+
+impl AdjacencyAccess for ActiveGraph<'_> {
+    type Edges<'b>
+        = std::iter::Copied<std::slice::Iter<'b, (NodeId, f64)>>
+    where
+        Self: 'b;
+
+    fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    fn has_self_loops(&self) -> bool {
+        self.cluster.has_self_loops()
+    }
+
+    fn out_degree(&self, v: NodeId) -> usize {
+        self.resident_block(v).out_edges.len()
+    }
+
+    fn in_degree(&self, v: NodeId) -> usize {
+        self.resident_block(v).in_edges.len()
+    }
+
+    fn node_footprint_bytes(&self, v: NodeId) -> usize {
+        self.resident_block(v).footprint_bytes()
+    }
+
+    fn out_edges(&self, v: NodeId) -> Self::Edges<'_> {
+        self.resident_block(v).out_edges.iter().copied()
+    }
+
+    fn in_edges(&self, v: NodeId) -> Self::Edges<'_> {
+        self.resident_block(v).in_edges.iter().copied()
+    }
+
+    /// Make `ids` resident: demanded ids missing from the cache are fetched
+    /// in one batched round; under a frontier hint, the requested nodes'
+    /// missing neighbors (out- for [`FetchHint::OutFrontier`], in- for
+    /// [`FetchHint::InFrontier`]) are then prefetched in a second round,
+    /// capped at the cache's prefetch limit. Once a region is warm, both
+    /// rounds vanish — every id is resident and no candidate is missing.
+    fn ensure(&mut self, ids: &[u32], hint: FetchHint) -> Result<(), AdjacencyError> {
+        // Demand phase: first touch of each id classifies it as a cache hit
+        // or a wire fetch — exactly one of the two, which is what keeps the
+        // active-set accounting exact under caching.
+        self.cache.fetch_ids.clear();
+        for &id in ids {
+            if !self.cache.touched.insert(id) {
+                continue; // already touched this query
+            }
+            if self.cache.blocks.contains_key(&id) {
+                self.blocks_from_cache += 1;
+            } else {
+                self.cache.fetch_ids.push(NodeId(id));
+            }
+        }
+        if !self.cache.fetch_ids.is_empty() {
+            self.blocks_fetched += self.fetch_round()?;
+        }
+        // Prefetch phase: speculate on the next round's demand.
+        if hint == FetchHint::Demand || self.cache.prefetch_limit == 0 {
+            return Ok(());
+        }
+        self.cache.pending.clear();
+        self.cache.fetch_ids.clear();
+        'collect: for &id in ids {
+            let Some(block) = self.cache.blocks.get(&id) else {
+                continue; // demanded but absent from the stripe: nothing to walk
+            };
+            let neighbors = match hint {
+                FetchHint::OutFrontier => &block.out_edges,
+                FetchHint::InFrontier => &block.in_edges,
+                FetchHint::Demand => unreachable!(),
+            };
+            for &(n, _) in neighbors {
+                if self.cache.blocks.contains_key(&n.0) || !self.cache.pending.insert(n.0) {
+                    continue;
+                }
+                self.cache.fetch_ids.push(n);
+                if self.cache.fetch_ids.len() >= self.cache.prefetch_limit {
+                    break 'collect;
+                }
+            }
+        }
+        if !self.cache.fetch_ids.is_empty() {
+            // Deterministic wire order (neighbor discovery order is not).
+            self.cache.fetch_ids.sort_unstable();
+            self.blocks_prefetched += self.fetch_round()?;
+        }
+        Ok(())
     }
 }
 
@@ -151,52 +329,159 @@ mod tests {
     use super::*;
     use rtr_graph::toy::fig2_toy;
 
-    #[test]
-    fn demand_paging_fetches_once() {
+    fn harness() -> (rtr_graph::Graph, rtr_graph::toy::Fig2Ids, GpCluster) {
         let (g, ids) = fig2_toy();
         let cluster = GpCluster::spawn(&g, 2);
-        let mut active = ActiveGraph::new(&cluster);
-        active.ensure(&[ids.t1]);
+        (g, ids, cluster)
+    }
+
+    #[test]
+    fn demand_paging_fetches_once() {
+        let (_, ids, cluster) = harness();
+        let mut cache = BlockCache::new();
+        let mut slot = ReplySlot::new();
+        let mut active = ActiveGraph::new(&cluster, &mut cache, &mut slot);
+        active.ensure(&[ids.t1.0], FetchHint::Demand).unwrap();
         assert_eq!(active.fetch_requests(), 1);
         assert_eq!(active.blocks_fetched(), 1);
-        // Second ensure is a cache hit.
-        active.ensure(&[ids.t1]);
+        // Second ensure is free: already touched.
+        active.ensure(&[ids.t1.0], FetchHint::Demand).unwrap();
         assert_eq!(active.fetch_requests(), 1);
         assert!(active.is_resident(ids.t1));
+        assert_eq!(active.touched_nodes(), 1);
     }
 
     #[test]
     fn adjacency_matches_source_graph() {
-        let (g, ids) = fig2_toy();
-        let cluster = GpCluster::spawn(&g, 3);
-        let mut active = ActiveGraph::new(&cluster);
-        active.ensure(&[ids.v2]);
+        let (g, ids, cluster) = harness();
+        let mut cache = BlockCache::new();
+        let mut slot = ReplySlot::new();
+        let mut active = ActiveGraph::new(&cluster, &mut cache, &mut slot);
+        active.ensure(&[ids.v2.0], FetchHint::Demand).unwrap();
         let expected: Vec<(NodeId, f64)> = g.out_edges(ids.v2).collect();
-        assert_eq!(active.out_edges(ids.v2), expected.as_slice());
+        let got: Vec<(NodeId, f64)> = active.out_edges(ids.v2).collect();
+        assert_eq!(got, expected);
         assert_eq!(active.out_degree(ids.v2), 2);
+        assert_eq!(
+            active.node_footprint_bytes(ids.v2),
+            g.node_footprint_bytes(ids.v2)
+        );
     }
 
     #[test]
     #[should_panic(expected = "not in active set")]
     fn touching_unfetched_node_panics() {
-        let (g, ids) = fig2_toy();
-        let cluster = GpCluster::spawn(&g, 2);
-        let active = ActiveGraph::new(&cluster);
+        let (_, ids, cluster) = harness();
+        let mut cache = BlockCache::new();
+        let mut slot = ReplySlot::new();
+        let active = ActiveGraph::new(&cluster, &mut cache, &mut slot);
         let _ = active.out_edges(ids.t1);
     }
 
     #[test]
-    fn meters_accumulate() {
-        let (g, ids) = fig2_toy();
-        let cluster = GpCluster::spawn(&g, 2);
-        let mut active = ActiveGraph::new(&cluster);
-        active.ensure(&[ids.t1, ids.v1]);
-        let b1 = active.bytes_transferred();
-        assert!(b1 > 0);
-        active.ensure(&[ids.v2, ids.v3]);
-        assert!(active.bytes_transferred() > b1);
-        assert_eq!(active.resident_nodes(), 4);
-        assert!(active.resident_bytes() > 0);
-        assert!(active.resident_edges() > 0);
+    fn cache_survives_across_queries() {
+        let (_, ids, cluster) = harness();
+        let mut cache = BlockCache::new();
+        let mut slot = ReplySlot::new();
+        {
+            let mut active = ActiveGraph::new(&cluster, &mut cache, &mut slot);
+            active
+                .ensure(&[ids.t1.0, ids.v1.0], FetchHint::Demand)
+                .unwrap();
+            assert_eq!(active.blocks_fetched(), 2);
+            assert_eq!(active.blocks_from_cache(), 0);
+        }
+        // Same cache, next query: both blocks are warm.
+        let mut active = ActiveGraph::new(&cluster, &mut cache, &mut slot);
+        active
+            .ensure(&[ids.t1.0, ids.v1.0], FetchHint::Demand)
+            .unwrap();
+        assert_eq!(active.blocks_fetched(), 0);
+        assert_eq!(active.blocks_from_cache(), 2);
+        assert_eq!(active.bytes_transferred(), 0);
+        // Touched accounting still reports the full per-query active set.
+        assert_eq!(active.touched_nodes(), 2);
+    }
+
+    #[test]
+    fn epoch_change_invalidates_cache() {
+        let (g, ids, cluster) = harness();
+        let mut cache = BlockCache::new();
+        let mut slot = ReplySlot::new();
+        {
+            let mut active = ActiveGraph::new(&cluster, &mut cache, &mut slot);
+            active.ensure(&[ids.t1.0], FetchHint::Demand).unwrap();
+        }
+        assert_eq!(cache.len(), 1);
+        // A cluster over a re-stamped clone of the graph: different epoch,
+        // so the warm block must NOT be served.
+        let mut g2 = g.clone();
+        g2.bump_epoch();
+        let cluster2 = GpCluster::spawn(&g2, 2);
+        let mut active = ActiveGraph::new(&cluster2, &mut cache, &mut slot);
+        active.ensure(&[ids.t1.0], FetchHint::Demand).unwrap();
+        assert_eq!(active.blocks_from_cache(), 0);
+        assert_eq!(active.blocks_fetched(), 1);
+    }
+
+    #[test]
+    fn out_frontier_prefetches_neighbors() {
+        let (g, ids, cluster) = harness();
+        let mut cache = BlockCache::new();
+        let mut slot = ReplySlot::new();
+        let mut active = ActiveGraph::new(&cluster, &mut cache, &mut slot);
+        active.ensure(&[ids.t1.0], FetchHint::OutFrontier).unwrap();
+        assert_eq!(active.blocks_fetched(), 1);
+        assert_eq!(active.blocks_prefetched(), g.out_degree(ids.t1));
+        // Every out-neighbor is now resident without having been demanded.
+        for (n, _) in g.out_edges(ids.t1) {
+            assert!(active.is_resident(n));
+        }
+        // ... and the active set only counts the demanded node.
+        assert_eq!(active.touched_nodes(), 1);
+    }
+
+    #[test]
+    fn prefetch_disabled_at_zero_limit() {
+        let (_, ids, cluster) = harness();
+        let mut cache = BlockCache::with_limits(0, DEFAULT_MAX_BLOCKS);
+        let mut slot = ReplySlot::new();
+        let mut active = ActiveGraph::new(&cluster, &mut cache, &mut slot);
+        active.ensure(&[ids.t1.0], FetchHint::OutFrontier).unwrap();
+        assert_eq!(active.blocks_prefetched(), 0);
+        assert_eq!(active.fetch_requests(), 1);
+    }
+
+    #[test]
+    fn block_budget_clears_between_queries() {
+        let (_, ids, cluster) = harness();
+        let mut cache = BlockCache::with_limits(0, 1);
+        let mut slot = ReplySlot::new();
+        {
+            let mut active = ActiveGraph::new(&cluster, &mut cache, &mut slot);
+            active
+                .ensure(&[ids.t1.0, ids.v1.0], FetchHint::Demand)
+                .unwrap();
+        }
+        assert_eq!(cache.len(), 2); // over budget, but intact mid-query
+        let active = ActiveGraph::new(&cluster, &mut cache, &mut slot);
+        assert_eq!(active.cache.blocks.len(), 0); // evicted on rebind
+    }
+
+    #[test]
+    fn accounting_invariant_holds_warm_and_cold() {
+        let (g, _, cluster) = harness();
+        let mut cache = BlockCache::new();
+        let mut slot = ReplySlot::new();
+        let all: Vec<u32> = g.nodes().map(|v| v.0).collect();
+        for _ in 0..2 {
+            let mut active = ActiveGraph::new(&cluster, &mut cache, &mut slot);
+            active.ensure(&all[..4], FetchHint::OutFrontier).unwrap();
+            active.ensure(&all, FetchHint::Demand).unwrap();
+            assert_eq!(
+                active.touched_nodes(),
+                active.blocks_fetched() + active.blocks_from_cache()
+            );
+        }
     }
 }

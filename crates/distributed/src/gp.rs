@@ -1,41 +1,96 @@
 //! Graph-processor threads and the fetch protocol.
 //!
 //! Each GP runs on its own thread, owns one stripe, and serves fetch
-//! requests: the AP broadcasts the wanted node ids, each GP replies with the
-//! wire-encoded blocks it owns ("it aggregates the fast storage (main
-//! memory) of GPs... it enables parallel access to different parts of the
-//! graph", paper Sect. V-B2).
+//! requests: the AP sends the wanted node ids to the owning GPs, each GP
+//! replies with the wire-encoded blocks it owns ("it aggregates the fast
+//! storage (main memory) of GPs... it enables parallel access to different
+//! parts of the graph", paper Sect. V-B2).
+//!
+//! The reply path is a **reusable slot** ([`ReplySlot`]): one channel per
+//! AP-side workspace, re-used for every fetch of every query, instead of a
+//! fresh channel allocation per request. Replies are stamped with a
+//! generation counter so a slot that abandoned a fetch mid-flight (because
+//! one GP failed) simply skips the stragglers of the old generation on its
+//! next use.
+//!
+//! GP failure is a first-class outcome, not a panic: a dead GP thread is
+//! reported as [`AdjacencyError::SourceUnavailable`] naming the processor,
+//! and a GP whose lookup panics catches the unwind and replies with the
+//! error, so the AP's blocking receive can never hang on a wedged fetch.
 
 use crate::stripe::{GpStore, Striping};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use rtr_graph::wire::NodeBlock;
-use rtr_graph::{Graph, NodeId};
+use rtr_graph::{AdjacencyError, Graph, NodeId};
 use std::thread::JoinHandle;
 
 enum Request {
     Fetch {
         wanted: Vec<NodeId>,
-        reply: Sender<Bytes>,
+        generation: u64,
+        reply: Sender<Reply>,
     },
     Shutdown,
+    /// Test kill-switch: makes the GP thread exit *without* draining its
+    /// queue, simulating a crashed processor (see [`GpCluster::kill_gp`]).
+    Poison,
+}
+
+struct Reply {
+    generation: u64,
+    gp: usize,
+    payload: Result<Bytes, String>,
+}
+
+/// A reusable reply channel for [`GpCluster::fetch`].
+///
+/// One slot lives in each AP-side workspace and serves every fetch that
+/// workspace ever issues; creating it allocates the only channel the reply
+/// path will ever need. Not shareable between concurrent fetches — each
+/// worker owns its slot, which is exactly the per-workspace ownership the
+/// serving layer already has.
+#[derive(Debug)]
+pub struct ReplySlot {
+    tx: Sender<Reply>,
+    rx: Receiver<Reply>,
+    generation: u64,
+}
+
+impl ReplySlot {
+    /// A fresh slot (one channel allocation, amortized over all fetches).
+    pub fn new() -> Self {
+        let (tx, rx) = unbounded();
+        ReplySlot {
+            tx,
+            rx,
+            generation: 0,
+        }
+    }
+}
+
+impl Default for ReplySlot {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 /// A running cluster of GP threads.
 ///
 /// The cluster is the AP side's *only* handle on the graph: it carries just
 /// the global metadata an active processor legitimately holds (node count,
-/// self-loop flag) plus the fetch channels. It is `Send + Sync`, so one
-/// cluster can be shared (`Arc<GpCluster>`) by a whole pool of serving
-/// workers — fetches from concurrent queries interleave safely because each
-/// fetch owns its private reply channel and every GP serves its queue
-/// sequentially.
+/// self-loop flag, the source graph's epoch) plus the fetch channels. It is
+/// `Send + Sync`, so one cluster can be shared (`Arc<GpCluster>`) by a
+/// whole pool of serving workers — fetches from concurrent queries
+/// interleave safely because each fetch replies into its caller's private
+/// [`ReplySlot`] and every GP serves its queue sequentially.
 pub struct GpCluster {
     senders: Vec<Sender<Request>>,
     handles: Vec<JoinHandle<()>>,
     striping: Striping,
     node_count: usize,
     has_self_loops: bool,
+    epoch: u64,
 }
 
 impl GpCluster {
@@ -56,6 +111,7 @@ impl GpCluster {
             striping,
             node_count: g.node_count(),
             has_self_loops: g.has_self_loops(),
+            epoch: g.epoch(),
         }
     }
 
@@ -72,50 +128,115 @@ impl GpCluster {
         self.has_self_loops
     }
 
+    /// The epoch of the graph this cluster was striped from. An AP-side
+    /// block cache keyed by this value survives across queries and across
+    /// cluster respawns over the *same* graph, and self-invalidates the
+    /// moment it meets a cluster striped from a different (or mutated,
+    /// `bump_epoch`ed) graph.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
     /// Number of graph processors.
     pub fn gps(&self) -> usize {
         self.senders.len()
     }
 
     /// Fetch the blocks for `wanted` nodes: one request per owning GP, all
-    /// outstanding in parallel. Returns the decoded blocks and the number of
+    /// outstanding in parallel, replies collected through the caller's
+    /// reusable `slot`. Returns the decoded blocks and the number of
     /// payload bytes that crossed the (simulated) network.
-    pub fn fetch(&self, wanted: &[NodeId]) -> (Vec<NodeBlock>, usize) {
+    ///
+    /// A dead GP thread surfaces as
+    /// [`AdjacencyError::SourceUnavailable`] naming the processor index —
+    /// detected at send time if the thread is already gone, or from its
+    /// error reply if its lookup panicked mid-request.
+    pub fn fetch(
+        &self,
+        wanted: &[NodeId],
+        slot: &mut ReplySlot,
+    ) -> Result<(Vec<NodeBlock>, usize), AdjacencyError> {
         if wanted.is_empty() {
-            return (Vec::new(), 0);
+            return Ok((Vec::new(), 0));
         }
+        // Abandoned fetches may have left stale replies behind; a new
+        // generation distinguishes this fetch's replies from theirs.
+        slot.generation += 1;
+        while slot.rx.try_recv().is_ok() {}
         // Partition the request by owner so each GP only sees its share.
         let mut per_gp: Vec<Vec<NodeId>> = vec![Vec::new(); self.gps()];
         for &v in wanted {
             per_gp[self.striping.owner(v)].push(v);
         }
-        let mut pending = Vec::new();
+        let mut outstanding = 0usize;
         for (gp, share) in per_gp.into_iter().enumerate() {
             if share.is_empty() {
                 continue;
             }
-            let (reply_tx, reply_rx) = unbounded::<Bytes>();
-            self.senders[gp]
-                .send(Request::Fetch {
-                    wanted: share,
-                    reply: reply_tx,
-                })
-                .expect("GP thread alive");
-            pending.push(reply_rx);
+            let sent = self.senders[gp].send(Request::Fetch {
+                wanted: share,
+                generation: slot.generation,
+                reply: slot.tx.clone(),
+            });
+            if sent.is_err() {
+                return Err(AdjacencyError::SourceUnavailable {
+                    detail: format!("graph processor {gp} is not running"),
+                });
+            }
+            outstanding += 1;
         }
         let mut blocks = Vec::new();
         let mut bytes = 0usize;
-        for rx in pending {
-            let payload = rx.recv().expect("GP reply");
-            bytes += payload.len();
-            blocks.extend(NodeBlock::decode_batch(payload));
+        while outstanding > 0 {
+            // Every live GP replies exactly once per request (its lookup is
+            // wrapped in catch_unwind), so this blocks only while a GP is
+            // actually working. The slot holding its own sender keeps the
+            // channel open; a recv error is therefore impossible, but is
+            // mapped rather than unwrapped to keep the AP panic-free.
+            let reply = match slot.rx.recv() {
+                Ok(r) => r,
+                Err(_) => {
+                    return Err(AdjacencyError::SourceUnavailable {
+                        detail: "graph processor reply channel closed".to_string(),
+                    })
+                }
+            };
+            if reply.generation != slot.generation {
+                continue; // straggler from an abandoned fetch
+            }
+            outstanding -= 1;
+            match reply.payload {
+                Ok(payload) => {
+                    bytes += payload.len();
+                    blocks.extend(NodeBlock::decode_batch(payload));
+                }
+                Err(msg) => {
+                    return Err(AdjacencyError::SourceUnavailable {
+                        detail: format!("graph processor {} failed: {msg}", reply.gp),
+                    });
+                }
+            }
         }
-        (blocks, bytes)
+        Ok((blocks, bytes))
+    }
+
+    /// Kill one GP thread in place, simulating a processor crash (for
+    /// fault-injection tests). Blocks until the thread has exited, so a
+    /// subsequent fetch deterministically observes the death.
+    pub fn kill_gp(&self, gp: usize) {
+        let _ = self.senders[gp].send(Request::Poison);
+        while !self.handles[gp].is_finished() {
+            std::thread::yield_now();
+        }
     }
 }
 
 impl Drop for GpCluster {
     fn drop(&mut self) {
+        // Best-effort shutdown: a GP that already died has dropped its
+        // receiver, which makes the send fail — ignored, and its join
+        // returns the panic payload — also ignored. Drop never hangs on a
+        // partially dead cluster.
         for tx in &self.senders {
             let _ = tx.send(Request::Shutdown);
         }
@@ -126,14 +247,41 @@ impl Drop for GpCluster {
 }
 
 fn gp_main(store: GpStore, rx: Receiver<Request>) {
+    let gp = store.index;
     while let Ok(req) = rx.recv() {
         match req {
-            Request::Fetch { wanted, reply } => {
-                let blocks = store.lookup(&wanted);
-                let _ = reply.send(NodeBlock::encode_batch(&blocks));
+            Request::Fetch {
+                wanted,
+                generation,
+                reply,
+            } => {
+                // The lookup runs under catch_unwind so that *any* GP-side
+                // failure still produces a reply: the AP's blocking receive
+                // must never hang because a processor wedged mid-request.
+                let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let blocks = store.lookup(&wanted);
+                    NodeBlock::encode_batch(&blocks)
+                }))
+                .map_err(|p| panic_message(&p));
+                let _ = reply.send(Reply {
+                    generation,
+                    gp,
+                    payload,
+                });
             }
             Request::Shutdown => break,
+            Request::Poison => return, // simulate a crash: die without draining
         }
+    }
+}
+
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "GP lookup panicked".to_string()
     }
 }
 
@@ -142,11 +290,17 @@ mod tests {
     use super::*;
     use rtr_graph::toy::fig2_toy;
 
+    fn fetch_all(cluster: &GpCluster, wanted: &[NodeId]) -> (Vec<NodeBlock>, usize) {
+        cluster
+            .fetch(wanted, &mut ReplySlot::new())
+            .expect("cluster healthy")
+    }
+
     #[test]
     fn fetch_returns_requested_blocks() {
         let (g, ids) = fig2_toy();
         let cluster = GpCluster::spawn(&g, 3);
-        let (blocks, bytes) = cluster.fetch(&[ids.t1, ids.v1, ids.v2]);
+        let (blocks, bytes) = fetch_all(&cluster, &[ids.t1, ids.v1, ids.v2]);
         assert_eq!(blocks.len(), 3);
         assert!(bytes > 0);
         let got: Vec<NodeId> = blocks.iter().map(|b| b.node).collect();
@@ -159,7 +313,7 @@ mod tests {
     fn fetched_adjacency_matches_graph() {
         let (g, ids) = fig2_toy();
         let cluster = GpCluster::spawn(&g, 2);
-        let (blocks, _) = cluster.fetch(&[ids.v1]);
+        let (blocks, _) = fetch_all(&cluster, &[ids.v1]);
         let block = &blocks[0];
         let expected: Vec<(NodeId, f64)> = g.out_edges(ids.v1).collect();
         assert_eq!(block.out_edges, expected);
@@ -171,7 +325,7 @@ mod tests {
     fn empty_fetch_is_free() {
         let (g, _) = fig2_toy();
         let cluster = GpCluster::spawn(&g, 2);
-        let (blocks, bytes) = cluster.fetch(&[]);
+        let (blocks, bytes) = fetch_all(&cluster, &[]);
         assert!(blocks.is_empty());
         assert_eq!(bytes, 0);
     }
@@ -180,25 +334,63 @@ mod tests {
     fn duplicate_requests_are_idempotent() {
         let (g, ids) = fig2_toy();
         let cluster = GpCluster::spawn(&g, 2);
-        let (a, _) = cluster.fetch(&[ids.t1]);
-        let (b, _) = cluster.fetch(&[ids.t1]);
+        let mut slot = ReplySlot::new();
+        let (a, _) = cluster.fetch(&[ids.t1], &mut slot).unwrap();
+        let (b, _) = cluster.fetch(&[ids.t1], &mut slot).unwrap();
         assert_eq!(a, b);
     }
 
     #[test]
-    fn cluster_size_reported() {
+    fn slot_reuse_spans_many_fetches() {
+        let (g, _) = fig2_toy();
+        let cluster = GpCluster::spawn(&g, 3);
+        let mut slot = ReplySlot::new();
+        for v in g.nodes() {
+            let (blocks, _) = cluster.fetch(&[v], &mut slot).unwrap();
+            assert_eq!(blocks.len(), 1);
+            assert_eq!(blocks[0].node, v);
+        }
+    }
+
+    #[test]
+    fn cluster_reports_metadata() {
         let (g, _) = fig2_toy();
         let n = g.node_count();
         let cluster = GpCluster::spawn(&g, 5);
         assert_eq!(cluster.gps(), 5);
         assert_eq!(cluster.node_count(), n);
+        assert_eq!(cluster.epoch(), g.epoch());
+    }
+
+    #[test]
+    fn dead_gp_surfaces_as_error_naming_it() {
+        let (g, _) = fig2_toy();
+        let cluster = GpCluster::spawn(&g, 3);
+        cluster.kill_gp(1);
+        let mut slot = ReplySlot::new();
+        // Node 1 is owned by GP 1 (round-robin by id).
+        let err = cluster.fetch(&[NodeId(1)], &mut slot).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("graph processor 1"), "got: {msg}");
+        // The other GPs still serve, through the same slot.
+        let (blocks, _) = cluster.fetch(&[NodeId(0), NodeId(2)], &mut slot).unwrap();
+        assert_eq!(blocks.len(), 2);
+    }
+
+    #[test]
+    fn dropping_a_cluster_with_dead_gps_does_not_hang() {
+        let (g, _) = fig2_toy();
+        let cluster = GpCluster::spawn(&g, 2);
+        cluster.kill_gp(0);
+        cluster.kill_gp(1);
+        drop(cluster); // must return, not deadlock
     }
 
     #[test]
     fn concurrent_fetches_do_not_cross_wires() {
         // Two AP threads fetching different nodes through one shared cluster
-        // must each get exactly their own blocks (the per-fetch reply
-        // channel is what isolates them).
+        // must each get exactly their own blocks (the per-worker reply slot
+        // is what isolates them).
         use std::sync::Arc;
         let (g, ids) = fig2_toy();
         let cluster = Arc::new(GpCluster::spawn(&g, 3));
@@ -206,8 +398,9 @@ mod tests {
         for want in [ids.t1, ids.v1, ids.v2, ids.t2] {
             let cluster = Arc::clone(&cluster);
             handles.push(std::thread::spawn(move || {
+                let mut slot = ReplySlot::new();
                 for _ in 0..50 {
-                    let (blocks, _) = cluster.fetch(&[want]);
+                    let (blocks, _) = cluster.fetch(&[want], &mut slot).unwrap();
                     assert_eq!(blocks.len(), 1);
                     assert_eq!(blocks[0].node, want);
                 }

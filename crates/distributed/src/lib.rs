@@ -17,14 +17,21 @@
 //! arrived in a GP response, and the transfer volume is metered.
 //!
 //! The AP-side processors ([`DistributedTwoSBound`] /
-//! [`DistributedTwoSBoundPlus`]) mirror the single-machine engines
-//! operation for operation, so their results are **bit-identical** to
-//! `rtr_topk::TwoSBound` / `TwoSBoundPlus` under the same `TopKConfig` and
-//! [`rtr_topk::Scheme`] — which is what lets a serving layer route the
-//! same traffic to either execution backend (and share one result cache
-//! between them) without changing a single answer. One [`GpCluster`] is
-//! `Send + Sync` and serves any number of concurrent APs; per-worker
-//! [`DistributedWorkspace`]s make steady-state serving allocation-free.
+//! [`DistributedTwoSBoundPlus`]) do **not** fork the algorithm: they run
+//! the single-machine engines (`rtr_topk::TwoSBound` / `TwoSBoundPlus`)
+//! through the shared [`rtr_graph::AdjacencyAccess`] trait against an
+//! [`ActiveGraph`] that pages node blocks from the cluster. Results are
+//! therefore **bit-identical** to the local engines under the same
+//! `TopKConfig` and [`rtr_topk::Scheme`] *by construction* — which is what
+//! lets a serving layer route the same traffic to either execution backend
+//! (and share one result cache between them) without changing a single
+//! answer. The wire layer is where the distributed work happens: a
+//! cross-query [`BlockCache`] keyed to the graph epoch, batched frontier
+//! prefetch driven by the engines' `ensure` hints, and a reusable
+//! [`ReplySlot`] per worker so steady-state serving performs no channel
+//! setup. One [`GpCluster`] is `Send + Sync` and serves any number of
+//! concurrent APs; per-worker [`DistributedWorkspace`]s make steady-state
+//! serving allocation-free.
 //!
 //! ## Modules
 //!
@@ -41,9 +48,9 @@ pub mod dtopk;
 pub mod gp;
 pub mod stripe;
 
-pub use active::ActiveGraph;
+pub use active::{ActiveGraph, BlockCache};
 pub use dtopk::{
     DistributedStats, DistributedTwoSBound, DistributedTwoSBoundPlus, DistributedWorkspace,
 };
-pub use gp::GpCluster;
+pub use gp::{GpCluster, ReplySlot};
 pub use stripe::Striping;

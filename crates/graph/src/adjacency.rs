@@ -1,0 +1,261 @@
+//! The shared adjacency-access abstraction the bound engines run on.
+//!
+//! The paper's AP/GP architecture (Sect. V-B) runs the *same* 2SBound
+//! algorithm whether the graph is local or striped across graph processors;
+//! only the way adjacency is materialized differs. [`AdjacencyAccess`]
+//! captures exactly that seam: the read surface the engines need
+//! (`out_edges` / `in_edges` / degrees / footprints) plus one write-side
+//! hook, [`AdjacencyAccess::ensure`], through which an engine announces the
+//! nodes it is about to touch.
+//!
+//! * For an in-memory [`Graph`] (implemented on `&Graph`), `ensure` is a
+//!   no-op and every read is a direct CSR scan — zero overhead over calling
+//!   the inherent methods.
+//! * For a distributed active graph, `ensure` is where demand paging,
+//!   cross-query block caching, and frontier prefetch live; reads then
+//!   serve from resident blocks.
+//!
+//! Because the *one* generic engine implementation runs over both, local /
+//! distributed bit-identity is true by construction: there is no second
+//! copy of the algorithm to drift.
+
+use crate::graph::Graph;
+use crate::node::NodeId;
+
+/// What an [`ensure`](AdjacencyAccess::ensure) call says about the access
+/// pattern that will follow, so a remote-backed implementation can fetch
+/// ahead of demand.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FetchHint {
+    /// Only the requested nodes will be touched; fetch exactly those.
+    #[default]
+    Demand,
+    /// The requested nodes are a BCA-style expansion frontier: the *next*
+    /// round will demand out-neighbors of (a subset of) these nodes. An
+    /// implementation may prefetch those out-neighbors in the same round.
+    OutFrontier,
+    /// The requested nodes are a backward (t-neighborhood) frontier: the
+    /// next round will demand *in*-neighbors of (a subset of) these nodes.
+    InFrontier,
+}
+
+/// Failure to materialize adjacency from a remote source.
+///
+/// An in-memory graph never fails; a distributed implementation surfaces
+/// e.g. a dead graph-processor thread here, with `detail` naming the
+/// processor so the failure is diagnosable at the serving layer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AdjacencyError {
+    /// The backing adjacency source cannot serve blocks any more.
+    SourceUnavailable {
+        /// Human-readable description naming the failed component.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for AdjacencyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdjacencyError::SourceUnavailable { detail } => {
+                write!(f, "adjacency source unavailable: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AdjacencyError {}
+
+/// Uniform adjacency access for the bound engines.
+///
+/// The contract the engines rely on:
+///
+/// * Edge iterators yield `(neighbor, transition probability)` in ascending
+///   neighbor-id order — the same order for every implementation, which is
+///   what makes engine runs bit-identical across backends.
+/// * Reads (`out_edges`, `in_edges`, degrees, footprints) are only valid
+///   for nodes previously passed to [`ensure`](AdjacencyAccess::ensure)
+///   (an in-memory graph accepts any node; a paged implementation may
+///   panic on an un-ensured node).
+/// * `ensure` is idempotent and order-insensitive; callers pass node ids
+///   sorted ascending so implementations behave deterministically.
+pub trait AdjacencyAccess {
+    /// Concrete edge iterator type; yields `(neighbor, probability)`.
+    type Edges<'a>: Iterator<Item = (NodeId, f64)>
+    where
+        Self: 'a;
+
+    /// Number of nodes `|V|` of the underlying graph.
+    fn node_count(&self) -> usize;
+
+    /// `true` if any node of the underlying graph has a self-loop (the
+    /// bound engines fall back from Prop. 4 to the first-arrival bound).
+    fn has_self_loops(&self) -> bool;
+
+    /// Out-degree of `v`.
+    fn out_degree(&self, v: NodeId) -> usize;
+
+    /// In-degree of `v`.
+    fn in_degree(&self, v: NodeId) -> usize;
+
+    /// Resident bytes if `v` and its edges were copied into an active set.
+    fn node_footprint_bytes(&self, v: NodeId) -> usize;
+
+    /// Out-edges of `v` as `(target, M[v][target])`, ascending by target id.
+    fn out_edges(&self, v: NodeId) -> Self::Edges<'_>;
+
+    /// In-edges of `v` as `(source, M[source][v])`, ascending by source id.
+    fn in_edges(&self, v: NodeId) -> Self::Edges<'_>;
+
+    /// Make the adjacency of `ids` (sorted ascending, deduplicated)
+    /// readable. A no-op for in-memory graphs; a paged implementation
+    /// fetches whatever is missing — and, under
+    /// [`FetchHint::OutFrontier`], may prefetch the predicted next
+    /// frontier in the same round.
+    fn ensure(&mut self, ids: &[u32], hint: FetchHint) -> Result<(), AdjacencyError>;
+}
+
+/// Concrete edge-iterator type of the in-memory [`Graph`] implementation.
+pub type GraphEdges<'a> = std::iter::Zip<
+    std::iter::Copied<std::slice::Iter<'a, NodeId>>,
+    std::iter::Copied<std::slice::Iter<'a, f64>>,
+>;
+
+impl AdjacencyAccess for Graph {
+    type Edges<'a>
+        = GraphEdges<'a>
+    where
+        Self: 'a;
+
+    #[inline]
+    fn node_count(&self) -> usize {
+        Graph::node_count(self)
+    }
+
+    #[inline]
+    fn has_self_loops(&self) -> bool {
+        Graph::has_self_loops(self)
+    }
+
+    #[inline]
+    fn out_degree(&self, v: NodeId) -> usize {
+        Graph::out_degree(self, v)
+    }
+
+    #[inline]
+    fn in_degree(&self, v: NodeId) -> usize {
+        Graph::in_degree(self, v)
+    }
+
+    #[inline]
+    fn node_footprint_bytes(&self, v: NodeId) -> usize {
+        Graph::node_footprint_bytes(self, v)
+    }
+
+    #[inline]
+    fn out_edges(&self, v: NodeId) -> Self::Edges<'_> {
+        let (targets, probs) = self.out_edge_slices(v);
+        targets.iter().copied().zip(probs.iter().copied())
+    }
+
+    #[inline]
+    fn in_edges(&self, v: NodeId) -> Self::Edges<'_> {
+        let (sources, probs) = self.in_edge_slices(v);
+        sources.iter().copied().zip(probs.iter().copied())
+    }
+
+    /// Everything is always resident in an in-memory graph.
+    #[inline]
+    fn ensure(&mut self, _ids: &[u32], _hint: FetchHint) -> Result<(), AdjacencyError> {
+        Ok(())
+    }
+}
+
+/// A shared reference works too: this is the form the engines' generic
+/// entry points take for local execution, since callers hold `&Graph`
+/// (never `&mut Graph`) and the `ensure` no-op needs no real mutability.
+impl AdjacencyAccess for &Graph {
+    type Edges<'a>
+        = GraphEdges<'a>
+    where
+        Self: 'a;
+
+    #[inline]
+    fn node_count(&self) -> usize {
+        Graph::node_count(self)
+    }
+
+    #[inline]
+    fn has_self_loops(&self) -> bool {
+        Graph::has_self_loops(self)
+    }
+
+    #[inline]
+    fn out_degree(&self, v: NodeId) -> usize {
+        Graph::out_degree(self, v)
+    }
+
+    #[inline]
+    fn in_degree(&self, v: NodeId) -> usize {
+        Graph::in_degree(self, v)
+    }
+
+    #[inline]
+    fn node_footprint_bytes(&self, v: NodeId) -> usize {
+        Graph::node_footprint_bytes(self, v)
+    }
+
+    #[inline]
+    fn out_edges(&self, v: NodeId) -> Self::Edges<'_> {
+        let (targets, probs) = self.out_edge_slices(v);
+        targets.iter().copied().zip(probs.iter().copied())
+    }
+
+    #[inline]
+    fn in_edges(&self, v: NodeId) -> Self::Edges<'_> {
+        let (sources, probs) = self.in_edge_slices(v);
+        sources.iter().copied().zip(probs.iter().copied())
+    }
+
+    /// Everything is always resident in an in-memory graph.
+    #[inline]
+    fn ensure(&mut self, _ids: &[u32], _hint: FetchHint) -> Result<(), AdjacencyError> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::toy::fig2_toy;
+
+    #[test]
+    fn graph_impl_matches_inherent_accessors() {
+        let (g, _) = fig2_toy();
+        let mut a = &g;
+        a.ensure(&[0, 1, 2], FetchHint::OutFrontier).unwrap();
+        assert_eq!(AdjacencyAccess::node_count(&a), g.node_count());
+        assert_eq!(AdjacencyAccess::has_self_loops(&a), g.has_self_loops());
+        for v in g.nodes() {
+            assert_eq!(AdjacencyAccess::out_degree(&a, v), g.out_degree(v));
+            assert_eq!(AdjacencyAccess::in_degree(&a, v), g.in_degree(v));
+            assert_eq!(
+                AdjacencyAccess::node_footprint_bytes(&a, v),
+                g.node_footprint_bytes(v)
+            );
+            let trait_out: Vec<_> = AdjacencyAccess::out_edges(&a, v).collect();
+            let inherent_out: Vec<_> = g.out_edges(v).collect();
+            assert_eq!(trait_out, inherent_out);
+            let trait_in: Vec<_> = AdjacencyAccess::in_edges(&a, v).collect();
+            let inherent_in: Vec<_> = g.in_edges(v).collect();
+            assert_eq!(trait_in, inherent_in);
+        }
+    }
+
+    #[test]
+    fn error_display_names_the_source() {
+        let e = AdjacencyError::SourceUnavailable {
+            detail: "graph processor 3 is not running".into(),
+        };
+        assert!(e.to_string().contains("graph processor 3"));
+    }
+}

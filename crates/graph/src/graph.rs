@@ -250,6 +250,21 @@ impl Graph {
             .zip(self.in_probs[lo..hi].iter().copied())
     }
 
+    /// Out-edge slices `(targets, probs)` of `v` — the raw CSR row, for
+    /// the zero-cost [`crate::adjacency::AdjacencyAccess`] impl.
+    #[inline]
+    pub(crate) fn out_edge_slices(&self, v: NodeId) -> (&[NodeId], &[f64]) {
+        let (lo, hi) = (self.out_offsets[v.index()], self.out_offsets[v.index() + 1]);
+        (&self.out_targets[lo..hi], &self.out_probs[lo..hi])
+    }
+
+    /// In-edge slices `(sources, probs)` of `v`.
+    #[inline]
+    pub(crate) fn in_edge_slices(&self, v: NodeId) -> (&[NodeId], &[f64]) {
+        let (lo, hi) = (self.in_offsets[v.index()], self.in_offsets[v.index() + 1]);
+        (&self.in_sources[lo..hi], &self.in_probs[lo..hi])
+    }
+
     /// Out-neighbor ids only (no probabilities).
     #[inline]
     pub fn out_neighbors(&self, v: NodeId) -> &[NodeId] {

@@ -24,6 +24,9 @@
 //!
 //! ## Modules
 //!
+//! * [`adjacency`] — the [`AdjacencyAccess`] trait the bound engines run
+//!   on: one generic algorithm serves both the in-memory graph and the
+//!   distributed active graph (demand paging + prefetch behind `ensure`).
 //! * [`node`] — node identifiers, node types, and the type registry.
 //! * [`builder`] — mutable edge-list builder that produces a frozen [`Graph`].
 //! * [`graph`] — the frozen dual-CSR [`Graph`] itself.
@@ -63,6 +66,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod adjacency;
 pub mod builder;
 pub mod graph;
 pub mod io;
@@ -74,6 +78,7 @@ pub mod toy;
 pub mod view;
 pub mod wire;
 
+pub use adjacency::{AdjacencyAccess, AdjacencyError, FetchHint};
 pub use builder::GraphBuilder;
 pub use graph::Graph;
 pub use node::{NodeId, NodeTypeId, TypeRegistry};
@@ -81,6 +86,7 @@ pub use score_map::{NodeSet, ScoreMap, SparseMap};
 
 /// Convenient glob-import surface for downstream crates.
 pub mod prelude {
+    pub use crate::adjacency::{AdjacencyAccess, AdjacencyError, FetchHint};
     pub use crate::builder::GraphBuilder;
     pub use crate::graph::Graph;
     pub use crate::node::{NodeId, NodeTypeId, TypeRegistry};

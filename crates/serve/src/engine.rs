@@ -45,6 +45,12 @@ pub enum ServeError {
     /// The engine rejected or failed the query (e.g. an out-of-range node
     /// id, an invalid β).
     Query(CoreError),
+    /// The execution backend failed *underneath* a valid query — e.g. a
+    /// dead graph processor. The detail names the failed component
+    /// ("graph processor 2 is not running"), so an operator can tell a bad
+    /// request from a sick backend at a glance. The worker's buffers
+    /// survive; it keeps serving.
+    Backend(String),
     /// The query panicked inside the engine; the worker caught it,
     /// discarded its (possibly mid-mutation) workspace, and kept serving.
     Panicked(String),
@@ -54,6 +60,7 @@ impl fmt::Display for ServeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ServeError::Query(e) => write!(f, "query failed: {e}"),
+            ServeError::Backend(msg) => write!(f, "backend failed: {msg}"),
             ServeError::Panicked(msg) => write!(f, "query panicked: {msg}"),
         }
     }
@@ -63,7 +70,12 @@ impl std::error::Error for ServeError {}
 
 impl From<CoreError> for ServeError {
     fn from(e: CoreError) -> Self {
-        ServeError::Query(e)
+        match e {
+            // An adjacency-source failure is the backend's fault, not the
+            // request's: surface it distinctly, naming the component.
+            CoreError::Adjacency(a) => ServeError::Backend(a.to_string()),
+            e => ServeError::Query(e),
+        }
     }
 }
 
@@ -95,7 +107,7 @@ impl QueryOutput {
         QueryOutput {
             id: response.id,
             query: response.request.query.nodes()[0],
-            result: response.result,
+            result: response.result.map(Arc::unwrap_or_clone),
             queue_wait: response.queue_wait,
             compute: response.compute,
         }
@@ -145,16 +157,17 @@ impl Shared {
     /// Resolve a request's route — its per-request override, else the
     /// engine default — to the backend that will execute it. A route to a
     /// backend the engine did not construct falls back to local,
-    /// deterministically (and the outcome records what actually ran).
-    fn backend_for(&self, request: &ResolvedRequest) -> &dyn ExecBackend {
+    /// deterministically; the second return is `true` exactly when that
+    /// happened, and the response records it (`routed_fallback`) so a
+    /// silently-absent backend is visible to the caller.
+    fn backend_for(&self, request: &ResolvedRequest) -> (&dyn ExecBackend, bool) {
         let wanted = request.route.unwrap_or(self.config.backend.kind());
         match wanted {
-            BackendKind::Local => &self.local,
-            BackendKind::Distributed => self
-                .distributed
-                .as_ref()
-                .map(|d| d as &dyn ExecBackend)
-                .unwrap_or(&self.local),
+            BackendKind::Local => (&self.local, false),
+            BackendKind::Distributed => match self.distributed.as_ref() {
+                Some(d) => (d as &dyn ExecBackend, false),
+                None => (&self.local, true),
+            },
         }
     }
 
@@ -167,12 +180,12 @@ impl Shared {
         ws: &mut ServeWorkspace,
     ) -> Result<ExecOutcome, ServeError> {
         self.computed.fetch_add(1, Ordering::Relaxed);
-        let backend = self.backend_for(request);
+        let (backend, _) = self.backend_for(request);
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             backend.execute(&self.graph, request, ws)
         }));
         match result {
-            Ok(r) => r.map_err(ServeError::Query),
+            Ok(r) => r.map_err(ServeError::from),
             Err(panic) => {
                 // The workspace may have been mid-mutation when the panic
                 // unwound through it.
@@ -190,9 +203,9 @@ impl Shared {
         &self,
         request: &ResolvedRequest,
         ws: &mut ServeWorkspace,
-    ) -> (Result<ExecOutcome, ServeError>, bool) {
+    ) -> (Result<Arc<ExecOutcome>, ServeError>, bool) {
         let Some(cache) = &self.cache else {
-            return (self.compute(request, ws), false);
+            return (self.compute(request, ws).map(Arc::new), false);
         };
         let key = request.cache_key(self.graph.epoch());
         loop {
@@ -201,13 +214,14 @@ impl Shared {
                 // output-relevant input is in the (backend-agnostic) key,
                 // so the cached ranking is bit-identical to what a fresh
                 // run on *either* backend would produce. The stored
-                // outcome keeps the original computation's provenance.
-                return (Ok((*hit).clone()), true);
+                // outcome keeps the original computation's provenance —
+                // and serving it is a refcount bump, not a deep clone.
+                return (Ok(hit), true);
             }
             if !self.config.single_flight {
-                let result = self.compute(request, ws);
+                let result = self.compute(request, ws).map(Arc::new);
                 if let Ok(r) = &result {
-                    cache.insert(key, Arc::new(r.clone()));
+                    cache.insert(key, Arc::clone(r));
                 }
                 return (result, false);
             }
@@ -218,11 +232,11 @@ impl Shared {
                 // Every insert happens under ownership of the key, so an
                 // owner's recheck-miss is authoritative.
                 let (result, from_cache) = match cache.recheck(&key) {
-                    Some(hit) => (Ok((*hit).clone()), true),
+                    Some(hit) => (Ok(hit), true),
                     None => {
-                        let result = self.compute(request, ws);
+                        let result = self.compute(request, ws).map(Arc::new);
                         if let Ok(r) = &result {
-                            cache.insert(key.clone(), Arc::new(r.clone()));
+                            cache.insert(key.clone(), Arc::clone(r));
                         }
                         (result, false)
                     }
@@ -292,19 +306,23 @@ impl ServeEngine {
                         let picked = Instant::now();
                         let queue_wait = picked.duration_since(job.enqueued);
                         let (served, from_cache) = shared.serve(&job.request, &mut ws);
+                        let routed_fallback = shared.backend_for(&job.request).1;
                         let (result, backend, distributed) = match served {
-                            Ok(outcome) => {
-                                (Ok(outcome.result), outcome.backend, outcome.distributed)
-                            }
+                            Ok(outcome) => (
+                                Ok(Arc::clone(&outcome.result)),
+                                outcome.backend,
+                                outcome.distributed,
+                            ),
                             // A failed request reports the backend it was
                             // routed to (nothing produced a ranking).
-                            Err(e) => (Err(e), shared.backend_for(&job.request).kind(), None),
+                            Err(e) => (Err(e), shared.backend_for(&job.request).0.kind(), None),
                         };
                         let response = QueryResponse {
                             id: job.id,
                             request: job.request,
                             result,
                             backend,
+                            routed_fallback,
                             distributed,
                             from_cache,
                             queue_wait,
@@ -483,12 +501,19 @@ pub fn run_serial_requests(
         .map(|(id, request)| {
             let resolved = request.resolve(config);
             let started = Instant::now();
-            let result = resolved.run(g, &mut ws).map_err(ServeError::from);
+            let result = resolved
+                .run(g, &mut ws)
+                .map(Arc::new)
+                .map_err(ServeError::from);
+            // The serial reference has no distributed backend at all, so a
+            // distributed route is by definition a recorded fallback.
+            let routed_fallback = resolved.route == Some(BackendKind::Distributed);
             QueryResponse {
                 id,
                 request: resolved,
                 result,
                 backend: BackendKind::Local,
+                routed_fallback,
                 distributed: None,
                 from_cache: false,
                 queue_wait: Duration::ZERO,
@@ -836,7 +861,14 @@ mod tests {
                 && matches!(d.request.measure, Measure::Rtr | Measure::RtrPlus { .. });
             if genuinely_distributed {
                 assert_eq!(d.backend, BackendKind::Distributed);
-                assert!(d.distributed.unwrap().bytes_transferred > 0);
+                // Wire bytes may be zero once the worker's block cache is
+                // warm; the per-query active-set accounting always holds.
+                let stats = d.distributed.unwrap();
+                assert!(stats.active_nodes > 0);
+                assert_eq!(
+                    stats.blocks_fetched + stats.blocks_from_cache,
+                    stats.active_nodes
+                );
             } else {
                 assert_eq!(d.backend, BackendKind::Local);
                 assert!(d.distributed.is_none());
@@ -885,6 +917,80 @@ mod tests {
         assert!(response.result.is_err());
         assert_eq!(response.backend, BackendKind::Distributed);
         assert!(response.distributed.is_none());
+    }
+
+    #[test]
+    fn distributed_route_on_local_engine_records_fallback() {
+        // A local-only engine routed a Distributed request must serve it
+        // locally AND say so: backend == Local, routed_fallback == true.
+        let (engine, ids) = toy_engine(2);
+        assert!(engine.distributed_backend().is_none());
+        let response = engine
+            .submit(QueryRequest::node(ids.t1).with_backend(BackendKind::Distributed))
+            .wait();
+        assert!(response.result.is_ok());
+        assert_eq!(response.backend, BackendKind::Local);
+        assert!(response.routed_fallback, "substitution must be recorded");
+        // The same route through the serial reference is flagged too.
+        let serial = run_serial_requests(
+            engine.graph(),
+            engine.config(),
+            &[QueryRequest::node(ids.t1).with_backend(BackendKind::Distributed)],
+        );
+        assert!(serial[0].routed_fallback);
+    }
+
+    #[test]
+    fn honored_routes_do_not_claim_fallback() {
+        let (g, ids) = fig2_toy();
+        let config = ServeConfig::default()
+            .with_workers(2)
+            .with_topk(TopKConfig::toy())
+            .with_backend(Backend::Distributed { gps: 2 });
+        let engine = ServeEngine::start(Arc::new(g), config);
+        for request in [
+            QueryRequest::node(ids.t1),
+            QueryRequest::node(ids.t1).with_backend(BackendKind::Distributed),
+            QueryRequest::node(ids.t1).with_backend(BackendKind::Local),
+        ] {
+            let response = engine.submit(request).wait();
+            assert!(response.result.is_ok());
+            assert!(!response.routed_fallback, "route was honored");
+        }
+    }
+
+    #[test]
+    fn dead_gp_surfaces_as_backend_error_naming_it() {
+        let (g, ids) = fig2_toy();
+        let config = ServeConfig::default()
+            .with_workers(1)
+            .with_topk(TopKConfig::toy())
+            .with_backend(Backend::Distributed { gps: 2 });
+        let engine = ServeEngine::start(Arc::new(g), config);
+        engine
+            .distributed_backend()
+            .expect("distributed engine")
+            .cluster()
+            .kill_gp(1);
+        // The toy graph's frontier spans both stripes, so the query must
+        // hit the dead GP — and fail as a *backend* error naming it, not a
+        // query error.
+        let response = engine.submit(QueryRequest::node(ids.t1)).wait();
+        match &response.result {
+            Err(ServeError::Backend(msg)) => {
+                assert!(msg.contains("graph processor 1"), "got: {msg}");
+            }
+            other => panic!("expected a backend error, got {other:?}"),
+        }
+        // The worker survived with usable buffers: a local-routed request
+        // on the same worker still serves.
+        let ok = engine
+            .submit(QueryRequest::node(ids.t1).with_backend(BackendKind::Local))
+            .wait();
+        assert!(ok.result.is_ok());
+        assert_eq!(ok.backend, BackendKind::Local);
+        // Engine drop (GpCluster drop with a dead GP) must not hang.
+        engine.shutdown();
     }
 
     #[test]

@@ -18,6 +18,7 @@ use crate::request::ResolvedRequest;
 use crossbeam::channel::Receiver;
 use rtr_distributed::DistributedStats;
 use rtr_topk::TopKResult;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// One served request's outcome.
@@ -29,14 +30,22 @@ pub struct QueryResponse {
     /// The request exactly as it ran: canonical query, measure, and the
     /// params/topk/scheme actually used after fallback resolution.
     pub request: ResolvedRequest,
-    /// The ranking, or the per-request error.
-    pub result: Result<TopKResult, ServeError>,
+    /// The ranking, or the per-request error. The result is shared
+    /// (`Arc`): a cache hit hands out another reference to the stored
+    /// ranking instead of deep-cloning its vectors.
+    pub result: Result<Arc<TopKResult>, ServeError>,
     /// Which backend produced the ranking. For a cache hit this is the
     /// backend that originally computed the entry (backends are
     /// bit-identical, so entries are shared across them — provenance is
     /// preserved with the cached value); for a failed request, the backend
     /// that was routed to.
     pub backend: BackendKind,
+    /// `true` when this request's per-query route asked for a backend the
+    /// engine does not have (e.g. [`BackendKind::Distributed`] on a
+    /// local-only engine) and the engine deterministically fell back to
+    /// local execution. Routing never changes the answer; this flag makes
+    /// the substitution observable instead of silent.
+    pub routed_fallback: bool,
     /// Wire cost of a genuinely distributed execution (`None` for local
     /// runs, recorded fallbacks, and failed requests). Preserved through
     /// the cache: a hit reports the cost the original computation paid —

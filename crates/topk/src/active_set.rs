@@ -6,7 +6,7 @@
 //! byte size against graph snapshots; this module computes the same
 //! quantity.
 
-use rtr_graph::{Graph, NodeId, NodeSet};
+use rtr_graph::{AdjacencyAccess, Graph, NodeId, NodeSet};
 
 /// Size statistics of one query's active set.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -42,7 +42,20 @@ impl ActiveSetStats {
         I: IntoIterator<Item = NodeId>,
         J: IntoIterator<Item = NodeId>,
     {
-        union.ensure_capacity(g.node_count());
+        Self::measure_in_access(union, g, f_nodes, t_nodes)
+    }
+
+    /// [`ActiveSetStats::measure_in`] over any [`AdjacencyAccess`] source:
+    /// the generic engines measure through the same trait they ran on, so a
+    /// paged source reports the same numbers as the in-memory graph. Every
+    /// measured node must be resident.
+    pub fn measure_in_access<A, I, J>(union: &mut NodeSet, a: &A, f_nodes: I, t_nodes: J) -> Self
+    where
+        A: AdjacencyAccess,
+        I: IntoIterator<Item = NodeId>,
+        J: IntoIterator<Item = NodeId>,
+    {
+        union.ensure_capacity(a.node_count());
         union.clear();
         let mut f_count = 0usize;
         let mut t_count = 0usize;
@@ -58,8 +71,8 @@ impl ActiveSetStats {
         let mut bytes = 0usize;
         for v in union.iter() {
             let v = NodeId(v);
-            edges += g.out_degree(v) + g.in_degree(v);
-            bytes += g.node_footprint_bytes(v);
+            edges += a.out_degree(v) + a.in_degree(v);
+            bytes += a.node_footprint_bytes(v);
         }
         ActiveSetStats {
             f_nodes: f_count,

@@ -22,7 +22,7 @@ use crate::bounds::Bounds;
 use crate::workspace::FWorkspace;
 use rtr_core::bca::Bca;
 use rtr_core::{CoreError, RankParams};
-use rtr_graph::{Graph, NodeId, SparseMap};
+use rtr_graph::{AdjacencyAccess, AdjacencyError, NodeId, SparseMap};
 
 /// Which Stage-I/II realization the f-neighborhood uses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -38,34 +38,39 @@ pub enum FBoundMode {
 /// Per-query state lives in an [`FWorkspace`]; [`FNeighborhood::new`]
 /// allocates a fresh one, [`FNeighborhood::with_workspace`] reuses a
 /// worker's buffers.
-pub struct FNeighborhood<'g> {
-    g: &'g Graph,
+///
+/// The graph is not captured: expansion and refinement take the
+/// [`AdjacencyAccess`] they run against, so the same neighborhood drives
+/// the in-memory graph and the distributed active graph alike.
+pub struct FNeighborhood {
     q: NodeId,
     alpha: f64,
     mode: FBoundMode,
-    bca: Bca<'g>,
+    bca: Bca,
     bounds: SparseMap<Bounds>,
     order: Vec<u32>,
     unseen_upper: f64,
 }
 
-impl<'g> FNeighborhood<'g> {
+impl FNeighborhood {
     /// Initialize for query `q` (empty neighborhood, one unit of residual
     /// at the query, unseen bound from the initial residual state).
-    pub fn new(
-        g: &'g Graph,
+    pub fn new<A: AdjacencyAccess>(
+        a: &A,
         q: NodeId,
         params: &RankParams,
         mode: FBoundMode,
     ) -> Result<Self, CoreError> {
-        Self::with_workspace(g, q, params, mode, FWorkspace::default())
+        Self::with_workspace(a, q, params, mode, FWorkspace::default())
     }
 
     /// Initialize like [`FNeighborhood::new`] but reusing `ws`'s buffers
     /// (cleared in O(previous query's touched entries)). Recover the
-    /// workspace with [`FNeighborhood::into_workspace`].
-    pub fn with_workspace(
-        g: &'g Graph,
+    /// workspace with [`FNeighborhood::into_workspace`]. Touches no
+    /// adjacency — a paged source fetches nothing until the first
+    /// expansion.
+    pub fn with_workspace<A: AdjacencyAccess>(
+        a: &A,
         q: NodeId,
         params: &RankParams,
         mode: FBoundMode,
@@ -76,12 +81,11 @@ impl<'g> FNeighborhood<'g> {
             mut bounds,
             mut order,
         } = ws;
-        let bca = Bca::with_workspace(g, q, params, bca_ws)?;
-        bounds.ensure_capacity(g.node_count());
+        let bca = Bca::with_workspace(a, q, params, bca_ws)?;
+        bounds.ensure_capacity(a.node_count());
         bounds.clear();
         order.clear();
         let mut nb = FNeighborhood {
-            g,
             q,
             alpha: params.alpha,
             mode,
@@ -112,8 +116,12 @@ impl<'g> FNeighborhood<'g> {
 
     /// Stage I: expand by up to `m` nodes and (re)initialize bounds.
     /// Returns the number of nodes processed.
-    pub fn expand(&mut self, m: usize) -> usize {
-        let picked = self.bca.process_batch_count(m);
+    pub fn expand<A: AdjacencyAccess>(
+        &mut self,
+        a: &mut A,
+        m: usize,
+    ) -> Result<usize, AdjacencyError> {
+        let picked = self.bca.process_batch_count(a, m)?;
         self.unseen_upper = self.fresh_unseen_upper();
         // (Re)initialize: ρ is a valid lower bound, ρ + f̂(q) an upper bound.
         // Previous expansions' refined bounds are kept when tighter
@@ -125,13 +133,19 @@ impl<'g> FNeighborhood<'g> {
             entry.tighten_lower(rho);
             entry.tighten_upper(rho + unseen);
         }
-        picked
+        Ok(picked)
     }
 
     /// Stage II: iteratively refine all seen bounds over `S_f` using the
     /// in-neighbor recurrence, until convergence (no-op in Gupta mode).
-    /// Returns the number of sweeps performed.
-    pub fn refine(&mut self, tolerance: f64, max_sweeps: usize) -> usize {
+    /// Returns the number of sweeps performed. Touches only members'
+    /// adjacency, which [`FNeighborhood::expand`] already made resident.
+    pub fn refine<A: AdjacencyAccess>(
+        &mut self,
+        a: &A,
+        tolerance: f64,
+        max_sweeps: usize,
+    ) -> usize {
         if self.mode == FBoundMode::Gupta {
             return 0;
         }
@@ -146,7 +160,7 @@ impl<'g> FNeighborhood<'g> {
                 let indicator = if v == self.q { self.alpha } else { 0.0 };
                 let mut lo_acc = 0.0;
                 let mut hi_acc = 0.0;
-                for (src, prob) in self.g.in_edges(v) {
+                for (src, prob) in a.in_edges(v) {
                     match self.bounds.get(src.0) {
                         Some(b) => {
                             lo_acc += prob * b.lower;
@@ -218,6 +232,7 @@ mod tests {
     use super::*;
     use rtr_core::prelude::*;
     use rtr_graph::toy::fig2_toy;
+    use rtr_graph::Graph;
 
     fn exact_frank(g: &Graph, q: NodeId) -> ScoreVec {
         FRank::new(RankParams::default())
@@ -232,8 +247,8 @@ mod tests {
         let mut nb =
             FNeighborhood::new(&g, ids.t1, &RankParams::default(), FBoundMode::TwoStage).unwrap();
         for round in 0..12 {
-            nb.expand(3);
-            nb.refine(1e-12, 50);
+            nb.expand(&mut &g, 3).unwrap();
+            nb.refine(&g, 1e-12, 50);
             for v in g.nodes() {
                 let b = nb.effective_bounds(v);
                 assert!(
@@ -252,9 +267,9 @@ mod tests {
         let (g, ids) = fig2_toy();
         let mut nb =
             FNeighborhood::new(&g, ids.t1, &RankParams::default(), FBoundMode::TwoStage).unwrap();
-        nb.expand(4);
+        nb.expand(&mut &g, 4).unwrap();
         let before: f64 = nb.seen().map(|(_, b)| b.width()).sum();
-        nb.refine(1e-12, 50);
+        nb.refine(&g, 1e-12, 50);
         let after: f64 = nb.seen().map(|(_, b)| b.width()).sum();
         assert!(after <= before + 1e-12, "refinement widened bounds");
     }
@@ -266,10 +281,10 @@ mod tests {
         let mut ours = FNeighborhood::new(&g, ids.t1, &p, FBoundMode::TwoStage).unwrap();
         let mut gupta = FNeighborhood::new(&g, ids.t1, &p, FBoundMode::Gupta).unwrap();
         for _ in 0..5 {
-            ours.expand(3);
-            ours.refine(1e-12, 50);
-            gupta.expand(3);
-            gupta.refine(1e-12, 50);
+            ours.expand(&mut &g, 3).unwrap();
+            ours.refine(&g, 1e-12, 50);
+            gupta.expand(&mut &g, 3).unwrap();
+            gupta.refine(&g, 1e-12, 50);
         }
         assert!(
             ours.unseen_upper() < gupta.unseen_upper(),
@@ -290,7 +305,7 @@ mod tests {
         let mut nb =
             FNeighborhood::new(&g, ids.t1, &RankParams::default(), FBoundMode::Gupta).unwrap();
         for _ in 0..10 {
-            nb.expand(3);
+            nb.expand(&mut &g, 3).unwrap();
             for v in g.nodes() {
                 let b = nb.effective_bounds(v);
                 assert!(b.contains(exact.score(v), 1e-9));
@@ -305,7 +320,7 @@ mod tests {
             FNeighborhood::new(&g, ids.t1, &RankParams::default(), FBoundMode::TwoStage).unwrap();
         let mut prev = nb.unseen_upper();
         for _ in 0..8 {
-            nb.expand(5);
+            nb.expand(&mut &g, 5).unwrap();
             let cur = nb.unseen_upper();
             assert!(cur <= prev + 1e-12);
             prev = cur;
@@ -320,8 +335,8 @@ mod tests {
         let mut nb =
             FNeighborhood::new(&g, ids.t1, &RankParams::default(), FBoundMode::TwoStage).unwrap();
         for _ in 0..60 {
-            nb.expand(10);
-            nb.refine(1e-14, 100);
+            nb.expand(&mut &g, 10).unwrap();
+            nb.refine(&g, 1e-14, 100);
             if nb.residual() < 1e-10 {
                 break;
             }
@@ -343,7 +358,7 @@ mod tests {
         let mut nb =
             FNeighborhood::new(&g, ids.t1, &RankParams::default(), FBoundMode::TwoStage).unwrap();
         assert!(nb.is_empty());
-        nb.expand(100);
+        nb.expand(&mut &g, 100).unwrap();
         assert_eq!(nb.len(), 1);
         assert!(nb.contains(ids.t1));
     }

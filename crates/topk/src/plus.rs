@@ -25,7 +25,7 @@ use crate::tbound::TNeighborhood;
 use crate::two_sbound::TopKResult;
 use crate::workspace::TopKWorkspace;
 use rtr_core::{CoreError, RankParams};
-use rtr_graph::{Graph, NodeId};
+use rtr_graph::{AdjacencyAccess, AdjacencyError, Graph, NodeId};
 
 const TIE_EPS: f64 = 1e-12;
 
@@ -99,28 +99,43 @@ impl TwoSBoundPlus {
         q: NodeId,
         ws: &mut TopKWorkspace,
     ) -> Result<TopKResult, CoreError> {
+        let mut a = g;
+        self.run_on(&mut a, q, ws)
+    }
+
+    /// Run the β-weighted top-K search over any [`AdjacencyAccess`] source —
+    /// the single implementation behind both the local and the distributed
+    /// executors, mirroring [`crate::TwoSBound::run_on`]. A mid-run
+    /// adjacency failure restores `ws`'s buffers before returning the error.
+    pub fn run_on<A: AdjacencyAccess>(
+        &self,
+        a: &mut A,
+        q: NodeId,
+        ws: &mut TopKWorkspace,
+    ) -> Result<TopKResult, CoreError> {
         let cfg = &self.config;
         // Validate before borrowing any workspace buffer: a rejected query
         // must not cost the worker its buffers.
         self.params.validate()?;
-        if q.index() >= g.node_count() {
+        if q.index() >= a.node_count() {
             return Err(CoreError::NodeOutOfRange {
                 node: q,
-                node_count: g.node_count(),
+                node_count: a.node_count(),
             });
         }
         let f_ws = std::mem::take(&mut ws.f);
-        let mut f = FNeighborhood::with_workspace(g, q, &self.params, self.scheme.f_mode(), f_ws)?;
+        let mut f =
+            FNeighborhood::with_workspace(&*a, q, &self.params, self.scheme.f_mode(), f_ws)?;
         let t_ws = std::mem::take(&mut ws.t);
         let mut t =
-            match TNeighborhood::with_workspace(g, q, &self.params, self.scheme.t_mode(), t_ws) {
+            match TNeighborhood::with_workspace(&*a, q, &self.params, self.scheme.t_mode(), t_ws) {
                 Ok(t) => t,
                 Err(e) => {
                     ws.f = f.into_workspace();
                     return Err(e);
                 }
             };
-        let k = cfg.k.min(g.node_count());
+        let k = cfg.k.min(a.node_count());
         if k == 0 {
             // K = 0 (or an empty graph): trivial answer; `conditions_hold`
             // indexes members[k-1] and must not see it.
@@ -135,16 +150,34 @@ impl TwoSBoundPlus {
             });
         }
         let refine_tol = cfg.refine_tolerance.max(cfg.epsilon * 1e-2);
-        let (wa, wb) = (1.0 - self.beta, self.beta);
+        let result = self.search(a, &mut f, &mut t, ws, k, refine_tol);
+        ws.f = f.into_workspace();
+        ws.t = t.into_workspace();
+        result.map_err(CoreError::from)
+    }
 
+    /// The expansion / refinement / stopping loop, factored out so
+    /// [`TwoSBoundPlus::run_on`] has a single workspace-restore point
+    /// covering both the success and the error path.
+    fn search<A: AdjacencyAccess>(
+        &self,
+        a: &mut A,
+        f: &mut FNeighborhood,
+        t: &mut TNeighborhood,
+        ws: &mut TopKWorkspace,
+        k: usize,
+        refine_tol: f64,
+    ) -> Result<TopKResult, AdjacencyError> {
+        let cfg = &self.config;
+        let (wa, wb) = (1.0 - self.beta, self.beta);
         let members = &mut ws.members;
         let mut expansions = 0usize;
-        let result = loop {
+        loop {
             expansions += 1;
-            f.expand(cfg.m_f);
-            f.refine(refine_tol, cfg.refine_max_sweeps);
-            t.expand(cfg.m_t);
-            t.refine(refine_tol, cfg.refine_max_sweeps);
+            f.expand(&mut *a, cfg.m_f)?;
+            f.refine(&*a, refine_tol, cfg.refine_max_sweeps);
+            t.expand(&mut *a, cfg.m_t)?;
+            t.refine(&*a, refine_tol, cfg.refine_max_sweeps);
 
             members.clear();
             members.extend(
@@ -176,25 +209,22 @@ impl TwoSBoundPlus {
             let done = members.len() >= k && conditions_hold(members, k, cfg.epsilon, r_unseen);
             let exhausted = f.residual() < 1e-15 && t.unseen_upper() == 0.0;
             if done || exhausted || expansions >= cfg.max_expansions {
-                let active = ActiveSetStats::measure_in(
+                let active = ActiveSetStats::measure_in_access(
                     &mut ws.active,
-                    g,
+                    &*a,
                     f.seen().map(|(v, _)| v),
                     t.seen().map(|(v, _)| v),
                 );
                 members.truncate(k);
-                break TopKResult {
+                return Ok(TopKResult {
                     ranking: members.iter().map(|&(v, _)| v).collect(),
                     bounds: members.iter().map(|&(_, b)| (b.lower, b.upper)).collect(),
                     expansions,
                     converged: done,
                     active,
-                };
+                });
             }
-        };
-        ws.f = f.into_workspace();
-        ws.t = t.into_workspace();
-        Ok(result)
+        }
     }
 }
 

@@ -24,7 +24,7 @@
 use crate::bounds::Bounds;
 use crate::workspace::TWorkspace;
 use rtr_core::{CoreError, RankParams};
-use rtr_graph::{Graph, NodeId, SparseMap};
+use rtr_graph::{AdjacencyAccess, AdjacencyError, FetchHint, NodeId, SparseMap};
 
 /// Which Stage-II realization the t-neighborhood uses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -40,8 +40,11 @@ pub enum TBoundMode {
 /// Per-query state lives in a [`TWorkspace`]; [`TNeighborhood::new`]
 /// allocates a fresh one, [`TNeighborhood::with_workspace`] reuses a
 /// worker's buffers.
-pub struct TNeighborhood<'g> {
-    g: &'g Graph,
+///
+/// The graph is not captured: expansion and refinement take the
+/// [`AdjacencyAccess`] they run against, so the same neighborhood drives
+/// the in-memory graph and the distributed active graph alike.
+pub struct TNeighborhood {
     q: NodeId,
     alpha: f64,
     mode: TBoundMode,
@@ -51,33 +54,35 @@ pub struct TNeighborhood<'g> {
     unseen_upper: f64,
 }
 
-impl<'g> TNeighborhood<'g> {
+impl TNeighborhood {
     /// Initialize with the paper's first expansion: `S_t = {q}`,
     /// `ť(q,q) = α`, `t̂(q,q) = 1`, `t̂(q) = 1-α`.
-    pub fn new(
-        g: &'g Graph,
+    pub fn new<A: AdjacencyAccess>(
+        a: &A,
         q: NodeId,
         params: &RankParams,
         mode: TBoundMode,
     ) -> Result<Self, CoreError> {
-        Self::with_workspace(g, q, params, mode, TWorkspace::default())
+        Self::with_workspace(a, q, params, mode, TWorkspace::default())
     }
 
     /// Initialize like [`TNeighborhood::new`] but reusing `ws`'s buffers
     /// (cleared in O(previous query's touched entries)). Recover the
-    /// workspace with [`TNeighborhood::into_workspace`].
-    pub fn with_workspace(
-        g: &'g Graph,
+    /// workspace with [`TNeighborhood::into_workspace`]. Touches no
+    /// adjacency — a paged source fetches nothing until the first
+    /// expansion.
+    pub fn with_workspace<A: AdjacencyAccess>(
+        a: &A,
         q: NodeId,
         params: &RankParams,
         mode: TBoundMode,
         ws: TWorkspace,
     ) -> Result<Self, CoreError> {
         params.validate()?;
-        if q.index() >= g.node_count() {
+        if q.index() >= a.node_count() {
             return Err(CoreError::NodeOutOfRange {
                 node: q,
-                node_count: g.node_count(),
+                node_count: a.node_count(),
             });
         }
         let TWorkspace {
@@ -85,7 +90,7 @@ impl<'g> TNeighborhood<'g> {
             mut order,
             mut border,
         } = ws;
-        bounds.ensure_capacity(g.node_count());
+        bounds.ensure_capacity(a.node_count());
         bounds.clear();
         order.clear();
         border.clear();
@@ -97,7 +102,6 @@ impl<'g> TNeighborhood<'g> {
             },
         );
         Ok(TNeighborhood {
-            g,
             q,
             alpha: params.alpha,
             mode,
@@ -118,25 +122,25 @@ impl<'g> TNeighborhood<'g> {
     }
 
     /// Whether `v` is a border node of the member set: in `S_t` with an
-    /// in-neighbor outside.
-    fn is_border_of(g: &Graph, bounds: &SparseMap<Bounds>, v: NodeId) -> bool {
-        g.in_neighbors(v).iter().any(|n| !bounds.contains(n.0))
+    /// in-neighbor outside. `v`'s adjacency must be resident.
+    fn is_border_of<A: AdjacencyAccess>(a: &A, bounds: &SparseMap<Bounds>, v: NodeId) -> bool {
+        a.in_edges(v).any(|(n, _)| !bounds.contains(n.0))
     }
 
     /// Current border nodes `∂(S_t)`.
-    pub fn border(&self) -> Vec<NodeId> {
+    pub fn border<A: AdjacencyAccess>(&self, a: &A) -> Vec<NodeId> {
         self.bounds
             .keys()
             .map(NodeId)
-            .filter(|&v| Self::is_border_of(self.g, &self.bounds, v))
+            .filter(|&v| Self::is_border_of(a, &self.bounds, v))
             .collect()
     }
 
-    fn recompute_unseen_upper(&mut self) {
+    fn recompute_unseen_upper<A: AdjacencyAccess>(&mut self, a: &A) {
         let max_border = self
             .bounds
             .iter()
-            .filter(|&(v, _)| Self::is_border_of(self.g, &self.bounds, NodeId(v)))
+            .filter(|&(v, _)| Self::is_border_of(a, &self.bounds, NodeId(v)))
             .map(|(_, b)| b.upper)
             .fold(f64::NEG_INFINITY, f64::max);
         let fresh = if max_border.is_finite() {
@@ -153,17 +157,30 @@ impl<'g> TNeighborhood<'g> {
     /// Stage I: absorb the in-neighbors of up to `m` highest-upper border
     /// nodes; initialize newcomers to `[0, previous unseen bound]`; refresh
     /// the unseen bound. Returns the number of newly added nodes.
-    pub fn expand(&mut self, m: usize) -> usize {
+    pub fn expand<A: AdjacencyAccess>(
+        &mut self,
+        a: &mut A,
+        m: usize,
+    ) -> Result<usize, AdjacencyError> {
+        // Announce the member set before the border scan reads its in-edges.
+        // Round 1 this fetches {q}; afterwards every member is already
+        // resident and this is a no-op — but the `InFrontier` hint lets a
+        // paged source prefetch the members' missing in-neighbors, which
+        // are exactly the nodes the coming absorptions will demand.
+        self.order.clear();
+        self.order.extend(self.bounds.keys());
+        self.order.sort_unstable();
+        a.ensure(&self.order, FetchHint::InFrontier)?;
         let border = &mut self.border_scratch;
         border.clear();
         for (v, b) in self.bounds.iter() {
-            if Self::is_border_of(self.g, &self.bounds, NodeId(v)) {
+            if Self::is_border_of(a, &self.bounds, NodeId(v)) {
                 border.push((v, b.upper));
             }
         }
         if border.is_empty() {
-            self.recompute_unseen_upper();
-            return 0;
+            self.recompute_unseen_upper(a);
+            return Ok(0);
         }
         let take = m.min(border.len()).max(1);
         // Ties break by node id for run-to-run reproducibility.
@@ -176,25 +193,37 @@ impl<'g> TNeighborhood<'g> {
 
         let prev_unseen = self.unseen_upper;
         let mut added = 0usize;
+        // `order` doubles as the newcomer list: the refresh below needs the
+        // newcomers' in-edges resident (and refine rebuilds `order` anyway).
+        self.order.clear();
         for i in 0..take {
             let u = NodeId(self.border_scratch[i].0);
-            for &src in self.g.in_neighbors(u) {
+            for (src, _) in a.in_edges(u) {
                 if self
                     .bounds
                     .insert_if_vacant(src.0, Bounds::unseen(prev_unseen))
                 {
                     added += 1;
+                    self.order.push(src.0);
                 }
             }
         }
-        self.recompute_unseen_upper();
-        added
+        self.order.sort_unstable();
+        a.ensure(&self.order, FetchHint::Demand)?;
+        self.recompute_unseen_upper(a);
+        Ok(added)
     }
 
     /// Stage II: refine all bounds over `S_t` (out-neighbor recurrence),
     /// refreshing the unseen bound each sweep. In Sarkar mode only one sweep
-    /// is performed. Returns the number of sweeps.
-    pub fn refine(&mut self, tolerance: f64, max_sweeps: usize) -> usize {
+    /// is performed. Returns the number of sweeps. Touches only members'
+    /// adjacency, which [`TNeighborhood::expand`] already made resident.
+    pub fn refine<A: AdjacencyAccess>(
+        &mut self,
+        a: &A,
+        tolerance: f64,
+        max_sweeps: usize,
+    ) -> usize {
         let sweeps_cap = match self.mode {
             TBoundMode::TwoStage => max_sweeps,
             TBoundMode::Sarkar => 1,
@@ -210,7 +239,7 @@ impl<'g> TNeighborhood<'g> {
                 let indicator = if v == self.q { self.alpha } else { 0.0 };
                 let mut lo_acc = 0.0;
                 let mut hi_acc = 0.0;
-                for (dst, prob) in self.g.out_edges(v) {
+                for (dst, prob) in a.out_edges(v) {
                     match self.bounds.get(dst.0) {
                         Some(b) => {
                             lo_acc += prob * b.lower;
@@ -227,7 +256,7 @@ impl<'g> TNeighborhood<'g> {
                 max_change = max_change.max(b.tighten_lower(cand_lo));
                 max_change = max_change.max(b.tighten_upper(cand_hi));
             }
-            self.recompute_unseen_upper();
+            self.recompute_unseen_upper(a);
             if max_change < tolerance {
                 return sweep;
             }
@@ -282,6 +311,7 @@ mod tests {
     use super::*;
     use rtr_core::prelude::*;
     use rtr_graph::toy::fig2_toy;
+    use rtr_graph::Graph;
 
     fn exact_trank(g: &Graph, q: NodeId) -> ScoreVec {
         TRank::new(RankParams::default())
@@ -308,8 +338,8 @@ mod tests {
         let mut nb =
             TNeighborhood::new(&g, ids.t1, &RankParams::default(), TBoundMode::TwoStage).unwrap();
         for round in 0..10 {
-            nb.expand(2);
-            nb.refine(1e-12, 50);
+            nb.expand(&mut &g, 2).unwrap();
+            nb.refine(&g, 1e-12, 50);
             for v in g.nodes() {
                 let b = nb.effective_bounds(v);
                 assert!(
@@ -328,7 +358,7 @@ mod tests {
         let (g, ids) = fig2_toy();
         let mut nb =
             TNeighborhood::new(&g, ids.t1, &RankParams::default(), TBoundMode::TwoStage).unwrap();
-        let added = nb.expand(1);
+        let added = nb.expand(&mut &g, 1).unwrap();
         // t1's in-neighbors are its 5 papers.
         assert_eq!(added, 5);
         for p in ids.p.iter().take(5) {
@@ -343,8 +373,8 @@ mod tests {
             TNeighborhood::new(&g, ids.t1, &RankParams::default(), TBoundMode::TwoStage).unwrap();
         let mut prev = nb.unseen_upper();
         for _ in 0..10 {
-            nb.expand(2);
-            nb.refine(1e-12, 50);
+            nb.expand(&mut &g, 2).unwrap();
+            nb.refine(&g, 1e-12, 50);
             let cur = nb.unseen_upper();
             assert!(cur <= prev + 1e-12, "unseen bound rose {prev} -> {cur}");
             prev = cur;
@@ -359,8 +389,8 @@ mod tests {
         let mut nb =
             TNeighborhood::new(&g, ids.t1, &RankParams::default(), TBoundMode::TwoStage).unwrap();
         for _ in 0..30 {
-            nb.expand(10);
-            nb.refine(1e-12, 50);
+            nb.expand(&mut &g, 10).unwrap();
+            nb.refine(&g, 1e-12, 50);
         }
         assert_eq!(nb.len(), g.node_count());
         assert_eq!(nb.unseen_upper(), 0.0);
@@ -373,10 +403,10 @@ mod tests {
         let mut ours = TNeighborhood::new(&g, ids.t1, &p, TBoundMode::TwoStage).unwrap();
         let mut sarkar = TNeighborhood::new(&g, ids.t1, &p, TBoundMode::Sarkar).unwrap();
         for _ in 0..4 {
-            ours.expand(2);
-            ours.refine(1e-12, 50);
-            sarkar.expand(2);
-            sarkar.refine(1e-12, 50);
+            ours.expand(&mut &g, 2).unwrap();
+            ours.refine(&g, 1e-12, 50);
+            sarkar.expand(&mut &g, 2).unwrap();
+            sarkar.refine(&g, 1e-12, 50);
         }
         let ours_width: f64 = ours.seen().map(|(_, b)| b.width()).sum();
         let sarkar_width: f64 = sarkar.seen().map(|(_, b)| b.width()).sum();
@@ -393,8 +423,8 @@ mod tests {
         let mut nb =
             TNeighborhood::new(&g, ids.t1, &RankParams::default(), TBoundMode::Sarkar).unwrap();
         for _ in 0..10 {
-            nb.expand(2);
-            nb.refine(1e-12, 50);
+            nb.expand(&mut &g, 2).unwrap();
+            nb.refine(&g, 1e-12, 50);
             for v in g.nodes() {
                 assert!(nb.effective_bounds(v).contains(exact.score(v), 1e-9));
             }
@@ -408,8 +438,8 @@ mod tests {
         let mut nb =
             TNeighborhood::new(&g, ids.t1, &RankParams::default(), TBoundMode::TwoStage).unwrap();
         for _ in 0..40 {
-            nb.expand(10);
-            nb.refine(1e-14, 200);
+            nb.expand(&mut &g, 10).unwrap();
+            nb.refine(&g, 1e-14, 200);
         }
         for v in g.nodes() {
             let b = nb.effective_bounds(v);
@@ -438,8 +468,8 @@ mod tests {
         let mut nb =
             TNeighborhood::new(&g, q, &RankParams::default(), TBoundMode::TwoStage).unwrap();
         for _ in 0..5 {
-            nb.expand(5);
-            nb.refine(1e-12, 50);
+            nb.expand(&mut &g, 5).unwrap();
+            nb.refine(&g, 1e-12, 50);
         }
         assert_eq!(nb.unseen_upper(), 0.0);
         assert_eq!(nb.effective_bounds(y).upper, 0.0);

@@ -21,7 +21,7 @@ use crate::schemes::Scheme;
 use crate::tbound::TNeighborhood;
 use crate::workspace::TopKWorkspace;
 use rtr_core::{CoreError, RankParams};
-use rtr_graph::{Graph, NodeId};
+use rtr_graph::{AdjacencyAccess, AdjacencyError, Graph, NodeId};
 
 /// Tolerance used to break *exact* score ties once bounds have converged:
 /// the paper's strict inequalities (Eq. 13–14) can never separate two nodes
@@ -96,28 +96,47 @@ impl TwoSBound {
         q: NodeId,
         ws: &mut TopKWorkspace,
     ) -> Result<TopKResult, CoreError> {
+        let mut a = g;
+        self.run_on(&mut a, q, ws)
+    }
+
+    /// Run the top-K search over any [`AdjacencyAccess`] source.
+    ///
+    /// This is the *one* implementation of Algorithm 1: [`TwoSBound::run`] /
+    /// [`TwoSBound::run_with`] call it with the in-memory graph, the
+    /// distributed executor calls it with a paged active graph, and the two
+    /// produce bit-identical results because they are the same code path.
+    /// A mid-run adjacency failure (e.g. a dead graph processor) restores
+    /// `ws`'s buffers before returning the error, so the worker survives.
+    pub fn run_on<A: AdjacencyAccess>(
+        &self,
+        a: &mut A,
+        q: NodeId,
+        ws: &mut TopKWorkspace,
+    ) -> Result<TopKResult, CoreError> {
         let cfg = &self.config;
         // Validate before borrowing any workspace buffer: a rejected query
         // (bad α, out-of-range node) must not cost the worker its buffers.
         self.params.validate()?;
-        if q.index() >= g.node_count() {
+        if q.index() >= a.node_count() {
             return Err(CoreError::NodeOutOfRange {
                 node: q,
-                node_count: g.node_count(),
+                node_count: a.node_count(),
             });
         }
         let f_ws = std::mem::take(&mut ws.f);
-        let mut f = FNeighborhood::with_workspace(g, q, &self.params, self.scheme.f_mode(), f_ws)?;
+        let mut f =
+            FNeighborhood::with_workspace(&*a, q, &self.params, self.scheme.f_mode(), f_ws)?;
         let t_ws = std::mem::take(&mut ws.t);
         let mut t =
-            match TNeighborhood::with_workspace(g, q, &self.params, self.scheme.t_mode(), t_ws) {
+            match TNeighborhood::with_workspace(&*a, q, &self.params, self.scheme.t_mode(), t_ws) {
                 Ok(t) => t,
                 Err(e) => {
                     ws.f = f.into_workspace();
                     return Err(e);
                 }
             };
-        let k = cfg.k.min(g.node_count());
+        let k = cfg.k.min(a.node_count());
         if k == 0 {
             // K = 0 (or an empty graph) has a trivial answer; the stopping
             // conditions below index members[k-1] and must not see it.
@@ -134,16 +153,34 @@ impl TwoSBound {
         // Stage II only needs bounds tight relative to the slack: refining
         // far past ε wastes sweeps without changing the stopping decision.
         let refine_tol = cfg.refine_tolerance.max(cfg.epsilon * 1e-2);
+        let result = self.search(a, &mut f, &mut t, ws, k, refine_tol);
+        ws.f = f.into_workspace();
+        ws.t = t.into_workspace();
+        result.map_err(CoreError::from)
+    }
 
+    /// The expansion / refinement / stopping loop of Algorithm 1, factored
+    /// out so [`TwoSBound::run_on`] has a single workspace-restore point
+    /// covering both the success and the error path.
+    fn search<A: AdjacencyAccess>(
+        &self,
+        a: &mut A,
+        f: &mut FNeighborhood,
+        t: &mut TNeighborhood,
+        ws: &mut TopKWorkspace,
+        k: usize,
+        refine_tol: f64,
+    ) -> Result<TopKResult, AdjacencyError> {
+        let cfg = &self.config;
         let members = &mut ws.members;
         let mut expansions = 0usize;
-        let result = loop {
+        loop {
             expansions += 1;
             // Two-stage bounds updating (Stage I + Stage II), per neighborhood.
-            f.expand(cfg.m_f);
-            f.refine(refine_tol, cfg.refine_max_sweeps);
-            t.expand(cfg.m_t);
-            t.refine(refine_tol, cfg.refine_max_sweeps);
+            f.expand(&mut *a, cfg.m_f)?;
+            f.refine(&*a, refine_tol, cfg.refine_max_sweeps);
+            t.expand(&mut *a, cfg.m_t)?;
+            t.refine(&*a, refine_tol, cfg.refine_max_sweeps);
 
             // r-neighborhood S = S_f ∩ S_t with product bounds (Eq. 15).
             members.clear();
@@ -159,7 +196,7 @@ impl TwoSBound {
             });
 
             // Unseen upper bound (Eq. 16).
-            let r_unseen = self.unseen_upper(&f, &t);
+            let r_unseen = self.unseen_upper(f, t);
 
             let done =
                 members.len() >= k && Self::conditions_hold(members, k, cfg.epsilon, r_unseen);
@@ -167,30 +204,27 @@ impl TwoSBound {
             // and the border has emptied; return whatever we have.
             let exhausted = f.residual() < 1e-15 && t.unseen_upper() == 0.0;
             if done || exhausted || expansions >= cfg.max_expansions {
-                let active = ActiveSetStats::measure_in(
+                let active = ActiveSetStats::measure_in_access(
                     &mut ws.active,
-                    g,
+                    &*a,
                     f.seen().map(|(v, _)| v),
                     t.seen().map(|(v, _)| v),
                 );
                 members.truncate(k);
-                break TopKResult {
+                return Ok(TopKResult {
                     ranking: members.iter().map(|&(v, _)| v).collect(),
                     bounds: members.iter().map(|&(_, b)| (b.lower, b.upper)).collect(),
                     expansions,
                     converged: done,
                     active,
-                };
+                });
             }
-        };
-        ws.f = f.into_workspace();
-        ws.t = t.into_workspace();
-        Ok(result)
+        }
     }
 
     /// Eq. 16: `r̂(q) = max{f̂(q)·t̂(q), max_{v∈Sf\S} f̂(q,v)·t̂(q),
     /// max_{v∈St\S} f̂(q)·t̂(q,v)}`.
-    fn unseen_upper(&self, f: &FNeighborhood<'_>, t: &TNeighborhood<'_>) -> f64 {
+    fn unseen_upper(&self, f: &FNeighborhood, t: &TNeighborhood) -> f64 {
         let f_unseen = f.unseen_upper();
         let t_unseen = t.unseen_upper();
         let mut r_unseen = f_unseen * t_unseen;

@@ -16,7 +16,9 @@ use rand_chacha::ChaCha8Rng;
 use rtr_core::prelude::*;
 use rtr_core::Measure;
 use rtr_datagen::{BibNet, BibNetConfig, QLog, QLogConfig};
-use rtr_distributed::{DistributedTwoSBound, DistributedTwoSBoundPlus, GpCluster};
+use rtr_distributed::{
+    DistributedTwoSBound, DistributedTwoSBoundPlus, DistributedWorkspace, GpCluster,
+};
 use rtr_graph::{Graph, NodeId};
 use rtr_integration_tests::SEED;
 use rtr_serve::{
@@ -117,8 +119,79 @@ fn active_set_is_partial_on_qlog() {
             "query {q:?}: active set covered the whole graph"
         );
         assert!(stats.bytes_transferred > 0);
-        // Everything resident was fetched exactly once.
-        assert_eq!(stats.blocks_fetched, stats.active_nodes);
+        // Every touched node was classified exactly once: demanded over
+        // the wire, or already resident (prefetched earlier this query).
+        assert_eq!(
+            stats.blocks_fetched + stats.blocks_from_cache,
+            stats.active_nodes
+        );
+    }
+}
+
+#[test]
+fn block_cache_invalidates_on_epoch_bump_and_graph_swap() {
+    let net1 = BibNet::generate(&BibNetConfig::tiny(), SEED + 8);
+    let net2 = BibNet::generate(&BibNetConfig::tiny(), SEED + 9);
+    let (g1, g2) = (&net1.graph, &net2.graph);
+    let q = queries(g2, 8, SEED + 9)
+        .into_iter()
+        .find(|v| v.index() < g1.node_count() && !g1.is_dangling(*v))
+        .expect("a query valid in both graphs");
+    let params = RankParams::default();
+    let engine = DistributedTwoSBound::new(params, cfg());
+    let mut ws = DistributedWorkspace::new();
+
+    // Warm the worker's block cache against g1.
+    let c1 = GpCluster::spawn(g1, 3);
+    engine.run_with(&c1, q, &mut ws).expect("g1 run");
+
+    // Same graph, bumped epoch: identical content, but the cache must not
+    // trust it. The warm workspace pays exactly a fresh (cold) workspace's
+    // wire cost — fetch for fetch, byte for byte. (`blocks_from_cache`
+    // stays nonzero even when cold: it also counts same-query hits on
+    // blocks prefetched moments earlier, so the cold run is the baseline.)
+    let mut g1b = g1.clone();
+    g1b.bump_epoch();
+    let c1b = GpCluster::spawn(&g1b, 3);
+    let (_, cold) = engine.run(&c1b, q).expect("cold reference");
+    let (_, stats) = engine.run_with(&c1b, q, &mut ws).expect("bumped run");
+    assert_eq!(stats, cold, "stale epoch must not serve a single block");
+    assert!(stats.bytes_transferred > 0);
+
+    // A different graph entirely: again exactly cold-cache wire cost, and
+    // the answer must match a local run on the new graph — no stale g1
+    // adjacency can leak into it.
+    let c2 = GpCluster::spawn(g2, 3);
+    let (_, cold2) = engine.run(&c2, q).expect("cold g2 reference");
+    let (dist, stats) = engine.run_with(&c2, q, &mut ws).expect("g2 run");
+    assert_eq!(stats, cold2, "stale blocks must not serve");
+    let local = TwoSBound::new(params, cfg()).run(g2, q).expect("local g2");
+    assert_eq!(local.ranking, dist.ranking);
+    assert_eq!(local.bounds, dist.bounds);
+    assert_eq!(local.active, dist.active);
+}
+
+#[test]
+fn warm_cache_reduces_wire_cost_without_changing_answers() {
+    let net = BibNet::generate(&BibNetConfig::tiny(), SEED + 4);
+    let g = &net.graph;
+    let cluster = GpCluster::spawn(g, 4);
+    let engine = DistributedTwoSBound::new(RankParams::default(), cfg());
+    let mut ws = DistributedWorkspace::new();
+    for q in queries(g, 3, SEED + 4) {
+        let (cold, cold_stats) = engine.run_with(&cluster, q, &mut ws).expect("cold");
+        let (warm, warm_stats) = engine.run_with(&cluster, q, &mut ws).expect("warm");
+        assert_eq!(cold.ranking, warm.ranking, "query {q:?}");
+        assert_eq!(cold.bounds, warm.bounds, "query {q:?}");
+        assert_eq!(cold.active, warm.active, "query {q:?}");
+        // The repeat visit is entirely cache-resident: zero wire rounds.
+        assert_eq!(warm_stats.fetch_requests, 0, "query {q:?}");
+        assert_eq!(warm_stats.bytes_transferred, 0, "query {q:?}");
+        assert_eq!(
+            warm_stats.blocks_from_cache, warm_stats.active_nodes,
+            "query {q:?}"
+        );
+        assert!(cold_stats.bytes_transferred > 0, "query {q:?}");
     }
 }
 
@@ -227,8 +300,16 @@ fn mixed_measure_batches_match_serial_local_at_every_pool_shape() {
                     // a measurable wire cost.
                     if expect_distributed(&requests[want.id], &g, &base) {
                         assert_eq!(got.backend, BackendKind::Distributed, "{label}");
+                        // Wire bytes may legitimately be zero once the
+                        // worker's cross-query block cache is warm; the
+                        // touched-set accounting must hold regardless.
                         let stats = got.distributed.expect("distributed stats");
-                        assert!(stats.bytes_transferred > 0, "{label}");
+                        assert!(stats.active_nodes > 0, "{label}");
+                        assert_eq!(
+                            stats.blocks_fetched + stats.blocks_from_cache,
+                            stats.active_nodes,
+                            "{label}"
+                        );
                     } else {
                         assert_eq!(got.backend, BackendKind::Local, "{label}");
                         assert!(got.distributed.is_none(), "{label}");
@@ -257,6 +338,8 @@ fn per_request_route_override_wins_over_engine_backend() {
     ]);
     assert_eq!(responses[0].backend, BackendKind::Distributed);
     assert_eq!(responses[1].backend, BackendKind::Local);
+    assert!(!responses[0].routed_fallback, "route honored");
+    assert!(!responses[1].routed_fallback, "local is always available");
     let (a, b) = (
         responses[0].result.as_ref().unwrap(),
         responses[1].result.as_ref().unwrap(),
@@ -271,6 +354,10 @@ fn per_request_route_override_wins_over_engine_backend() {
         .submit(QueryRequest::node(q).with_backend(BackendKind::Distributed))
         .wait();
     assert_eq!(response.backend, BackendKind::Local);
+    assert!(
+        response.routed_fallback,
+        "the silent substitution must be recorded"
+    );
     assert!(response.distributed.is_none());
     assert_eq!(response.result.unwrap().ranking, a.ranking);
 }

@@ -83,7 +83,7 @@ proptest! {
         let q = NodeId(0);
         let exact = FRank::new(params).compute(&g, &Query::single(q)).unwrap();
         let mut bca = rtr_core::bca::Bca::new(&g, q, &params).unwrap();
-        bca.run_to_residual(1e-10, 16);
+        bca.run_to_residual(&mut &g, 1e-10, 16).unwrap();
         for v in g.nodes() {
             prop_assert!((bca.rho(v) - exact.score(v)).abs() < 1e-7);
         }
