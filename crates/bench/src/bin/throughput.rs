@@ -50,6 +50,20 @@
 //! In this mode the artifact defaults to `BENCH_throughput_dist.json` so
 //! the local trajectory artifact is never clobbered by a distributed run.
 //!
+//! With `--open-loop`, the harness switches from closed-loop batch replay
+//! to **open-loop (Poisson) load generation**: a seeded arrival schedule
+//! of a fixed *offered* rate is replayed through [`ServeEngine::submit`]
+//! tickets, independent of how fast the pool drains — so queueing delay is
+//! measured honestly past saturation (no coordinated omission). The sweep
+//! over `--rates R1,R2,...` produces a latency-vs-offered-load curve per
+//! scheduler ([`SchedulerMode::WorkStealing`] and the legacy
+//! [`SchedulerMode::SharedQueue`], A/B on identical schedules) and the
+//! headline **max-sustainable-QPS-at-SLO**: the highest offered rate whose
+//! p99 total latency stays under `--slo-ms`. The artifact defaults to
+//! `BENCH_throughput_openloop.json`; `--check bench/baseline_openloop.json`
+//! gates on that headline the same way the closed-loop gate does on QPS.
+//! See `docs/BENCHMARKS.md` for the methodology and the JSON schema.
+//!
 //! All modes report latency **split into queue-wait and compute**
 //! percentiles alongside the end-to-end numbers: under load, queue-wait
 //! growing while compute stays flat is the saturation signature.
@@ -57,13 +71,14 @@
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
 use rtr_bench::json::{number, number_field};
+use rtr_bench::openloop::poisson_arrivals;
 use rtr_bench::{percentile, qlog, seed, Scale};
 use rtr_core::{Measure, RankParams};
 use rtr_datagen::{QLog, QLogConfig, Zipf};
 use rtr_graph::{Graph, NodeId};
 use rtr_serve::{
     run_serial_requests, Backend, BackendKind, QueryOutput, QueryRequest, QueryResponse,
-    ServeConfig, ServeEngine,
+    SchedulerMode, ServeConfig, ServeEngine,
 };
 use rtr_topk::TopKConfig;
 use std::sync::Arc;
@@ -97,6 +112,43 @@ const SKEW_HOT_POOL: usize = 256;
 /// bytes).
 const DEFAULT_CACHE_CAPACITY: usize = 4096;
 
+/// Default offered-rate sweep for `--open-loop` (QPS). Spans well below to
+/// well past a small machine's cold capacity so the latency-vs-load curve
+/// shows both the flat region and the saturation knee.
+const DEFAULT_OPEN_RATES: &[f64] = &[500.0, 1000.0, 2000.0, 4000.0, 8000.0, 16000.0];
+
+/// Default p99 SLO for the max-sustainable-QPS headline (milliseconds).
+/// Far above the unloaded p99 (~2-4 ms on a small shared box) and far
+/// below where queueing sends it once offered load crosses capacity
+/// (tens to hundreds of ms), so the knee — not measurement noise — decides.
+const DEFAULT_SLO_MS: f64 = 10.0;
+
+/// Repeats per (scheduler, rate) cell; the reported row is the repeat with
+/// the **median** p99. One open-loop pass lasts half a second to a few
+/// seconds, which on a shared machine is short enough for one scheduling
+/// hiccup to own the tail — the median of three keeps a single noisy pass
+/// from moving the sustainable-QPS knee in either direction.
+const OPEN_LOOP_REPEATS: usize = 3;
+
+/// Zipf exponent of the open-loop query stream: head-heavy repeat traffic
+/// (the shape real logs have), so the result cache and the submit-side
+/// fast path both participate in the measurement.
+const OPEN_LOOP_SKEW: f64 = 1.0;
+
+/// Workers for the open-loop sweep when `--workers` is left at its
+/// default: the sweep measures one pool shape (scheduler A/B is the
+/// variable), so a single sensible count beats replaying the whole matrix.
+/// One worker plus the load-generator thread (which under work stealing
+/// also serves the fast path) keeps the bench honest on the 2-core CI
+/// class of machine — more threads than cores turns the generator's
+/// scheduling jitter into phantom latency for both schedulers.
+const OPEN_LOOP_WORKERS: usize = 1;
+
+/// Cap on the serial bit-identity prefix in open-loop mode: long sweeps
+/// re-verify the same stream head instead of paying a serial replay of the
+/// full schedule per rate.
+const OPEN_LOOP_VERIFY_PREFIX: usize = 1500;
+
 struct Args {
     workers: Vec<usize>,
     queries: Option<usize>,
@@ -111,6 +163,12 @@ struct Args {
     distributed: bool,
     /// Graph processors for the distributed backend (`--gps`).
     gps: usize,
+    /// Open-loop (Poisson offered-load) mode (`--open-loop`).
+    open_loop: bool,
+    /// Offered-rate sweep for open-loop mode (`--rates`).
+    rates: Vec<f64>,
+    /// p99 SLO in ms for the max-sustainable-QPS headline (`--slo-ms`).
+    slo_ms: f64,
 }
 
 impl Default for Args {
@@ -127,6 +185,9 @@ impl Default for Args {
             cache: 0,
             distributed: false,
             gps: 4,
+            open_loop: false,
+            rates: DEFAULT_OPEN_RATES.to_vec(),
+            slo_ms: DEFAULT_SLO_MS,
         }
     }
 }
@@ -196,11 +257,28 @@ fn parse_args() -> Args {
                 args.gps = value("--gps").parse().expect("gp count");
                 assert!(args.gps > 0, "--gps must be at least 1");
             }
+            "--open-loop" => args.open_loop = true,
+            "--rates" => {
+                args.rates = value("--rates")
+                    .split(',')
+                    .map(|r| r.trim().parse().expect("offered rate"))
+                    .collect();
+                assert!(!args.rates.is_empty(), "--rates needs at least one");
+                assert!(
+                    args.rates.iter().all(|&r: &f64| r > 0.0 && r.is_finite()),
+                    "--rates must be positive"
+                );
+            }
+            "--slo-ms" => {
+                args.slo_ms = value("--slo-ms").parse().expect("SLO ms");
+                assert!(args.slo_ms > 0.0, "--slo-ms must be positive");
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "throughput [--workers 1,2,4,8] [--queries N] [--k K] \
                      [--epsilon E] [--skew S] [--mixed] [--cache CAPACITY] \
                      [--backend local|distributed] [--gps N] \
+                     [--open-loop] [--rates R1,R2,...] [--slo-ms MS] \
                      [--json PATH] [--check BASELINE_JSON]"
                 );
                 std::process::exit(0);
@@ -217,10 +295,18 @@ fn parse_args() -> Args {
         "--backend distributed measures the uniform workload (the \
          skew/mixed studies stay on the cold local path)"
     );
+    assert!(
+        !(args.open_loop && (args.mixed || args.skew.is_some() || args.distributed)),
+        "--open-loop is its own study (local backend, built-in Zipf stream)"
+    );
     // The distributed mode writes a different document shape; without an
     // explicit --json it must not clobber the local trajectory artifact.
     if args.distributed && args.out == Args::default().out {
         args.out = "BENCH_throughput_dist.json".to_owned();
+    }
+    // Likewise for the open-loop document.
+    if args.open_loop && args.out == Args::default().out {
+        args.out = "BENCH_throughput_openloop.json".to_owned();
     }
     args
 }
@@ -240,7 +326,9 @@ fn canonical_gate_args(parsed: &Args) -> (Args, QLog) {
         // worker re-fetched the same hot blocks). Intermediate counts are
         // left out of the canonical run: on small CI machines they only
         // measure core oversubscription, not the cliff.
-        workers: if parsed.distributed {
+        workers: if parsed.open_loop {
+            vec![OPEN_LOOP_WORKERS]
+        } else if parsed.distributed {
             vec![1, 8]
         } else {
             vec![1, 2, 4]
@@ -250,14 +338,21 @@ fn canonical_gate_args(parsed: &Args) -> (Args, QLog) {
         out: parsed.out.clone(),
         distributed: parsed.distributed,
         gps: parsed.gps,
+        // The open-loop gate replays the default rate sweep and SLO on the
+        // default open-loop pool shape — all pinned here, not by the
+        // caller, so the committed baseline always describes this exact
+        // measurement.
+        open_loop: parsed.open_loop,
         ..Args::default()
     };
     eprintln!(
-        "[throughput] check mode: canonical workload (small QLog, seed 2013, {} backend)",
+        "[throughput] check mode: canonical workload (small QLog, seed 2013, {})",
         if args.distributed {
-            "distributed"
+            "distributed backend"
+        } else if args.open_loop {
+            "open-loop sweep"
         } else {
-            "local"
+            "local backend"
         }
     );
     (args, QLog::generate(&QLogConfig::small(), 2013))
@@ -572,6 +667,387 @@ impl DistSummary {
     }
 }
 
+/// One (scheduler, offered rate) cell of the open-loop sweep.
+struct OpenRow {
+    offered_qps: f64,
+    queries: usize,
+    /// Completion throughput over the pass (≈ offered below saturation,
+    /// ≈ capacity above it).
+    achieved_qps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    p50_queue_ms: f64,
+    p99_queue_ms: f64,
+    p50_compute_ms: f64,
+    p99_compute_ms: f64,
+    /// p99 of submit-side schedule slip: how far the load generator fell
+    /// behind its own arrival schedule. Counted into the total latency
+    /// percentiles (a request delayed at the door still waited), and worth
+    /// reporting on its own — sustained slip means the single submitting
+    /// thread, not the pool, was the bottleneck.
+    p99_slip_ms: f64,
+    hit_rate: Option<f64>,
+    /// Fraction of responses served inline on the submitting thread (the
+    /// size-aware fast path; 0 under the legacy shared queue).
+    fast_path: f64,
+    slo_met: bool,
+}
+
+/// Replay `requests` against `engine` on the absolute arrival `schedule`:
+/// sleep (then spin the final stretch, for timer granularity) until each
+/// request's offset, submit without waiting, and only join the tickets
+/// after the last submission. Returns the wall time of the whole pass and,
+/// per request, the submit-side schedule slip with the response.
+fn replay_open_loop(
+    engine: &ServeEngine,
+    requests: &[QueryRequest],
+    schedule: &[Duration],
+) -> (Duration, Vec<(Duration, QueryResponse)>) {
+    // Sleep the bulk of each gap and spin only the final stretch: timer
+    // wakeups can overshoot by a millisecond or two (billed to slip, for
+    // both schedulers alike), but a generator that spins whole gaps
+    // competes with the pool for cores and measures contention instead of
+    // scheduling.
+    const SPIN: Duration = Duration::from_micros(200);
+    let start = Instant::now();
+    let mut pending = Vec::with_capacity(requests.len());
+    for (request, &due) in requests.iter().zip(schedule) {
+        loop {
+            let elapsed = start.elapsed();
+            if elapsed >= due {
+                break;
+            }
+            let wait = due - elapsed;
+            if wait > SPIN {
+                std::thread::sleep(wait - SPIN);
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        let slip = start.elapsed().saturating_sub(due);
+        pending.push((slip, engine.submit(request.clone())));
+    }
+    let responses: Vec<(Duration, QueryResponse)> = pending
+        .into_iter()
+        .map(|(slip, ticket)| (slip, ticket.wait()))
+        .collect();
+    (start.elapsed(), responses)
+}
+
+/// One open-loop measurement: a fresh engine under `config`, warmed with a
+/// few closed-loop queries (thread spawn and first-touch costs must not
+/// bill to the first offered arrivals), then the Poisson replay. Every
+/// response in the verification prefix is asserted bit-identical to the
+/// serial reference.
+fn open_loop_once(
+    g: &Arc<Graph>,
+    config: ServeConfig,
+    requests: &[QueryRequest],
+    schedule: &[Duration],
+    offered: f64,
+    slo_ms: f64,
+    serial: &[QueryResponse],
+) -> OpenRow {
+    let engine = ServeEngine::start(Arc::clone(g), config);
+    let warm = requests.len().min(engine.workers() * 4);
+    let _ = engine.run_requests(&requests[..warm]);
+    let cache_mark = engine.cache_stats();
+
+    let (wall, responses) = replay_open_loop(&engine, requests, schedule);
+    let hit_rate = engine
+        .cache_stats()
+        .map(|now| cache_mark.map_or(now, |mark| now.since(&mark)).hit_rate());
+    for ((_, got), want) in responses.iter().zip(serial) {
+        let (got, want) = (got.result.as_ref().unwrap(), want.result.as_ref().unwrap());
+        assert_eq!(
+            got.ranking, want.ranking,
+            "open-loop ranking diverged from serial at {offered} QPS"
+        );
+        assert_eq!(
+            got.bounds, want.bounds,
+            "open-loop bounds diverged from serial at {offered} QPS"
+        );
+    }
+
+    let ms = |d: Duration| d.as_secs_f64() * 1e3;
+    let mut total = Vec::with_capacity(responses.len());
+    let mut queue = Vec::with_capacity(responses.len());
+    let mut compute = Vec::with_capacity(responses.len());
+    let mut slip_ms = Vec::with_capacity(responses.len());
+    let mut inline = 0usize;
+    for (slip, r) in &responses {
+        r.result
+            .as_ref()
+            .unwrap_or_else(|e| panic!("open-loop query failed: {e}"));
+        total.push(ms(*slip) + ms(r.queue_wait) + ms(r.compute));
+        queue.push(ms(r.queue_wait));
+        compute.push(ms(r.compute));
+        slip_ms.push(ms(*slip));
+        inline += usize::from(r.worker.is_none());
+    }
+    let p99_ms = percentile(&total, 99.0);
+    OpenRow {
+        offered_qps: offered,
+        queries: requests.len(),
+        achieved_qps: requests.len() as f64 / wall.as_secs_f64(),
+        p50_ms: percentile(&total, 50.0),
+        p99_ms,
+        p50_queue_ms: percentile(&queue, 50.0),
+        p99_queue_ms: percentile(&queue, 99.0),
+        p50_compute_ms: percentile(&compute, 50.0),
+        p99_compute_ms: percentile(&compute, 99.0),
+        p99_slip_ms: percentile(&slip_ms, 99.0),
+        hit_rate,
+        fast_path: inline as f64 / responses.len().max(1) as f64,
+        slo_met: p99_ms <= slo_ms,
+    }
+}
+
+/// [`open_loop_once`] repeated [`OPEN_LOOP_REPEATS`] times on fresh
+/// engines over the identical schedule; returns the repeat with the median
+/// p99 — one coherent pass, insulated from one-off scheduling hiccups.
+#[allow(clippy::too_many_arguments)]
+fn open_loop_pass(
+    g: &Arc<Graph>,
+    config: ServeConfig,
+    requests: &[QueryRequest],
+    schedule: &[Duration],
+    offered: f64,
+    slo_ms: f64,
+    serial: &[QueryResponse],
+) -> OpenRow {
+    let mut passes: Vec<OpenRow> = (0..OPEN_LOOP_REPEATS)
+        .map(|_| open_loop_once(g, config, requests, schedule, offered, slo_ms, serial))
+        .collect();
+    passes.sort_by(|a, b| a.p99_ms.partial_cmp(&b.p99_ms).expect("NaN p99"));
+    passes.swap_remove(passes.len() / 2)
+}
+
+/// Per-rate sample size of the open-loop sweep: about half a second to two
+/// seconds of offered traffic, bounded so saturated rates (which drain at
+/// capacity, not at the offered rate) still finish promptly.
+fn open_loop_queries(rate: f64) -> usize {
+    ((rate * 0.5) as usize).clamp(1000, 12_000)
+}
+
+/// Highest offered rate whose p99 met the SLO (0 when none did).
+fn max_sustainable(rows: &[OpenRow]) -> f64 {
+    rows.iter()
+        .filter(|r| r.slo_met)
+        .map(|r| r.offered_qps)
+        .fold(0.0, f64::max)
+}
+
+fn scheduler_label(mode: SchedulerMode) -> &'static str {
+    match mode {
+        SchedulerMode::SharedQueue => "shared_queue",
+        SchedulerMode::WorkStealing => "work_stealing",
+    }
+}
+
+/// The open-loop artifact: the headline `max_sustainable_qps` (the
+/// work-stealing scheduler's — the default one) first, then one sweep per
+/// scheduler over identical arrival schedules. Schema in
+/// `docs/BENCHMARKS.md`.
+#[allow(clippy::too_many_arguments)]
+fn emit_openloop_json(
+    path: &str,
+    scale_label: &str,
+    workload_seed: u64,
+    args: &Args,
+    g: &Graph,
+    workers: usize,
+    headline: f64,
+    sweeps: &[(SchedulerMode, Vec<OpenRow>)],
+) {
+    let row_json = |r: &OpenRow| {
+        let mut s = format!(
+            "{{ \"offered_qps\": {}, \"queries\": {}, \"achieved_qps\": {}, \
+             \"p50_ms\": {}, \"p99_ms\": {}, \
+             \"p50_queue_ms\": {}, \"p99_queue_ms\": {}, \
+             \"p50_compute_ms\": {}, \"p99_compute_ms\": {}, \
+             \"p99_slip_ms\": {}, \"fast_path_fraction\": {}, \"slo_met\": {}",
+            number(r.offered_qps),
+            r.queries,
+            number(r.achieved_qps),
+            number(r.p50_ms),
+            number(r.p99_ms),
+            number(r.p50_queue_ms),
+            number(r.p99_queue_ms),
+            number(r.p50_compute_ms),
+            number(r.p99_compute_ms),
+            number(r.p99_slip_ms),
+            number(r.fast_path),
+            r.slo_met
+        );
+        if let Some(h) = r.hit_rate {
+            s.push_str(&format!(", \"hit_rate\": {}", number(h)));
+        }
+        s.push_str(" }");
+        s
+    };
+    let sweeps_json = sweeps
+        .iter()
+        .map(|(mode, rows)| {
+            let rates = rows
+                .iter()
+                .map(|r| format!("        {}", row_json(r)))
+                .collect::<Vec<String>>()
+                .join(",\n");
+            format!(
+                "    {{ \"scheduler\": \"{}\", \"max_sustainable_qps\": {},\n      \
+                 \"rates\": [\n{}\n      ] }}",
+                scheduler_label(*mode),
+                number(max_sustainable(rows)),
+                rates
+            )
+        })
+        .collect::<Vec<String>>()
+        .join(",\n");
+    let json = format!(
+        "{{\n  \"bench\": \"throughput_openloop\",\n  \"scale\": \"{scale_label}\",\n  \
+         \"seed\": {workload_seed},\n  \
+         \"max_sustainable_qps\": {},\n  \"slo_ms\": {},\n  \
+         \"graph\": {{ \"nodes\": {}, \"edges\": {} }},\n  \
+         \"k\": {},\n  \"epsilon\": {},\n  \"skew\": {},\n  \
+         \"cache_capacity\": {},\n  \"workers\": {workers},\n  \
+         \"schedulers\": [\n{sweeps_json}\n  ]\n}}\n",
+        number(headline),
+        number(args.slo_ms),
+        g.node_count(),
+        g.edge_count(),
+        args.k,
+        number(args.epsilon),
+        number(OPEN_LOOP_SKEW),
+        args.cache_capacity(),
+    );
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    eprintln!("[throughput] wrote {path}");
+}
+
+/// The whole open-loop study: generate the stream once, then for each
+/// scheduler × offered rate replay the identical Poisson schedule and
+/// measure the latency curve. Returns after emitting the artifact and (in
+/// check mode) applying the gate — open-loop runs share nothing with the
+/// closed-loop document shape.
+fn run_open_loop(args: &Args, log: QLog, scale_label: &str, workload_seed: u64) {
+    let n_max = args
+        .rates
+        .iter()
+        .map(|&r| open_loop_queries(r))
+        .max()
+        .expect("at least one rate");
+    let (queries, hot_pool) = sample_queries_zipf(&log, n_max, workload_seed, OPEN_LOOP_SKEW);
+    let requests: Vec<QueryRequest> = queries.iter().map(|&q| QueryRequest::node(q)).collect();
+    let g = Arc::new(log.graph);
+    let workers = if args.workers == Args::default().workers {
+        OPEN_LOOP_WORKERS
+    } else {
+        args.workers[0]
+    };
+    // The open-loop study measures the serving stack as deployed: result
+    // cache on (the Zipf head repeats), so the submit-side fast path and
+    // the attach batching participate. A compute regression is still
+    // caught — the closed-loop gate measures the cold path.
+    let config = ServeConfig {
+        workers,
+        params: RankParams::default(),
+        topk: TopKConfig {
+            k: args.k,
+            epsilon: args.epsilon,
+            ..TopKConfig::default()
+        },
+        ..ServeConfig::default()
+    }
+    .with_cache_capacity(args.cache_capacity());
+
+    println!(
+        "=== open-loop load: Zipf s = {OPEN_LOOP_SKEW} over {hot_pool} hot queries, \
+         K = {}, ε = {}, {} workers, cache {}, SLO p99 ≤ {} ms ===",
+        args.k,
+        args.epsilon,
+        workers,
+        args.cache_capacity(),
+        args.slo_ms
+    );
+    let serial = run_serial_requests(
+        &g,
+        &config,
+        &requests[..requests.len().min(OPEN_LOOP_VERIFY_PREFIX)],
+    );
+
+    let mut sweeps: Vec<(SchedulerMode, Vec<OpenRow>)> = Vec::new();
+    for mode in [SchedulerMode::WorkStealing, SchedulerMode::SharedQueue] {
+        println!("--- scheduler: {} ---", scheduler_label(mode));
+        println!(
+            "{:>12} {:>10} {:>10} {:>10} {:>12} {:>10} {:>6}",
+            "offered", "achieved", "p50/ms", "p99/ms", "p99 queue", "inline", "SLO"
+        );
+        let mut rows = Vec::new();
+        for &rate in &args.rates {
+            let n = open_loop_queries(rate);
+            // One schedule per rate, identical across schedulers: the A/B
+            // compares service policies under the same offered load.
+            let schedule = poisson_arrivals(rate, n, workload_seed ^ 0x09e0);
+            let row = open_loop_pass(
+                &g,
+                config.with_scheduler(mode),
+                &requests[..n],
+                &schedule,
+                rate,
+                args.slo_ms,
+                &serial,
+            );
+            println!(
+                "{:>12.0} {:>10.1} {:>10.3} {:>10.3} {:>12.3} {:>5.0}% {:>6}",
+                row.offered_qps,
+                row.achieved_qps,
+                row.p50_ms,
+                row.p99_ms,
+                row.p99_queue_ms,
+                row.fast_path * 100.0,
+                if row.slo_met { "ok" } else { "MISS" }
+            );
+            rows.push(row);
+        }
+        println!("max sustainable at SLO: {:.0} QPS", max_sustainable(&rows));
+        sweeps.push((mode, rows));
+    }
+    // The headline is the default scheduler's number.
+    let headline = max_sustainable(&sweeps[0].1);
+    emit_openloop_json(
+        &args.out,
+        scale_label,
+        workload_seed,
+        args,
+        &g,
+        workers,
+        headline,
+        &sweeps,
+    );
+
+    if let Some(baseline_path) = &args.check {
+        let text = std::fs::read_to_string(baseline_path)
+            .unwrap_or_else(|e| panic!("reading baseline {baseline_path}: {e}"));
+        let baseline = number_field(&text, "max_sustainable_qps")
+            .unwrap_or_else(|| panic!("no \"max_sustainable_qps\" in {baseline_path}"));
+        let floor = baseline * (1.0 - MAX_QPS_DROP);
+        println!(
+            "\nperf gate: measured max sustainable {headline:.0} QPS vs baseline \
+             {baseline:.0} (floor {floor:.0} = baseline - {:.0}%)",
+            MAX_QPS_DROP * 100.0
+        );
+        if headline < floor {
+            println!(
+                "perf gate: FAIL — max-sustainable-QPS-at-SLO dropped more than {:.0}%",
+                MAX_QPS_DROP * 100.0
+            );
+            std::process::exit(1);
+        }
+        println!("perf gate: PASS");
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn emit_json(
     path: &str,
@@ -687,6 +1163,10 @@ fn main() {
     // In check mode the workload is hard-pinned to seed 2013; the JSON
     // must record the seed that actually ran, not the RTR_SEED env.
     let workload_seed = if args.check.is_some() { 2013 } else { seed() };
+    if args.open_loop {
+        run_open_loop(&args, log, &scale_label, workload_seed);
+        return;
+    }
     let n_queries = args.query_count();
     let (queries, hot_pool) = match args.skew {
         Some(s) => sample_queries_zipf(&log, n_queries, workload_seed, s),

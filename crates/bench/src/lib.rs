@@ -28,6 +28,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod json;
+pub mod openloop;
 pub mod snapshots;
 
 use rtr_datagen::{BibNet, BibNetConfig, QLog, QLogConfig};

@@ -1,0 +1,92 @@
+//! Open-loop (Poisson) arrival schedules for load benchmarks.
+//!
+//! A **closed-loop** harness (submit a batch, wait for it) measures a
+//! system that is never overloaded: each in-flight request throttles the
+//! next, so latency under saturation is invisible — the classic
+//! coordinated-omission trap. An **open-loop** harness fixes the *offered*
+//! load instead: arrivals follow a Poisson process of a chosen rate,
+//! independent of how fast the system drains them, so queueing delay shows
+//! up in full once the offered rate crosses capacity.
+//!
+//! The schedule here is the textbook construction: inter-arrival gaps are
+//! i.i.d. exponential with mean `1/rate` (inverse-CDF sampling), prefix-
+//! summed into absolute arrival offsets. Everything is driven by a seeded
+//! [`ChaCha8Rng`], so a given `(rate, n, seed)` triple names one exact
+//! arrival schedule — reruns and A/B comparisons (two schedulers, one
+//! schedule) replay identical load.
+
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use std::time::Duration;
+
+/// Deterministic Poisson arrival schedule: `n` absolute arrival offsets
+/// (from an implicit t = 0 start), with exponential inter-arrival gaps of
+/// mean `1 / rate_qps` seconds.
+///
+/// The offsets are strictly increasing (an exponential sample is positive)
+/// and, by the law of large numbers, the last offset approaches
+/// `n / rate_qps` seconds for large `n` — the `poisson_arrivals`
+/// statistical test pins both properties.
+///
+/// # Panics
+/// If `rate_qps` is not a positive finite number.
+pub fn poisson_arrivals(rate_qps: f64, n: usize, seed: u64) -> Vec<Duration> {
+    assert!(
+        rate_qps.is_finite() && rate_qps > 0.0,
+        "arrival rate must be positive and finite, got {rate_qps}"
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut t = 0.0_f64;
+    (0..n)
+        .map(|_| {
+            // Inverse CDF of Exp(rate): -ln(1 - U) / rate with U ∈ [0, 1).
+            // 1 - U ∈ (0, 1], so the log is finite and the gap positive.
+            let u: f64 = rng.gen();
+            t += -(1.0 - u).ln() / rate_qps;
+            Duration::from_secs_f64(t)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_deterministic_per_seed() {
+        let a = poisson_arrivals(1000.0, 256, 7);
+        let b = poisson_arrivals(1000.0, 256, 7);
+        assert_eq!(a, b);
+        let c = poisson_arrivals(1000.0, 256, 8);
+        assert_ne!(a, c, "a different seed is a different schedule");
+    }
+
+    #[test]
+    fn offsets_strictly_increase() {
+        let sched = poisson_arrivals(5000.0, 1000, 2013);
+        for pair in sched.windows(2) {
+            assert!(pair[0] < pair[1]);
+        }
+    }
+
+    #[test]
+    fn mean_rate_matches_the_request() {
+        // 20k samples at 2k QPS should span ~10s; the sample mean of an
+        // exponential concentrates fast (σ/√n ≈ 0.7% here).
+        let rate = 2000.0;
+        let n = 20_000;
+        let sched = poisson_arrivals(rate, n, 2013);
+        let span = sched.last().unwrap().as_secs_f64();
+        let achieved = n as f64 / span;
+        assert!(
+            (achieved - rate).abs() / rate < 0.05,
+            "offered {rate} QPS but schedule realizes {achieved:.1}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn zero_rate_is_rejected() {
+        poisson_arrivals(0.0, 1, 1);
+    }
+}

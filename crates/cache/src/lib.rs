@@ -39,7 +39,7 @@
 //! assert_eq!((stats.hits, stats.misses, stats.inserts), (1, 1, 1));
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod cache;

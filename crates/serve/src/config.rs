@@ -4,6 +4,31 @@ use crate::backend::Backend;
 use rtr_core::RankParams;
 use rtr_topk::{Scheme, TopKConfig};
 
+/// How submitted jobs reach (or bypass) the worker threads.
+///
+/// Scheduling is a pure performance knob: every mode produces bit-identical
+/// responses (the `scheduler_determinism` suite pins this), it only changes
+/// *who* runs a request and how long it queues.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchedulerMode {
+    /// One shared MPMC channel all workers compete on, and blocking
+    /// single-flight waits: the engine's original scheduler, kept for A/B
+    /// measurement (the open-loop throughput bench runs both modes).
+    SharedQueue,
+    /// Size-aware dispatch with per-worker queues:
+    ///
+    /// * **fast path** — cache hits and trivial (k = 0) requests complete
+    ///   on the submitting thread and never touch the worker queues;
+    /// * **work stealing** — everything else lands in a shared injector
+    ///   that workers batch-drain into per-worker queues, stealing from
+    ///   siblings when their own queue runs dry;
+    /// * **attach batching** — a request identical to one already
+    ///   computing attaches to that in-flight ticket instead of parking a
+    ///   worker thread; the owner answers every attached request from the
+    ///   shared `Arc` when it finishes.
+    WorkStealing,
+}
+
 /// Configuration of a [`crate::ServeEngine`]: pool size, the execution
 /// backend, plus the default parameters a [`crate::QueryRequest`] falls
 /// back to.
@@ -39,6 +64,9 @@ pub struct ServeConfig {
     /// duplicates wait on the in-flight table instead of burning workers.
     /// Inert while the cache is off (there is nowhere to share results).
     pub single_flight: bool,
+    /// How jobs are dispatched to workers ([`SchedulerMode::WorkStealing`]
+    /// by default). Never changes answers, only latency.
+    pub scheduler: SchedulerMode,
 }
 
 impl Default for ServeConfig {
@@ -56,6 +84,7 @@ impl Default for ServeConfig {
             cache_capacity: 0,
             cache_shards: 16,
             single_flight: true,
+            scheduler: SchedulerMode::WorkStealing,
         }
     }
 }
@@ -101,6 +130,12 @@ impl ServeConfig {
     /// This configuration with single-flight deduplication on or off.
     pub fn with_single_flight(mut self, single_flight: bool) -> Self {
         self.single_flight = single_flight;
+        self
+    }
+
+    /// This configuration with the given scheduler mode.
+    pub fn with_scheduler(mut self, scheduler: SchedulerMode) -> Self {
+        self.scheduler = scheduler;
         self
     }
 
@@ -213,6 +248,12 @@ impl ServeConfigBuilder {
         self
     }
 
+    /// Scheduler mode (see [`SchedulerMode`]).
+    pub fn scheduler(mut self, scheduler: SchedulerMode) -> Self {
+        self.config.scheduler = scheduler;
+        self
+    }
+
     /// Validate and produce the configuration.
     pub fn build(self) -> Result<ServeConfig, ServeConfigError> {
         if self.config.workers == 0 {
@@ -245,6 +286,18 @@ mod tests {
         assert_eq!(c.cache_capacity, 0);
         assert!(c.cache_shards >= 1);
         assert!(c.single_flight);
+        assert_eq!(c.scheduler, SchedulerMode::WorkStealing);
+    }
+
+    #[test]
+    fn scheduler_builders_apply() {
+        let c = ServeConfig::default().with_scheduler(SchedulerMode::SharedQueue);
+        assert_eq!(c.scheduler, SchedulerMode::SharedQueue);
+        let c = ServeConfig::builder()
+            .scheduler(SchedulerMode::SharedQueue)
+            .build()
+            .unwrap();
+        assert_eq!(c.scheduler, SchedulerMode::SharedQueue);
     }
 
     #[test]

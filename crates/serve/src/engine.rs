@@ -1,33 +1,55 @@
-//! The worker pool.
+//! The worker pool and its scheduler.
 //!
-//! One [`ServeEngine`] owns `workers` long-lived threads. Each worker loops
-//! on a shared crossbeam job queue, resolves nothing (requests arrive
+//! One [`ServeEngine`] owns `workers` long-lived threads. Each worker pulls
+//! jobs off the scheduler's queues, resolves nothing (requests arrive
 //! pre-resolved against the engine defaults), dispatches on the request's
 //! measure to the right engine path via [`ResolvedRequest::run`], and sends
 //! a [`QueryResponse`] down the request's reply channel. Every worker owns
 //! one persistent [`ServeWorkspace`] — the sparse top-K buffers for the
-//! bound engines plus the dense vectors for the exact ones — wiped in
-//! O(touched) between queries and never freed while the worker lives, so
-//! steady-state serving is allocation-free on the bound paths.
+//! bound engines plus the dense vectors for the exact ones — pre-sized to
+//! the graph at spawn (so even a worker's *first* query pays no O(|V|)
+//! allocations), wiped in O(touched) between queries, and never freed while
+//! the worker lives: steady-state serving is allocation-free on the bound
+//! paths.
 //!
-//! Shutdown is by hangup: dropping the engine drops the job sender, every
-//! worker's `recv` errors out, and the threads are joined.
+//! **Scheduling** ([`SchedulerMode`]) never changes answers, only who runs
+//! a request and how long it queues:
+//!
+//! * [`SchedulerMode::WorkStealing`] (default) — *size-aware dispatch*:
+//!   submission first tries the fast path on the submitting thread (a
+//!   cache hit, or a trivial k = 0 request, completes inline with zero
+//!   queue wait and `worker: None`); everything else lands in a shared
+//!   injector that workers batch-drain into per-worker queues, stealing
+//!   from siblings when their own queue runs dry. Duplicate in-flight
+//!   requests *attach* to the computing owner's ticket instead of parking
+//!   a worker; the owner answers them all from the shared `Arc` when it
+//!   finishes.
+//! * [`SchedulerMode::SharedQueue`] — the engine's original scheduler (one
+//!   shared MPMC channel, blocking single-flight waits), kept so the
+//!   open-loop throughput bench can measure the new scheduler against the
+//!   old one at equal offered load.
+//!
+//! Shutdown: the shared-queue mode hangs up the job sender so every
+//! worker's `recv` errors out; the stealing mode raises a shutdown flag and
+//! wakes every parked worker, each of which drains until no queue holds
+//! work. Both then join the threads.
 
 use crate::backend::{
     Backend, BackendKind, DistributedBackend, ExecBackend, ExecOutcome, LocalBackend,
 };
-use crate::config::ServeConfig;
+use crate::config::{SchedulerMode, ServeConfig};
 use crate::flight::InFlight;
 use crate::request::{QueryRequest, ResolvedRequest, ServeWorkspace};
 use crate::response::{QueryResponse, QueryTicket};
 use crossbeam::channel::{self, Sender};
+use crossbeam::deque;
 use rtr_cache::{CacheConfig, CacheKey, CacheStats, ShardedCache};
-use rtr_core::CoreError;
+use rtr_core::{CoreError, Measure};
 use rtr_graph::{Graph, NodeId};
 use rtr_topk::TopKResult;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -133,6 +155,102 @@ struct Job {
     reply: Sender<QueryResponse>,
 }
 
+/// A job parked on a computing owner's in-flight ticket: who picked it up
+/// and when, so the owner can report its latency split correctly when
+/// answering it from the shared result.
+struct AttachedJob {
+    job: Job,
+    worker: Option<usize>,
+    picked: Instant,
+}
+
+/// The generation-counted parking lot for the work-stealing scheduler.
+///
+/// A worker reads the generation *before* scanning the queues and sleeps
+/// only if it is unchanged afterwards; every push bumps the generation
+/// under the same lock before notifying. A push that lands mid-scan
+/// therefore turns the subsequent `sleep` into a no-op — no lost wakeups,
+/// without holding any lock across the scan itself.
+struct Park {
+    gen: Mutex<u64>,
+    ready: Condvar,
+}
+
+impl Park {
+    fn new() -> Self {
+        Park {
+            gen: Mutex::new(0),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn current(&self) -> u64 {
+        *self.gen.lock().expect("park poisoned")
+    }
+
+    fn notify_one(&self) {
+        {
+            let mut gen = self.gen.lock().expect("park poisoned");
+            *gen += 1;
+        }
+        self.ready.notify_one();
+    }
+
+    fn notify_all(&self) {
+        {
+            let mut gen = self.gen.lock().expect("park poisoned");
+            *gen += 1;
+        }
+        self.ready.notify_all();
+    }
+
+    fn sleep(&self, seen: u64) {
+        let mut gen = self.gen.lock().expect("park poisoned");
+        while *gen == seen {
+            gen = self.ready.wait(gen).expect("park poisoned");
+        }
+    }
+}
+
+/// The work-stealing scheduler's shared half: the global submission
+/// injector, one stealer handle per worker queue, and the parking lot.
+struct StealPool {
+    injector: deque::Injector<Job>,
+    stealers: Vec<deque::Stealer<Job>>,
+    park: Park,
+    shutdown: AtomicBool,
+}
+
+impl StealPool {
+    /// Find work for worker `idx`: its own queue first, then a batch off
+    /// the injector (amortizing the shared lock over many jobs), then a
+    /// steal from each sibling in rotation.
+    fn find(&self, idx: usize, local: &deque::Worker<Job>) -> Option<Job> {
+        if let Some(job) = local.pop() {
+            return Some(job);
+        }
+        if let Some(job) = self.injector.steal_batch_and_pop(local).success() {
+            return Some(job);
+        }
+        let n = self.stealers.len();
+        for offset in 1..n {
+            if let Some(job) = self.stealers[(idx + offset) % n].steal().success() {
+                return Some(job);
+            }
+        }
+        None
+    }
+}
+
+/// How jobs travel from submitters to workers — the engine-side handle of
+/// the scheduler chosen by [`ServeConfig::scheduler`].
+enum Dispatcher {
+    /// One shared channel; `None` after shutdown hangs it up.
+    Shared { job_tx: Option<Sender<Job>> },
+    /// Injector + per-worker queues; shutdown is via flag + wakeup.
+    Stealing { pool: Arc<StealPool> },
+}
+
 /// State every worker shares: the graph and (when caching is on) the
 /// result cache, the single-flight table, and the computation counter the
 /// single-flight tests assert on.
@@ -147,10 +265,13 @@ struct Shared {
     /// [`Backend::Distributed`].
     distributed: Option<DistributedBackend>,
     cache: Option<OutcomeCache>,
-    flight: InFlight<CacheKey>,
+    flight: InFlight<CacheKey, AttachedJob>,
     /// Queries that actually ran an engine (as opposed to being answered
     /// from the cache or a shared in-flight computation).
     computed: AtomicU64,
+    /// Workspace for trivial requests the fast path computes on the
+    /// submitting thread (k = 0 setup work only — never a full search).
+    inline_ws: Mutex<ServeWorkspace>,
 }
 
 impl Shared {
@@ -243,13 +364,263 @@ impl Shared {
                 };
                 // Failed queries are not cached (and are cheap to redo);
                 // release the key on every path so waiters never strand.
-                self.flight.finish(&key);
+                // Nothing attaches in shared-queue mode, so the returned
+                // list is empty by construction.
+                let _ = self.flight.finish(&key);
                 return (result, from_cache);
             }
             // Someone else is computing this exact key: wait for them,
             // then re-check the cache (hit unless their run failed).
             self.flight.wait(&key);
         }
+    }
+
+    /// Serve one queued job under the configured scheduler and send its
+    /// response. Returns jobs that must be re-enqueued — only ever
+    /// non-empty in work-stealing mode, when an owned computation failed
+    /// with requests attached (errors are never shared; each duplicate
+    /// recomputes individually).
+    fn handle(&self, job: Job, worker: usize, ws: &mut ServeWorkspace) -> Vec<Job> {
+        let picked = Instant::now();
+        let queue_wait = picked.duration_since(job.enqueued);
+        match self.config.scheduler {
+            SchedulerMode::SharedQueue => {
+                let (served, from_cache) = self.serve(&job.request, ws);
+                self.respond(job, Some(worker), served, from_cache, queue_wait, picked);
+                Vec::new()
+            }
+            SchedulerMode::WorkStealing => {
+                self.handle_stealing(job, worker, ws, picked, queue_wait)
+            }
+        }
+    }
+
+    /// The work-stealing worker path: like [`Shared::serve`] but a job that
+    /// finds its key already computing *attaches* to the owner instead of
+    /// blocking this worker, and an owner answers everything that attached
+    /// when it finishes.
+    fn handle_stealing(
+        &self,
+        job: Job,
+        worker: usize,
+        ws: &mut ServeWorkspace,
+        picked: Instant,
+        queue_wait: Duration,
+    ) -> Vec<Job> {
+        let Some(cache) = &self.cache else {
+            let served = self.compute(&job.request, ws).map(Arc::new);
+            self.respond(job, Some(worker), served, false, queue_wait, picked);
+            return Vec::new();
+        };
+        let key = job.request.cache_key(self.graph.epoch());
+        if let Some(hit) = cache.get(&key) {
+            self.respond(job, Some(worker), Ok(hit), true, queue_wait, picked);
+            return Vec::new();
+        }
+        if !self.config.single_flight {
+            let served = self.compute(&job.request, ws).map(Arc::new);
+            if let Ok(r) = &served {
+                cache.insert(key, Arc::clone(r));
+            }
+            self.respond(job, Some(worker), served, false, queue_wait, picked);
+            return Vec::new();
+        }
+        let attached_job = AttachedJob {
+            job,
+            worker: Some(worker),
+            picked,
+        };
+        match self.flight.attach_or_claim(&key, attached_job) {
+            // Attached: the computing owner will answer it; this worker is
+            // free for other traffic.
+            None => Vec::new(),
+            Some(AttachedJob { job, .. }) => {
+                // This job owns the key. Double-check the cache while
+                // owning it (see Shared::serve), compute on a true miss,
+                // then settle everything that attached meanwhile.
+                let (served, from_cache) = match cache.recheck(&key) {
+                    Some(hit) => (Ok(hit), true),
+                    None => {
+                        let result = self.compute(&job.request, ws).map(Arc::new);
+                        if let Ok(r) = &result {
+                            cache.insert(key.clone(), Arc::clone(r));
+                        }
+                        (result, false)
+                    }
+                };
+                let attached = self.flight.finish(&key);
+                let requeue = match &served {
+                    Ok(outcome) => {
+                        self.answer_attached(cache, &key, outcome, attached);
+                        Vec::new()
+                    }
+                    // Errors are never served stale: re-enqueue the
+                    // duplicates so each computes (and fails) on its own.
+                    Err(_) => attached.into_iter().map(|a| a.job).collect(),
+                };
+                self.respond(job, Some(worker), served, from_cache, queue_wait, picked);
+                requeue
+            }
+        }
+    }
+
+    /// Answer every job that attached to a successfully computed key, from
+    /// the shared result.
+    fn answer_attached(
+        &self,
+        cache: &OutcomeCache,
+        key: &CacheKey,
+        outcome: &Arc<ExecOutcome>,
+        attached: Vec<AttachedJob>,
+    ) {
+        for a in attached {
+            // Read the shared result back out of the cache — the same path
+            // the blocking waiters of shared-queue mode take — so hit
+            // accounting and LRU recency are identical across scheduler
+            // modes. (The entry can only be missing if LRU pressure evicted
+            // it in the instants since the insert; the owner's own `Arc` is
+            // the same bits.)
+            let served = cache.get(key).unwrap_or_else(|| Arc::clone(outcome));
+            let queue_wait = a.picked.duration_since(a.job.enqueued);
+            self.respond(a.job, a.worker, Ok(served), true, queue_wait, a.picked);
+        }
+    }
+
+    /// The size-aware fast path, run on the *submitting* thread: answers
+    /// the job inline when that is cheap — a cache hit, or a trivial
+    /// request — and hands it back (`Some(job)`) for queueing otherwise.
+    /// Never blocks on another thread's computation: if the key is owned
+    /// in flight, the job queues and the worker that picks it up attaches
+    /// it to the owner.
+    fn try_fast_serve(&self, job: Job) -> Option<Job> {
+        if self.config.scheduler != SchedulerMode::WorkStealing {
+            return Some(job);
+        }
+        let submitted = job.enqueued;
+        let trivial = self.is_trivial(&job.request);
+        let Some(cache) = &self.cache else {
+            if !trivial {
+                return Some(job);
+            }
+            let served = self.compute_inline(&job.request);
+            self.respond(job, None, served, false, Duration::ZERO, submitted);
+            return None;
+        };
+        let key = job.request.cache_key(self.graph.epoch());
+        // A trivial request computes inline on a miss, so its miss is real
+        // and counted (`get`); a non-trivial miss is re-looked-up (and
+        // counted) by the worker that picks the job up, so this probe must
+        // not count (`recheck`) — hit rates stay comparable across modes.
+        let lookup = if trivial {
+            cache.get(&key)
+        } else {
+            cache.recheck(&key)
+        };
+        if let Some(hit) = lookup {
+            self.respond(job, None, Ok(hit), true, Duration::ZERO, submitted);
+            return None;
+        }
+        if !trivial {
+            return Some(job);
+        }
+        if !self.config.single_flight {
+            let served = self.compute_inline(&job.request);
+            if let Ok(r) = &served {
+                cache.insert(key, Arc::clone(r));
+            }
+            self.respond(job, None, served, false, Duration::ZERO, submitted);
+            return None;
+        }
+        if !self.flight.begin(&key) {
+            // An identical request is computing right now; queueing (and
+            // attaching) keeps the submitting thread from ever blocking.
+            return Some(job);
+        }
+        let (served, from_cache) = match cache.recheck(&key) {
+            Some(hit) => (Ok(hit), true),
+            None => {
+                let served = self.compute_inline(&job.request);
+                if let Ok(r) = &served {
+                    cache.insert(key.clone(), Arc::clone(r));
+                }
+                (served, false)
+            }
+        };
+        let attached = self.flight.finish(&key);
+        match &served {
+            Ok(outcome) => self.answer_attached(cache, &key, outcome, attached),
+            Err(_) => {
+                // Errors are never shared; duplicates are trivial, so
+                // recomputing each inline is cheaper than a queue trip.
+                for a in attached {
+                    let served = self.compute_inline(&a.job.request);
+                    if let Ok(r) = &served {
+                        cache.insert(key.clone(), Arc::clone(r));
+                    }
+                    let queue_wait = a.picked.duration_since(a.job.enqueued);
+                    self.respond(a.job, a.worker, served, false, queue_wait, a.picked);
+                }
+            }
+        }
+        self.respond(job, None, served, from_cache, Duration::ZERO, submitted);
+        None
+    }
+
+    /// Run a trivial request on the submitting thread, on the shared
+    /// inline workspace.
+    fn compute_inline(&self, request: &ResolvedRequest) -> Result<Arc<ExecOutcome>, ServeError> {
+        let mut ws = self.inline_ws.lock().expect("inline workspace poisoned");
+        self.compute(request, &mut ws).map(Arc::new)
+    }
+
+    /// Requests the fast path may compute on the submitting thread:
+    /// single-node k = 0 RTR/RTR+ — the dispatch table's bound path, which
+    /// short-circuits to an empty ranking after a bounded amount of
+    /// neighborhood setup. Everything else (real bound searches, exact
+    /// iterations touching the whole graph) belongs on a worker.
+    fn is_trivial(&self, request: &ResolvedRequest) -> bool {
+        request.topk.k == 0
+            && request.query.nodes().len() == 1
+            && matches!(request.measure, Measure::Rtr | Measure::RtrPlus { .. })
+            && self.graph.node_count() > 0
+    }
+
+    /// Build and send the response for one served job.
+    fn respond(
+        &self,
+        job: Job,
+        worker: Option<usize>,
+        served: Result<Arc<ExecOutcome>, ServeError>,
+        from_cache: bool,
+        queue_wait: Duration,
+        picked: Instant,
+    ) {
+        let routed_fallback = self.backend_for(&job.request).1;
+        let (result, backend, distributed) = match served {
+            Ok(outcome) => (
+                Ok(Arc::clone(&outcome.result)),
+                outcome.backend,
+                outcome.distributed,
+            ),
+            // A failed request reports the backend it was routed to
+            // (nothing produced a ranking).
+            Err(e) => (Err(e), self.backend_for(&job.request).0.kind(), None),
+        };
+        let response = QueryResponse {
+            id: job.id,
+            request: job.request,
+            result,
+            backend,
+            routed_fallback,
+            distributed,
+            from_cache,
+            queue_wait,
+            compute: picked.elapsed(),
+            worker,
+        };
+        // A dropped reply receiver means the caller gave up; keep serving
+        // other traffic.
+        let _ = job.reply.send(response);
     }
 }
 
@@ -261,7 +632,7 @@ impl Shared {
 /// collects only its own responses.
 pub struct ServeEngine {
     shared: Arc<Shared>,
-    job_tx: Option<Sender<Job>>,
+    dispatcher: Dispatcher,
     handles: Vec<JoinHandle<()>>,
 }
 
@@ -270,12 +641,19 @@ impl ServeEngine {
     /// constructing the configured execution backend (a
     /// [`Backend::Distributed`] config stripes the graph across GP threads
     /// here, once, shared by every worker).
+    ///
+    /// Every worker's reusable workspace is pre-sized to the graph here,
+    /// at spawn — a worker's *first* query pays no O(|V|) allocation burst,
+    /// which would otherwise show up as a one-off tail-latency spike in
+    /// load benchmarks.
     pub fn start(graph: Arc<Graph>, config: ServeConfig) -> Self {
         let workers = config.workers.max(1);
+        let scheduler = config.scheduler;
         let distributed = match config.backend {
             Backend::Local => None,
             Backend::Distributed { gps } => Some(DistributedBackend::spawn(&graph, gps)),
         };
+        let node_count = graph.node_count();
         let shared = Arc::new(Shared {
             local: LocalBackend,
             distributed,
@@ -286,59 +664,93 @@ impl ServeEngine {
                 })
             }),
             flight: InFlight::new(),
+            inline_ws: Mutex::new(ServeWorkspace::with_capacity(node_count)),
             computed: AtomicU64::new(0),
             graph,
             config,
         });
-        let (job_tx, job_rx) = channel::unbounded::<Job>();
-        let handles = (0..workers)
-            .map(|_| {
-                let rx = job_rx.clone();
-                let shared = Arc::clone(&shared);
-                std::thread::spawn(move || {
-                    // The worker's reusable workspace: allocated lazily on
-                    // the first query, then recycled for every later one.
-                    // Panics inside a query are caught in Shared::compute;
-                    // a dead worker would strand the jobs still queued and
-                    // hang their batches.
-                    let mut ws = ServeWorkspace::new();
-                    while let Ok(job) = rx.recv() {
-                        let picked = Instant::now();
-                        let queue_wait = picked.duration_since(job.enqueued);
-                        let (served, from_cache) = shared.serve(&job.request, &mut ws);
-                        let routed_fallback = shared.backend_for(&job.request).1;
-                        let (result, backend, distributed) = match served {
-                            Ok(outcome) => (
-                                Ok(Arc::clone(&outcome.result)),
-                                outcome.backend,
-                                outcome.distributed,
-                            ),
-                            // A failed request reports the backend it was
-                            // routed to (nothing produced a ranking).
-                            Err(e) => (Err(e), shared.backend_for(&job.request).0.kind(), None),
-                        };
-                        let response = QueryResponse {
-                            id: job.id,
-                            request: job.request,
-                            result,
-                            backend,
-                            routed_fallback,
-                            distributed,
-                            from_cache,
-                            queue_wait,
-                            compute: picked.elapsed(),
-                        };
-                        // A dropped reply receiver means the caller gave
-                        // up; keep serving other batches.
-                        let _ = job.reply.send(response);
-                    }
-                })
-            })
-            .collect();
-        ServeEngine {
-            shared,
-            job_tx: Some(job_tx),
-            handles,
+        match scheduler {
+            SchedulerMode::SharedQueue => {
+                let (job_tx, job_rx) = channel::unbounded::<Job>();
+                let handles = (0..workers)
+                    .map(|_| {
+                        let rx = job_rx.clone();
+                        let shared = Arc::clone(&shared);
+                        std::thread::spawn(move || {
+                            // Panics inside a query are caught in
+                            // Shared::compute; a dead worker would strand
+                            // the jobs still queued and hang their batches.
+                            let mut ws = ServeWorkspace::with_capacity(node_count);
+                            while let Ok(job) = rx.recv() {
+                                let requeue = shared.handle(job, 0, &mut ws);
+                                debug_assert!(
+                                    requeue.is_empty(),
+                                    "shared-queue serving never attaches jobs"
+                                );
+                            }
+                        })
+                    })
+                    .collect();
+                ServeEngine {
+                    shared,
+                    dispatcher: Dispatcher::Shared {
+                        job_tx: Some(job_tx),
+                    },
+                    handles,
+                }
+            }
+            SchedulerMode::WorkStealing => {
+                // Build every local deque first so each worker starts with
+                // the full stealer set — no window where early traffic is
+                // invisible to a sibling.
+                let locals: Vec<deque::Worker<Job>> =
+                    (0..workers).map(|_| deque::Worker::new_fifo()).collect();
+                let stealers = locals.iter().map(|l| l.stealer()).collect();
+                let pool = Arc::new(StealPool {
+                    injector: deque::Injector::new(),
+                    stealers,
+                    park: Park::new(),
+                    shutdown: AtomicBool::new(false),
+                });
+                let handles = locals
+                    .into_iter()
+                    .enumerate()
+                    .map(|(idx, local)| {
+                        let pool = Arc::clone(&pool);
+                        let shared = Arc::clone(&shared);
+                        std::thread::spawn(move || {
+                            let mut ws = ServeWorkspace::with_capacity(node_count);
+                            loop {
+                                // Read the park generation *before* the
+                                // scan: a push between scan and sleep bumps
+                                // it and the sleep returns immediately — no
+                                // lost wakeups.
+                                let seen = pool.park.current();
+                                if let Some(job) = pool.find(idx, &local) {
+                                    for j in shared.handle(job, idx, &mut ws) {
+                                        // A failed owner re-enqueues its
+                                        // attached duplicates; pushing them
+                                        // onto our own deque guarantees
+                                        // they run even with every sibling
+                                        // asleep.
+                                        local.push(j);
+                                    }
+                                    continue;
+                                }
+                                if pool.shutdown.load(Ordering::Acquire) {
+                                    return;
+                                }
+                                pool.park.sleep(seen);
+                            }
+                        })
+                    })
+                    .collect();
+                ServeEngine {
+                    shared,
+                    dispatcher: Dispatcher::Stealing { pool },
+                    handles,
+                }
+            }
         }
     }
 
@@ -417,11 +829,24 @@ impl ServeEngine {
             enqueued: Instant::now(),
             reply,
         };
-        self.job_tx
-            .as_ref()
-            .expect("pool is running")
-            .send(job)
-            .expect("workers alive while engine exists");
+        // Size-aware dispatch: cache hits and trivial requests complete
+        // right here on the submitting thread; everything else queues.
+        let Some(job) = self.shared.try_fast_serve(job) else {
+            return;
+        };
+        match &self.dispatcher {
+            Dispatcher::Shared { job_tx } => {
+                job_tx
+                    .as_ref()
+                    .expect("pool is running")
+                    .send(job)
+                    .expect("workers alive while engine exists");
+            }
+            Dispatcher::Stealing { pool } => {
+                pool.injector.push(job);
+                pool.park.notify_one();
+            }
+        }
     }
 
     /// Execute a batch of heterogeneous requests across the pool and
@@ -469,7 +894,15 @@ impl ServeEngine {
     }
 
     fn shutdown_inner(&mut self) {
-        drop(self.job_tx.take());
+        match &mut self.dispatcher {
+            Dispatcher::Shared { job_tx } => drop(job_tx.take()),
+            Dispatcher::Stealing { pool } => {
+                pool.shutdown.store(true, Ordering::Release);
+                // Workers drain all queues before honoring the flag, so
+                // every job enqueued before this point still completes.
+                pool.park.notify_all();
+            }
+        }
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
@@ -516,6 +949,7 @@ pub fn run_serial_requests(
                 routed_fallback,
                 distributed: None,
                 from_cache: false,
+                worker: None,
                 queue_wait: Duration::ZERO,
                 compute: started.elapsed(),
             }
@@ -1009,5 +1443,121 @@ mod tests {
         assert_eq!(engine.cache_len(), 1, "only the good query is cached");
         // Both bad occurrences computed (errors are never served stale).
         assert_eq!(engine.computed_queries(), 3);
+    }
+
+    #[test]
+    fn cache_hits_serve_inline_on_the_submitting_thread() {
+        let (g, ids) = fig2_toy();
+        let config = ServeConfig::default()
+            .with_workers(2)
+            .with_topk(TopKConfig::toy())
+            .with_cache_capacity(64);
+        let engine = ServeEngine::start(Arc::new(g), config);
+        let first = engine.submit(QueryRequest::node(ids.t1).with_k(3)).wait();
+        assert!(first.worker.is_some(), "a cold miss goes through a worker");
+        let hit = engine.submit(QueryRequest::node(ids.t1).with_k(3)).wait();
+        assert!(hit.from_cache);
+        assert_eq!(
+            hit.worker, None,
+            "a cache hit never queues under work stealing"
+        );
+        assert_eq!(hit.queue_wait, Duration::ZERO);
+        assert_eq!(
+            first.result.unwrap().ranking,
+            hit.result.unwrap().ranking,
+            "fast path serves the identical shared result"
+        );
+    }
+
+    #[test]
+    fn trivial_requests_serve_inline_even_without_a_cache() {
+        let (g, ids) = fig2_toy();
+        let config = ServeConfig::default()
+            .with_workers(2)
+            .with_topk(TopKConfig::toy())
+            .with_cache_capacity(0);
+        let engine = ServeEngine::start(Arc::new(g), config);
+        let response = engine.submit(QueryRequest::node(ids.t1).with_k(0)).wait();
+        assert_eq!(response.worker, None, "k = 0 completes on the submitter");
+        assert!(!response.from_cache);
+        let r = response.result.unwrap();
+        assert!(r.ranking.is_empty());
+        assert!(r.converged);
+        // A real search still queues.
+        let response = engine.submit(QueryRequest::node(ids.t1).with_k(3)).wait();
+        assert!(response.worker.is_some());
+        assert_eq!(response.result.unwrap().ranking.len(), 3);
+    }
+
+    #[test]
+    fn shared_queue_mode_still_serves_and_reports_its_worker() {
+        let (g, ids) = fig2_toy();
+        let config = ServeConfig::default()
+            .with_workers(2)
+            .with_topk(TopKConfig::toy())
+            .with_cache_capacity(64)
+            .with_scheduler(SchedulerMode::SharedQueue);
+        let engine = ServeEngine::start(Arc::new(g), config);
+        // The legacy scheduler has no fast path: even hits cross the queue.
+        for expect_hit in [false, true] {
+            let r = engine.submit(QueryRequest::node(ids.t1).with_k(3)).wait();
+            assert_eq!(r.from_cache, expect_hit);
+            assert!(r.worker.is_some(), "shared queue serves on a worker");
+            assert!(r.result.is_ok());
+        }
+    }
+
+    #[test]
+    fn both_schedulers_agree_bit_for_bit() {
+        let (g, ids) = fig2_toy();
+        let queries: Vec<NodeId> = g.nodes().collect();
+        let _ = ids;
+        let mut per_mode = Vec::new();
+        let graph = Arc::new(g);
+        for scheduler in [SchedulerMode::SharedQueue, SchedulerMode::WorkStealing] {
+            let config = ServeConfig::default()
+                .with_workers(3)
+                .with_topk(TopKConfig::toy())
+                .with_scheduler(scheduler);
+            let engine = ServeEngine::start(Arc::clone(&graph), config);
+            per_mode.push(engine.run_batch(&queries));
+        }
+        for (a, b) in per_mode[0].iter().zip(&per_mode[1]) {
+            let (a, b) = (a.result.as_ref().unwrap(), b.result.as_ref().unwrap());
+            assert_eq!(a.ranking, b.ranking);
+            assert_eq!(a.bounds, b.bounds); // exact f64 equality
+            assert_eq!(a.expansions, b.expansions);
+        }
+    }
+
+    #[test]
+    fn stealing_keeps_all_workers_correct_under_a_skewed_burst() {
+        // One hot query plus a long tail, submitted in one burst: whatever
+        // interleaving of stealing, attaching, and fast-path serving
+        // happens, every response must match the serial reference.
+        let (g, ids) = fig2_toy();
+        let config = ServeConfig::default()
+            .with_workers(4)
+            .with_topk(TopKConfig::toy())
+            .with_cache_capacity(256);
+        let mut requests = Vec::new();
+        for round in 0..16 {
+            requests.push(QueryRequest::node(ids.t1).with_k(3));
+            if round % 2 == 0 {
+                requests.push(QueryRequest::node(ids.v1).with_k(round % 5));
+            }
+        }
+        let serial = run_serial_requests(
+            &g,
+            &ServeConfig::default().with_topk(TopKConfig::toy()),
+            &requests,
+        );
+        let engine = ServeEngine::start(Arc::new(g), config);
+        let pooled = engine.run_requests(&requests);
+        for (s, p) in serial.iter().zip(&pooled) {
+            let (s, p) = (s.result.as_ref().unwrap(), p.result.as_ref().unwrap());
+            assert_eq!(s.ranking, p.ranking);
+            assert_eq!(s.bounds, p.bounds);
+        }
     }
 }

@@ -1,32 +1,43 @@
-//! Single-flight deduplication.
+//! Single-flight deduplication and in-flight request batching.
 //!
 //! When M identical queries are in flight at once, only the first should
-//! pay for the computation; the rest wait and read the shared result out
-//! of the cache. The primitive is a set of in-flight keys behind a mutex
-//! plus a condvar: the first claimant of a key computes, later claimants
-//! block until the key is released and then re-check the cache.
+//! pay for the computation; the rest share its result. The primitive is a
+//! table of in-flight keys behind a mutex, each holding the list of
+//! requests that arrived *while* the key was computing. Two consumption
+//! styles share it:
 //!
-//! Progress is guaranteed because a key is only ever claimed by a worker
-//! that is actively running its job: the computing worker never waits, so
-//! waiters always have a live computation to wait *for*. If the
-//! computation fails (the result is never cached), each waiter wakes,
-//! misses, and claims the key itself — errors are cheap to recompute and
+//! * **Blocking** ([`SchedulerMode::SharedQueue`](crate::SchedulerMode)):
+//!   later claimants call [`InFlight::wait`] and park on the condvar until
+//!   the key is released, then re-check the cache — the engine's original
+//!   behavior, which costs one blocked worker thread per duplicate.
+//! * **Attaching** ([`SchedulerMode::WorkStealing`](crate::SchedulerMode)):
+//!   later claimants [`InFlight::attach_or_claim`] their job onto the
+//!   owner's entry and return to serving other traffic. When the owner
+//!   [`InFlight::finish`]es it receives everything that attached and
+//!   answers it from the shared result — no thread ever blocks.
+//!
+//! Progress is guaranteed because a key is only ever claimed by a caller
+//! actively running its job: the computing owner never waits, so waiters
+//! (blocking or attached) always have a live computation to wait for. If
+//! the computation fails (the result is never cached), each duplicate is
+//! recomputed individually — errors are cheap to recompute and
 //! deterministic, so answers are unchanged.
 
-use std::collections::HashSet;
+use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::{Condvar, Mutex};
 
-/// A table of keys currently being computed.
-pub(crate) struct InFlight<K> {
-    inner: Mutex<HashSet<K>>,
+/// A table of keys currently being computed, each carrying the jobs that
+/// attached to it while it ran.
+pub(crate) struct InFlight<K, J> {
+    inner: Mutex<HashMap<K, Vec<J>>>,
     done: Condvar,
 }
 
-impl<K: Hash + Eq + Clone> InFlight<K> {
+impl<K: Hash + Eq + Clone, J> InFlight<K, J> {
     pub(crate) fn new() -> Self {
         InFlight {
-            inner: Mutex::new(HashSet::new()),
+            inner: Mutex::new(HashMap::new()),
             done: Condvar::new(),
         }
     }
@@ -34,28 +45,54 @@ impl<K: Hash + Eq + Clone> InFlight<K> {
     /// Try to claim `key`. `true` means the caller owns the computation
     /// and must call [`InFlight::finish`] when done (on every path).
     pub(crate) fn begin(&self, key: &K) -> bool {
-        self.inner
-            .lock()
-            .expect("in-flight table poisoned")
-            .insert(key.clone())
+        let mut guard = self.inner.lock().expect("in-flight table poisoned");
+        if guard.contains_key(key) {
+            false
+        } else {
+            guard.insert(key.clone(), Vec::new());
+            true
+        }
+    }
+
+    /// Claim `key` (returning the job to its caller, now the owner) or, if
+    /// it is already being computed, attach `job` to the owner's entry —
+    /// the owner's [`InFlight::finish`] will hand it back for answering.
+    /// Exactly one of the two happens, atomically.
+    pub(crate) fn attach_or_claim(&self, key: &K, job: J) -> Option<J> {
+        let mut guard = self.inner.lock().expect("in-flight table poisoned");
+        match guard.get_mut(key) {
+            Some(attached) => {
+                attached.push(job);
+                None
+            }
+            None => {
+                guard.insert(key.clone(), Vec::new());
+                Some(job)
+            }
+        }
     }
 
     /// Block until `key` is no longer in flight. Spurious wakeups are
     /// absorbed by re-checking membership.
     pub(crate) fn wait(&self, key: &K) {
         let mut guard = self.inner.lock().expect("in-flight table poisoned");
-        while guard.contains(key) {
+        while guard.contains_key(key) {
             guard = self.done.wait(guard).expect("in-flight table poisoned");
         }
     }
 
-    /// Release `key` and wake all waiters (each re-checks the cache).
-    pub(crate) fn finish(&self, key: &K) {
-        self.inner
+    /// Release `key`, wake all blocking waiters (each re-checks the
+    /// cache), and return every job that attached while the owner
+    /// computed — the owner must answer (or re-enqueue) each of them.
+    pub(crate) fn finish(&self, key: &K) -> Vec<J> {
+        let attached = self
+            .inner
             .lock()
             .expect("in-flight table poisoned")
-            .remove(key);
+            .remove(key)
+            .unwrap_or_default();
         self.done.notify_all();
+        attached
     }
 }
 
@@ -67,7 +104,7 @@ mod tests {
 
     #[test]
     fn first_claim_wins_until_finished() {
-        let f: InFlight<u32> = InFlight::new();
+        let f: InFlight<u32, ()> = InFlight::new();
         assert!(f.begin(&1));
         assert!(!f.begin(&1));
         assert!(f.begin(&2), "distinct keys are independent");
@@ -77,7 +114,7 @@ mod tests {
 
     #[test]
     fn waiters_block_until_finish() {
-        let f = Arc::new(InFlight::<u32>::new());
+        let f = Arc::new(InFlight::<u32, ()>::new());
         let woke = Arc::new(AtomicUsize::new(0));
         assert!(f.begin(&7));
         let waiters: Vec<_> = (0..4)
@@ -102,7 +139,43 @@ mod tests {
 
     #[test]
     fn wait_on_idle_key_returns_immediately() {
-        let f: InFlight<u32> = InFlight::new();
+        let f: InFlight<u32, ()> = InFlight::new();
         f.wait(&99); // must not block
+    }
+
+    #[test]
+    fn attach_or_claim_claims_an_idle_key() {
+        let f: InFlight<u32, &str> = InFlight::new();
+        assert_eq!(f.attach_or_claim(&3, "job"), Some("job"));
+        // The caller now owns the key, exactly as if it had begun it.
+        assert!(!f.begin(&3));
+        assert!(f.finish(&3).is_empty(), "nothing attached");
+    }
+
+    #[test]
+    fn attached_jobs_come_back_to_the_owner_in_order() {
+        let f: InFlight<u32, u32> = InFlight::new();
+        assert_eq!(f.attach_or_claim(&5, 0), Some(0));
+        for dup in 1..=3 {
+            assert_eq!(f.attach_or_claim(&5, dup), None, "duplicates attach");
+        }
+        assert_eq!(f.finish(&5), vec![1, 2, 3]);
+        // The key is free again; a fresh claim starts an empty entry.
+        assert_eq!(f.attach_or_claim(&5, 9), Some(9));
+        assert!(f.finish(&5).is_empty());
+    }
+
+    #[test]
+    fn attach_and_blocking_wait_interoperate() {
+        let f = Arc::new(InFlight::<u32, u32>::new());
+        assert!(f.begin(&1));
+        assert_eq!(f.attach_or_claim(&1, 7), None);
+        let waiter = {
+            let f = Arc::clone(&f);
+            std::thread::spawn(move || f.wait(&1))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(f.finish(&1), vec![7]);
+        waiter.join().unwrap(); // finish released the blocking waiter too
     }
 }

@@ -85,7 +85,7 @@
 //! assert_eq!(responses[0].result.as_ref().unwrap().ranking[0], ids.t1);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod backend;
@@ -98,7 +98,7 @@ pub mod response;
 pub use backend::{
     Backend, BackendKind, DistributedBackend, ExecBackend, ExecOutcome, LocalBackend,
 };
-pub use config::{ServeConfig, ServeConfigBuilder, ServeConfigError};
+pub use config::{SchedulerMode, ServeConfig, ServeConfigBuilder, ServeConfigError};
 pub use engine::{run_serial, run_serial_requests, QueryOutput, ServeEngine, ServeError};
 pub use request::{QueryRequest, ResolvedRequest, ServeWorkspace};
 pub use response::{QueryResponse, QueryTicket};

@@ -293,6 +293,19 @@ impl ServeWorkspace {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// A workspace pre-sized for a graph of `n` nodes. The sparse top-K
+    /// buffers and dense iteration vectors are allocated up front, so a
+    /// worker's first query is served from warm buffers instead of paying
+    /// the O(n) index-array allocations mid-request. Results are identical
+    /// to a lazily grown workspace; only the first-query latency changes.
+    pub fn with_capacity(n: usize) -> Self {
+        ServeWorkspace {
+            topk: TopKWorkspace::with_capacity(n),
+            iter: IterWorkspace::with_capacity(n),
+            dist: DistributedWorkspace::default(),
+        }
+    }
 }
 
 /// Collapse an exact score vector into the serving result shape: top-k

@@ -55,6 +55,13 @@ pub struct QueryResponse {
     /// result shared from another request's in-flight computation) rather
     /// than an engine run of this request.
     pub from_cache: bool,
+    /// Index of the worker thread that picked this request off the queue,
+    /// or `None` when it never queued at all — served inline on the
+    /// submitting thread by the size-aware fast path
+    /// ([`crate::SchedulerMode::WorkStealing`]), or by the serial
+    /// reference executor. Lets load benches split queued from
+    /// fast-pathed traffic and attribute per-worker latency effects.
+    pub worker: Option<usize>,
     /// Time between submission and a worker picking the request up.
     pub queue_wait: Duration,
     /// Time the worker spent serving it (cache lookup + engine run).

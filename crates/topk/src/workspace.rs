@@ -24,6 +24,16 @@ pub struct FWorkspace {
     pub(crate) order: Vec<u32>,
 }
 
+impl FWorkspace {
+    pub(crate) fn with_capacity(n: usize) -> Self {
+        FWorkspace {
+            bca: BcaWorkspace::with_capacity(n),
+            bounds: SparseMap::with_capacity(n),
+            order: Vec::new(),
+        }
+    }
+}
+
 /// Reusable state for one [`crate::tbound::TNeighborhood`]: the bounds map
 /// over `S_t`, the Stage-II sweep order, and the border-selection scratch.
 #[derive(Clone, Debug, Default)]
@@ -58,9 +68,33 @@ pub struct TopKWorkspace {
     pub(crate) active: NodeSet,
 }
 
+impl TWorkspace {
+    pub(crate) fn with_capacity(n: usize) -> Self {
+        TWorkspace {
+            bounds: SparseMap::with_capacity(n),
+            order: Vec::new(),
+            border: Vec::new(),
+        }
+    }
+}
+
 impl TopKWorkspace {
     /// A workspace (all buffers empty) ready for any graph.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A workspace with its sparse-set index arrays pre-sized for a graph
+    /// of `n` nodes, so a serving worker's *first* query does not pay the
+    /// O(n) dense-array allocations that [`TopKWorkspace::new`] defers to
+    /// first use. Capacities still grow on demand if a larger graph
+    /// appears; results are identical either way.
+    pub fn with_capacity(n: usize) -> Self {
+        TopKWorkspace {
+            f: FWorkspace::with_capacity(n),
+            t: TWorkspace::with_capacity(n),
+            members: Vec::new(),
+            active: NodeSet::with_capacity(n),
+        }
     }
 }

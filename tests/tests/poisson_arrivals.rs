@@ -1,0 +1,111 @@
+//! Statistical properties of the open-loop Poisson arrival generator.
+//!
+//! The `--open-loop` throughput bench replays a seeded schedule of
+//! exponential inter-arrival gaps (`rtr_bench::openloop::poisson_arrivals`)
+//! so that both schedulers see *identical* offered load. That A/B design
+//! is only sound if the generator actually is a Poisson process and
+//! actually is deterministic, so this suite pins:
+//!
+//! * determinism — same `(rate, n, seed)` ⇒ the same schedule, different
+//!   seeds ⇒ different schedules;
+//! * strict monotonicity — arrival times strictly increase (no two
+//!   requests are scheduled for the same nanosecond);
+//! * mean rate — the empirical rate converges on the requested rate;
+//! * exponential shape — inter-arrival gaps have coefficient of variation
+//!   ≈ 1 (the memoryless signature separating a Poisson process from a
+//!   uniform jitter or a fixed-interval ticker), and the gap distribution
+//!   has the exponential's median/mean ratio `ln 2`.
+
+use proptest::prelude::*;
+use rtr_bench::openloop::poisson_arrivals;
+use std::time::Duration;
+
+fn gaps(schedule: &[Duration]) -> Vec<f64> {
+    let mut prev = 0.0;
+    schedule
+        .iter()
+        .map(|t| {
+            let s = t.as_secs_f64();
+            let gap = s - prev;
+            prev = s;
+            gap
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    // Same inputs, same schedule; a different seed must diverge.
+    #[test]
+    fn schedule_is_a_pure_function_of_rate_and_seed(
+        rate in 50.0f64..50_000.0,
+        seed in 0u64..u64::MAX,
+    ) {
+        let a = poisson_arrivals(rate, 256, seed);
+        let b = poisson_arrivals(rate, 256, seed);
+        prop_assert_eq!(&a, &b);
+        let c = poisson_arrivals(rate, 256, seed ^ 0xdead_beef);
+        prop_assert_ne!(&a, &c);
+    }
+
+    // Arrival times strictly increase: exponential gaps are almost surely
+    // positive, and the generator must not collapse two arrivals onto the
+    // same instant at any rate.
+    #[test]
+    fn arrival_times_strictly_increase(
+        rate in 50.0f64..50_000.0,
+        seed in 0u64..u64::MAX,
+    ) {
+        let schedule = poisson_arrivals(rate, 512, seed);
+        prop_assert_eq!(schedule.len(), 512);
+        for w in schedule.windows(2) {
+            prop_assert!(w[0] < w[1], "arrivals must be strictly ordered");
+        }
+    }
+
+    // The empirical rate matches the requested rate. At n = 4096 the
+    // sample mean of exponential gaps has relative standard error
+    // 1/√n ≈ 1.6%, so an 8% band is ~5σ — tight enough to catch a
+    // wrong-by-a-constant generator, loose enough to never flake.
+    #[test]
+    fn empirical_rate_matches_offered_rate(
+        rate in 50.0f64..50_000.0,
+        seed in 0u64..u64::MAX,
+    ) {
+        let n = 4096;
+        let schedule = poisson_arrivals(rate, n, seed);
+        let span = schedule.last().unwrap().as_secs_f64();
+        let measured = n as f64 / span;
+        let rel = (measured - rate).abs() / rate;
+        prop_assert!(rel < 0.08, "measured {measured:.1} vs offered {rate:.1} QPS");
+    }
+
+    // The memoryless signature: exponential gaps have standard deviation
+    // equal to their mean (CV = 1) and median/mean = ln 2 ≈ 0.693.
+    // A uniform-jitter generator would show CV ≈ 0.58 and ratio ≈ 1;
+    // a fixed ticker CV = 0 — both far outside these bands at n = 4096.
+    #[test]
+    fn gaps_are_exponentially_distributed(
+        rate in 50.0f64..50_000.0,
+        seed in 0u64..u64::MAX,
+    ) {
+        let schedule = poisson_arrivals(rate, 4096, seed);
+        let g = gaps(&schedule);
+        let n = g.len() as f64;
+        let mean = g.iter().sum::<f64>() / n;
+        let var = g.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        let cv = var.sqrt() / mean;
+        prop_assert!((cv - 1.0).abs() < 0.15, "coefficient of variation {cv:.3}");
+
+        let mut sorted = g;
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[sorted.len() / 2];
+        let ratio = median / mean;
+        let ln2 = std::f64::consts::LN_2;
+        prop_assert!(
+            (ratio - ln2).abs() < 0.1,
+            "median/mean {ratio:.3}, exponential expects {ln2:.3}"
+        );
+    }
+}

@@ -1,13 +1,22 @@
-//! Offline stand-in for `crossbeam`'s channel module. Only the unbounded
-//! channel surface the workspace uses is provided (`unbounded`,
-//! `Sender::send`, `Receiver::recv` / `try_recv` / `iter`). Like real
-//! crossbeam — and unlike raw `mpsc` — both halves are `Clone`, so a pool
-//! of workers can compete for jobs on one shared queue.
+//! Offline stand-in for the parts of `crossbeam` the workspace uses:
 //!
-//! The queue is a `Mutex<VecDeque>` + `Condvar`: the lock is held only to
-//! push or pop, never across a blocking wait, so a receiver parked in
-//! `recv()` does not serialize the other consumers (the failure mode of
+//! * [`channel`] — unbounded MPMC channels (`unbounded`, `Sender::send`,
+//!   `Receiver::recv` / `try_recv` / `iter`). Like real crossbeam — and
+//!   unlike raw `mpsc` — both halves are `Clone`, so a pool of workers can
+//!   compete for jobs on one shared queue.
+//! * [`deque`] — the `crossbeam-deque` work-stealing surface (`Worker`,
+//!   `Stealer`, `Injector`, `Steal`) that `rtr-serve`'s scheduler builds
+//!   per-worker queues from.
+//!
+//! The channel queue is a `Mutex<VecDeque>` + `Condvar`: the lock is held
+//! only to push or pop, never across a blocking wait, so a receiver parked
+//! in `recv()` does not serialize the other consumers (the failure mode of
 //! the naive `Mutex<mpsc::Receiver>` wrapping this shim started with).
+//! The deques trade crossbeam's lock-free Chase-Lev buffers for short
+//! critical sections around a `VecDeque` — same API and semantics, shim
+//! performance: what matters for the scheduler is that each worker owns
+//! its own queue head and batch-refills from the shared injector, so the
+//! per-job cost of the one global lock is amortized away.
 
 /// Multi-producer, multi-consumer channels.
 pub mod channel {
@@ -233,6 +242,363 @@ pub mod channel {
             drop(tx);
             assert_eq!(rx.recv().unwrap(), 9);
             assert!(rx.recv().is_err());
+        }
+    }
+}
+
+/// Work-stealing deques, mirroring the `crossbeam-deque` API subset the
+/// workspace uses.
+///
+/// Each consumer owns a [`deque::Worker`] (its local FIFO queue) and hands
+/// out [`deque::Stealer`]s so siblings can take work when their own queue
+/// runs dry. A shared [`deque::Injector`] is the global submission queue:
+/// producers `push` into it and consumers batch-refill from it with
+/// [`deque::Injector::steal_batch_and_pop`], which moves up to half of the
+/// injector's backlog into the consumer's local queue in one lock
+/// acquisition.
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Largest number of items a single `steal_batch_and_pop` moves
+    /// (matches crossbeam's batch limit).
+    const MAX_BATCH: usize = 32;
+
+    /// The result of a steal attempt.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The queue was empty at the time of the call.
+        Empty,
+        /// One item was successfully stolen.
+        Success(T),
+        /// The steal lost a race and should be retried. (The shim's
+        /// mutex-backed queues never lose races, so this variant is never
+        /// produced here; it exists for API compatibility with real
+        /// crossbeam, whose lock-free buffers can.)
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// The stolen item, if the steal succeeded.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(v) => Some(v),
+                _ => None,
+            }
+        }
+
+        /// True if the queue was observed empty.
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+    }
+
+    fn drain_batch_into<T>(src: &mut VecDeque<T>, dst: &Worker<T>) -> Steal<T> {
+        match src.pop_front() {
+            None => Steal::Empty,
+            Some(first) => {
+                // Move up to half the backlog (capped) so one refill
+                // amortizes many pops but siblings still find work.
+                let extra = (src.len() / 2).min(MAX_BATCH - 1);
+                if extra > 0 {
+                    let mut dst_q = dst.queue.lock().expect("deque poisoned");
+                    for _ in 0..extra {
+                        match src.pop_front() {
+                            Some(v) => dst_q.push_back(v),
+                            None => break,
+                        }
+                    }
+                }
+                Steal::Success(first)
+            }
+        }
+    }
+
+    /// A FIFO queue owned by one consumer thread. The owner pushes and
+    /// pops; [`Stealer`]s created from it take items from the same queue.
+    pub struct Worker<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> std::fmt::Debug for Worker<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Worker(..)")
+        }
+    }
+
+    impl<T> Default for Worker<T> {
+        fn default() -> Self {
+            Self::new_fifo()
+        }
+    }
+
+    impl<T> Worker<T> {
+        /// Create an empty FIFO worker queue.
+        pub fn new_fifo() -> Self {
+            Worker {
+                queue: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        /// Push an item onto the back of the queue.
+        pub fn push(&self, value: T) {
+            self.queue.lock().expect("deque poisoned").push_back(value);
+        }
+
+        /// Pop the item at the front of the queue (FIFO order).
+        pub fn pop(&self) -> Option<T> {
+            self.queue.lock().expect("deque poisoned").pop_front()
+        }
+
+        /// Create a handle other threads can steal from.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+
+        /// Number of items currently queued.
+        pub fn len(&self) -> usize {
+            self.queue.lock().expect("deque poisoned").len()
+        }
+
+        /// True if no items are queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    /// A handle for taking items from another consumer's [`Worker`] queue.
+    pub struct Stealer<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> std::fmt::Debug for Stealer<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Stealer(..)")
+        }
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Steal one item from the front of the victim's queue.
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().expect("deque poisoned").pop_front() {
+                Some(v) => Steal::Success(v),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Steal a batch of items from the victim, pushing all but the
+        /// first into `dest` and returning the first.
+        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            let mut src = self.queue.lock().expect("deque poisoned");
+            drain_batch_into(&mut src, dest)
+        }
+
+        /// Number of items in the victim's queue.
+        pub fn len(&self) -> usize {
+            self.queue.lock().expect("deque poisoned").len()
+        }
+
+        /// True if the victim's queue is empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    /// A shared FIFO submission queue any thread can push into and any
+    /// consumer can (batch-)steal from.
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> std::fmt::Debug for Injector<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Injector(..)")
+        }
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        /// Create an empty injector.
+        pub fn new() -> Self {
+            Injector {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Push an item onto the back of the queue.
+        pub fn push(&self, value: T) {
+            self.queue.lock().expect("deque poisoned").push_back(value);
+        }
+
+        /// Steal one item from the front of the queue.
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().expect("deque poisoned").pop_front() {
+                Some(v) => Steal::Success(v),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Steal a batch of items, pushing all but the first into `dest`
+        /// and returning the first.
+        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            let mut src = self.queue.lock().expect("deque poisoned");
+            drain_batch_into(&mut src, dest)
+        }
+
+        /// Number of items currently queued.
+        pub fn len(&self) -> usize {
+            self.queue.lock().expect("deque poisoned").len()
+        }
+
+        /// True if no items are queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn worker_is_fifo() {
+            let w = Worker::new_fifo();
+            w.push(1);
+            w.push(2);
+            w.push(3);
+            assert_eq!(w.pop(), Some(1));
+            assert_eq!(w.pop(), Some(2));
+            assert_eq!(w.pop(), Some(3));
+            assert_eq!(w.pop(), None);
+        }
+
+        #[test]
+        fn stealer_takes_from_the_front() {
+            let w = Worker::new_fifo();
+            let s = w.stealer();
+            w.push(10);
+            w.push(20);
+            assert_eq!(s.steal().success(), Some(10));
+            assert_eq!(w.pop(), Some(20));
+            assert!(s.steal().is_empty());
+        }
+
+        #[test]
+        fn injector_batch_moves_half_capped() {
+            let inj = Injector::new();
+            for v in 0..100 {
+                inj.push(v);
+            }
+            let w = Worker::new_fifo();
+            // First item returned directly, up to MAX_BATCH-1 moved over.
+            assert_eq!(inj.steal_batch_and_pop(&w).success(), Some(0));
+            assert_eq!(w.len(), MAX_BATCH - 1);
+            assert_eq!(inj.len(), 100 - MAX_BATCH);
+            // FIFO order survives the batch move.
+            assert_eq!(w.pop(), Some(1));
+            assert_eq!(w.pop(), Some(2));
+        }
+
+        #[test]
+        fn batch_from_small_source_takes_half() {
+            let inj = Injector::new();
+            for v in 0..9 {
+                inj.push(v);
+            }
+            let w = Worker::new_fifo();
+            assert_eq!(inj.steal_batch_and_pop(&w).success(), Some(0));
+            // 8 left after the pop; half of those move.
+            assert_eq!(w.len(), 4);
+            assert_eq!(inj.len(), 4);
+        }
+
+        #[test]
+        fn steal_batch_from_empty_is_empty() {
+            let inj: Injector<u32> = Injector::new();
+            let w = Worker::new_fifo();
+            assert!(inj.steal_batch_and_pop(&w).is_empty());
+            assert!(w.is_empty());
+        }
+
+        #[test]
+        fn concurrent_producers_and_stealing_consumers_lose_nothing() {
+            use std::sync::atomic::{AtomicU64, Ordering};
+            let inj = Arc::new(Injector::new());
+            let total = Arc::new(AtomicU64::new(0));
+            let n = 10_000u64;
+
+            let workers: Vec<Worker<u64>> = (0..4).map(|_| Worker::new_fifo()).collect();
+            let stealers: Vec<Stealer<u64>> = workers.iter().map(|w| w.stealer()).collect();
+
+            let producer = {
+                let inj = Arc::clone(&inj);
+                std::thread::spawn(move || {
+                    for v in 1..=n {
+                        inj.push(v);
+                    }
+                })
+            };
+
+            let handles: Vec<_> = workers
+                .into_iter()
+                .enumerate()
+                .map(|(i, w)| {
+                    let inj = Arc::clone(&inj);
+                    let total = Arc::clone(&total);
+                    let sibs: Vec<Stealer<u64>> = stealers
+                        .iter()
+                        .enumerate()
+                        .filter(|(j, _)| *j != i)
+                        .map(|(_, s)| s.clone())
+                        .collect();
+                    std::thread::spawn(move || {
+                        let mut idle = 0u32;
+                        loop {
+                            let item = w
+                                .pop()
+                                .or_else(|| inj.steal_batch_and_pop(&w).success())
+                                .or_else(|| sibs.iter().find_map(|s| s.steal().success()));
+                            match item {
+                                Some(v) => {
+                                    idle = 0;
+                                    total.fetch_add(v, Ordering::Relaxed);
+                                }
+                                None => {
+                                    idle += 1;
+                                    if idle > 200 {
+                                        break;
+                                    }
+                                    std::thread::yield_now();
+                                }
+                            }
+                        }
+                    })
+                })
+                .collect();
+
+            producer.join().unwrap();
+            for h in handles {
+                h.join().unwrap();
+            }
+            // Consumers only stop after many consecutive empty scans, well
+            // after the producer finished; every item must be accounted for.
+            assert_eq!(total.load(Ordering::Relaxed), n * (n + 1) / 2);
+            assert!(inj.is_empty());
         }
     }
 }
