@@ -10,7 +10,7 @@
 //! throughput [--workers 1,2,4,8] [--queries N] [--k K] [--epsilon E]
 //!            [--skew S] [--mixed] [--cache CAPACITY] [--json PATH]
 //!            [--backend local|distributed] [--gps N]
-//!            [--check bench/baseline.json]
+//!            [--obs-gate] [--check bench/baseline.json]
 //! ```
 //!
 //! Without `--check`, the workload follows `RTR_SCALE` / `RTR_SEED` like
@@ -64,15 +64,27 @@
 //! gates on that headline the same way the closed-loop gate does on QPS.
 //! See `docs/BENCHMARKS.md` for the methodology and the JSON schema.
 //!
+//! With `--obs-gate`, the harness runs the observability-overhead A/B
+//! instead: the canonical workload with metrics + tracing disabled vs
+//! enabled in order-alternating paired passes, failing if the minimum
+//! paired overhead exceeds 5% QPS. Every artifact also carries a trailing
+//! `metrics` section — the engine's full metrics snapshot from one extra
+//! observability-enabled replay of the same workload — so the committed
+//! bench JSON shows what a Prometheus scrape would see.
+//!
 //! All modes report latency **split into queue-wait and compute**
 //! percentiles alongside the end-to-end numbers: under load, queue-wait
-//! growing while compute stays flat is the saturation signature.
+//! growing while compute stays flat is the saturation signature. The
+//! quantiles come from the same `rtr-obs` log-linear histogram the
+//! serving layer exports (`rtr_bench::summary::Summary`), so a bench
+//! table and a scraped histogram agree on their estimator.
 
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
 use rtr_bench::json::{number, number_field};
 use rtr_bench::openloop::poisson_arrivals;
-use rtr_bench::{percentile, qlog, seed, Scale};
+use rtr_bench::summary::Summary;
+use rtr_bench::{qlog, seed, Scale};
 use rtr_core::{Measure, RankParams};
 use rtr_datagen::{QLog, QLogConfig, Zipf};
 use rtr_graph::{Graph, NodeId};
@@ -100,6 +112,26 @@ const MAX_BYTES_GROWTH: f64 = 0.25;
 /// single-worker QPS (anything steeper is the multi-AP throughput cliff
 /// this gate exists to catch, not scheduler jitter).
 const MAX_SCALING_NOISE: f64 = 0.15;
+
+/// Allowed QPS cost of enabling observability (metrics + tracing) in the
+/// `--obs-gate` A/B: the *minimum paired overhead* across passes must
+/// stay within this fraction (see the gate loop for why the minimum is
+/// the noise-robust statistic).
+const MAX_OBS_OVERHEAD: f64 = 0.05;
+
+/// Passes per side of the `--obs-gate` A/B. Each pass runs both sides
+/// back to back and *which side goes first alternates per pass* — on a
+/// throttled CI container throughput decays within a process, so a
+/// fixed order would systematically bill the decay to whichever side
+/// always ran second. Each side reports its best pass, so a one-off
+/// scheduling hiccup on either side cannot decide the gate; keep this
+/// even so both orders appear equally often.
+const OBS_GATE_PASSES: usize = 4;
+
+/// Worker count for the `--obs-gate` A/B: two workers exercise the
+/// cross-thread paths (shard contention, steal counters) without
+/// oversubscribing the 2-core CI machine class into pure noise.
+const OBS_GATE_WORKERS: usize = 2;
 
 /// Size of the hot query pool the `--skew` workload draws from: the head
 /// of the shuffled phrase pool. Production logs concentrate traffic on a
@@ -169,6 +201,8 @@ struct Args {
     rates: Vec<f64>,
     /// p99 SLO in ms for the max-sustainable-QPS headline (`--slo-ms`).
     slo_ms: f64,
+    /// Observability-overhead A/B gate (`--obs-gate`).
+    obs_gate: bool,
 }
 
 impl Default for Args {
@@ -188,6 +222,7 @@ impl Default for Args {
             open_loop: false,
             rates: DEFAULT_OPEN_RATES.to_vec(),
             slo_ms: DEFAULT_SLO_MS,
+            obs_gate: false,
         }
     }
 }
@@ -258,6 +293,7 @@ fn parse_args() -> Args {
                 assert!(args.gps > 0, "--gps must be at least 1");
             }
             "--open-loop" => args.open_loop = true,
+            "--obs-gate" => args.obs_gate = true,
             "--rates" => {
                 args.rates = value("--rates")
                     .split(',')
@@ -279,7 +315,7 @@ fn parse_args() -> Args {
                      [--epsilon E] [--skew S] [--mixed] [--cache CAPACITY] \
                      [--backend local|distributed] [--gps N] \
                      [--open-loop] [--rates R1,R2,...] [--slo-ms MS] \
-                     [--json PATH] [--check BASELINE_JSON]"
+                     [--obs-gate] [--json PATH] [--check BASELINE_JSON]"
                 );
                 std::process::exit(0);
             }
@@ -299,6 +335,19 @@ fn parse_args() -> Args {
         !(args.open_loop && (args.mixed || args.skew.is_some() || args.distributed)),
         "--open-loop is its own study (local backend, built-in Zipf stream)"
     );
+    assert!(
+        !(args.obs_gate
+            && (args.mixed
+                || args.skew.is_some()
+                || args.distributed
+                || args.open_loop
+                || args.check.is_some())),
+        "--obs-gate is its own study (an A/B on the canonical workload)"
+    );
+    // The obs gate writes its own document shape too.
+    if args.obs_gate && args.out == Args::default().out {
+        args.out = "BENCH_obs.json".to_owned();
+    }
     // The distributed mode writes a different document shape; without an
     // explicit --json it must not clobber the local trajectory artifact.
     if args.distributed && args.out == Args::default().out {
@@ -451,19 +500,18 @@ impl RunRow {
         splits: &[(Duration, Duration)],
         hit_rate: Option<f64>,
     ) -> RunRow {
-        let ms = |d: &Duration| d.as_secs_f64() * 1e3;
-        let queue: Vec<f64> = splits.iter().map(|(q, _)| ms(q)).collect();
-        let compute: Vec<f64> = splits.iter().map(|(_, c)| ms(c)).collect();
-        let total: Vec<f64> = splits.iter().map(|(q, c)| ms(q) + ms(c)).collect();
+        let queue = Summary::from_durations(splits.iter().map(|(q, _)| *q));
+        let compute = Summary::from_durations(splits.iter().map(|(_, c)| *c));
+        let total = Summary::from_durations(splits.iter().map(|(q, c)| *q + *c));
         RunRow {
             workers,
             qps: splits.len() as f64 / wall.as_secs_f64(),
-            p50_ms: percentile(&total, 50.0),
-            p99_ms: percentile(&total, 99.0),
-            p50_queue_ms: percentile(&queue, 50.0),
-            p99_queue_ms: percentile(&queue, 99.0),
-            p50_compute_ms: percentile(&compute, 50.0),
-            p99_compute_ms: percentile(&compute, 99.0),
+            p50_ms: total.quantile_ms(50.0),
+            p99_ms: total.quantile_ms(99.0),
+            p50_queue_ms: queue.quantile_ms(50.0),
+            p99_queue_ms: queue.quantile_ms(99.0),
+            p50_compute_ms: compute.quantile_ms(50.0),
+            p99_compute_ms: compute.quantile_ms(99.0),
             wall_ms: wall.as_secs_f64() * 1e3,
             hit_rate,
         }
@@ -530,6 +578,118 @@ fn run_requests_at(
         splits.push((r.queue_wait, r.compute));
     }
     (RunRow::measure(workers, wall, &splits, hit_rate), responses)
+}
+
+/// One extra pass of the workload with metrics + tracing enabled,
+/// returning the engine's full metrics snapshot rendered as JSON. Runs
+/// after — never inside — the measured passes, so the artifact's
+/// `metrics` section shows what a scrape of this workload sees without
+/// observability cost perturbing the reported rows.
+fn capture_metrics(
+    g: &Arc<Graph>,
+    config: ServeConfig,
+    requests: &[QueryRequest],
+    workers: usize,
+) -> String {
+    let engine = ServeEngine::start(
+        Arc::clone(g),
+        config
+            .with_workers(workers)
+            .with_metrics(true)
+            .with_tracing(true),
+    );
+    let _ = engine.run_requests(requests);
+    engine.metrics_snapshot().to_json()
+}
+
+/// The `--obs-gate` study: replay the canonical gate workload with
+/// observability disabled and enabled in order-alternating paired
+/// passes, report each side's best QPS, and fail (exit 1) when the
+/// minimum paired overhead exceeds [`MAX_OBS_OVERHEAD`]. The artifact
+/// (`BENCH_obs.json` by default) records both sides plus the full
+/// metrics snapshot of a final enabled pass.
+fn run_obs_gate(args: &Args) {
+    let log = QLog::generate(&QLogConfig::small(), 2013);
+    // Long enough per measurement (~0.5 s) that one scheduler tick of
+    // noise cannot move a pass by whole percents.
+    let queries = sample_queries(&log, 2000, 2013);
+    let g = Arc::new(log.graph);
+    let workers = OBS_GATE_WORKERS;
+    let config = ServeConfig {
+        workers,
+        params: RankParams::default(),
+        topk: TopKConfig {
+            k: args.k,
+            epsilon: args.epsilon,
+            ..TopKConfig::default()
+        },
+        ..ServeConfig::default()
+    };
+    println!(
+        "=== observability overhead: canonical workload, {} queries, {workers} workers, \
+         {OBS_GATE_PASSES} order-alternating paired passes ===",
+        queries.len()
+    );
+    let on_config = config.with_metrics(true).with_tracing(true);
+    // Discarded warmup: page the graph in and let the allocator settle
+    // before anything is measured.
+    run_at(&g, config, &queries, workers);
+    let mut disabled: f64 = 0.0;
+    let mut enabled: f64 = 0.0;
+    // The gated statistic: the *minimum* paired overhead across passes.
+    // Each pass runs both sides back to back under the same machine
+    // climate, so noise can only inflate a pass's apparent overhead —
+    // if any single pass shows the enabled side within the bound, the
+    // true cost is within the bound. A real hot-path regression (a lock,
+    // an allocation) slows every enabled run and no pass rescues it.
+    let mut overhead = f64::INFINITY;
+    for pass in 0..OBS_GATE_PASSES {
+        // Alternate which side runs first (see OBS_GATE_PASSES).
+        let (off, on) = if pass % 2 == 0 {
+            let off = run_at(&g, config, &queries, workers).row.qps;
+            let on = run_at(&g, on_config, &queries, workers).row.qps;
+            (off, on)
+        } else {
+            let on = run_at(&g, on_config, &queries, workers).row.qps;
+            let off = run_at(&g, config, &queries, workers).row.qps;
+            (off, on)
+        };
+        println!("pass {pass}: disabled {off:.1} QPS, enabled {on:.1} QPS");
+        disabled = disabled.max(off);
+        enabled = enabled.max(on);
+        overhead = overhead.min(1.0 - on / off);
+    }
+    let requests: Vec<QueryRequest> = queries.iter().map(|&q| QueryRequest::node(q)).collect();
+    let metrics = capture_metrics(&g, config, &requests, workers);
+    let json = format!(
+        "{{\n  \"bench\": \"throughput_obs\",\n  \"scale\": \"gate-small\",\n  \"seed\": 2013,\n  \
+         \"queries\": {},\n  \"workers\": {workers},\n  \"k\": {},\n  \"epsilon\": {},\n  \
+         \"disabled_best_qps\": {},\n  \"enabled_best_qps\": {},\n  \
+         \"overhead_fraction\": {},\n  \"max_overhead\": {},\n  \"metrics\": {metrics}\n}}\n",
+        queries.len(),
+        args.k,
+        number(args.epsilon),
+        number(disabled),
+        number(enabled),
+        number(overhead),
+        number(MAX_OBS_OVERHEAD),
+    );
+    std::fs::write(&args.out, &json).unwrap_or_else(|e| panic!("writing {}: {e}", args.out));
+    eprintln!("[throughput] wrote {}", args.out);
+    println!(
+        "\nobs gate: disabled best {disabled:.1} QPS, enabled best {enabled:.1} QPS, \
+         best paired overhead {:.1}% (bound {:.0}%)",
+        overhead * 100.0,
+        MAX_OBS_OVERHEAD * 100.0
+    );
+    if overhead > MAX_OBS_OVERHEAD {
+        println!(
+            "obs gate: FAIL — enabling metrics + tracing costs more than {:.0}% QPS",
+            MAX_OBS_OVERHEAD * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!("obs gate: PASS");
 }
 
 /// The skewed workload's correctness clause: cached serving must be
@@ -616,26 +776,30 @@ impl DistSummary {
                 s.active_nodes,
                 "every touched block is classified cold or cached"
             );
-            bytes.push(s.bytes_transferred as f64);
-            fetches.push(s.fetch_requests as f64);
-            fetched.push(s.blocks_fetched as f64);
-            prefetched.push(s.blocks_prefetched as f64);
-            from_cache.push(s.blocks_from_cache as f64);
-            active_bytes.push(s.active_bytes as f64);
-            active_nodes.push(s.active_nodes as f64);
+            bytes.push(s.bytes_transferred as u64);
+            fetches.push(s.fetch_requests as u64);
+            fetched.push(s.blocks_fetched as u64);
+            prefetched.push(s.blocks_prefetched as u64);
+            from_cache.push(s.blocks_from_cache as u64);
+            active_bytes.push(s.active_bytes as u64);
+            active_nodes.push(s.active_nodes as u64);
         }
-        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        // Means come off the shared histogram too (its sum is exact, so
+        // the gated mean_bytes_per_query is exact); only the active-set
+        // percentiles carry the bucket relative-error bound.
+        let ab = Summary::from_values(active_bytes);
+        let an = Summary::from_values(active_nodes);
         let summary = DistSummary {
             gps,
-            mean_bytes_per_query: mean(&bytes),
-            mean_fetch_requests: mean(&fetches),
-            mean_blocks_fetched: mean(&fetched),
-            mean_blocks_prefetched: mean(&prefetched),
-            mean_blocks_from_cache: mean(&from_cache),
-            active_bytes_p50: percentile(&active_bytes, 50.0),
-            active_bytes_p99: percentile(&active_bytes, 99.0),
-            active_nodes_p50: percentile(&active_nodes, 50.0),
-            active_nodes_p99: percentile(&active_nodes, 99.0),
+            mean_bytes_per_query: Summary::from_values(bytes).mean(),
+            mean_fetch_requests: Summary::from_values(fetches).mean(),
+            mean_blocks_fetched: Summary::from_values(fetched).mean(),
+            mean_blocks_prefetched: Summary::from_values(prefetched).mean(),
+            mean_blocks_from_cache: Summary::from_values(from_cache).mean(),
+            active_bytes_p50: ab.quantile(50.0),
+            active_bytes_p99: ab.quantile(99.0),
+            active_nodes_p50: an.quantile(50.0),
+            active_nodes_p99: an.quantile(99.0),
         };
         // The pass as a whole starts cold, so some wire was crossed even
         // if most queries were then served from resident blocks.
@@ -769,34 +933,37 @@ fn open_loop_once(
         );
     }
 
-    let ms = |d: Duration| d.as_secs_f64() * 1e3;
     let mut total = Vec::with_capacity(responses.len());
     let mut queue = Vec::with_capacity(responses.len());
     let mut compute = Vec::with_capacity(responses.len());
-    let mut slip_ms = Vec::with_capacity(responses.len());
+    let mut slips = Vec::with_capacity(responses.len());
     let mut inline = 0usize;
     for (slip, r) in &responses {
         r.result
             .as_ref()
             .unwrap_or_else(|e| panic!("open-loop query failed: {e}"));
-        total.push(ms(*slip) + ms(r.queue_wait) + ms(r.compute));
-        queue.push(ms(r.queue_wait));
-        compute.push(ms(r.compute));
-        slip_ms.push(ms(*slip));
+        total.push(*slip + r.queue_wait + r.compute);
+        queue.push(r.queue_wait);
+        compute.push(r.compute);
+        slips.push(*slip);
         inline += usize::from(r.worker.is_none());
     }
-    let p99_ms = percentile(&total, 99.0);
+    let total = Summary::from_durations(total);
+    let queue = Summary::from_durations(queue);
+    let compute = Summary::from_durations(compute);
+    let slips = Summary::from_durations(slips);
+    let p99_ms = total.quantile_ms(99.0);
     OpenRow {
         offered_qps: offered,
         queries: requests.len(),
         achieved_qps: requests.len() as f64 / wall.as_secs_f64(),
-        p50_ms: percentile(&total, 50.0),
+        p50_ms: total.quantile_ms(50.0),
         p99_ms,
-        p50_queue_ms: percentile(&queue, 50.0),
-        p99_queue_ms: percentile(&queue, 99.0),
-        p50_compute_ms: percentile(&compute, 50.0),
-        p99_compute_ms: percentile(&compute, 99.0),
-        p99_slip_ms: percentile(&slip_ms, 99.0),
+        p50_queue_ms: queue.quantile_ms(50.0),
+        p99_queue_ms: queue.quantile_ms(99.0),
+        p50_compute_ms: compute.quantile_ms(50.0),
+        p99_compute_ms: compute.quantile_ms(99.0),
+        p99_slip_ms: slips.quantile_ms(99.0),
         hit_rate,
         fast_path: inline as f64 / responses.len().max(1) as f64,
         slo_met: p99_ms <= slo_ms,
@@ -859,6 +1026,7 @@ fn emit_openloop_json(
     workers: usize,
     headline: f64,
     sweeps: &[(SchedulerMode, Vec<OpenRow>)],
+    metrics: &str,
 ) {
     let row_json = |r: &OpenRow| {
         let mut s = format!(
@@ -911,7 +1079,7 @@ fn emit_openloop_json(
          \"graph\": {{ \"nodes\": {}, \"edges\": {} }},\n  \
          \"k\": {},\n  \"epsilon\": {},\n  \"skew\": {},\n  \
          \"cache_capacity\": {},\n  \"workers\": {workers},\n  \
-         \"schedulers\": [\n{sweeps_json}\n  ]\n}}\n",
+         \"schedulers\": [\n{sweeps_json}\n  ],\n  \"metrics\": {metrics}\n}}\n",
         number(headline),
         number(args.slo_ms),
         g.node_count(),
@@ -1015,6 +1183,14 @@ fn run_open_loop(args: &Args, log: QLog, scale_label: &str, workload_seed: u64) 
     }
     // The headline is the default scheduler's number.
     let headline = max_sustainable(&sweeps[0].1);
+    // One extra unmeasured observability-enabled replay of the workload
+    // head, so the artifact shows what a scrape of this engine would see.
+    let metrics = capture_metrics(
+        &g,
+        config,
+        &requests[..requests.len().min(OPEN_LOOP_VERIFY_PREFIX)],
+        workers,
+    );
     emit_openloop_json(
         &args.out,
         scale_label,
@@ -1024,6 +1200,7 @@ fn run_open_loop(args: &Args, log: QLog, scale_label: &str, workload_seed: u64) 
         workers,
         headline,
         &sweeps,
+        &metrics,
     );
 
     if let Some(baseline_path) = &args.check {
@@ -1059,6 +1236,7 @@ fn emit_json(
     skew_rows: &[SkewRow],
     mixed_rows: &[SkewRow],
     dist: Option<&DistSummary>,
+    metrics: &str,
 ) {
     let best = rows
         .iter()
@@ -1123,6 +1301,9 @@ fn emit_json(
     if let Some(d) = dist {
         extra = format!(",\n  \"distributed\": {}", d.json());
     }
+    // Always the last section: the gate reads baselines with first-match
+    // number scans, and a snapshot is full of similarly named numbers.
+    extra.push_str(&format!(",\n  \"metrics\": {metrics}"));
     let backend = if args.distributed {
         "distributed"
     } else {
@@ -1149,6 +1330,10 @@ fn emit_json(
 
 fn main() {
     let parsed = parse_args();
+    if parsed.obs_gate {
+        run_obs_gate(&parsed);
+        return;
+    }
     let (args, log) = if parsed.check.is_some() {
         canonical_gate_args(&parsed)
     } else {
@@ -1342,6 +1527,26 @@ fn main() {
             rows.push(row);
         }
     }
+    // The artifact's observability section: replay the workload once more
+    // (at the best-measured worker count) with metrics + tracing on and
+    // snapshot the engine — the same catalog a Prometheus scrape of this
+    // workload would see.
+    let obs_workers = rows
+        .iter()
+        .max_by(|a, b| a.qps.partial_cmp(&b.qps).expect("NaN qps"))
+        .expect("at least one run")
+        .workers;
+    let obs_requests: Vec<QueryRequest> = if args.mixed {
+        mixed_requests.clone()
+    } else {
+        queries.iter().map(|&q| QueryRequest::node(q)).collect()
+    };
+    let obs_config = if args.distributed {
+        config.with_backend(Backend::Distributed { gps: args.gps })
+    } else {
+        config
+    };
+    let metrics = capture_metrics(&g, obs_config, &obs_requests, obs_workers);
     emit_json(
         &args.out,
         &scale_label,
@@ -1352,6 +1557,7 @@ fn main() {
         &skew_rows,
         &mixed_rows,
         dist_summary.as_ref(),
+        &metrics,
     );
 
     if let Some(baseline_path) = &args.check {

@@ -30,6 +30,7 @@
 pub mod json;
 pub mod openloop;
 pub mod snapshots;
+pub mod summary;
 
 use rtr_datagen::{BibNet, BibNetConfig, QLog, QLogConfig};
 use std::time::{Duration, Instant};

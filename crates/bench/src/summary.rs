@@ -1,0 +1,125 @@
+//! Latency and size summaries on the shared `rtr-obs` histogram.
+//!
+//! The bench binaries used to keep bespoke sort-based percentile helpers
+//! per call site; this module replaces them with one [`Summary`] built on
+//! the same log-linear [`rtr_obs::Histogram`] the serving layer exports
+//! through `ServeEngine::metrics_snapshot`, so a quantile printed by a
+//! bench table and a quantile scraped from the metrics endpoint are the
+//! same estimator (nearest-rank over log-linear buckets, relative error
+//! bounded by `1/`[`rtr_obs::SUB`] ≈ 3.1%). The exact sort-based
+//! [`crate::percentile`] survives as the property-test oracle the
+//! histogram is checked against.
+
+use rtr_obs::{Histogram, HistogramSnapshot};
+use std::time::Duration;
+
+/// A frozen distribution summary: build it from a pass's samples, then
+/// read count/mean/quantiles.
+///
+/// Durations are recorded in nanoseconds ([`Histogram::record_duration`]
+/// saturates at `u64::MAX` ns ≈ 584 years); the `_ms` accessors convert
+/// back to milliseconds for reporting. `mean` is exact (the histogram
+/// keeps the exact sum); quantiles carry the bucket relative-error bound.
+///
+/// ```
+/// use rtr_bench::summary::Summary;
+/// let s = Summary::from_values([10, 20, 30, 40]);
+/// assert_eq!(s.count(), 4);
+/// assert_eq!(s.quantile(50.0), 20.0); // exact below rtr_obs::SUB
+/// ```
+pub struct Summary {
+    snap: HistogramSnapshot,
+}
+
+impl Summary {
+    /// Summarize raw `u64` samples (byte counts, node counts, ...).
+    pub fn from_values(values: impl IntoIterator<Item = u64>) -> Summary {
+        let h = Histogram::new(1);
+        for v in values {
+            h.record(v);
+        }
+        Summary { snap: h.snapshot() }
+    }
+
+    /// Summarize durations, recorded as nanoseconds.
+    pub fn from_durations(durations: impl IntoIterator<Item = Duration>) -> Summary {
+        let h = Histogram::new(1);
+        for d in durations {
+            h.record_duration(d);
+        }
+        Summary { snap: h.snapshot() }
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.snap.count()
+    }
+
+    /// Exact mean of the recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.snap.mean()
+    }
+
+    /// Nearest-rank quantile (`q` in 0..=100) as `f64`, in the recorded
+    /// unit. 0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        self.snap.quantile(q) as f64
+    }
+
+    /// [`Summary::quantile`] of duration samples, in milliseconds.
+    pub fn quantile_ms(&self, q: f64) -> f64 {
+        self.quantile(q) / 1e6
+    }
+
+    /// Exact mean of duration samples, in milliseconds.
+    pub fn mean_ms(&self) -> f64 {
+        self.mean() / 1e6
+    }
+
+    /// The underlying snapshot, for merging or bucket inspection.
+    pub fn snapshot(&self) -> &HistogramSnapshot {
+        &self.snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::percentile;
+
+    #[test]
+    fn duration_quantiles_track_the_exact_percentile_oracle() {
+        // 1..=500 ms: log-linear buckets are coarse up here, so compare
+        // against the exact oracle under the documented relative bound.
+        let ds: Vec<Duration> = (1..=500).map(Duration::from_millis).collect();
+        let s = Summary::from_durations(ds.iter().copied());
+        let exact_ms: Vec<f64> = ds.iter().map(|d| d.as_secs_f64() * 1e3).collect();
+        assert_eq!(s.count(), 500);
+        for q in [50.0, 90.0, 99.0] {
+            let want = percentile(&exact_ms, q);
+            let got = s.quantile_ms(q);
+            // One sample of slack on top of the bucket bound absorbs any
+            // rank-rounding disagreement between the two estimators.
+            assert!(
+                got >= want - 1.0 && got <= (want + 1.0) * (1.0 + 1.0 / rtr_obs::SUB as f64),
+                "q{q}: got {got}, oracle {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn small_values_are_exact_and_mean_is_exact() {
+        let s = Summary::from_values([1, 2, 3, 4, 5]);
+        assert_eq!(s.quantile(50.0), 3.0);
+        assert_eq!(s.quantile(100.0), 5.0);
+        assert_eq!(s.mean(), 3.0);
+    }
+
+    #[test]
+    fn empty_summary_reads_zero() {
+        let s = Summary::from_values([]);
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.quantile(99.0), 0.0);
+        assert_eq!(s.mean(), 0.0);
+    }
+}

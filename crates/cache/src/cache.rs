@@ -200,6 +200,67 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
         }
     }
 
+    /// Entries currently resident in each shard, in shard order (the
+    /// per-shard occupancy behind [`ShardedCache::len`]).
+    pub fn shard_lens(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").len())
+            .collect()
+    }
+
+    /// Publish the cache's state into `registry`: traffic counters
+    /// (`rtr_cache_hits_total` / `misses` / `inserts` / `evictions`),
+    /// budget and occupancy gauges (`rtr_cache_capacity_entries`,
+    /// `rtr_cache_entries`), and per-shard occupancy
+    /// (`rtr_cache_shard_entries{shard="i"}`).
+    ///
+    /// The cache keeps its own atomics as the source of truth; this
+    /// *mirrors* them into registry counters at call time (snapshot-time
+    /// export, not hot-path double counting). Call it right before
+    /// [`rtr_obs::Registry::snapshot`].
+    pub fn export_metrics(&self, registry: &rtr_obs::Registry) {
+        let stats = self.stats();
+        registry
+            .counter(
+                "rtr_cache_hits_total",
+                "Cache lookups answered from the cache.",
+            )
+            .store(stats.hits);
+        registry
+            .counter(
+                "rtr_cache_misses_total",
+                "Cache lookups that found nothing.",
+            )
+            .store(stats.misses);
+        registry
+            .counter("rtr_cache_inserts_total", "Cache entries written.")
+            .store(stats.inserts);
+        registry
+            .counter(
+                "rtr_cache_evictions_total",
+                "Cache entries displaced by LRU pressure.",
+            )
+            .store(stats.evictions);
+        registry
+            .gauge("rtr_cache_capacity_entries", "Total cache entry budget.")
+            .set(self.capacity() as i64);
+        let lens = self.shard_lens();
+        registry
+            .gauge("rtr_cache_entries", "Entries currently resident.")
+            .set(lens.iter().sum::<usize>() as i64);
+        for (i, len) in lens.iter().enumerate() {
+            let shard = i.to_string();
+            registry
+                .gauge_with(
+                    "rtr_cache_shard_entries",
+                    &[("shard", &shard)],
+                    "Entries currently resident in one shard.",
+                )
+                .set(*len as i64);
+        }
+    }
+
     /// Snapshot the traffic counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -298,6 +359,45 @@ mod tests {
                 assert_eq!(v, k);
             }
         }
+    }
+
+    #[test]
+    fn export_metrics_mirrors_stats_and_occupancy() {
+        let c: ShardedCache<u32, u32> = ShardedCache::new(CacheConfig {
+            capacity: 8,
+            shards: 2,
+        });
+        c.insert(1, 1);
+        c.insert(2, 2);
+        let _ = c.get(&1);
+        let _ = c.get(&9);
+        let registry = rtr_obs::Registry::new();
+        c.export_metrics(&registry);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter_value("rtr_cache_hits_total", &[]), Some(1));
+        assert_eq!(snap.counter_value("rtr_cache_misses_total", &[]), Some(1));
+        assert_eq!(snap.counter_value("rtr_cache_inserts_total", &[]), Some(2));
+        assert_eq!(snap.gauge_value("rtr_cache_entries", &[]), Some(2));
+        assert_eq!(
+            snap.gauge_value("rtr_cache_capacity_entries", &[]),
+            Some(c.capacity() as i64)
+        );
+        let per_shard: i64 = (0..c.shard_count())
+            .map(|i| {
+                snap.gauge_value("rtr_cache_shard_entries", &[("shard", &i.to_string())])
+                    .unwrap()
+            })
+            .sum();
+        assert_eq!(per_shard, 2);
+        assert_eq!(
+            c.shard_lens().iter().sum::<usize>(),
+            c.len(),
+            "shard_lens must decompose len"
+        );
+        // Re-export is idempotent: counters mirror, not accumulate.
+        c.export_metrics(&registry);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter_value("rtr_cache_hits_total", &[]), Some(1));
     }
 
     #[test]

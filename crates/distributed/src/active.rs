@@ -33,7 +33,26 @@
 use crate::gp::{GpCluster, ReplySlot};
 use rtr_graph::wire::NodeBlock;
 use rtr_graph::{AdjacencyAccess, AdjacencyError, FetchHint, NodeId, NodeSet};
+use rtr_obs::{Counter, QueryTrace, TraceStage};
 use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Registry-backed counters a [`BlockCache`] publishes its lifecycle events
+/// into, once armed via [`BlockCache::set_metrics`]. Each is a shared
+/// [`rtr_obs::Counter`] handle (typically obtained from a
+/// [`rtr_obs::Registry`] with a per-worker label), so recording is a single
+/// relaxed atomic add and an unarmed cache costs one branch.
+#[derive(Clone, Debug, Default)]
+pub struct BlockCacheMetrics {
+    /// Demanded blocks served from the warm cache (no wire traffic).
+    pub hits: Arc<Counter>,
+    /// Resident blocks dropped because the cache exceeded its block
+    /// budget between queries.
+    pub evictions: Arc<Counter>,
+    /// Resident blocks dropped because the graph epoch changed (the
+    /// blocks belonged to a different or re-stamped graph).
+    pub invalidations: Arc<Counter>,
+}
 
 /// Default cap on speculative blocks per prefetch round.
 pub const DEFAULT_PREFETCH_LIMIT: usize = 256;
@@ -59,6 +78,9 @@ pub struct BlockCache {
     fetch_ids: Vec<NodeId>,
     prefetch_limit: usize,
     max_blocks: usize,
+    /// Optional registry-backed lifecycle counters (hits / evictions /
+    /// invalidations); `None` keeps the cache observation-free.
+    metrics: Option<BlockCacheMetrics>,
 }
 
 impl BlockCache {
@@ -80,7 +102,15 @@ impl BlockCache {
             fetch_ids: Vec::new(),
             prefetch_limit,
             max_blocks,
+            metrics: None,
         }
+    }
+
+    /// Arm registry-backed counters: from now on, warm-cache hits and
+    /// between-query evictions/invalidations are also published through
+    /// `metrics` (the internal per-query meters are unaffected).
+    pub fn set_metrics(&mut self, metrics: BlockCacheMetrics) {
+        self.metrics = Some(metrics);
     }
 
     /// Resident blocks currently held.
@@ -112,6 +142,7 @@ pub struct ActiveGraph<'a> {
     cluster: &'a GpCluster,
     cache: &'a mut BlockCache,
     slot: &'a mut ReplySlot,
+    trace: Option<&'a mut QueryTrace>,
     node_count: usize,
     fetch_requests: usize,
     blocks_fetched: usize,
@@ -127,9 +158,29 @@ impl<'a> ActiveGraph<'a> {
     /// block budget, both *before* the query starts, so nothing resident
     /// can disappear mid-query.
     pub fn new(cluster: &'a GpCluster, cache: &'a mut BlockCache, slot: &'a mut ReplySlot) -> Self {
-        if cache.epoch != cluster.epoch() || cache.blocks.len() > cache.max_blocks {
+        Self::with_trace(cluster, cache, slot, None)
+    }
+
+    /// Like [`ActiveGraph::new`], additionally stamping a
+    /// [`TraceStage::FetchRound`] event into `trace` for every wire round
+    /// this query issues.
+    pub fn with_trace(
+        cluster: &'a GpCluster,
+        cache: &'a mut BlockCache,
+        slot: &'a mut ReplySlot,
+        trace: Option<&'a mut QueryTrace>,
+    ) -> Self {
+        if cache.epoch != cluster.epoch() {
+            if let Some(m) = &cache.metrics {
+                m.invalidations.add(cache.blocks.len() as u64);
+            }
             cache.blocks.clear();
             cache.epoch = cluster.epoch();
+        } else if cache.blocks.len() > cache.max_blocks {
+            if let Some(m) = &cache.metrics {
+                m.evictions.add(cache.blocks.len() as u64);
+            }
+            cache.blocks.clear();
         }
         cache.touched.ensure_capacity(cluster.node_count());
         cache.touched.clear();
@@ -140,6 +191,7 @@ impl<'a> ActiveGraph<'a> {
             cluster,
             cache,
             slot,
+            trace,
             fetch_requests: 0,
             blocks_fetched: 0,
             blocks_prefetched: 0,
@@ -169,6 +221,9 @@ impl<'a> ActiveGraph<'a> {
     /// the returned blocks resident. Returns how many blocks arrived.
     fn fetch_round(&mut self) -> Result<usize, AdjacencyError> {
         self.fetch_requests += 1;
+        if let Some(t) = self.trace.as_deref_mut() {
+            t.record(TraceStage::FetchRound);
+        }
         let (blocks, bytes) = self.cluster.fetch(&self.cache.fetch_ids, self.slot)?;
         self.bytes_transferred += bytes;
         let n = blocks.len();
@@ -283,6 +338,9 @@ impl AdjacencyAccess for ActiveGraph<'_> {
             }
             if self.cache.blocks.contains_key(&id) {
                 self.blocks_from_cache += 1;
+                if let Some(m) = &self.cache.metrics {
+                    m.hits.inc();
+                }
             } else {
                 self.cache.fetch_ids.push(NodeId(id));
             }
@@ -466,6 +524,79 @@ mod tests {
         assert_eq!(cache.len(), 2); // over budget, but intact mid-query
         let active = ActiveGraph::new(&cluster, &mut cache, &mut slot);
         assert_eq!(active.cache.blocks.len(), 0); // evicted on rebind
+    }
+
+    #[test]
+    fn armed_metrics_count_hits_evictions_and_invalidations() {
+        let (g, ids, cluster) = harness();
+        let mut cache = BlockCache::with_limits(0, 1);
+        let metrics = BlockCacheMetrics::default();
+        cache.set_metrics(metrics.clone());
+        let mut slot = ReplySlot::new();
+        {
+            let mut active = ActiveGraph::new(&cluster, &mut cache, &mut slot);
+            active
+                .ensure(&[ids.t1.0, ids.v1.0], FetchHint::Demand)
+                .unwrap();
+            // Second touch in the same query is deduped, not a hit.
+            active.ensure(&[ids.t1.0], FetchHint::Demand).unwrap();
+        }
+        assert_eq!(metrics.hits.get(), 0);
+        {
+            // Rebind: 2 resident blocks exceed the budget of 1 → evicted.
+            let mut active = ActiveGraph::new(&cluster, &mut cache, &mut slot);
+            assert_eq!(metrics.evictions.get(), 2);
+            active.ensure(&[ids.t1.0], FetchHint::Demand).unwrap();
+            active
+                .ensure(&[ids.t1.0, ids.v1.0], FetchHint::Demand)
+                .unwrap();
+        }
+        // t1 was resident when re-demanded (within budget mid-query).
+        assert_eq!(metrics.hits.get(), 0, "same-query re-touch is deduped");
+        {
+            let mut active = ActiveGraph::new(&cluster, &mut cache, &mut slot);
+            // Budget of 1 evicted again; refetch t1 then warm-hit nothing new.
+            assert_eq!(metrics.evictions.get(), 4);
+            active.ensure(&[ids.t1.0], FetchHint::Demand).unwrap();
+        }
+        // Epoch change: the resident block is invalidated, not evicted.
+        let mut g2 = g.clone();
+        g2.bump_epoch();
+        let cluster2 = GpCluster::spawn(&g2, 2);
+        let _ = ActiveGraph::new(&cluster2, &mut cache, &mut slot);
+        assert_eq!(metrics.invalidations.get(), 1);
+        assert_eq!(metrics.evictions.get(), 4);
+    }
+
+    #[test]
+    fn warm_hit_increments_armed_hit_counter() {
+        let (_, ids, cluster) = harness();
+        let mut cache = BlockCache::new();
+        let metrics = BlockCacheMetrics::default();
+        cache.set_metrics(metrics.clone());
+        let mut slot = ReplySlot::new();
+        {
+            let mut active = ActiveGraph::new(&cluster, &mut cache, &mut slot);
+            active.ensure(&[ids.t1.0], FetchHint::Demand).unwrap();
+        }
+        let mut active = ActiveGraph::new(&cluster, &mut cache, &mut slot);
+        active.ensure(&[ids.t1.0], FetchHint::Demand).unwrap();
+        assert_eq!(metrics.hits.get(), 1);
+        assert_eq!(active.blocks_from_cache(), 1);
+    }
+
+    #[test]
+    fn trace_stamps_one_fetch_round_event_per_wire_round() {
+        use rtr_obs::QueryTrace;
+        let (_, ids, cluster) = harness();
+        let mut cache = BlockCache::new();
+        let mut slot = ReplySlot::new();
+        let mut trace = QueryTrace::begin();
+        let mut active = ActiveGraph::with_trace(&cluster, &mut cache, &mut slot, Some(&mut trace));
+        active.ensure(&[ids.t1.0], FetchHint::OutFrontier).unwrap();
+        let rounds = active.fetch_requests();
+        assert!(rounds >= 1);
+        assert_eq!(trace.count(TraceStage::FetchRound), rounds);
     }
 
     #[test]

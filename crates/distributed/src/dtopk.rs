@@ -77,6 +77,11 @@ pub struct DistributedWorkspace {
     pub cache: BlockCache,
     /// Reusable reply channel for GP fetches.
     pub slot: ReplySlot,
+    /// Per-query trace to stamp [`rtr_obs::TraceStage::FetchRound`]
+    /// events into, when the caller is tracing this query. The serving
+    /// layer parks the request's trace here around `run_with` and takes
+    /// it back afterwards; `None` (the default) records nothing.
+    pub trace: Option<Box<rtr_obs::QueryTrace>>,
 }
 
 impl DistributedWorkspace {
@@ -101,7 +106,12 @@ fn run_on_cluster(
     q: NodeId,
     ws: &mut DistributedWorkspace,
 ) -> Result<(TopKResult, DistributedStats), CoreError> {
-    let mut active = ActiveGraph::new(cluster, &mut ws.cache, &mut ws.slot);
+    let mut active = ActiveGraph::with_trace(
+        cluster,
+        &mut ws.cache,
+        &mut ws.slot,
+        ws.trace.as_deref_mut(),
+    );
     let result = engine.run_on(&mut active, q, &mut ws.topk)?;
     let stats = DistributedStats {
         fetch_requests: active.fetch_requests(),
@@ -122,7 +132,12 @@ fn run_plus_on_cluster(
     q: NodeId,
     ws: &mut DistributedWorkspace,
 ) -> Result<(TopKResult, DistributedStats), CoreError> {
-    let mut active = ActiveGraph::new(cluster, &mut ws.cache, &mut ws.slot);
+    let mut active = ActiveGraph::with_trace(
+        cluster,
+        &mut ws.cache,
+        &mut ws.slot,
+        ws.trace.as_deref_mut(),
+    );
     let result = engine.run_on(&mut active, q, &mut ws.topk)?;
     let stats = DistributedStats {
         fetch_requests: active.fetch_requests(),

@@ -48,7 +48,7 @@ pub mod dtopk;
 pub mod gp;
 pub mod stripe;
 
-pub use active::{ActiveGraph, BlockCache};
+pub use active::{ActiveGraph, BlockCache, BlockCacheMetrics};
 pub use dtopk::{
     DistributedStats, DistributedTwoSBound, DistributedTwoSBoundPlus, DistributedWorkspace,
 };

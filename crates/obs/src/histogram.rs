@@ -1,0 +1,392 @@
+//! Fixed-bucket log-linear histograms with bounded relative error.
+//!
+//! The bucket layout is the HdrHistogram/DDSketch family's classic
+//! compromise: within each power-of-two octave the range is cut into
+//! [`SUB`] equal linear buckets, so every bucket's width is at most
+//! `1/SUB` of its lower bound. Reporting any point of a bucket is
+//! therefore within a **relative error of `1/SUB` (3.125%)** of every
+//! sample that landed in it — tight enough for latency quantiles, wide
+//! enough that the whole `u64` range (595 years at nanosecond resolution)
+//! fits in [`BUCKETS`] = 1920 fixed slots with no allocation after
+//! construction.
+//!
+//! Recording is **shard-per-worker**: each recording thread hashes to one
+//! of N shards and does two relaxed `fetch_add`s — no locks, no CAS
+//! loops, no false sharing between workers on different shards. Shards
+//! (and whole histograms, e.g. per-run bench passes) merge by bucket-wise
+//! addition; `merge(a, b)` is exactly the histogram of the union of the
+//! recorded samples, which the proptest suite pins.
+
+use crate::snapshot::fmt_f64;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// Log-linear subdivision: each power-of-two octave is split into
+/// `2^SUB_BITS` linear buckets.
+pub const SUB_BITS: u32 = 5;
+
+/// Buckets per octave (32): the quantile relative-error bound is `1/SUB`.
+pub const SUB: u64 = 1 << SUB_BITS;
+
+/// Total bucket count covering all of `u64`: values below [`SUB`] get one
+/// exact bucket each, then one octave of [`SUB`] buckets per leading-bit
+/// position from `SUB_BITS` to 63.
+pub const BUCKETS: usize = SUB as usize + (64 - SUB_BITS as usize) * SUB as usize;
+
+/// The bucket index holding `v`. Values below [`SUB`] map exactly; above,
+/// the top `SUB_BITS + 1` significant bits select (octave, linear offset).
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUB {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros();
+    let group = msb - SUB_BITS;
+    let offset = (v >> group) - SUB;
+    SUB as usize + (group as usize) * SUB as usize + offset as usize
+}
+
+/// The inclusive `(lo, hi)` value range of bucket `i` — the inverse of
+/// [`bucket_index`]: every `v` with `bucket_index(v) == i` satisfies
+/// `lo <= v <= hi`.
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    if i < SUB as usize {
+        return (i as u64, i as u64);
+    }
+    let group = ((i - SUB as usize) / SUB as usize) as u32;
+    let offset = ((i - SUB as usize) % SUB as usize) as u64;
+    let lo = (SUB + offset) << group;
+    (lo, lo + ((1u64 << group) - 1))
+}
+
+/// Round-robin shard assignment: each thread gets a stable slot on first
+/// use, so a fixed worker pool spreads across shards with no hashing on
+/// the record path.
+fn shard_slot() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static SLOT: usize = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    SLOT.with(|s| *s)
+}
+
+struct Shard {
+    buckets: Box<[AtomicU64]>,
+    sum: AtomicU64,
+}
+
+impl Shard {
+    fn new() -> Shard {
+        Shard {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A concurrent fixed-bucket log-linear histogram of `u64` samples
+/// (typically latencies in nanoseconds or sizes in bytes).
+///
+/// ```
+/// use rtr_obs::Histogram;
+/// let h = Histogram::new(2);
+/// for v in [10, 20, 30, 40] {
+///     h.record(v);
+/// }
+/// let snap = h.snapshot();
+/// assert_eq!(snap.count(), 4);
+/// assert_eq!(snap.quantile(50.0), 20); // exact below 32
+/// ```
+pub struct Histogram {
+    shards: Box<[Shard]>,
+}
+
+impl Histogram {
+    /// A histogram with `shards` independent recording shards (clamped to
+    /// at least 1). Size it to the expected number of concurrently
+    /// recording threads; more shards trade snapshot cost for less
+    /// record-path contention.
+    pub fn new(shards: usize) -> Histogram {
+        Histogram {
+            shards: (0..shards.max(1)).map(|_| Shard::new()).collect(),
+        }
+    }
+
+    /// Record one sample. Two relaxed atomic adds; wait-free.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let shard = &self.shards[shard_slot() % self.shards.len()];
+        shard.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        shard.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Record a duration as whole nanoseconds (saturating at `u64::MAX`,
+    /// i.e. after ~595 years).
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// A point-in-time copy merging every shard. Concurrent recording
+    /// remains safe; a snapshot taken mid-record may miss in-flight
+    /// samples but never tears a bucket.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = vec![0u64; BUCKETS];
+        let mut sum = 0u64;
+        for shard in self.shards.iter() {
+            for (b, a) in buckets.iter_mut().zip(shard.buckets.iter()) {
+                *b += a.load(Ordering::Relaxed);
+            }
+            sum = sum.wrapping_add(shard.sum.load(Ordering::Relaxed));
+        }
+        let count = buckets.iter().sum();
+        HistogramSnapshot {
+            buckets,
+            count,
+            sum,
+        }
+    }
+}
+
+/// An immutable, mergeable copy of a [`Histogram`]'s state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot (the identity element of [`merge`](Self::merge)).
+    pub fn empty() -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded samples (wrapping on `u64` overflow).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Arithmetic mean of the recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Bucket-wise accumulate `other` into `self`: afterwards `self` is
+    /// exactly the histogram of the union of both sample multisets.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+    }
+
+    /// The `q`-th percentile (`0 <= q <= 100`, clamped) by the
+    /// nearest-rank rule, reported as the containing bucket's **upper
+    /// bound** — within a relative error of `1/SUB` (3.125%) of the true
+    /// sample, and an exact match below [`SUB`]. Empty snapshots report 0.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 100.0);
+        let rank = ((q / 100.0 * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_bounds(i).1;
+            }
+        }
+        bucket_bounds(BUCKETS - 1).1
+    }
+
+    /// Upper bound of the highest non-empty bucket (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.buckets
+            .iter()
+            .rposition(|&c| c > 0)
+            .map_or(0, |i| bucket_bounds(i).1)
+    }
+
+    /// The non-empty buckets as `(lo, hi, count)`, in value order — the
+    /// raw material for cumulative (`le`) rendering.
+    pub fn nonempty_buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let (lo, hi) = bucket_bounds(i);
+                (lo, hi, c)
+            })
+    }
+
+    /// Prometheus text-exposition lines for this snapshot: cumulative
+    /// `_bucket{le=...}` series over the non-empty buckets plus `+Inf`,
+    /// then `_sum` and `_count`. `scale` divides raw sample units into the
+    /// exposition unit (e.g. `1e9` for nanoseconds → seconds);
+    /// `label_prefix` is the rendered label set without the closing brace
+    /// (empty for an unlabeled series).
+    pub(crate) fn render_prometheus(&self, out: &mut String, name: &str, labels: &str, scale: f64) {
+        let sep = if labels.is_empty() { "" } else { "," };
+        let mut cum = 0u64;
+        for (_, hi, c) in self.nonempty_buckets() {
+            cum += c;
+            out.push_str(&format!(
+                "{name}_bucket{{{labels}{sep}le=\"{}\"}} {cum}\n",
+                fmt_f64(hi as f64 / scale)
+            ));
+        }
+        out.push_str(&format!(
+            "{name}_bucket{{{labels}{sep}le=\"+Inf\"}} {}\n",
+            self.count
+        ));
+        let wrap = if labels.is_empty() {
+            String::new()
+        } else {
+            format!("{{{labels}}}")
+        };
+        out.push_str(&format!(
+            "{name}_sum{wrap} {}\n",
+            fmt_f64(self.sum as f64 / scale)
+        ));
+        out.push_str(&format!("{name}_count{wrap} {}\n", self.count));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_is_consistent() {
+        assert_eq!(BUCKETS, 32 + 59 * 32);
+        // Every boundary value round-trips through index -> bounds.
+        for i in 0..BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(bucket_index(lo), i, "lo of bucket {i}");
+            assert_eq!(bucket_index(hi), i, "hi of bucket {i}");
+            assert!(lo <= hi);
+        }
+        assert_eq!(bucket_bounds(BUCKETS - 1).1, u64::MAX);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = Histogram::new(1);
+        for v in 0..SUB {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), SUB);
+        for v in 0..SUB {
+            let (lo, hi) = bucket_bounds(bucket_index(v));
+            assert_eq!((lo, hi), (v, v));
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        for v in [33u64, 100, 1_000, 12_345, 1_000_000, u64::MAX / 3, u64::MAX] {
+            let (lo, hi) = bucket_bounds(bucket_index(v));
+            assert!(lo <= v && v <= hi);
+            let err = (hi - v) as f64 / v as f64;
+            assert!(err <= 1.0 / SUB as f64, "v = {v}: err {err}");
+        }
+    }
+
+    #[test]
+    fn quantiles_match_nearest_rank_on_exact_values() {
+        let h = Histogram::new(4);
+        for v in [1u64, 2, 3, 4, 5] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.quantile(50.0), 3);
+        assert_eq!(s.quantile(99.0), 5);
+        assert_eq!(s.quantile(0.0), 1);
+        assert_eq!(s.quantile(100.0), 5);
+        assert_eq!(s.quantile(-5.0), 1);
+        assert_eq!(s.quantile(250.0), 5);
+        assert_eq!(HistogramSnapshot::empty().quantile(50.0), 0);
+    }
+
+    #[test]
+    fn merge_is_bucketwise_union() {
+        let a = Histogram::new(1);
+        let b = Histogram::new(3);
+        let both = Histogram::new(2);
+        for v in [10u64, 500, 70_000] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [11u64, 501, 90_000, 90_001] {
+            b.record(v);
+            both.record(v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, both.snapshot());
+    }
+
+    #[test]
+    fn sum_and_mean_are_exact() {
+        let h = Histogram::new(2);
+        h.record(10);
+        h.record(20);
+        h.record(60);
+        let s = h.snapshot();
+        assert_eq!(s.sum(), 90);
+        assert!((s.mean() - 30.0).abs() < 1e-12);
+        assert_eq!(s.max(), 60);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = std::sync::Arc::new(Histogram::new(4));
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let h = std::sync::Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..5_000u64 {
+                        h.record(t * 1_000 + (i % 97));
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert_eq!(h.snapshot().count(), 40_000);
+    }
+
+    #[test]
+    fn duration_recording_uses_nanoseconds() {
+        let h = Histogram::new(1);
+        h.record_duration(Duration::from_micros(5));
+        let s = h.snapshot();
+        let q = s.quantile(50.0);
+        assert!((4_900..=5_200).contains(&q), "got {q}");
+    }
+}

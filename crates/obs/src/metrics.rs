@@ -1,0 +1,130 @@
+//! The two scalar instruments: monotonic [`Counter`]s and up/down
+//! [`Gauge`]s.
+//!
+//! Both are a single atomic word. The hot path (`inc`/`add`/`set`) is one
+//! relaxed RMW — wait-free on every platform the engine targets — so
+//! instrumenting the scheduler's per-job path costs nanoseconds, not
+//! locks. Aggregation across threads is the atomic itself; there is
+//! nothing to merge at read time.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// A monotonically increasing event count (requests served, bytes moved).
+///
+/// Writers call [`Counter::inc`]/[`Counter::add`] from any thread; readers
+/// call [`Counter::get`]. Relaxed ordering everywhere: metrics observe
+/// *counts*, not cross-variable invariants.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Counter {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Overwrite the value.
+    ///
+    /// This exists for **mirroring an external monotonic source** into the
+    /// registry (e.g. a cache that already keeps its own atomic hit/miss
+    /// counters, republished at snapshot time). Callers own the
+    /// monotonicity contract; ordinary instrumentation should use
+    /// [`Counter::inc`]/[`Counter::add`].
+    #[inline]
+    pub fn store(&self, n: u64) {
+        self.0.store(n, Ordering::Relaxed);
+    }
+}
+
+/// An instantaneous level that can move both ways (queue depth, resident
+/// cache entries).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A gauge at zero.
+    pub fn new() -> Gauge {
+        Gauge(AtomicI64::new(0))
+    }
+
+    /// Set the level.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Move the level by `delta` (positive or negative).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counter_counts() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        c.store(7);
+        assert_eq!(c.get(), 7);
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let g = Gauge::new();
+        g.set(10);
+        g.add(-3);
+        assert_eq!(g.get(), 7);
+        g.add(5);
+        assert_eq!(g.get(), 12);
+    }
+
+    #[test]
+    fn counter_is_exact_across_threads() {
+        let c = Arc::new(Counter::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.get(), 80_000);
+    }
+}

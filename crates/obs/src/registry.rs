@@ -1,0 +1,235 @@
+//! The metric registry: named, labeled families of counters, gauges, and
+//! histograms.
+//!
+//! Registration (`counter`/`gauge`/`histogram_with`) takes a mutex and is
+//! meant for **startup**: callers register once, keep the returned
+//! `Arc` handle, and record through it lock-free forever after. The same
+//! `(name, labels)` pair always resolves to the same instrument, so
+//! re-registering is cheap and idempotent — but re-registering a name as
+//! a *different kind* panics, because that is a programming error no
+//! snapshot could render coherently.
+
+use crate::histogram::Histogram;
+use crate::metrics::{Counter, Gauge};
+use crate::snapshot::{MetricFamily, MetricKind, MetricsSnapshot, Sample, SampleValue, Unit};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+enum Handle {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+struct Family {
+    help: String,
+    unit: Unit,
+    kind: MetricKind,
+    series: BTreeMap<Vec<(String, String)>, Handle>,
+}
+
+#[derive(Default)]
+struct Inner {
+    families: BTreeMap<String, Family>,
+}
+
+/// A shared, cheaply-cloneable registry of metric families.
+///
+/// ```
+/// use rtr_obs::Registry;
+/// let registry = Registry::new();
+/// let served = registry.counter("demo_requests_total", "Requests served.");
+/// served.inc();
+/// let snap = registry.snapshot();
+/// assert_eq!(snap.counter_value("demo_requests_total", &[]), Some(1));
+/// assert!(snap.to_prometheus().contains("demo_requests_total 1"));
+/// ```
+#[derive(Clone, Default)]
+pub struct Registry {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Get or create the unlabeled counter `name`.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        self.counter_with(name, &[], help)
+    }
+
+    /// Get or create the counter `name` with the given label pairs.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a gauge or histogram.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Arc<Counter> {
+        match self.register(name, labels, help, Unit::Count, MetricKind::Counter, || {
+            Handle::Counter(Arc::new(Counter::new()))
+        }) {
+            Handle::Counter(c) => c,
+            _ => unreachable!("kind checked in register"),
+        }
+    }
+
+    /// Get or create the unlabeled gauge `name`.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        self.gauge_with(name, &[], help)
+    }
+
+    /// Get or create the gauge `name` with the given label pairs.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a counter or histogram.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Arc<Gauge> {
+        match self.register(name, labels, help, Unit::Count, MetricKind::Gauge, || {
+            Handle::Gauge(Arc::new(Gauge::new()))
+        }) {
+            Handle::Gauge(g) => g,
+            _ => unreachable!("kind checked in register"),
+        }
+    }
+
+    /// Get or create the histogram `name` with the given label pairs,
+    /// unit, and recording-shard count (sized to the number of threads
+    /// expected to record concurrently; see
+    /// [`Histogram::new`](crate::Histogram::new)).
+    ///
+    /// # Panics
+    /// If `name` is already registered as a counter or gauge.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        help: &str,
+        unit: Unit,
+        shards: usize,
+    ) -> Arc<Histogram> {
+        match self.register(name, labels, help, unit, MetricKind::Histogram, || {
+            Handle::Histogram(Arc::new(Histogram::new(shards)))
+        }) {
+            Handle::Histogram(h) => h,
+            _ => unreachable!("kind checked in register"),
+        }
+    }
+
+    fn register(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        help: &str,
+        unit: Unit,
+        kind: MetricKind,
+        make: impl FnOnce() -> Handle,
+    ) -> Handle {
+        let mut key: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+            .collect();
+        key.sort();
+        let mut inner = self.inner.lock().expect("registry poisoned");
+        let family = inner
+            .families
+            .entry(name.to_owned())
+            .or_insert_with(|| Family {
+                help: help.to_owned(),
+                unit,
+                kind,
+                series: BTreeMap::new(),
+            });
+        assert_eq!(
+            family.kind,
+            kind,
+            "metric `{name}` already registered as a {}",
+            family.kind.name()
+        );
+        let handle = family.series.entry(key).or_insert_with(make);
+        match handle {
+            Handle::Counter(c) => Handle::Counter(Arc::clone(c)),
+            Handle::Gauge(g) => Handle::Gauge(Arc::clone(g)),
+            Handle::Histogram(h) => Handle::Histogram(Arc::clone(h)),
+        }
+    }
+
+    /// Capture every family into a [`MetricsSnapshot`], sorted by family
+    /// name and label set.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock().expect("registry poisoned");
+        let families = inner
+            .families
+            .iter()
+            .map(|(name, family)| MetricFamily {
+                name: name.clone(),
+                help: family.help.clone(),
+                kind: family.kind,
+                unit: family.unit,
+                samples: family
+                    .series
+                    .iter()
+                    .map(|(labels, handle)| Sample {
+                        labels: labels.clone(),
+                        value: match handle {
+                            Handle::Counter(c) => SampleValue::Counter(c.get()),
+                            Handle::Gauge(g) => SampleValue::Gauge(g.get()),
+                            Handle::Histogram(h) => SampleValue::Histogram(h.snapshot()),
+                        },
+                    })
+                    .collect(),
+            })
+            .collect();
+        MetricsSnapshot { families }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_and_labels_resolve_to_one_instrument() {
+        let r = Registry::new();
+        let a = r.counter("reg_total", "c");
+        let b = r.counter("reg_total", "c");
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+        assert_eq!(r.snapshot().counter_value("reg_total", &[]), Some(2));
+    }
+
+    #[test]
+    fn label_order_does_not_matter() {
+        let r = Registry::new();
+        let a = r.counter_with("reg_l", &[("a", "1"), ("b", "2")], "c");
+        let b = r.counter_with("reg_l", &[("b", "2"), ("a", "1")], "c");
+        a.add(5);
+        assert_eq!(b.get(), 5);
+    }
+
+    #[test]
+    fn distinct_labels_are_distinct_series() {
+        let r = Registry::new();
+        r.counter_with("reg_s", &[("w", "0")], "c").add(1);
+        r.counter_with("reg_s", &[("w", "1")], "c").add(2);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter_value("reg_s", &[("w", "0")]), Some(1));
+        assert_eq!(snap.counter_value("reg_s", &[("w", "1")]), Some(2));
+        assert_eq!(snap.counter_total("reg_s"), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        let _ = r.counter("reg_kind", "c");
+        let _ = r.gauge("reg_kind", "g");
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let r = Registry::new();
+        let r2 = r.clone();
+        r.counter("reg_shared", "c").inc();
+        assert_eq!(r2.snapshot().counter_value("reg_shared", &[]), Some(1));
+    }
+}

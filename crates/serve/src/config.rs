@@ -67,6 +67,19 @@ pub struct ServeConfig {
     /// How jobs are dispatched to workers ([`SchedulerMode::WorkStealing`]
     /// by default). Never changes answers, only latency.
     pub scheduler: SchedulerMode,
+    /// Record serving metrics (scheduler counters, per-measure latency
+    /// histograms, distributed wire counters) into the engine's
+    /// [`rtr_obs::Registry`], rendered by
+    /// [`crate::ServeEngine::metrics_snapshot`]. Off by default; when off,
+    /// the catalog is still registered (snapshots render, all zeros) but
+    /// the hot path records nothing — one branch per event.
+    pub metrics: bool,
+    /// Attach a per-query [`rtr_obs::QueryTrace`] to every
+    /// [`crate::QueryResponse`] (timestamped submit → fast-path/enqueue →
+    /// dequeue/steal → compute → respond stages, with per-fetch-round
+    /// events on the distributed path). Off by default; when off, no trace
+    /// is ever allocated and responses carry `None`.
+    pub tracing: bool,
 }
 
 impl Default for ServeConfig {
@@ -85,6 +98,8 @@ impl Default for ServeConfig {
             cache_shards: 16,
             single_flight: true,
             scheduler: SchedulerMode::WorkStealing,
+            metrics: false,
+            tracing: false,
         }
     }
 }
@@ -136,6 +151,18 @@ impl ServeConfig {
     /// This configuration with the given scheduler mode.
     pub fn with_scheduler(mut self, scheduler: SchedulerMode) -> Self {
         self.scheduler = scheduler;
+        self
+    }
+
+    /// This configuration with metrics recording on or off.
+    pub fn with_metrics(mut self, metrics: bool) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
+    /// This configuration with per-query tracing on or off.
+    pub fn with_tracing(mut self, tracing: bool) -> Self {
+        self.tracing = tracing;
         self
     }
 
@@ -254,6 +281,18 @@ impl ServeConfigBuilder {
         self
     }
 
+    /// Metrics recording on or off (see [`ServeConfig::metrics`]).
+    pub fn metrics(mut self, metrics: bool) -> Self {
+        self.config.metrics = metrics;
+        self
+    }
+
+    /// Per-query tracing on or off (see [`ServeConfig::tracing`]).
+    pub fn tracing(mut self, tracing: bool) -> Self {
+        self.config.tracing = tracing;
+        self
+    }
+
     /// Validate and produce the configuration.
     pub fn build(self) -> Result<ServeConfig, ServeConfigError> {
         if self.config.workers == 0 {
@@ -287,6 +326,21 @@ mod tests {
         assert!(c.cache_shards >= 1);
         assert!(c.single_flight);
         assert_eq!(c.scheduler, SchedulerMode::WorkStealing);
+        // Observability ships off by default: zero-cost unless asked for.
+        assert!(!c.metrics);
+        assert!(!c.tracing);
+    }
+
+    #[test]
+    fn observability_builders_apply() {
+        let c = ServeConfig::default().with_metrics(true).with_tracing(true);
+        assert!(c.metrics && c.tracing);
+        let c = ServeConfig::builder()
+            .metrics(true)
+            .tracing(true)
+            .build()
+            .unwrap();
+        assert!(c.metrics && c.tracing);
     }
 
     #[test]

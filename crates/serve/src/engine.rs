@@ -39,6 +39,7 @@ use crate::backend::{
 };
 use crate::config::{SchedulerMode, ServeConfig};
 use crate::flight::InFlight;
+use crate::metrics::ServeMetrics;
 use crate::request::{QueryRequest, ResolvedRequest, ServeWorkspace};
 use crate::response::{QueryResponse, QueryTicket};
 use crossbeam::channel::{self, Sender};
@@ -46,6 +47,7 @@ use crossbeam::deque;
 use rtr_cache::{CacheConfig, CacheKey, CacheStats, ShardedCache};
 use rtr_core::{CoreError, Measure};
 use rtr_graph::{Graph, NodeId};
+use rtr_obs::{MetricsSnapshot, QueryTrace, Registry, TraceStage};
 use rtr_topk::TopKResult;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -153,6 +155,10 @@ struct Job {
     request: ResolvedRequest,
     enqueued: Instant,
     reply: Sender<QueryResponse>,
+    /// The request's trace, carried with the job through every scheduler
+    /// hop so each stage stamps into the same timeline. `None` unless the
+    /// engine runs with [`ServeConfig::tracing`].
+    trace: Option<Box<QueryTrace>>,
 }
 
 /// A job parked on a computing owner's in-flight ticket: who picked it up
@@ -224,18 +230,21 @@ struct StealPool {
 impl StealPool {
     /// Find work for worker `idx`: its own queue first, then a batch off
     /// the injector (amortizing the shared lock over many jobs), then a
-    /// steal from each sibling in rotation.
-    fn find(&self, idx: usize, local: &deque::Worker<Job>) -> Option<Job> {
+    /// steal from each sibling in rotation. The second return is `true`
+    /// exactly when the job came off a *sibling's* queue — a genuine
+    /// steal, which the metrics layer counts separately from ordinary
+    /// dequeues.
+    fn find(&self, idx: usize, local: &deque::Worker<Job>) -> Option<(Job, bool)> {
         if let Some(job) = local.pop() {
-            return Some(job);
+            return Some((job, false));
         }
         if let Some(job) = self.injector.steal_batch_and_pop(local).success() {
-            return Some(job);
+            return Some((job, false));
         }
         let n = self.stealers.len();
         for offset in 1..n {
             if let Some(job) = self.stealers[(idx + offset) % n].steal().success() {
-                return Some(job);
+                return Some((job, true));
             }
         }
         None
@@ -272,6 +281,13 @@ struct Shared {
     /// Workspace for trivial requests the fast path computes on the
     /// submitting thread (k = 0 setup work only — never a full search).
     inline_ws: Mutex<ServeWorkspace>,
+    /// The engine's metric registry; [`ServeEngine::metrics_snapshot`]
+    /// renders it. The catalog is registered even with metrics off, so a
+    /// snapshot is always complete (if zeroed).
+    registry: Registry,
+    /// Pre-fetched recording handles; every `m.on_*` call is a no-op
+    /// branch unless [`ServeConfig::metrics`] is set.
+    m: ServeMetrics,
 }
 
 impl Shared {
@@ -294,17 +310,30 @@ impl Shared {
 
     /// Run one request against its routed backend, recycling `ws`. Catches
     /// panics so a bad query can never kill the worker, and counts the
-    /// computation.
+    /// computation. The job's trace (if any) is parked in the workspace
+    /// for the duration of the run, so the distributed engine can stamp
+    /// per-fetch-round events into the same timeline.
     fn compute(
         &self,
         request: &ResolvedRequest,
         ws: &mut ServeWorkspace,
+        trace: &mut Option<Box<QueryTrace>>,
     ) -> Result<ExecOutcome, ServeError> {
         self.computed.fetch_add(1, Ordering::Relaxed);
+        if let Some(t) = trace.as_deref_mut() {
+            t.record(TraceStage::ComputeStart);
+        }
         let (backend, _) = self.backend_for(request);
+        ws.dist.trace = trace.take();
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             backend.execute(&self.graph, request, ws)
         }));
+        // Reclaim the trace *before* the panic branch below discards the
+        // workspace — a panicking query still gets its (partial) timeline.
+        *trace = ws.dist.trace.take();
+        if let Some(t) = trace.as_deref_mut() {
+            t.record(TraceStage::ComputeEnd);
+        }
         match result {
             Ok(r) => r.map_err(ServeError::from),
             Err(panic) => {
@@ -324,9 +353,10 @@ impl Shared {
         &self,
         request: &ResolvedRequest,
         ws: &mut ServeWorkspace,
+        trace: &mut Option<Box<QueryTrace>>,
     ) -> (Result<Arc<ExecOutcome>, ServeError>, bool) {
         let Some(cache) = &self.cache else {
-            return (self.compute(request, ws).map(Arc::new), false);
+            return (self.compute(request, ws, trace).map(Arc::new), false);
         };
         let key = request.cache_key(self.graph.epoch());
         loop {
@@ -340,9 +370,12 @@ impl Shared {
                 return (Ok(hit), true);
             }
             if !self.config.single_flight {
-                let result = self.compute(request, ws).map(Arc::new);
+                let result = self.compute(request, ws, trace).map(Arc::new);
                 if let Ok(r) = &result {
                     cache.insert(key, Arc::clone(r));
+                    if let Some(t) = trace.as_deref_mut() {
+                        t.record(TraceStage::CacheInsert);
+                    }
                 }
                 return (result, false);
             }
@@ -355,9 +388,12 @@ impl Shared {
                 let (result, from_cache) = match cache.recheck(&key) {
                     Some(hit) => (Ok(hit), true),
                     None => {
-                        let result = self.compute(request, ws).map(Arc::new);
+                        let result = self.compute(request, ws, trace).map(Arc::new);
                         if let Ok(r) = &result {
                             cache.insert(key.clone(), Arc::clone(r));
+                            if let Some(t) = trace.as_deref_mut() {
+                                t.record(TraceStage::CacheInsert);
+                            }
                         }
                         (result, false)
                     }
@@ -380,12 +416,14 @@ impl Shared {
     /// non-empty in work-stealing mode, when an owned computation failed
     /// with requests attached (errors are never shared; each duplicate
     /// recomputes individually).
-    fn handle(&self, job: Job, worker: usize, ws: &mut ServeWorkspace) -> Vec<Job> {
+    fn handle(&self, mut job: Job, worker: usize, ws: &mut ServeWorkspace) -> Vec<Job> {
         let picked = Instant::now();
         let queue_wait = picked.duration_since(job.enqueued);
         match self.config.scheduler {
             SchedulerMode::SharedQueue => {
-                let (served, from_cache) = self.serve(&job.request, ws);
+                let mut trace = job.trace.take();
+                let (served, from_cache) = self.serve(&job.request, ws, &mut trace);
+                job.trace = trace;
                 self.respond(job, Some(worker), served, from_cache, queue_wait, picked);
                 Vec::new()
             }
@@ -401,14 +439,16 @@ impl Shared {
     /// when it finishes.
     fn handle_stealing(
         &self,
-        job: Job,
+        mut job: Job,
         worker: usize,
         ws: &mut ServeWorkspace,
         picked: Instant,
         queue_wait: Duration,
     ) -> Vec<Job> {
         let Some(cache) = &self.cache else {
-            let served = self.compute(&job.request, ws).map(Arc::new);
+            let mut trace = job.trace.take();
+            let served = self.compute(&job.request, ws, &mut trace).map(Arc::new);
+            job.trace = trace;
             self.respond(job, Some(worker), served, false, queue_wait, picked);
             return Vec::new();
         };
@@ -418,12 +458,22 @@ impl Shared {
             return Vec::new();
         }
         if !self.config.single_flight {
-            let served = self.compute(&job.request, ws).map(Arc::new);
+            let mut trace = job.trace.take();
+            let served = self.compute(&job.request, ws, &mut trace).map(Arc::new);
             if let Ok(r) = &served {
                 cache.insert(key, Arc::clone(r));
+                if let Some(t) = trace.as_deref_mut() {
+                    t.record(TraceStage::CacheInsert);
+                }
             }
+            job.trace = trace;
             self.respond(job, Some(worker), served, false, queue_wait, picked);
             return Vec::new();
+        }
+        // Stamp Attach *speculatively*: if the claim below wins (no owner
+        // to attach to), the stage is retracted before computing.
+        if let Some(t) = job.trace.as_deref_mut() {
+            t.record(TraceStage::Attach);
         }
         let attached_job = AttachedJob {
             job,
@@ -433,21 +483,32 @@ impl Shared {
         match self.flight.attach_or_claim(&key, attached_job) {
             // Attached: the computing owner will answer it; this worker is
             // free for other traffic.
-            None => Vec::new(),
-            Some(AttachedJob { job, .. }) => {
+            None => {
+                self.m.on_attach();
+                Vec::new()
+            }
+            Some(AttachedJob { mut job, .. }) => {
                 // This job owns the key. Double-check the cache while
                 // owning it (see Shared::serve), compute on a true miss,
                 // then settle everything that attached meanwhile.
+                let mut trace = job.trace.take();
+                if let Some(t) = trace.as_deref_mut() {
+                    t.retract(TraceStage::Attach);
+                }
                 let (served, from_cache) = match cache.recheck(&key) {
                     Some(hit) => (Ok(hit), true),
                     None => {
-                        let result = self.compute(&job.request, ws).map(Arc::new);
+                        let result = self.compute(&job.request, ws, &mut trace).map(Arc::new);
                         if let Ok(r) = &result {
                             cache.insert(key.clone(), Arc::clone(r));
+                            if let Some(t) = trace.as_deref_mut() {
+                                t.record(TraceStage::CacheInsert);
+                            }
                         }
                         (result, false)
                     }
                 };
+                job.trace = trace;
                 let attached = self.flight.finish(&key);
                 let requeue = match &served {
                     Ok(outcome) => {
@@ -492,7 +553,7 @@ impl Shared {
     /// Never blocks on another thread's computation: if the key is owned
     /// in flight, the job queues and the worker that picks it up attaches
     /// it to the owner.
-    fn try_fast_serve(&self, job: Job) -> Option<Job> {
+    fn try_fast_serve(&self, mut job: Job) -> Option<Job> {
         if self.config.scheduler != SchedulerMode::WorkStealing {
             return Some(job);
         }
@@ -502,7 +563,9 @@ impl Shared {
             if !trivial {
                 return Some(job);
             }
-            let served = self.compute_inline(&job.request);
+            let mut trace = job.trace.take();
+            let served = self.compute_inline(&job.request, &mut trace);
+            job.trace = trace;
             self.respond(job, None, served, false, Duration::ZERO, submitted);
             return None;
         };
@@ -524,10 +587,15 @@ impl Shared {
             return Some(job);
         }
         if !self.config.single_flight {
-            let served = self.compute_inline(&job.request);
+            let mut trace = job.trace.take();
+            let served = self.compute_inline(&job.request, &mut trace);
             if let Ok(r) = &served {
                 cache.insert(key, Arc::clone(r));
+                if let Some(t) = trace.as_deref_mut() {
+                    t.record(TraceStage::CacheInsert);
+                }
             }
+            job.trace = trace;
             self.respond(job, None, served, false, Duration::ZERO, submitted);
             return None;
         }
@@ -536,27 +604,37 @@ impl Shared {
             // attaching) keeps the submitting thread from ever blocking.
             return Some(job);
         }
+        let mut trace = job.trace.take();
         let (served, from_cache) = match cache.recheck(&key) {
             Some(hit) => (Ok(hit), true),
             None => {
-                let served = self.compute_inline(&job.request);
+                let served = self.compute_inline(&job.request, &mut trace);
                 if let Ok(r) = &served {
                     cache.insert(key.clone(), Arc::clone(r));
+                    if let Some(t) = trace.as_deref_mut() {
+                        t.record(TraceStage::CacheInsert);
+                    }
                 }
                 (served, false)
             }
         };
+        job.trace = trace;
         let attached = self.flight.finish(&key);
         match &served {
             Ok(outcome) => self.answer_attached(cache, &key, outcome, attached),
             Err(_) => {
                 // Errors are never shared; duplicates are trivial, so
                 // recomputing each inline is cheaper than a queue trip.
-                for a in attached {
-                    let served = self.compute_inline(&a.job.request);
+                for mut a in attached {
+                    let mut trace = a.job.trace.take();
+                    let served = self.compute_inline(&a.job.request, &mut trace);
                     if let Ok(r) = &served {
                         cache.insert(key.clone(), Arc::clone(r));
+                        if let Some(t) = trace.as_deref_mut() {
+                            t.record(TraceStage::CacheInsert);
+                        }
                     }
+                    a.job.trace = trace;
                     let queue_wait = a.picked.duration_since(a.job.enqueued);
                     self.respond(a.job, a.worker, served, false, queue_wait, a.picked);
                 }
@@ -568,9 +646,13 @@ impl Shared {
 
     /// Run a trivial request on the submitting thread, on the shared
     /// inline workspace.
-    fn compute_inline(&self, request: &ResolvedRequest) -> Result<Arc<ExecOutcome>, ServeError> {
+    fn compute_inline(
+        &self,
+        request: &ResolvedRequest,
+        trace: &mut Option<Box<QueryTrace>>,
+    ) -> Result<Arc<ExecOutcome>, ServeError> {
         let mut ws = self.inline_ws.lock().expect("inline workspace poisoned");
-        self.compute(request, &mut ws).map(Arc::new)
+        self.compute(request, &mut ws, trace).map(Arc::new)
     }
 
     /// Requests the fast path may compute on the submitting thread:
@@ -585,16 +667,20 @@ impl Shared {
             && self.graph.node_count() > 0
     }
 
-    /// Build and send the response for one served job.
+    /// Build and send the response for one served job. Every response —
+    /// fast-pathed, queued, attached, errored — passes through here
+    /// exactly once, which makes this the engine's single metrics and
+    /// trace-finalization point.
     fn respond(
         &self,
-        job: Job,
+        mut job: Job,
         worker: Option<usize>,
         served: Result<Arc<ExecOutcome>, ServeError>,
         from_cache: bool,
         queue_wait: Duration,
         picked: Instant,
     ) {
+        let compute = picked.elapsed();
         let routed_fallback = self.backend_for(&job.request).1;
         let (result, backend, distributed) = match served {
             Ok(outcome) => (
@@ -606,6 +692,25 @@ impl Shared {
             // (nothing produced a ranking).
             Err(e) => (Err(e), self.backend_for(&job.request).0.kind(), None),
         };
+        self.m.on_response(
+            job.request.measure,
+            queue_wait,
+            compute,
+            result.as_ref().err(),
+            distributed.as_ref(),
+            routed_fallback,
+            worker.is_none(),
+            from_cache,
+        );
+        let mut trace = job.trace.take();
+        if let Some(t) = trace.as_deref_mut() {
+            if worker.is_none() {
+                // Completed inline on the submitting thread: no worker
+                // ever touched it.
+                t.record(TraceStage::FastPath);
+            }
+            t.record(TraceStage::Respond);
+        }
         let response = QueryResponse {
             id: job.id,
             request: job.request,
@@ -615,8 +720,9 @@ impl Shared {
             distributed,
             from_cache,
             queue_wait,
-            compute: picked.elapsed(),
+            compute,
             worker,
+            trace,
         };
         // A dropped reply receiver means the caller gave up; keep serving
         // other traffic.
@@ -654,6 +760,8 @@ impl ServeEngine {
             Backend::Distributed { gps } => Some(DistributedBackend::spawn(&graph, gps)),
         };
         let node_count = graph.node_count();
+        let registry = Registry::new();
+        let m = ServeMetrics::new(&registry, &config);
         let shared = Arc::new(Shared {
             local: LocalBackend,
             distributed,
@@ -668,12 +776,15 @@ impl ServeEngine {
             computed: AtomicU64::new(0),
             graph,
             config,
+            registry,
+            m,
         });
+        shared.m.cache_enabled.set(shared.cache.is_some() as i64);
         match scheduler {
             SchedulerMode::SharedQueue => {
                 let (job_tx, job_rx) = channel::unbounded::<Job>();
                 let handles = (0..workers)
-                    .map(|_| {
+                    .map(|idx| {
                         let rx = job_rx.clone();
                         let shared = Arc::clone(&shared);
                         std::thread::spawn(move || {
@@ -681,7 +792,15 @@ impl ServeEngine {
                             // Shared::compute; a dead worker would strand
                             // the jobs still queued and hang their batches.
                             let mut ws = ServeWorkspace::with_capacity(node_count);
-                            while let Ok(job) = rx.recv() {
+                            if shared.distributed.is_some() {
+                                if let Some(bc) = shared.m.block_cache(&shared.registry, idx) {
+                                    ws.dist.cache.set_metrics(bc);
+                                }
+                            }
+                            while let Ok(mut job) = rx.recv() {
+                                if let Some(t) = job.trace.as_deref_mut() {
+                                    t.record(TraceStage::Dequeue);
+                                }
                                 let requeue = shared.handle(job, 0, &mut ws);
                                 debug_assert!(
                                     requeue.is_empty(),
@@ -720,13 +839,28 @@ impl ServeEngine {
                         let shared = Arc::clone(&shared);
                         std::thread::spawn(move || {
                             let mut ws = ServeWorkspace::with_capacity(node_count);
+                            if shared.distributed.is_some() {
+                                if let Some(bc) = shared.m.block_cache(&shared.registry, idx) {
+                                    ws.dist.cache.set_metrics(bc);
+                                }
+                            }
                             loop {
                                 // Read the park generation *before* the
                                 // scan: a push between scan and sleep bumps
                                 // it and the sleep returns immediately — no
                                 // lost wakeups.
                                 let seen = pool.park.current();
-                                if let Some(job) = pool.find(idx, &local) {
+                                if let Some((mut job, stolen)) = pool.find(idx, &local) {
+                                    if stolen {
+                                        shared.m.on_steal();
+                                    }
+                                    if let Some(t) = job.trace.as_deref_mut() {
+                                        t.record(if stolen {
+                                            TraceStage::Steal
+                                        } else {
+                                            TraceStage::Dequeue
+                                        });
+                                    }
                                     for j in shared.handle(job, idx, &mut ws) {
                                         // A failed owner re-enqueues its
                                         // attached duplicates; pushing them
@@ -740,6 +874,7 @@ impl ServeEngine {
                                 if pool.shutdown.load(Ordering::Acquire) {
                                     return;
                                 }
+                                shared.m.on_park();
                                 pool.park.sleep(seen);
                             }
                         })
@@ -772,8 +907,47 @@ impl ServeEngine {
     }
 
     /// Result-cache traffic counters, or `None` when the cache is off.
+    ///
+    /// The `Option` distinguishes **disabled** from **idle**: `None`
+    /// means the engine was started without a cache
+    /// ([`ServeConfig::cache_capacity`] = 0) and no amount of traffic
+    /// will ever produce stats; `Some(CacheStats::default())` (all
+    /// zeros) means the cache exists but has seen no traffic yet. The
+    /// same distinction is visible in [`ServeEngine::metrics_snapshot`]
+    /// as the `rtr_serve_cache_enabled` gauge (1/0) — a scraper can
+    /// tell "cache off" from "zero hits" without the `Option`.
     pub fn cache_stats(&self) -> Option<CacheStats> {
         self.shared.cache.as_ref().map(|c| c.stats())
+    }
+
+    /// One coherent snapshot of every metric the engine registers —
+    /// scheduler counters, latency histograms, result-cache and
+    /// distributed wire telemetry. Render it with
+    /// [`MetricsSnapshot::to_prometheus`] or [`MetricsSnapshot::to_json`].
+    ///
+    /// The full catalog is present (zeroed) even when the engine runs
+    /// with [`ServeConfig::metrics`] off, so scrapers see a stable schema
+    /// either way. Point-in-time gauges (injector depth, cache occupancy)
+    /// are polled here, at snapshot time.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        if let Dispatcher::Stealing { pool } = &self.dispatcher {
+            self.shared.m.injector_depth.set(pool.injector.len() as i64);
+        }
+        self.shared
+            .m
+            .cache_enabled
+            .set(self.shared.cache.is_some() as i64);
+        if let Some(cache) = &self.shared.cache {
+            cache.export_metrics(&self.shared.registry);
+        }
+        self.shared.registry.snapshot()
+    }
+
+    /// The engine's metric registry, for callers that want to register
+    /// their own instruments alongside the engine's (one exposition for
+    /// the whole process) or hold pre-fetched handles.
+    pub fn metrics_registry(&self) -> &Registry {
+        &self.shared.registry
     }
 
     /// Entries currently resident in the result cache (0 when off).
@@ -828,12 +1002,20 @@ impl ServeEngine {
             request: request.resolve(&self.shared.config),
             enqueued: Instant::now(),
             reply,
+            trace: self
+                .shared
+                .config
+                .tracing
+                .then(|| Box::new(QueryTrace::begin())),
         };
         // Size-aware dispatch: cache hits and trivial requests complete
         // right here on the submitting thread; everything else queues.
-        let Some(job) = self.shared.try_fast_serve(job) else {
+        let Some(mut job) = self.shared.try_fast_serve(job) else {
             return;
         };
+        if let Some(t) = job.trace.as_deref_mut() {
+            t.record(TraceStage::Enqueue);
+        }
         match &self.dispatcher {
             Dispatcher::Shared { job_tx } => {
                 job_tx
@@ -952,6 +1134,7 @@ pub fn run_serial_requests(
                 worker: None,
                 queue_wait: Duration::ZERO,
                 compute: started.elapsed(),
+                trace: None,
             }
         })
         .collect()
@@ -1528,6 +1711,140 @@ mod tests {
             assert_eq!(a.bounds, b.bounds); // exact f64 equality
             assert_eq!(a.expansions, b.expansions);
         }
+    }
+
+    #[test]
+    fn metrics_snapshot_counts_responses_and_renders_prometheus() {
+        let (g, ids) = fig2_toy();
+        let config = ServeConfig::default()
+            .with_workers(2)
+            .with_topk(TopKConfig::toy())
+            .with_metrics(true);
+        let engine = ServeEngine::start(Arc::new(g), config);
+        let n = engine.run_batch(&[ids.t1, ids.t2, ids.v1]).len();
+        let snap = engine.metrics_snapshot();
+        assert_eq!(snap.counter_total("rtr_serve_responses_total"), n as u64);
+        assert_eq!(
+            snap.histogram_total("rtr_serve_latency_seconds").count(),
+            n as u64,
+            "every response lands in the latency histogram"
+        );
+        let text = snap.to_prometheus();
+        for name in [
+            "rtr_serve_responses_total",
+            "rtr_serve_errors_total",
+            "rtr_serve_routed_fallback_total",
+            "rtr_serve_latency_seconds_bucket",
+            "rtr_serve_injector_depth",
+            "rtr_serve_cache_enabled",
+            "rtr_dist_wire_bytes_total",
+        ] {
+            assert!(text.contains(name), "missing {name} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn metrics_off_still_snapshots_a_zeroed_catalog() {
+        let (engine, ids) = toy_engine(2);
+        let _ = engine.run_batch(&[ids.t1]);
+        let snap = engine.metrics_snapshot();
+        // Catalog present, nothing recorded.
+        assert_eq!(snap.counter_total("rtr_serve_responses_total"), 0);
+        assert!(snap.to_prometheus().contains("rtr_serve_responses_total"));
+    }
+
+    #[test]
+    fn error_and_fallback_counters_record() {
+        let (g, ids) = fig2_toy();
+        let config = ServeConfig::default()
+            .with_workers(1)
+            .with_topk(TopKConfig::toy())
+            .with_metrics(true);
+        let engine = ServeEngine::start(Arc::new(g), config);
+        let bad = engine.submit(QueryRequest::node(NodeId(9999))).wait();
+        assert!(bad.result.is_err());
+        let fb = engine
+            .submit(QueryRequest::node(ids.t1).with_backend(BackendKind::Distributed))
+            .wait();
+        assert!(fb.routed_fallback);
+        let snap = engine.metrics_snapshot();
+        assert_eq!(
+            snap.counter_value("rtr_serve_errors_total", &[("kind", "query")]),
+            Some(1)
+        );
+        assert_eq!(
+            snap.counter_value("rtr_serve_routed_fallback_total", &[]),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn tracing_off_attaches_no_trace() {
+        let (engine, ids) = toy_engine(2);
+        let response = engine.submit(QueryRequest::node(ids.t1)).wait();
+        assert!(response.trace.is_none());
+    }
+
+    #[test]
+    fn tracing_records_a_monotone_queued_timeline() {
+        let (g, ids) = fig2_toy();
+        let config = ServeConfig::default()
+            .with_workers(2)
+            .with_topk(TopKConfig::toy())
+            .with_cache_capacity(64)
+            .with_tracing(true);
+        let engine = ServeEngine::start(Arc::new(g), config);
+        let cold = engine.submit(QueryRequest::node(ids.t1).with_k(3)).wait();
+        let trace = cold.trace.expect("tracing on");
+        let stages: Vec<TraceStage> = trace.events().iter().map(|e| e.stage).collect();
+        assert_eq!(stages.first(), Some(&TraceStage::Submit));
+        assert_eq!(stages.last(), Some(&TraceStage::Respond));
+        for need in [
+            TraceStage::Enqueue,
+            TraceStage::Dequeue,
+            TraceStage::ComputeStart,
+            TraceStage::CacheInsert,
+            TraceStage::ComputeEnd,
+        ] {
+            assert!(stages.contains(&need), "missing {need:?} in {stages:?}");
+        }
+        assert!(!stages.contains(&TraceStage::FastPath), "cold miss queued");
+        for pair in trace.events().windows(2) {
+            assert!(pair[0].at <= pair[1].at, "stages must be monotone");
+        }
+        // A warm hit completes inline and says so.
+        let warm = engine.submit(QueryRequest::node(ids.t1).with_k(3)).wait();
+        let trace = warm.trace.expect("tracing on");
+        let stages: Vec<TraceStage> = trace.events().iter().map(|e| e.stage).collect();
+        assert!(stages.contains(&TraceStage::FastPath));
+        assert_eq!(stages.last(), Some(&TraceStage::Respond));
+    }
+
+    #[test]
+    fn cache_stats_distinguishes_disabled_from_idle() {
+        // Disabled: no cache was constructed; None forever.
+        let (off, ids) = toy_engine(1);
+        assert!(off.cache_stats().is_none());
+        assert_eq!(
+            off.metrics_snapshot()
+                .gauge_value("rtr_serve_cache_enabled", &[]),
+            Some(0)
+        );
+        // Enabled but idle: stats exist and are all zero — not None.
+        let (g, _) = fig2_toy();
+        let config = ServeConfig::default()
+            .with_workers(1)
+            .with_topk(TopKConfig::toy())
+            .with_cache_capacity(16);
+        let idle = ServeEngine::start(Arc::new(g), config);
+        let stats = idle.cache_stats().expect("cache exists before traffic");
+        assert_eq!((stats.hits, stats.misses, stats.inserts), (0, 0, 0));
+        assert_eq!(
+            idle.metrics_snapshot()
+                .gauge_value("rtr_serve_cache_enabled", &[]),
+            Some(1)
+        );
+        let _ = ids;
     }
 
     #[test]

@@ -92,6 +92,7 @@ pub mod backend;
 pub mod config;
 pub mod engine;
 mod flight;
+mod metrics;
 pub mod request;
 pub mod response;
 
@@ -108,3 +109,6 @@ pub use response::{QueryResponse, QueryTicket};
 pub use rtr_cache::CacheStats;
 pub use rtr_core::Measure;
 pub use rtr_distributed::DistributedStats;
+// Observability types surfaced by the engine: `metrics_snapshot()`
+// returns a `MetricsSnapshot`, traced responses carry a `QueryTrace`.
+pub use rtr_obs::{MetricsSnapshot, QueryTrace, Registry, TraceEvent, TraceStage};

@@ -17,6 +17,7 @@ use crate::engine::ServeError;
 use crate::request::ResolvedRequest;
 use crossbeam::channel::Receiver;
 use rtr_distributed::DistributedStats;
+use rtr_obs::QueryTrace;
 use rtr_topk::TopKResult;
 use std::sync::Arc;
 use std::time::Duration;
@@ -66,6 +67,12 @@ pub struct QueryResponse {
     pub queue_wait: Duration,
     /// Time the worker spent serving it (cache lookup + engine run).
     pub compute: Duration,
+    /// The request's life story, when the engine ran with
+    /// [`crate::ServeConfig::tracing`] enabled: timestamped
+    /// [`rtr_obs::TraceStage`] events from submission to response. `None`
+    /// with tracing off (the default) — disabled tracing allocates
+    /// nothing and records nothing.
+    pub trace: Option<Box<QueryTrace>>,
 }
 
 impl QueryResponse {

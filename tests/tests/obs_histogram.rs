@@ -1,0 +1,99 @@
+//! Property-based contracts of the `rtr-obs` log-linear histogram, checked
+//! against the exact sort-based percentile the bench crate keeps as an
+//! oracle ([`rtr_bench::percentile`]):
+//!
+//! * merging two snapshots is indistinguishable from recording the union
+//!   of their samples into one histogram;
+//! * a reported quantile never undershoots the exact nearest-rank value
+//!   and overshoots it by at most the bucket relative-error bound
+//!   `1/SUB` (exactly 0 below `SUB`, where buckets have width 1);
+//! * the bucket layout is monotone and `bucket_index` lands every value
+//!   inside its own bucket's bounds.
+
+use proptest::prelude::*;
+use rtr_bench::percentile;
+use rtr_obs::{bucket_bounds, bucket_index, Histogram, HistogramSnapshot, BUCKETS, SUB};
+
+/// Strategy: a sample vector spanning the exact region, the log-linear
+/// region, and the far tail.
+fn arb_samples(max_len: usize) -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(0..1_000_000_000u64, 1..max_len)
+}
+
+fn record_all(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new(3);
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn merge_is_recording_the_union(a in arb_samples(200), b in arb_samples(200)) {
+        let mut merged = record_all(&a);
+        merged.merge(&record_all(&b));
+        let mut union = a.clone();
+        union.extend_from_slice(&b);
+        prop_assert_eq!(merged, record_all(&union));
+    }
+
+    #[test]
+    fn quantiles_stay_within_the_relative_error_bound(
+        values in arb_samples(300),
+        qs in proptest::collection::vec(0..=100u64, 1..8),
+    ) {
+        let snap = record_all(&values);
+        let exact: Vec<f64> = values.iter().map(|&v| v as f64).collect();
+        for q in qs {
+            let got = snap.quantile(q as f64) as f64;
+            let want = percentile(&exact, q as f64);
+            // The histogram reports the containing bucket's upper bound:
+            // never below the exact order statistic, and above it by at
+            // most one bucket width (relative 1/SUB; exact below SUB).
+            prop_assert!(got >= want, "q{q}: {got} < exact {want}");
+            let ceiling = if want < SUB as f64 {
+                want
+            } else {
+                want * (1.0 + 1.0 / SUB as f64)
+            };
+            prop_assert!(got <= ceiling, "q{q}: {got} > ceiling {ceiling} (exact {want})");
+        }
+    }
+
+    #[test]
+    fn bucket_index_lands_inside_its_bounds(v in 0..u64::MAX) {
+        let i = bucket_index(v);
+        prop_assert!(i < BUCKETS);
+        let (lo, hi) = bucket_bounds(i);
+        prop_assert!(lo <= v && v <= hi, "{v} outside bucket {i} = [{lo}, {hi}]");
+    }
+}
+
+#[test]
+fn bucket_bounds_are_monotone_and_contiguous() {
+    let mut prev_hi = None;
+    for i in 0..BUCKETS {
+        let (lo, hi) = bucket_bounds(i);
+        assert!(lo <= hi, "bucket {i} inverted: [{lo}, {hi}]");
+        if let Some(p) = prev_hi {
+            assert_eq!(lo, p + 1, "gap or overlap entering bucket {i}");
+        }
+        prev_hi = Some(hi);
+    }
+}
+
+#[test]
+fn quantile_is_exact_below_sub() {
+    let h = Histogram::new(1);
+    for v in 0..SUB {
+        h.record(v);
+    }
+    let snap = h.snapshot();
+    for v in 0..SUB {
+        let q = 100.0 * (v + 1) as f64 / SUB as f64;
+        assert_eq!(snap.quantile(q), v, "width-1 buckets must be exact");
+    }
+}

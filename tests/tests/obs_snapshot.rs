@@ -1,0 +1,241 @@
+//! End-to-end reconciliation of `ServeEngine::metrics_snapshot()` against
+//! ground truth the responses themselves carry: a mixed-measure run on the
+//! distributed backend (cache off, so every response computes) must
+//! produce a snapshot whose counters and histograms agree exactly with the
+//! per-response stats, and whose Prometheus rendering is structurally
+//! valid and covers the scheduler, cache, and distributed layers.
+
+use rtr_datagen::{BibNet, BibNetConfig};
+use rtr_graph::{Graph, NodeId};
+use rtr_integration_tests::SEED;
+use rtr_serve::{Backend, Measure, QueryRequest, ServeConfig, ServeEngine, TraceStage};
+use rtr_topk::TopKConfig;
+use std::sync::Arc;
+
+fn test_graph() -> (Arc<Graph>, Vec<NodeId>) {
+    let net = BibNet::generate(&BibNetConfig::tiny(), SEED);
+    let queries: Vec<NodeId> = net
+        .graph
+        .nodes()
+        .filter(|&v| !net.graph.is_dangling(v))
+        .take(10)
+        .collect();
+    (Arc::new(net.graph), queries)
+}
+
+/// Every measure through one pool: F and T exercise the distributed
+/// backend's recorded local fallback, RTR and RTR+ run genuinely
+/// distributed.
+fn mixed_requests(queries: &[NodeId]) -> Vec<QueryRequest> {
+    queries
+        .iter()
+        .enumerate()
+        .map(|(i, &q)| {
+            let r = QueryRequest::node(q).with_k(4);
+            match i % 4 {
+                0 => r.with_measure(Measure::F),
+                1 => r.with_measure(Measure::T),
+                2 => r.with_measure(Measure::RtrPlus { beta: 0.5 }),
+                _ => r, // RoundTripRank
+            }
+        })
+        .collect()
+}
+
+fn base_config() -> ServeConfig {
+    ServeConfig {
+        workers: 2,
+        topk: TopKConfig {
+            k: 4,
+            epsilon: 0.01,
+            ..TopKConfig::default()
+        },
+        ..ServeConfig::default()
+    }
+    .with_backend(Backend::Distributed { gps: 2 })
+    .with_metrics(true)
+    .with_tracing(true)
+}
+
+#[test]
+fn snapshot_reconciles_with_per_response_stats() {
+    let (g, queries) = test_graph();
+    let requests = mixed_requests(&queries);
+    let engine = ServeEngine::start(g, base_config());
+    let responses = engine.run_requests(&requests);
+    let snap = engine.metrics_snapshot();
+
+    // Cache off: every response is a fresh computation.
+    assert!(responses.iter().all(|r| !r.from_cache));
+    for r in &responses {
+        r.result.as_ref().expect("mixed request failed");
+    }
+
+    // Responses served == latency samples recorded, in total and by
+    // measure label.
+    let n = responses.len() as u64;
+    assert_eq!(snap.counter_total("rtr_serve_responses_total"), n);
+    assert_eq!(snap.histogram_total("rtr_serve_latency_seconds").count(), n);
+    let f_served = responses
+        .iter()
+        .filter(|r| r.request.measure == Measure::F)
+        .count() as u64;
+    assert_eq!(
+        snap.counter_value("rtr_serve_responses_total", &[("measure", "f")]),
+        Some(f_served)
+    );
+
+    // Wire cost: the registry's totals are exactly the per-response
+    // DistributedStats, summed (fallback responses carry none and add
+    // nothing).
+    let stats: Vec<_> = responses.iter().filter_map(|r| r.distributed).collect();
+    assert!(!stats.is_empty(), "RTR/RTR+ must run genuinely distributed");
+    let wire_bytes: u64 = stats.iter().map(|s| s.bytes_transferred as u64).sum();
+    let rounds: u64 = stats.iter().map(|s| s.fetch_requests as u64).sum();
+    assert_eq!(snap.counter_total("rtr_dist_wire_bytes_total"), wire_bytes);
+    assert_eq!(snap.counter_total("rtr_dist_fetch_rounds_total"), rounds);
+
+    // The trace agrees with the stats response by response: one FetchRound
+    // event per wire round.
+    for r in &responses {
+        if let Some(s) = r.distributed {
+            let trace = r.trace.as_ref().expect("tracing on");
+            assert_eq!(
+                trace.count(TraceStage::FetchRound),
+                s.fetch_requests,
+                "trace rounds vs stats for {:?}",
+                r.request.query.nodes()
+            );
+        }
+    }
+
+    // Routed-fallback accounting matches the response flags.
+    let fallbacks = responses.iter().filter(|r| r.routed_fallback).count() as u64;
+    assert_eq!(
+        snap.counter_total("rtr_serve_routed_fallback_total"),
+        fallbacks
+    );
+    // No errors on this workload.
+    assert_eq!(snap.counter_total("rtr_serve_errors_total"), 0);
+}
+
+/// Minimal structural validation of the Prometheus exposition text:
+/// every family leads with `# HELP` then `# TYPE`, every sample line
+/// carries a finite numeric value, and each histogram series' cumulative
+/// buckets are non-decreasing with the trailing `le="+Inf"` bucket equal
+/// to its `_count` line. Relies on the renderer's documented order —
+/// buckets, then `_sum`, then `_count`, per series.
+fn validate_prometheus(text: &str) {
+    use std::collections::{HashMap, HashSet};
+    let mut helped: HashSet<&str> = HashSet::new();
+    let mut typed: HashMap<&str, &str> = HashMap::new();
+    // Cumulative buckets of the histogram series currently being walked
+    // (the renderer emits each series as one contiguous block).
+    let mut bucket_prefix = String::new();
+    let mut bucket_vals: Vec<f64> = Vec::new();
+    for line in text.lines().filter(|l| !l.is_empty()) {
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            helped.insert(rest.split_whitespace().next().expect("HELP name"));
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            let name = it.next().expect("TYPE name");
+            let kind = it.next().expect("TYPE kind");
+            assert!(helped.contains(name), "TYPE before HELP for {name}");
+            assert!(
+                ["counter", "gauge", "histogram"].contains(&kind),
+                "unknown TYPE {kind} for {name}"
+            );
+            typed.insert(name, kind);
+            continue;
+        }
+        // Sample line: `name{labels} value` or `name value`.
+        let (series, value) = line.rsplit_once(' ').expect("sample line");
+        let value: f64 = value
+            .parse()
+            .unwrap_or_else(|_| panic!("unparseable sample value in: {line}"));
+        assert!(value.is_finite(), "non-finite sample: {line}");
+        let name = series.split('{').next().expect("series name");
+        let family = name
+            .trim_end_matches("_bucket")
+            .trim_end_matches("_count")
+            .trim_end_matches("_sum");
+        assert!(typed.contains_key(family), "sample {name} has no TYPE");
+        if name.ends_with("_bucket") {
+            // Everything before the `le=...` label identifies the series.
+            let prefix = series
+                .split("le=")
+                .next()
+                .expect("bucket series")
+                .to_owned();
+            if prefix != bucket_prefix {
+                assert!(
+                    bucket_vals.is_empty(),
+                    "series {bucket_prefix} ended without a _count line"
+                );
+                bucket_prefix = prefix;
+            }
+            if let Some(&prev) = bucket_vals.last() {
+                assert!(prev <= value, "cumulative buckets decrease in {series}");
+            }
+            bucket_vals.push(value);
+        } else if name.ends_with("_count") {
+            let inf = bucket_vals.last().copied().expect("count without buckets");
+            assert_eq!(inf, value, "le=\"+Inf\" bucket != count for {series}");
+            bucket_vals.clear();
+        }
+    }
+    assert!(bucket_vals.is_empty(), "trailing buckets without a _count");
+    assert!(!typed.is_empty(), "no TYPE lines rendered");
+}
+
+#[test]
+fn prometheus_rendering_is_valid_and_covers_every_layer() {
+    let (g, queries) = test_graph();
+    let requests = mixed_requests(&queries);
+    let engine = ServeEngine::start(g, base_config().with_cache_capacity(64));
+    let _ = engine.run_requests(&requests);
+    // A second pass so the result cache has hits to report.
+    let _ = engine.run_requests(&requests);
+    let text = engine.metrics_snapshot().to_prometheus();
+    validate_prometheus(&text);
+    // One catalog spanning all three wired layers.
+    for name in [
+        "rtr_serve_responses_total",
+        "rtr_serve_latency_seconds",
+        "rtr_serve_queue_wait_seconds",
+        "rtr_cache_hits_total",
+        "rtr_cache_entries",
+        "rtr_dist_wire_bytes_total",
+        "rtr_dist_block_cache_hits_total",
+    ] {
+        assert!(
+            text.contains(&format!("# TYPE {name}")),
+            "Prometheus text missing {name}"
+        );
+    }
+}
+
+#[test]
+fn snapshot_distinguishes_cache_disabled_from_idle() {
+    let (g, _) = test_graph();
+    // Cache disabled: stats are None forever, and the snapshot says so.
+    let disabled = ServeEngine::start(Arc::clone(&g), base_config());
+    assert!(disabled.cache_stats().is_none());
+    assert_eq!(
+        disabled
+            .metrics_snapshot()
+            .gauge_value("rtr_serve_cache_enabled", &[]),
+        Some(0)
+    );
+    // Cache enabled but idle: zeroed stats, and the snapshot's gauge flips.
+    let idle = ServeEngine::start(g, base_config().with_cache_capacity(16));
+    let stats = idle.cache_stats().expect("enabled cache reports stats");
+    assert_eq!(stats.hits + stats.misses, 0, "idle cache saw no traffic");
+    assert_eq!(
+        idle.metrics_snapshot()
+            .gauge_value("rtr_serve_cache_enabled", &[]),
+        Some(1)
+    );
+}
