@@ -1,3 +1,4 @@
+#![deny(missing_docs)]
 //! # rtr-baselines — every comparison measure from the paper's evaluation
 //!
 //! The effectiveness study (paper Sect. VI-A) compares RoundTripRank and

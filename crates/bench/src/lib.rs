@@ -1,3 +1,4 @@
+#![deny(missing_docs)]
 //! # rtr-bench — the experiment harness
 //!
 //! One binary per table/figure of the paper's evaluation (Sect. VI), plus

@@ -8,9 +8,9 @@
 //! keeping the cache invisible on the miss path.
 
 use crate::lru::LruShard;
+use crate::rtr_sync::atomic::{AtomicU64, Ordering};
+use crate::rtr_sync::Mutex;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 
 /// Shape of a [`ShardedCache`]: total entry budget and shard count.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -123,6 +123,9 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
         self.shards.len()
             * self.shards[0]
                 .lock()
+                // invariant: only LruShard ops run under a shard lock
+                // (here and in every method below) — no user code, no
+                // panics, no poisoning.
                 .expect("cache shard poisoned")
                 .capacity()
     }
@@ -131,6 +134,7 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
+            // invariant: see capacity() — no user code under shard locks.
             .map(|s| s.lock().expect("cache shard poisoned").len())
             .sum()
     }
@@ -145,15 +149,19 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
         let found = self
             .shard(key)
             .lock()
+            // invariant: see capacity() — no user code under shard locks.
             .expect("cache shard poisoned")
             .get(key)
             .cloned();
         match found {
             Some(v) => {
+                // ordering: Relaxed — hit/miss counts are monotonic
+                // telemetry with no cross-counter invariant.
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(v)
             }
             None => {
+                // ordering: Relaxed — see the hit counter above.
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
@@ -171,10 +179,12 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
         let found = self
             .shard(key)
             .lock()
+            // invariant: see capacity() — no user code under shard locks.
             .expect("cache shard poisoned")
             .get(key)
             .cloned();
         if found.is_some() {
+            // ordering: Relaxed — monotonic telemetry, as in get().
             self.hits.fetch_add(1, Ordering::Relaxed);
         }
         found
@@ -185,17 +195,26 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
         let evicted = self
             .shard(&key)
             .lock()
+            // invariant: see capacity() — no user code under shard locks.
             .expect("cache shard poisoned")
             .insert(key, value);
+        // ordering: Relaxed — the insert count is ordered by the Release
+        // bump of `evictions` below (or never observed paired with an
+        // eviction at all); no other reader pairs it with anything.
         self.inserts.fetch_add(1, Ordering::Relaxed);
         if evicted.is_some() {
-            self.evictions.fetch_add(1, Ordering::Relaxed);
+            // ordering: Release — publishes the preceding insert bump to
+            // a `stats()` reader whose Acquire load of `evictions` sees
+            // this eviction, keeping evictions <= inserts in every
+            // snapshot (model-checked in rtr-check's cache suite).
+            self.evictions.fetch_add(1, Ordering::Release);
         }
     }
 
     /// Drop every entry; traffic counters keep accumulating.
     pub fn clear(&self) {
         for s in &self.shards {
+            // invariant: see capacity() — no user code under shard locks.
             s.lock().expect("cache shard poisoned").clear();
         }
     }
@@ -205,6 +224,7 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
     pub fn shard_lens(&self) -> Vec<usize> {
         self.shards
             .iter()
+            // invariant: see capacity() — no user code under shard locks.
             .map(|s| s.lock().expect("cache shard poisoned").len())
             .collect()
     }
@@ -262,12 +282,25 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
     }
 
     /// Snapshot the traffic counters.
+    ///
+    /// The snapshot is not a single atomic cut across all four counters,
+    /// but it does guarantee `evictions <= inserts`: `evictions` is read
+    /// *first* with Acquire (pairing with the Release bump in
+    /// [`ShardedCache::insert`]), so every eviction it observes has its
+    /// preceding insert visible to the later `inserts` load. Reading the
+    /// counters in the reverse order would let a concurrent insert+evict
+    /// land between the two loads and report more evictions than inserts.
     pub fn stats(&self) -> CacheStats {
+        // ordering: Acquire — see the method doc; pairs with the Release
+        // `fetch_add` in insert() to pin evictions <= inserts.
+        let evictions = self.evictions.load(Ordering::Acquire);
         CacheStats {
+            // ordering: Relaxed (×3) — monotonic telemetry; the only
+            // cross-counter invariant is the evictions pair above.
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             inserts: self.inserts.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
+            evictions,
         }
     }
 

@@ -45,6 +45,7 @@
 pub mod cache;
 pub mod key;
 pub mod lru;
+mod rtr_sync;
 
 pub use cache::{CacheConfig, CacheStats, ShardedCache};
 pub use key::{CacheKey, ResultCache};

@@ -221,6 +221,8 @@ impl Bca {
             .candidates
             .select_nth_unstable_by(take.saturating_sub(1), |a, b| {
                 b.1.partial_cmp(&a.1)
+                    // invariant: benefits are products of finite
+                    // probabilities and scores — never NaN.
                     .expect("NaN benefit")
                     .then(a.0.cmp(&b.0))
             });

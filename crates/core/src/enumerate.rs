@@ -105,10 +105,13 @@ pub fn round_trips(g: &Graph, q: NodeId, l: usize, l_prime: usize) -> Vec<RoundT
     dfs_paths(g, q, l, &mut vec![q], 1.0, &mut outgoing);
     let mut trips = Vec::new();
     for (out_path, out_prob) in outgoing {
+        // invariant: dfs_paths only emits paths seeded with the start
+        // node, so every emitted path is non-empty (×2 below).
         let target = *out_path.last().expect("non-empty path");
         let mut returning: Vec<(Vec<NodeId>, f64)> = Vec::new();
         dfs_paths(g, target, l_prime, &mut vec![target], 1.0, &mut returning);
         for (ret_path, ret_prob) in returning {
+            // invariant: see above — dfs_paths paths are non-empty.
             if *ret_path.last().expect("non-empty path") != q {
                 continue;
             }

@@ -1,3 +1,4 @@
+#![deny(missing_docs)]
 //! # rtr-core — RoundTripRank, RoundTripRank+ and their computational models
 //!
 //! This crate implements the primary contribution of

@@ -114,6 +114,8 @@ impl Query {
         let mut weights: Vec<f64> = Vec::with_capacity(pairs.len());
         for (n, w) in pairs {
             if nodes.last() == Some(&n) {
+                // invariant: nodes and weights are pushed in lockstep, so
+                // a non-empty nodes means a non-empty weights.
                 *weights.last_mut().expect("nodes and weights align") += w;
             } else {
                 nodes.push(n);

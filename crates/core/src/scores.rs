@@ -117,6 +117,8 @@ impl ScoreVec {
         ids.sort_by(|&a, &b| {
             self.values[b.index()]
                 .partial_cmp(&self.values[a.index()])
+                // invariant: scores are sums/products of finite inputs
+                // (validated at query parse time) — never NaN.
                 .expect("NaN score")
                 .then(a.cmp(&b))
         });

@@ -1,3 +1,4 @@
+#![deny(missing_docs)]
 //! # rtr-datagen — synthetic BibNet and QLog datasets
 //!
 //! The paper evaluates on two proprietary datasets we cannot obtain:

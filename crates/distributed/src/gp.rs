@@ -18,12 +18,12 @@
 //! and a GP whose lookup panics catches the unwind and replies with the
 //! error, so the AP's blocking receive can never hang on a wedged fetch.
 
+use crate::rtr_sync::thread::{self, JoinHandle};
 use crate::stripe::{GpStore, Striping};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use rtr_graph::wire::NodeBlock;
 use rtr_graph::{AdjacencyError, Graph, NodeId};
-use std::thread::JoinHandle;
 
 enum Request {
     Fetch {
@@ -35,6 +35,10 @@ enum Request {
     /// Test kill-switch: makes the GP thread exit *without* draining its
     /// queue, simulating a crashed processor (see [`GpCluster::kill_gp`]).
     Poison,
+    /// Fault-injection switch: the GP answers its *next* fetch with an
+    /// error reply, as if its lookup had failed, while staying alive (see
+    /// [`GpCluster::fail_next_fetch`]).
+    FailNext,
 }
 
 struct Reply {
@@ -103,7 +107,7 @@ impl GpCluster {
         for store in stores {
             let (tx, rx) = unbounded::<Request>();
             senders.push(tx);
-            handles.push(std::thread::spawn(move || gp_main(store, rx)));
+            handles.push(thread::spawn(move || gp_main(store, rx)));
         }
         GpCluster {
             senders,
@@ -226,8 +230,19 @@ impl GpCluster {
     pub fn kill_gp(&self, gp: usize) {
         let _ = self.senders[gp].send(Request::Poison);
         while !self.handles[gp].is_finished() {
-            std::thread::yield_now();
+            thread::yield_now();
         }
+    }
+
+    /// Make GP `gp` answer its next fetch with an error reply while
+    /// staying alive — fault injection for straggler tests. Unlike
+    /// [`GpCluster::kill_gp`] the processor keeps serving afterwards, so
+    /// a multi-GP fetch that hits the injected failure returns an error
+    /// *while the other GPs' replies are still in flight*: exactly the
+    /// stale-straggler scenario the [`ReplySlot`] generation stamp
+    /// exists to absorb (model-checked in `rtr-check`).
+    pub fn fail_next_fetch(&self, gp: usize) {
+        let _ = self.senders[gp].send(Request::FailNext);
     }
 }
 
@@ -248,6 +263,7 @@ impl Drop for GpCluster {
 
 fn gp_main(store: GpStore, rx: Receiver<Request>) {
     let gp = store.index;
+    let mut fail_next = false;
     while let Ok(req) = rx.recv() {
         match req {
             Request::Fetch {
@@ -258,11 +274,15 @@ fn gp_main(store: GpStore, rx: Receiver<Request>) {
                 // The lookup runs under catch_unwind so that *any* GP-side
                 // failure still produces a reply: the AP's blocking receive
                 // must never hang because a processor wedged mid-request.
-                let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    let blocks = store.lookup(&wanted);
-                    NodeBlock::encode_batch(&blocks)
-                }))
-                .map_err(|p| panic_message(&p));
+                let payload = if std::mem::take(&mut fail_next) {
+                    Err("injected fault (fail_next_fetch)".to_string())
+                } else {
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        let blocks = store.lookup(&wanted);
+                        NodeBlock::encode_batch(&blocks)
+                    }))
+                    .map_err(|p| panic_message(&p))
+                };
                 let _ = reply.send(Reply {
                     generation,
                     gp,
@@ -271,6 +291,7 @@ fn gp_main(store: GpStore, rx: Receiver<Request>) {
             }
             Request::Shutdown => break,
             Request::Poison => return, // simulate a crash: die without draining
+            Request::FailNext => fail_next = true,
         }
     }
 }

@@ -1,3 +1,4 @@
+#![deny(missing_docs)]
 //! # rtr-distributed — the AP/GP architecture for scaling 2SBound
 //!
 //! Implements the paper's distributed solution (Sect. V-B): one **active
@@ -46,6 +47,7 @@
 pub mod active;
 pub mod dtopk;
 pub mod gp;
+mod rtr_sync;
 pub mod stripe;
 
 pub use active::{ActiveGraph, BlockCache, BlockCacheMetrics};

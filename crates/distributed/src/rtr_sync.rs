@@ -1,0 +1,14 @@
+//! Thread-primitive facade for the GP cluster: plain `std::thread` in
+//! production builds, `loom_shim`'s model-aware spawn/join/yield under
+//! the `rtr_check` feature so `rtr-check` can run real GP threads inside
+//! a schedule exploration (the channel side is covered by the `crossbeam`
+//! shim's own `rtr_check` feature). Code in this crate spawns threads
+//! through here, never through `std::thread` directly.
+
+/// `spawn` / `JoinHandle` / `yield_now`, switched by feature.
+pub(crate) mod thread {
+    #[cfg(feature = "rtr_check")]
+    pub(crate) use loom_shim::thread::{spawn, yield_now, JoinHandle};
+    #[cfg(not(feature = "rtr_check"))]
+    pub(crate) use std::thread::{spawn, yield_now, JoinHandle};
+}

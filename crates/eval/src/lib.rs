@@ -1,3 +1,4 @@
+#![deny(missing_docs)]
 //! # rtr-eval — evaluation substrate for the RoundTripRank reproduction
 //!
 //! Everything the paper's experimental section (Sect. VI) needs:

@@ -17,6 +17,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 static NEXT_EPOCH: AtomicU64 = AtomicU64::new(1);
 
 fn fresh_epoch() -> u64 {
+    // ordering: Relaxed — epochs only need to be unique; the epoch value
+    // reaches other threads through the Graph handoff (Arc/channel), not
+    // through this atomic.
     NEXT_EPOCH.fetch_add(1, Ordering::Relaxed)
 }
 

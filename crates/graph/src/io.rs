@@ -71,6 +71,7 @@ pub fn read_graph<R: Read>(reader: R) -> Result<Graph, IoError> {
             continue;
         }
         let mut fields = line.split('\t');
+        // invariant: split() always yields at least one item, even on "".
         let tag = fields.next().expect("split yields at least one field");
         match tag {
             "N" => {

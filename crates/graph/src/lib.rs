@@ -1,3 +1,4 @@
+#![deny(missing_docs)]
 //! # rtr-graph — graph substrate for the RoundTripRank reproduction
 //!
 //! This crate provides the directed, weighted, typed graph on which every

@@ -92,6 +92,8 @@ pub fn tarjan_scc(g: &Graph) -> SccResult {
                 if lowlink[v as usize] == index[v as usize] {
                     // v is an SCC root: pop its component.
                     loop {
+                        // invariant: an SCC root is always on the Tarjan
+                        // stack when its component is popped.
                         let w = stack.pop().expect("tarjan stack underflow");
                         on_stack[w as usize] = false;
                         comp[w as usize] = comp_count;
@@ -152,6 +154,8 @@ impl IrreducibilityRepair {
                 rep[c] = Some(v);
             }
         }
+        // invariant: comp ids are dense — every component indexed by
+        // comp[] contains at least the node that named it.
         let reps: Vec<NodeId> = rep.into_iter().map(|r| r.expect("non-empty SCC")).collect();
 
         // Rebuild through a builder, re-adding all original raw weights.

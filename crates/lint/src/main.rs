@@ -1,0 +1,5 @@
+//! `rtr-lint`: workspace invariant linter. See `lib.rs` for the checks.
+
+fn main() {
+    std::process::exit(rtr_lint::run(std::path::Path::new(".")));
+}

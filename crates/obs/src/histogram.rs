@@ -17,8 +17,9 @@
 //! addition; `merge(a, b)` is exactly the histogram of the union of the
 //! recorded samples, which the proptest suite pins.
 
+use crate::rtr_sync::atomic::{AtomicU64, Ordering};
 use crate::snapshot::fmt_f64;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::AtomicUsize;
 use std::time::Duration;
 
 /// Log-linear subdivision: each power-of-two octave is split into
@@ -65,6 +66,7 @@ pub fn bucket_bounds(i: usize) -> (u64, u64) {
 fn shard_slot() -> usize {
     static NEXT: AtomicUsize = AtomicUsize::new(0);
     thread_local! {
+        // ordering: Relaxed — slots only need to be distinct per thread.
         static SLOT: usize = NEXT.fetch_add(1, Ordering::Relaxed);
     }
     SLOT.with(|s| *s)
@@ -116,6 +118,9 @@ impl Histogram {
     #[inline]
     pub fn record(&self, v: u64) {
         let shard = &self.shards[shard_slot() % self.shards.len()];
+        // ordering: Relaxed (×2) — each counter is individually untorn
+        // but a racing snapshot is not a consistent cut across them; the
+        // rtr-check histogram suite pins exactly that contract.
         shard.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
         shard.sum.fetch_add(v, Ordering::Relaxed);
     }
@@ -135,8 +140,11 @@ impl Histogram {
         let mut sum = 0u64;
         for shard in self.shards.iter() {
             for (b, a) in buckets.iter_mut().zip(shard.buckets.iter()) {
+                // ordering: Relaxed — see record(): per-counter untorn,
+                // no cross-counter cut promised mid-flight.
                 *b += a.load(Ordering::Relaxed);
             }
+            // ordering: Relaxed — same contract as the bucket loads.
             sum = sum.wrapping_add(shard.sum.load(Ordering::Relaxed));
         }
         let count = buckets.iter().sum();

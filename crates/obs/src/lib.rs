@@ -44,6 +44,7 @@
 mod histogram;
 mod metrics;
 mod registry;
+mod rtr_sync;
 mod snapshot;
 mod trace;
 

@@ -7,7 +7,7 @@
 //! locks. Aggregation across threads is the atomic itself; there is
 //! nothing to merge at read time.
 
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use crate::rtr_sync::atomic::{AtomicI64, AtomicU64, Ordering};
 
 /// A monotonically increasing event count (requests served, bytes moved).
 ///
@@ -26,18 +26,23 @@ impl Counter {
     /// Add one.
     #[inline]
     pub fn inc(&self) {
+        // ordering: Relaxed — counts, not cross-variable invariants
+        // (module doc); fetch_add keeps the count itself exact.
         self.0.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Add `n`.
     #[inline]
     pub fn add(&self, n: u64) {
+        // ordering: Relaxed — same contract as inc().
         self.0.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Current value.
     #[inline]
     pub fn get(&self) -> u64 {
+        // ordering: Relaxed — a telemetry read may lag concurrent
+        // writers; exact reads happen after quiescence (join/drop).
         self.0.load(Ordering::Relaxed)
     }
 
@@ -50,6 +55,7 @@ impl Counter {
     /// [`Counter::inc`]/[`Counter::add`].
     #[inline]
     pub fn store(&self, n: u64) {
+        // ordering: Relaxed — mirroring is last-writer-wins telemetry.
         self.0.store(n, Ordering::Relaxed);
     }
 }
@@ -68,18 +74,24 @@ impl Gauge {
     /// Set the level.
     #[inline]
     pub fn set(&self, v: i64) {
+        // ordering: Relaxed — a gauge is an instantaneous level; readers
+        // never infer other memory state from it (config flags like
+        // cache_enabled are published once, before readers exist).
         self.0.store(v, Ordering::Relaxed);
     }
 
     /// Move the level by `delta` (positive or negative).
     #[inline]
     pub fn add(&self, delta: i64) {
+        // ordering: Relaxed — fetch_add keeps the level exact; no
+        // cross-variable ordering is promised.
         self.0.fetch_add(delta, Ordering::Relaxed);
     }
 
     /// Current level.
     #[inline]
     pub fn get(&self) -> i64 {
+        // ordering: Relaxed — telemetry read, may lag writers.
         self.0.load(Ordering::Relaxed)
     }
 }

@@ -11,9 +11,10 @@
 
 use crate::histogram::Histogram;
 use crate::metrics::{Counter, Gauge};
+use crate::rtr_sync::Mutex;
 use crate::snapshot::{MetricFamily, MetricKind, MetricsSnapshot, Sample, SampleValue, Unit};
 use std::collections::BTreeMap;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 enum Handle {
     Counter(Arc<Counter>),
@@ -128,6 +129,8 @@ impl Registry {
             .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
             .collect();
         key.sort();
+        // invariant: only map/Arc bookkeeping runs under the registry
+        // lock (here and in snapshot()), so it cannot be poisoned.
         let mut inner = self.inner.lock().expect("registry poisoned");
         let family = inner
             .families
@@ -155,6 +158,7 @@ impl Registry {
     /// Capture every family into a [`MetricsSnapshot`], sorted by family
     /// name and label set.
     pub fn snapshot(&self) -> MetricsSnapshot {
+        // invariant: see register() — no user code under the lock.
         let inner = self.inner.lock().expect("registry poisoned");
         let families = inner
             .families

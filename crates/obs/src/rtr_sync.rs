@@ -1,0 +1,23 @@
+//! Synchronization-primitive facade: plain `std::sync` in production
+//! builds, `loom_shim`'s instrumented types under the `rtr_check`
+//! feature so the `rtr-check` model suites can exhaustively explore the
+//! histogram shard-record/merge and counter/gauge protocols. Code in
+//! this crate imports sync primitives from here, never from `std::sync`
+//! directly (the one exception: `static` initializers, which need the
+//! `const fn new` of the `std` atomics and are documented in place).
+
+#[cfg(feature = "rtr_check")]
+pub(crate) use loom_shim::sync::Mutex;
+#[cfg(not(feature = "rtr_check"))]
+pub(crate) use std::sync::Mutex;
+
+/// Atomic types routed through the facade; `Ordering` is always the real
+/// `std` enum (loom-shim re-exports it unchanged).
+pub(crate) mod atomic {
+    #[cfg(feature = "rtr_check")]
+    pub(crate) use loom_shim::sync::atomic::{AtomicI64, AtomicU64};
+    #[cfg(not(feature = "rtr_check"))]
+    pub(crate) use std::sync::atomic::{AtomicI64, AtomicU64};
+
+    pub(crate) use std::sync::atomic::Ordering;
+}

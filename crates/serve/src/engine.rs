@@ -42,6 +42,8 @@ use crate::flight::InFlight;
 use crate::metrics::ServeMetrics;
 use crate::request::{QueryRequest, ResolvedRequest, ServeWorkspace};
 use crate::response::{QueryResponse, QueryTicket};
+use crate::rtr_sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use crate::rtr_sync::{Condvar, Mutex};
 use crossbeam::channel::{self, Sender};
 use crossbeam::deque;
 use rtr_cache::{CacheConfig, CacheKey, CacheStats, ShardedCache};
@@ -50,8 +52,7 @@ use rtr_graph::{Graph, NodeId};
 use rtr_obs::{MetricsSnapshot, QueryTrace, Registry, TraceStage};
 use rtr_topk::TopKResult;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -177,40 +178,59 @@ struct AttachedJob {
 /// under the same lock before notifying. A push that lands mid-scan
 /// therefore turns the subsequent `sleep` into a no-op — no lost wakeups,
 /// without holding any lock across the scan itself.
-struct Park {
+pub struct Park {
     gen: Mutex<u64>,
     ready: Condvar,
 }
 
+impl Default for Park {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl Park {
-    fn new() -> Self {
+    /// Create a parking lot at generation zero.
+    pub fn new() -> Self {
         Park {
             gen: Mutex::new(0),
             ready: Condvar::new(),
         }
     }
 
-    fn current(&self) -> u64 {
+    /// Read the current generation. Call *before* scanning for work and
+    /// hand the result to [`Park::sleep`].
+    pub fn current(&self) -> u64 {
+        // invariant: the park mutex only guards a u64 bump/read — no user
+        // code runs under it, so it cannot be poisoned.
         *self.gen.lock().expect("park poisoned")
     }
 
-    fn notify_one(&self) {
+    /// Bump the generation and wake one sleeping worker.
+    pub fn notify_one(&self) {
         {
+            // invariant: see Park::current — the lock never poisons.
             let mut gen = self.gen.lock().expect("park poisoned");
             *gen += 1;
         }
         self.ready.notify_one();
     }
 
-    fn notify_all(&self) {
+    /// Bump the generation and wake every sleeping worker.
+    pub fn notify_all(&self) {
         {
+            // invariant: see Park::current — the lock never poisons.
             let mut gen = self.gen.lock().expect("park poisoned");
             *gen += 1;
         }
         self.ready.notify_all();
     }
 
-    fn sleep(&self, seen: u64) {
+    /// Sleep until the generation moves past `seen`. Returns immediately
+    /// if a notify landed since the caller read `seen` — the no-lost-
+    /// wakeup half of the protocol.
+    pub fn sleep(&self, seen: u64) {
+        // invariant: see Park::current — the lock never poisons.
         let mut gen = self.gen.lock().expect("park poisoned");
         while *gen == seen {
             gen = self.ready.wait(gen).expect("park poisoned");
@@ -319,6 +339,8 @@ impl Shared {
         ws: &mut ServeWorkspace,
         trace: &mut Option<Box<QueryTrace>>,
     ) -> Result<ExecOutcome, ServeError> {
+        // ordering: Relaxed — computed_queries() is a telemetry read; the
+        // single-flight tests that assert on it only read after join().
         self.computed.fetch_add(1, Ordering::Relaxed);
         if let Some(t) = trace.as_deref_mut() {
             t.record(TraceStage::ComputeStart);
@@ -651,6 +673,8 @@ impl Shared {
         request: &ResolvedRequest,
         trace: &mut Option<Box<QueryTrace>>,
     ) -> Result<Arc<ExecOutcome>, ServeError> {
+        // invariant: compute() propagates errors as values, never panics
+        // under this lock, so the workspace mutex cannot be poisoned.
         let mut ws = self.inline_ws.lock().expect("inline workspace poisoned");
         self.compute(request, &mut ws, trace).map(Arc::new)
     }
@@ -871,6 +895,10 @@ impl ServeEngine {
                                     }
                                     continue;
                                 }
+                                // ordering: Acquire — pairs with the
+                                // Release store in shutdown_inner(), so a
+                                // worker that sees the flag also sees
+                                // every job enqueued before shutdown.
                                 if pool.shutdown.load(Ordering::Acquire) {
                                     return;
                                 }
@@ -960,6 +988,8 @@ impl ServeEngine {
     /// on, a batch of M copies of one (new) request advances this by
     /// exactly 1 — the `single_flight` stress suite pins that.
     pub fn computed_queries(&self) -> u64 {
+        // ordering: Relaxed — telemetry; callers that need exactness
+        // (the stress tests) only read after the batch has joined.
         self.shared.computed.load(Ordering::Relaxed)
     }
 
@@ -1020,8 +1050,13 @@ impl ServeEngine {
             Dispatcher::Shared { job_tx } => {
                 job_tx
                     .as_ref()
+                    // invariant: the sender is only taken in
+                    // shutdown_inner, and submit() cannot run after
+                    // shutdown (it borrows self, shutdown consumes it).
                     .expect("pool is running")
                     .send(job)
+                    // invariant: workers hold the receiver for the
+                    // engine's whole lifetime.
                     .expect("workers alive while engine exists");
             }
             Dispatcher::Stealing { pool } => {
@@ -1079,6 +1114,9 @@ impl ServeEngine {
         match &mut self.dispatcher {
             Dispatcher::Shared { job_tx } => drop(job_tx.take()),
             Dispatcher::Stealing { pool } => {
+                // ordering: Release — pairs with the workers' Acquire
+                // load, publishing all queue state written before the
+                // shutdown decision.
                 pool.shutdown.store(true, Ordering::Release);
                 // Workers drain all queues before honoring the flag, so
                 // every job enqueued before this point still completes.

@@ -23,19 +23,30 @@
 //! recomputed individually — errors are cheap to recompute and
 //! deterministic, so answers are unchanged.
 
+use crate::rtr_sync::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::hash::Hash;
-use std::sync::{Condvar, Mutex};
 
 /// A table of keys currently being computed, each carrying the jobs that
 /// attached to it while it ran.
-pub(crate) struct InFlight<K, J> {
+///
+/// `pub` (rather than `pub(crate)`) so the `rtr_check`-only
+/// [`crate::check_api`] can re-export it for model checking; the module
+/// itself stays private, so production builds expose nothing.
+pub struct InFlight<K, J> {
     inner: Mutex<HashMap<K, Vec<J>>>,
     done: Condvar,
 }
 
+impl<K: Hash + Eq + Clone, J> Default for InFlight<K, J> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl<K: Hash + Eq + Clone, J> InFlight<K, J> {
-    pub(crate) fn new() -> Self {
+    /// Create an empty in-flight table.
+    pub fn new() -> Self {
         InFlight {
             inner: Mutex::new(HashMap::new()),
             done: Condvar::new(),
@@ -44,7 +55,9 @@ impl<K: Hash + Eq + Clone, J> InFlight<K, J> {
 
     /// Try to claim `key`. `true` means the caller owns the computation
     /// and must call [`InFlight::finish`] when done (on every path).
-    pub(crate) fn begin(&self, key: &K) -> bool {
+    pub fn begin(&self, key: &K) -> bool {
+        // invariant: only map ops run under the table lock (here and in
+        // every method below), so it cannot be poisoned.
         let mut guard = self.inner.lock().expect("in-flight table poisoned");
         if guard.contains_key(key) {
             false
@@ -58,7 +71,8 @@ impl<K: Hash + Eq + Clone, J> InFlight<K, J> {
     /// it is already being computed, attach `job` to the owner's entry —
     /// the owner's [`InFlight::finish`] will hand it back for answering.
     /// Exactly one of the two happens, atomically.
-    pub(crate) fn attach_or_claim(&self, key: &K, job: J) -> Option<J> {
+    pub fn attach_or_claim(&self, key: &K, job: J) -> Option<J> {
+        // invariant: see begin() — no user code runs under the lock.
         let mut guard = self.inner.lock().expect("in-flight table poisoned");
         match guard.get_mut(key) {
             Some(attached) => {
@@ -74,7 +88,9 @@ impl<K: Hash + Eq + Clone, J> InFlight<K, J> {
 
     /// Block until `key` is no longer in flight. Spurious wakeups are
     /// absorbed by re-checking membership.
-    pub(crate) fn wait(&self, key: &K) {
+    pub fn wait(&self, key: &K) {
+        // invariant: see begin() — no user code runs under the lock
+        // (×2, the condvar reacquisition included).
         let mut guard = self.inner.lock().expect("in-flight table poisoned");
         while guard.contains_key(key) {
             guard = self.done.wait(guard).expect("in-flight table poisoned");
@@ -84,10 +100,11 @@ impl<K: Hash + Eq + Clone, J> InFlight<K, J> {
     /// Release `key`, wake all blocking waiters (each re-checks the
     /// cache), and return every job that attached while the owner
     /// computed — the owner must answer (or re-enqueue) each of them.
-    pub(crate) fn finish(&self, key: &K) -> Vec<J> {
+    pub fn finish(&self, key: &K) -> Vec<J> {
         let attached = self
             .inner
             .lock()
+            // invariant: see begin() — no user code under the lock.
             .expect("in-flight table poisoned")
             .remove(key)
             .unwrap_or_default();
@@ -123,18 +140,23 @@ mod tests {
                 let woke = Arc::clone(&woke);
                 std::thread::spawn(move || {
                     f.wait(&7);
-                    woke.fetch_add(1, Ordering::SeqCst);
+                    // ordering: Relaxed — the final assert reads after
+                    // join(), which already gives happens-before; SeqCst
+                    // would add nothing.
+                    woke.fetch_add(1, Ordering::Relaxed);
                 })
             })
             .collect();
         // Give the waiters time to park; none may wake early.
         std::thread::sleep(std::time::Duration::from_millis(50));
-        assert_eq!(woke.load(Ordering::SeqCst), 0);
+        // ordering: Relaxed — a timing check, not a synchronization one.
+        assert_eq!(woke.load(Ordering::Relaxed), 0);
         f.finish(&7);
         for w in waiters {
             w.join().unwrap();
         }
-        assert_eq!(woke.load(Ordering::SeqCst), 4);
+        // ordering: Relaxed — join() established happens-before.
+        assert_eq!(woke.load(Ordering::Relaxed), 4);
     }
 
     #[test]

@@ -95,6 +95,21 @@ mod flight;
 mod metrics;
 pub mod request;
 pub mod response;
+mod rtr_sync;
+
+/// Internals re-exported for the `rtr-check` model suites — only under
+/// the `rtr_check` feature, which production builds never enable.
+///
+/// Exposes the two hot protocols this crate hand-reasons about:
+/// [`check_api::InFlight`] (single-flight attach/claim/wait/finish) and
+/// [`check_api::Park`] (the scheduler's generation-counted parking lot),
+/// both built on the [`loom_shim`]-instrumented facade so a model run
+/// can drive every interleaving.
+#[cfg(feature = "rtr_check")]
+pub mod check_api {
+    pub use crate::engine::Park;
+    pub use crate::flight::InFlight;
+}
 
 pub use backend::{
     Backend, BackendKind, DistributedBackend, ExecBackend, ExecOutcome, LocalBackend,

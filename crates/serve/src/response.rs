@@ -102,6 +102,8 @@ impl QueryTicket {
     pub fn wait(self) -> QueryResponse {
         self.reply
             .recv()
+            // invariant: shutdown drains the queue before workers exit
+            // (see Panics above) — the reply outlives its sender.
             .expect("serve worker dropped a submitted request")
     }
 

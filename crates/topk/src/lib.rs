@@ -1,3 +1,4 @@
+#![deny(missing_docs)]
 //! # rtr-topk — online approximate top-K processing for RoundTripRank
 //!
 //! Implements **2SBound** (paper Sect. V): branch-and-bound neighborhood

@@ -21,7 +21,15 @@
 /// Multi-producer, multi-consumer channels.
 pub mod channel {
     use std::collections::VecDeque;
-    use std::sync::{Arc, Condvar, Mutex};
+    use std::sync::Arc;
+
+    // Under the `rtr_check` feature the shim's internal lock/condvar are
+    // loom-shim's instrumented types, which makes every channel
+    // operation a model decision point; production builds use std.
+    #[cfg(feature = "rtr_check")]
+    use loom_shim::sync::{Condvar, Mutex};
+    #[cfg(not(feature = "rtr_check"))]
+    use std::sync::{Condvar, Mutex};
 
     pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
 
@@ -258,7 +266,14 @@ pub mod channel {
 /// acquisition.
 pub mod deque {
     use std::collections::VecDeque;
-    use std::sync::{Arc, Mutex};
+    use std::sync::Arc;
+
+    // See `channel`: instrumented internals under `rtr_check`, std
+    // otherwise.
+    #[cfg(feature = "rtr_check")]
+    use loom_shim::sync::Mutex;
+    #[cfg(not(feature = "rtr_check"))]
+    use std::sync::Mutex;
 
     /// Largest number of items a single `steal_batch_and_pop` moves
     /// (matches crossbeam's batch limit).
@@ -576,6 +591,8 @@ pub mod deque {
                             match item {
                                 Some(v) => {
                                     idle = 0;
+                                    // ordering: Relaxed — the total is
+                                    // only read after join().
                                     total.fetch_add(v, Ordering::Relaxed);
                                 }
                                 None => {
@@ -597,6 +614,7 @@ pub mod deque {
             }
             // Consumers only stop after many consecutive empty scans, well
             // after the producer finished; every item must be accounted for.
+            // ordering: Relaxed — join() established happens-before.
             assert_eq!(total.load(Ordering::Relaxed), n * (n + 1) / 2);
             assert!(inj.is_empty());
         }

@@ -1,0 +1,846 @@
+//! The schedule-exploring controller behind the `check` feature.
+//!
+//! Executions run real OS threads, but **at most one runs at a time**: every
+//! instrumented operation (atomic access, mutex lock/unlock, condvar
+//! wait/notify, spawn/join/yield) is a *decision point* where the running
+//! thread hands control to the controller, which picks who runs next. The
+//! interleaving of instrumented operations is therefore fully determined by
+//! the sequence of decisions, and the explorer enumerates those sequences:
+//!
+//! * **DFS phase** — depth-first over the decision tree with a
+//!   *bounded-preemption* cap: at a decision point where the current thread
+//!   could keep running, switching to another runnable thread counts as a
+//!   preemption; once the budget is spent, the current thread must continue.
+//!   Forced switches (the current thread blocked or finished) and voluntary
+//!   `yield_now` never spend budget. With bound `p` the DFS is exhaustive
+//!   over all schedules with at most `p` preemptions.
+//! * **Random phase** — seeded uniform scheduling with *no* preemption
+//!   bound, sampling the space beyond the DFS cap. Deterministic from the
+//!   seed: the same seed explores the same schedules.
+//!
+//! A failure (panicked thread, deadlock, or step-limit livelock) aborts the
+//! execution — every thread is woken and unwound via a private panic
+//! payload — and is reported as a [`Failure`] carrying the decision
+//! sequence, which [`Config::replay`] re-executes exactly.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, panic_any, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+/// How a model run failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FailureKind {
+    /// A model thread panicked (assertion failure in the test body).
+    Panic,
+    /// No thread was runnable but not all had finished.
+    Deadlock,
+    /// One execution exceeded [`Config::max_steps`] decision points
+    /// (livelock, e.g. an uninstrumented spin loop).
+    StepLimit,
+    /// The DFS phase exceeded [`Config::max_dfs_schedules`] executions
+    /// without finishing — the modeled protocol is too big to enumerate.
+    ScheduleLimit,
+}
+
+/// A failing schedule: what went wrong and the exact decision sequence
+/// that got there. Feed [`Failure::schedule`] to [`Config::replay`] to
+/// re-run it deterministically.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// Which invariant the controller tripped on.
+    pub kind: FailureKind,
+    /// Human-readable detail (panic message, blocked-thread states).
+    pub message: String,
+    /// The chosen thread id at every decision point of the failing run.
+    pub schedule: Vec<usize>,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:?}: {} — replay with Config::replay(vec!{:?})",
+            self.kind, self.message, self.schedule
+        )
+    }
+}
+
+/// What [`explore`] did: how many distinct schedules each phase ran.
+#[derive(Clone, Copy, Debug)]
+pub struct Report {
+    /// Schedules enumerated exhaustively (all interleavings with at most
+    /// [`Config::preemption_bound`] preemptions).
+    pub dfs_schedules: u64,
+    /// Additional seeded-random schedules beyond the bound.
+    pub random_schedules: u64,
+    /// The seed the random phase ran from (reproduces it exactly).
+    pub seed: u64,
+    /// The preemption bound the exhaustive phase enumerated up to.
+    pub preemption_bound: usize,
+}
+
+impl Report {
+    /// Total schedules explored across both phases.
+    pub fn total(&self) -> u64 {
+        self.dfs_schedules + self.random_schedules
+    }
+}
+
+/// Exploration parameters. The defaults (2 preemptions exhaustive, 0 random
+/// schedules) match the repo's CI contract; suites that want deeper
+/// sampling raise `random_schedules`.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Maximum preemptions per schedule in the exhaustive DFS phase.
+    pub preemption_bound: usize,
+    /// Safety cap on DFS executions; exceeding it is a
+    /// [`FailureKind::ScheduleLimit`] failure rather than a silent
+    /// truncation.
+    pub max_dfs_schedules: u64,
+    /// Seeded-random schedules to run after the DFS phase.
+    pub random_schedules: u64,
+    /// Seed for the random phase (and for reporting).
+    pub seed: u64,
+    /// Per-execution decision-point cap (livelock guard).
+    pub max_steps: u64,
+    /// When set, run exactly this decision sequence once (from
+    /// [`Failure::schedule`]) instead of exploring.
+    pub replay: Option<Vec<usize>>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            preemption_bound: 2,
+            max_dfs_schedules: 500_000,
+            random_schedules: 0,
+            seed: 0x1CDE_2013,
+            max_steps: 100_000,
+            replay: None,
+        }
+    }
+}
+
+impl Config {
+    /// The default exhaustive configuration with `random_schedules` extra
+    /// seeded schedules from `seed`.
+    pub fn with_random(random_schedules: u64, seed: u64) -> Config {
+        Config {
+            random_schedules,
+            seed,
+            ..Config::default()
+        }
+    }
+
+    /// Replay one exact decision sequence (printed by a [`Failure`]).
+    pub fn replay(schedule: Vec<usize>) -> Config {
+        Config {
+            replay: Some(schedule),
+            ..Config::default()
+        }
+    }
+}
+
+/// SplitMix64: tiny, seedable, good enough to scatter schedule choices.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Why a thread cannot run right now.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum BlockKind {
+    /// Waiting to acquire a model mutex.
+    Lock(usize),
+    /// Parked on a model condvar.
+    Wait(usize),
+    /// Joining another model thread.
+    Join(usize),
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum TState {
+    Runnable,
+    Blocked(BlockKind),
+    Finished,
+}
+
+/// One node of the DFS decision tree: the options that were available and
+/// which index the current path takes.
+#[derive(Clone, Debug)]
+struct Decision {
+    options: Vec<usize>,
+    chosen: usize,
+}
+
+enum Mode {
+    /// Exhaustive phase: follow the prescribed prefix, extend with
+    /// first-option choices, backtrack between executions.
+    Dfs,
+    Random(SplitMix64),
+    Replay(Vec<usize>),
+}
+
+struct Sched {
+    threads: Vec<TState>,
+    /// The thread currently granted the right to run (`usize::MAX` when
+    /// the execution has completed).
+    active: usize,
+    /// Model mutex ownership: id → owning thread.
+    mutexes: HashMap<usize, Option<usize>>,
+    /// Model condvar wait lists, in arrival order.
+    cv_waiters: HashMap<usize, Vec<usize>>,
+    /// DFS tree path (prescription + extensions) for this execution.
+    decisions: Vec<Decision>,
+    cursor: usize,
+    preemptions: usize,
+    steps: u64,
+    mode: Mode,
+    /// Chosen thread per decision, for failure replay output.
+    trace: Vec<usize>,
+    failure: Option<Failure>,
+    aborted: bool,
+    finished: usize,
+    config: ConfigSnapshot,
+}
+
+#[derive(Clone, Copy)]
+struct ConfigSnapshot {
+    preemption_bound: usize,
+    max_steps: u64,
+}
+
+/// Shared state of one execution.
+pub(crate) struct ExecState {
+    sched: StdMutex<Sched>,
+    cv: StdCondvar,
+}
+
+/// Private panic payload used to unwind threads when an execution aborts.
+struct ModelAbort;
+
+fn is_abort(payload: &(dyn std::any::Any + Send)) -> bool {
+    payload.downcast_ref::<ModelAbort>().is_some()
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+thread_local! {
+    static CTX: std::cell::RefCell<Option<Ctx>> = const { std::cell::RefCell::new(None) };
+}
+
+/// The current thread's attachment to a running model, if any.
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    pub(crate) exec: Arc<ExecState>,
+    pub(crate) tid: usize,
+}
+
+/// The model context of the calling thread (`None` outside a model run,
+/// which makes every instrumented primitive fall back to plain `std`).
+pub(crate) fn current() -> Option<Ctx> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+fn set_ctx(ctx: Option<Ctx>) {
+    CTX.with(|c| *c.borrow_mut() = ctx);
+}
+
+/// Process-global id source for model mutexes and condvars.
+pub(crate) fn next_object_id() -> usize {
+    static NEXT: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+    // ordering: Relaxed — ids only need to be unique, never ordered.
+    NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+}
+
+impl Sched {
+    fn runnable(&self) -> Vec<usize> {
+        self.threads
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s, TState::Runnable))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    fn fail(&mut self, kind: FailureKind, message: String) {
+        if self.failure.is_none() {
+            self.failure = Some(Failure {
+                kind,
+                message,
+                schedule: self.trace.clone(),
+            });
+        }
+        self.aborted = true;
+    }
+
+    /// Pick one element of `options` according to the exploration mode.
+    fn decide(&mut self, options: Vec<usize>) -> usize {
+        debug_assert!(!options.is_empty());
+        self.steps += 1;
+        if self.steps > self.config.max_steps {
+            self.fail(
+                FailureKind::StepLimit,
+                format!(
+                    "execution exceeded {} decision points",
+                    self.config.max_steps
+                ),
+            );
+            return options[0];
+        }
+        let idx = match &mut self.mode {
+            Mode::Dfs => {
+                if self.cursor < self.decisions.len() {
+                    let d = &self.decisions[self.cursor];
+                    debug_assert_eq!(
+                        d.options, options,
+                        "nondeterministic execution: decision {} options changed",
+                        self.cursor
+                    );
+                    d.chosen
+                } else {
+                    self.decisions.push(Decision {
+                        options: options.clone(),
+                        chosen: 0,
+                    });
+                    0
+                }
+            }
+            Mode::Random(rng) => (rng.next() as usize) % options.len(),
+            Mode::Replay(schedule) => {
+                let want = schedule.get(self.cursor).copied();
+                match want.and_then(|w| options.iter().position(|&o| o == w)) {
+                    Some(i) => i,
+                    None => {
+                        self.fail(
+                            FailureKind::Deadlock,
+                            format!(
+                                "replay diverged at decision {}: wanted {:?}, options {:?}",
+                                self.cursor, want, options
+                            ),
+                        );
+                        0
+                    }
+                }
+            }
+        };
+        self.cursor += 1;
+        self.trace.push(options[idx]);
+        options[idx]
+    }
+
+    /// Decide who runs next, after `me` updated its own state.
+    /// `voluntary` marks a `yield_now`, which deprioritizes `me` without
+    /// spending preemption budget.
+    fn pick_next(&mut self, me: usize, voluntary: bool) {
+        if self.aborted {
+            return;
+        }
+        let runnable = self.runnable();
+        if runnable.is_empty() {
+            if self.finished == self.threads.len() {
+                self.active = usize::MAX;
+            } else {
+                let states: Vec<String> = self
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| format!("t{i}={s:?}"))
+                    .collect();
+                self.fail(
+                    FailureKind::Deadlock,
+                    format!("deadlock: no runnable thread ({})", states.join(", ")),
+                );
+            }
+            return;
+        }
+        let me_runnable = matches!(self.threads.get(me), Some(TState::Runnable));
+        let options: Vec<usize> = if voluntary && me_runnable {
+            let others: Vec<usize> = runnable.iter().copied().filter(|&t| t != me).collect();
+            if others.is_empty() {
+                vec![me]
+            } else {
+                others
+            }
+        } else if me_runnable {
+            if self.preemptions < self.config.preemption_bound {
+                // Current thread first: option 0 (the DFS default) is
+                // "keep running", so preemptions are the branches.
+                let mut opts = vec![me];
+                opts.extend(runnable.iter().copied().filter(|&t| t != me));
+                opts
+            } else {
+                vec![me]
+            }
+        } else {
+            runnable
+        };
+        let chosen = self.decide(options);
+        if me_runnable && !voluntary && chosen != me {
+            self.preemptions += 1;
+        }
+        self.active = chosen;
+    }
+}
+
+impl ExecState {
+    fn new(config: &Config, mode: Mode, prescription: Vec<Decision>) -> Arc<ExecState> {
+        Arc::new(ExecState {
+            sched: StdMutex::new(Sched {
+                threads: vec![TState::Runnable],
+                active: 0,
+                mutexes: HashMap::new(),
+                cv_waiters: HashMap::new(),
+                decisions: prescription,
+                cursor: 0,
+                preemptions: 0,
+                steps: 0,
+                mode,
+                trace: Vec::new(),
+                failure: None,
+                aborted: false,
+                finished: 0,
+                config: ConfigSnapshot {
+                    preemption_bound: config.preemption_bound,
+                    max_steps: config.max_steps,
+                },
+            }),
+            cv: self::StdCondvar::new(),
+        })
+    }
+
+    fn lock(&self) -> StdMutexGuard<'_, Sched> {
+        // The sched mutex is only ever poisoned if the controller itself
+        // panicked while holding it; recover the guard so the remaining
+        // threads can still unwind instead of deadlocking the test binary.
+        self.sched.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Abort-aware unwind out of user code.
+    fn abort_unwind(&self) -> ! {
+        self.cv.notify_all();
+        panic_any(ModelAbort)
+    }
+
+    /// Run the scheduler after `me` updated its state, then block until
+    /// `me` is granted again (returns immediately if `me` wins the pick).
+    /// Panics with the abort payload when the execution is being torn
+    /// down.
+    fn schedule_and_wait<'a>(
+        &'a self,
+        mut g: StdMutexGuard<'a, Sched>,
+        me: usize,
+        voluntary: bool,
+    ) -> StdMutexGuard<'a, Sched> {
+        g.pick_next(me, voluntary);
+        self.cv.notify_all();
+        loop {
+            if g.aborted {
+                drop(g);
+                self.abort_unwind();
+            }
+            if g.active == me && matches!(g.threads[me], TState::Runnable) {
+                return g;
+            }
+            g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// A plain decision point before an instrumented operation.
+    pub(crate) fn yield_point(&self, me: usize) {
+        let g = self.lock();
+        if g.aborted {
+            drop(g);
+            self.abort_unwind();
+        }
+        let g = self.schedule_and_wait(g, me, false);
+        drop(g);
+    }
+
+    /// A voluntary yield: another runnable thread (if any) must run.
+    pub(crate) fn yield_now(&self, me: usize) {
+        let g = self.lock();
+        if g.aborted {
+            drop(g);
+            self.abort_unwind();
+        }
+        let g = self.schedule_and_wait(g, me, true);
+        drop(g);
+    }
+
+    /// Model-acquire mutex `id` (blocking until free).
+    pub(crate) fn mutex_lock(&self, me: usize, id: usize) {
+        let g = self.lock();
+        if g.aborted {
+            drop(g);
+            self.abort_unwind();
+        }
+        let mut g = self.schedule_and_wait(g, me, false);
+        loop {
+            let owner = g.mutexes.entry(id).or_insert(None);
+            if owner.is_none() {
+                *owner = Some(me);
+                return;
+            }
+            g.threads[me] = TState::Blocked(BlockKind::Lock(id));
+            g = self.schedule_and_wait(g, me, false);
+        }
+    }
+
+    /// Model-release mutex `id`, waking every thread blocked on it (they
+    /// contend again when scheduled). A no-op during abort teardown.
+    pub(crate) fn mutex_unlock(&self, me: usize, id: usize) {
+        let mut g = self.lock();
+        if g.aborted {
+            return;
+        }
+        g.mutexes.insert(id, None);
+        for t in 0..g.threads.len() {
+            if g.threads[t] == TState::Blocked(BlockKind::Lock(id)) {
+                g.threads[t] = TState::Runnable;
+            }
+        }
+        let g = self.schedule_and_wait(g, me, false);
+        drop(g);
+    }
+
+    /// Model condvar wait: release `mutex_id`, park on `cv_id`, and after a
+    /// notification re-acquire `mutex_id`. The caller must have dropped the
+    /// real guard before calling and re-locks the real mutex after.
+    pub(crate) fn condvar_wait(&self, me: usize, cv_id: usize, mutex_id: usize) {
+        {
+            let mut g = self.lock();
+            if g.aborted {
+                drop(g);
+                self.abort_unwind();
+            }
+            g.mutexes.insert(mutex_id, None);
+            for t in 0..g.threads.len() {
+                if g.threads[t] == TState::Blocked(BlockKind::Lock(mutex_id)) {
+                    g.threads[t] = TState::Runnable;
+                }
+            }
+            g.cv_waiters.entry(cv_id).or_default().push(me);
+            g.threads[me] = TState::Blocked(BlockKind::Wait(cv_id));
+            let g = self.schedule_and_wait(g, me, false);
+            drop(g);
+        }
+        self.mutex_lock(me, mutex_id);
+    }
+
+    /// Wake one waiter of `cv_id`. *Which* waiter is itself a decision
+    /// point: real condvars make no ordering promise, so the explorer
+    /// branches over every choice.
+    pub(crate) fn notify_one(&self, me: usize, cv_id: usize) {
+        let g = self.lock();
+        if g.aborted {
+            return;
+        }
+        let mut g = self.schedule_and_wait(g, me, false);
+        let waiters = g.cv_waiters.get(&cv_id).cloned().unwrap_or_default();
+        if waiters.is_empty() {
+            return;
+        }
+        let chosen = if waiters.len() == 1 {
+            waiters[0]
+        } else {
+            g.decide(waiters)
+        };
+        if let Some(list) = g.cv_waiters.get_mut(&cv_id) {
+            list.retain(|&t| t != chosen);
+        }
+        g.threads[chosen] = TState::Runnable;
+        drop(g);
+    }
+
+    /// Wake every waiter of `cv_id`.
+    pub(crate) fn notify_all(&self, me: usize, cv_id: usize) {
+        let g = self.lock();
+        if g.aborted {
+            return;
+        }
+        let mut g = self.schedule_and_wait(g, me, false);
+        if let Some(list) = g.cv_waiters.get_mut(&cv_id) {
+            let woken = std::mem::take(list);
+            for t in woken {
+                g.threads[t] = TState::Runnable;
+            }
+        }
+        drop(g);
+    }
+
+    /// Register a new model thread (spawned but not yet granted).
+    pub(crate) fn register_thread(&self) -> usize {
+        let mut g = self.lock();
+        let tid = g.threads.len();
+        g.threads.push(TState::Runnable);
+        tid
+    }
+
+    /// Entry point of a spawned model thread's OS thread: block until the
+    /// scheduler grants it for the first time. Returns `false` if the
+    /// execution aborted before the thread ever ran (the thread must then
+    /// skip its body and go straight to [`ExecState::finish_thread`]).
+    pub(crate) fn await_first_grant(&self, me: usize) -> bool {
+        let mut g = self.lock();
+        loop {
+            if g.aborted {
+                return false;
+            }
+            if g.active == me && matches!(g.threads[me], TState::Runnable) {
+                return true;
+            }
+            g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Bookkeeping when a model thread's body returns or unwinds: mark it
+    /// finished, wake joiners, record a real panic as a failure, and hand
+    /// control to the next thread.
+    pub(crate) fn finish_thread(
+        &self,
+        me: usize,
+        outcome: &Result<(), Box<dyn std::any::Any + Send>>,
+    ) {
+        let mut g = self.lock();
+        g.finished += 1;
+        g.threads[me] = TState::Finished;
+        for t in 0..g.threads.len() {
+            if g.threads[t] == TState::Blocked(BlockKind::Join(me)) {
+                g.threads[t] = TState::Runnable;
+            }
+        }
+        if let Err(payload) = outcome {
+            if !is_abort(&**payload) && !g.aborted {
+                let message = format!("thread {me} panicked: {}", panic_message(&**payload));
+                g.fail(FailureKind::Panic, message);
+            }
+        }
+        if !g.aborted {
+            g.pick_next(me, false);
+        }
+        drop(g);
+        self.cv.notify_all();
+    }
+
+    /// Block until `target` finishes (a decision point like any other).
+    pub(crate) fn join(&self, me: usize, target: usize) {
+        let g = self.lock();
+        if g.aborted {
+            drop(g);
+            self.abort_unwind();
+        }
+        let mut g = self.schedule_and_wait(g, me, false);
+        while !matches!(g.threads[target], TState::Finished) {
+            g.threads[me] = TState::Blocked(BlockKind::Join(target));
+            g = self.schedule_and_wait(g, me, false);
+        }
+        drop(g);
+    }
+
+    /// Whether `target` has finished in the model (used by
+    /// `JoinHandle::is_finished`; a decision point so polling loops that
+    /// pair it with `yield_now` stay explorable without spinning).
+    pub(crate) fn is_finished(&self, me: usize, target: usize) -> bool {
+        self.yield_point(me);
+        let g = self.lock();
+        matches!(g.threads[target], TState::Finished)
+    }
+
+    /// Wait (on the caller thread, after its own body finished) for every
+    /// model thread to finish, then extract the terminal state.
+    fn drain(&self) -> (Option<Failure>, Vec<Decision>, u64) {
+        let mut g = self.lock();
+        while g.finished < g.threads.len() {
+            self.cv.notify_all();
+            g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+        (g.failure.take(), std::mem::take(&mut g.decisions), g.steps)
+    }
+}
+
+/// Run `f` once as model thread 0 under `exec`. Returns the terminal
+/// failure (if any), the decision path taken, and the step count.
+fn run_once<F>(exec: &Arc<ExecState>, f: F) -> (Option<Failure>, Vec<Decision>)
+where
+    F: FnOnce() + std::panic::UnwindSafe,
+{
+    set_ctx(Some(Ctx {
+        exec: exec.clone(),
+        tid: 0,
+    }));
+    let outcome = catch_unwind(AssertUnwindSafe(f));
+    exec.finish_thread(0, &outcome);
+    set_ctx(None);
+    let (failure, decisions, _steps) = exec.drain();
+    (failure, decisions)
+}
+
+/// Explore every schedule of `f` per `config`, returning the first
+/// failing schedule or a report of what was covered.
+///
+/// The closure runs once per schedule; it must be deterministic apart
+/// from the interleaving of instrumented operations.
+pub fn explore_result<F>(config: Config, f: F) -> Result<Report, Failure>
+where
+    F: Fn() + std::panic::UnwindSafe + std::panic::RefUnwindSafe,
+{
+    if let Some(schedule) = config.replay.clone() {
+        let exec = ExecState::new(&config, Mode::Replay(schedule), Vec::new());
+        let (failure, _) = run_once(&exec, &f);
+        return match failure {
+            Some(fail) => Err(fail),
+            None => Ok(Report {
+                dfs_schedules: 1,
+                random_schedules: 0,
+                seed: config.seed,
+                preemption_bound: config.preemption_bound,
+            }),
+        };
+    }
+
+    // Exhaustive DFS phase over the bounded-preemption decision tree.
+    let mut prescription: Vec<Decision> = Vec::new();
+    let mut dfs_schedules = 0u64;
+    loop {
+        let exec = ExecState::new(&config, Mode::Dfs, std::mem::take(&mut prescription));
+        let (failure, mut decisions) = run_once(&exec, &f);
+        if let Some(fail) = failure {
+            return Err(fail);
+        }
+        dfs_schedules += 1;
+        if dfs_schedules >= config.max_dfs_schedules {
+            return Err(Failure {
+                kind: FailureKind::ScheduleLimit,
+                message: format!(
+                    "DFS exceeded {} schedules; shrink the modeled protocol",
+                    config.max_dfs_schedules
+                ),
+                schedule: Vec::new(),
+            });
+        }
+        // Backtrack: advance the deepest decision with an unexplored
+        // option; drop fully-explored suffixes. Empty stack = done.
+        loop {
+            match decisions.last_mut() {
+                None => break,
+                Some(last) => {
+                    if last.chosen + 1 < last.options.len() {
+                        last.chosen += 1;
+                        break;
+                    }
+                    decisions.pop();
+                }
+            }
+        }
+        if decisions.is_empty() {
+            break;
+        }
+        prescription = decisions;
+    }
+
+    // Seeded random phase: unbounded preemptions, deterministic from seed.
+    for i in 0..config.random_schedules {
+        let seed = config
+            .seed
+            .wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let exec = ExecState::new(
+            &Config {
+                preemption_bound: usize::MAX,
+                ..config.clone()
+            },
+            Mode::Random(SplitMix64(seed)),
+            Vec::new(),
+        );
+        let (failure, _) = run_once(&exec, &f);
+        if let Some(fail) = failure {
+            return Err(Failure {
+                message: format!(
+                    "{} (random schedule {} of seed {:#x})",
+                    fail.message, i, config.seed
+                ),
+                ..fail
+            });
+        }
+    }
+
+    Ok(Report {
+        dfs_schedules,
+        random_schedules: config.random_schedules,
+        seed: config.seed,
+        preemption_bound: config.preemption_bound,
+    })
+}
+
+/// Like [`explore_result`] but panics on failure with the schedule and
+/// seed needed to reproduce it — the form test suites call.
+pub fn explore<F>(config: Config, f: F) -> Report
+where
+    F: Fn() + std::panic::UnwindSafe + std::panic::RefUnwindSafe,
+{
+    match explore_result(config, f) {
+        Ok(report) => report,
+        Err(fail) => panic!("model check failed — {fail}"),
+    }
+}
+
+/// Spawn one model thread running `f`, returning its model tid and the
+/// underlying OS join handle. Used by `loom_shim::thread::spawn`.
+pub(crate) fn spawn_model<T, F>(ctx: &Ctx, f: F) -> (usize, std::thread::JoinHandle<T>)
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let tid = ctx.exec.register_thread();
+    let exec = ctx.exec.clone();
+    let handle = std::thread::Builder::new()
+        .name(format!("loom-shim-t{tid}"))
+        .spawn(move || {
+            set_ctx(Some(Ctx {
+                exec: exec.clone(),
+                tid,
+            }));
+            let outcome: Result<T, Box<dyn std::any::Any + Send>> = if exec.await_first_grant(tid) {
+                catch_unwind(AssertUnwindSafe(f))
+            } else {
+                Err(Box::new(ModelAbort))
+            };
+            let unit_outcome = match &outcome {
+                Ok(_) => Ok(()),
+                Err(_) => Err(Box::new(ModelAbort) as Box<dyn std::any::Any + Send>),
+            };
+            // A real panic must be recorded with its own payload message,
+            // so re-inspect: finish_thread only reads the Err payload.
+            match outcome {
+                Ok(v) => {
+                    exec.finish_thread(tid, &unit_outcome);
+                    set_ctx(None);
+                    v
+                }
+                Err(payload) => {
+                    exec.finish_thread(tid, &Err(payload));
+                    set_ctx(None);
+                    resume_unwind(Box::new(ModelAbort))
+                }
+            }
+        })
+        .expect("spawn model thread");
+    // Give the DFS the chance to run the child right away.
+    ctx.exec.yield_point(ctx.tid);
+    (tid, handle)
+}

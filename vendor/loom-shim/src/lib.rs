@@ -1,0 +1,50 @@
+#![deny(missing_docs)]
+//! Offline loom-style deterministic schedule explorer.
+//!
+//! This crate vendors the subset of [loom]'s idea the workspace needs,
+//! with zero dependencies and no unstable features: instrumented
+//! [`sync`] and [`thread`] primitives that, under the `check` feature,
+//! route every synchronization operation through a controller which
+//! enumerates thread interleavings — exhaustive DFS up to a bounded
+//! number of preemptions, plus a seeded-random phase sampling beyond the
+//! bound. With the feature off, every item is a plain `std` re-export:
+//! production builds are untouched.
+//!
+//! Usage (from a `rtr_check`-featured test):
+//!
+//! ```
+//! # #[cfg(feature = "check")] {
+//! use loom_shim::model::{explore, Config};
+//! use loom_shim::sync::{Arc, Mutex};
+//! use loom_shim::thread;
+//!
+//! let report = explore(Config::default(), || {
+//!     let m = Arc::new(Mutex::new(0u64));
+//!     let m2 = m.clone();
+//!     let h = thread::spawn(move || *m2.lock().unwrap() += 1);
+//!     *m.lock().unwrap() += 1;
+//!     h.join().unwrap();
+//!     assert_eq!(*m.lock().unwrap(), 2);
+//! });
+//! assert!(report.dfs_schedules >= 1);
+//! # }
+//! ```
+//!
+//! A failing schedule panics with the exact decision sequence; feed it
+//! to [`model::Config::replay`] to re-execute it deterministically.
+//!
+//! [loom]: https://github.com/tokio-rs/loom
+
+#[cfg(feature = "check")]
+mod controller;
+
+/// Schedule exploration entry points ([`model::explore`],
+/// [`model::Config`], [`model::Report`], [`model::Failure`]). Only
+/// present under the `check` feature.
+#[cfg(feature = "check")]
+pub mod model {
+    pub use crate::controller::{explore, explore_result, Config, Failure, FailureKind, Report};
+}
+
+pub mod sync;
+pub mod thread;

@@ -1,0 +1,350 @@
+//! Drop-in `std::sync` surface.
+//!
+//! With the `check` feature off this is a plain re-export of `std` — zero
+//! overhead, byte-identical behavior. With `check` on, `Mutex`, `Condvar`
+//! and the atomics become instrumented: inside a model run
+//! ([`crate::model::explore`]) every operation is a scheduling decision
+//! point; outside a model run they transparently delegate to the real
+//! `std` primitive, so incidental feature-on builds stay correct.
+
+#[cfg(not(feature = "check"))]
+pub use std::sync::{Arc, Condvar, Mutex};
+
+/// Atomic integer and bool types (plain `std` re-exports when `check` is
+/// off).
+#[cfg(not(feature = "check"))]
+pub mod atomic {
+    pub use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
+}
+
+#[cfg(feature = "check")]
+pub use checked::{Arc, Condvar, Mutex};
+
+#[cfg(feature = "check")]
+pub use checked::atomic;
+
+#[cfg(feature = "check")]
+mod checked {
+    use crate::controller::{self, Ctx};
+    use std::sync::{LockResult, PoisonError, TryLockError};
+
+    pub use std::sync::Arc;
+
+    /// The model context to route an operation through, or `None` for
+    /// std-passthrough: either this thread is not part of a model run, or
+    /// it is mid-panic (unwinding destructors must not re-enter the
+    /// scheduler — the failure is already being recorded).
+    fn ctx() -> Option<Ctx> {
+        if std::thread::panicking() {
+            None
+        } else {
+            controller::current()
+        }
+    }
+
+    /// A mutex whose lock/unlock are schedule decision points inside a
+    /// model run, and a plain `std::sync::Mutex` otherwise.
+    pub struct Mutex<T> {
+        id: usize,
+        inner: std::sync::Mutex<T>,
+    }
+
+    impl<T: std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            self.inner.fmt(f)
+        }
+    }
+
+    impl<T: Default> Default for Mutex<T> {
+        fn default() -> Self {
+            Mutex::new(T::default())
+        }
+    }
+
+    impl<T> Mutex<T> {
+        /// Create a mutex protecting `value`.
+        pub fn new(value: T) -> Mutex<T> {
+            Mutex {
+                id: controller::next_object_id(),
+                inner: std::sync::Mutex::new(value),
+            }
+        }
+
+        /// Acquire the mutex, blocking (in model time or real time) until
+        /// it is free. Mirrors `std::sync::Mutex::lock`, including the
+        /// poison result.
+        pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+            match ctx() {
+                Some(c) => {
+                    c.exec.mutex_lock(c.tid, self.id);
+                    // The model granted us sole ownership, so the real
+                    // lock must be free (model threads run one at a time
+                    // and only hold it while they hold model ownership).
+                    match self.inner.try_lock() {
+                        Ok(g) => Ok(MutexGuard {
+                            lock: self,
+                            inner: Some(g),
+                            ctx: Some(c),
+                        }),
+                        Err(TryLockError::Poisoned(e)) => Err(PoisonError::new(MutexGuard {
+                            lock: self,
+                            inner: Some(e.into_inner()),
+                            ctx: Some(c),
+                        })),
+                        Err(TryLockError::WouldBlock) => {
+                            unreachable!("model granted a mutex the real lock still holds")
+                        }
+                    }
+                }
+                None => match self.inner.lock() {
+                    Ok(g) => Ok(MutexGuard {
+                        lock: self,
+                        inner: Some(g),
+                        ctx: None,
+                    }),
+                    Err(e) => Err(PoisonError::new(MutexGuard {
+                        lock: self,
+                        inner: Some(e.into_inner()),
+                        ctx: None,
+                    })),
+                },
+            }
+        }
+    }
+
+    /// Guard returned by [`Mutex::lock`]; releases on drop (a decision
+    /// point inside a model run).
+    pub struct MutexGuard<'a, T> {
+        lock: &'a Mutex<T>,
+        inner: Option<std::sync::MutexGuard<'a, T>>,
+        ctx: Option<Ctx>,
+    }
+
+    impl<T> std::ops::Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            self.inner.as_ref().expect("guard already released")
+        }
+    }
+
+    impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            self.inner.as_mut().expect("guard already released")
+        }
+    }
+
+    impl<T> Drop for MutexGuard<'_, T> {
+        fn drop(&mut self) {
+            if let Some(std_guard) = self.inner.take() {
+                // Release the real lock before the model hands ownership
+                // to a waiter (which immediately try_locks it).
+                drop(std_guard);
+                if let Some(c) = self.ctx.take() {
+                    if !std::thread::panicking() {
+                        c.exec.mutex_unlock(c.tid, self.lock.id);
+                    }
+                }
+            }
+        }
+    }
+
+    /// A condition variable whose wait/notify are schedule decision
+    /// points inside a model run (including *which* waiter `notify_one`
+    /// wakes), and a plain `std::sync::Condvar` otherwise.
+    pub struct Condvar {
+        id: usize,
+        inner: std::sync::Condvar,
+    }
+
+    impl std::fmt::Debug for Condvar {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            self.inner.fmt(f)
+        }
+    }
+
+    impl Default for Condvar {
+        fn default() -> Self {
+            Condvar::new()
+        }
+    }
+
+    impl Condvar {
+        /// Create a condition variable.
+        pub fn new() -> Condvar {
+            Condvar {
+                id: controller::next_object_id(),
+                inner: std::sync::Condvar::new(),
+            }
+        }
+
+        /// Atomically release `guard`'s mutex and park until notified,
+        /// then re-acquire. Mirrors `std::sync::Condvar::wait`.
+        pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+            let lock = guard.lock;
+            let std_guard = guard.inner.take().expect("guard already released");
+            let guard_ctx = guard.ctx.take();
+            drop(guard); // inert: inner and ctx both taken
+            match (ctx(), guard_ctx) {
+                (Some(c), Some(_)) => {
+                    // Release the real lock first so the next model owner
+                    // can take it; the controller handles the model-side
+                    // release-park-notify-reacquire sequence atomically
+                    // with respect to other model threads.
+                    drop(std_guard);
+                    c.exec.condvar_wait(c.tid, self.id, lock.id);
+                    match lock.inner.try_lock() {
+                        Ok(g) => Ok(MutexGuard {
+                            lock,
+                            inner: Some(g),
+                            ctx: Some(c),
+                        }),
+                        Err(TryLockError::Poisoned(e)) => Err(PoisonError::new(MutexGuard {
+                            lock,
+                            inner: Some(e.into_inner()),
+                            ctx: Some(c),
+                        })),
+                        Err(TryLockError::WouldBlock) => {
+                            unreachable!("model granted a mutex the real lock still holds")
+                        }
+                    }
+                }
+                _ => match self.inner.wait(std_guard) {
+                    Ok(g) => Ok(MutexGuard {
+                        lock,
+                        inner: Some(g),
+                        ctx: None,
+                    }),
+                    Err(e) => Err(PoisonError::new(MutexGuard {
+                        lock,
+                        inner: Some(e.into_inner()),
+                        ctx: None,
+                    })),
+                },
+            }
+        }
+
+        /// Wake one waiter, if any. In a model run the controller
+        /// branches over every possible choice of waiter.
+        pub fn notify_one(&self) {
+            match ctx() {
+                Some(c) => c.exec.notify_one(c.tid, self.id),
+                None => self.inner.notify_one(),
+            }
+        }
+
+        /// Wake every waiter.
+        pub fn notify_all(&self) {
+            match ctx() {
+                Some(c) => c.exec.notify_all(c.tid, self.id),
+                None => self.inner.notify_all(),
+            }
+        }
+    }
+
+    /// Atomics whose every operation is a schedule decision point inside
+    /// a model run. The requested `Ordering` is passed through to the
+    /// underlying `std` atomic, but note the model itself explores
+    /// sequentially-consistent interleavings only (operations are
+    /// serialized one thread at a time): weak-memory reorderings are out
+    /// of scope, which is why every `Ordering::` site in the workspace
+    /// must justify itself with an `// ordering:` comment checked by
+    /// `rtr-lint`.
+    pub mod atomic {
+        use super::ctx;
+
+        pub use std::sync::atomic::Ordering;
+
+        macro_rules! instrumented_atomic {
+            ($(#[$doc:meta])* $name:ident, $std:ident, $prim:ty) => {
+                $(#[$doc])*
+                #[derive(Debug, Default)]
+                pub struct $name {
+                    inner: std::sync::atomic::$std,
+                }
+
+                impl $name {
+                    /// Create the atomic with an initial value.
+                    pub const fn new(value: $prim) -> Self {
+                        Self {
+                            inner: std::sync::atomic::$std::new(value),
+                        }
+                    }
+
+                    /// Atomic load (a decision point inside a model run).
+                    pub fn load(&self, order: Ordering) -> $prim {
+                        if let Some(c) = ctx() {
+                            c.exec.yield_point(c.tid);
+                        }
+                        self.inner.load(order)
+                    }
+
+                    /// Atomic store (a decision point inside a model run).
+                    pub fn store(&self, value: $prim, order: Ordering) {
+                        if let Some(c) = ctx() {
+                            c.exec.yield_point(c.tid);
+                        }
+                        self.inner.store(value, order)
+                    }
+                }
+            };
+        }
+
+        instrumented_atomic!(
+            /// Instrumented `std::sync::atomic::AtomicU64`.
+            AtomicU64,
+            AtomicU64,
+            u64
+        );
+        instrumented_atomic!(
+            /// Instrumented `std::sync::atomic::AtomicUsize`.
+            AtomicUsize,
+            AtomicUsize,
+            usize
+        );
+        instrumented_atomic!(
+            /// Instrumented `std::sync::atomic::AtomicI64`.
+            AtomicI64,
+            AtomicI64,
+            i64
+        );
+        instrumented_atomic!(
+            /// Instrumented `std::sync::atomic::AtomicBool`.
+            AtomicBool,
+            AtomicBool,
+            bool
+        );
+
+        impl AtomicU64 {
+            /// Atomic add, returning the previous value (a decision point
+            /// inside a model run).
+            pub fn fetch_add(&self, value: u64, order: Ordering) -> u64 {
+                if let Some(c) = ctx() {
+                    c.exec.yield_point(c.tid);
+                }
+                self.inner.fetch_add(value, order)
+            }
+        }
+
+        impl AtomicUsize {
+            /// Atomic add, returning the previous value (a decision point
+            /// inside a model run).
+            pub fn fetch_add(&self, value: usize, order: Ordering) -> usize {
+                if let Some(c) = ctx() {
+                    c.exec.yield_point(c.tid);
+                }
+                self.inner.fetch_add(value, order)
+            }
+        }
+
+        impl AtomicI64 {
+            /// Atomic add, returning the previous value (a decision point
+            /// inside a model run).
+            pub fn fetch_add(&self, value: i64, order: Ordering) -> i64 {
+                if let Some(c) = ctx() {
+                    c.exec.yield_point(c.tid);
+                }
+                self.inner.fetch_add(value, order)
+            }
+        }
+    }
+}

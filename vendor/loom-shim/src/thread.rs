@@ -1,0 +1,101 @@
+//! Drop-in `std::thread` surface (`spawn`, `JoinHandle`, `yield_now`).
+//!
+//! With the `check` feature off this is a plain re-export of `std`. With
+//! `check` on, threads spawned inside a model run become model threads:
+//! they only execute when the controller grants them, `join` is a
+//! blocking decision point, `is_finished` reports model state (so
+//! polling loops paired with [`yield_now`] stay explorable), and
+//! `yield_now` forces a switch to another runnable thread without
+//! spending preemption budget.
+
+#[cfg(not(feature = "check"))]
+pub use std::thread::{spawn, yield_now, JoinHandle};
+
+#[cfg(feature = "check")]
+pub use checked::{spawn, yield_now, JoinHandle};
+
+#[cfg(feature = "check")]
+mod checked {
+    use crate::controller::{self, Ctx};
+    use std::sync::Arc;
+
+    fn ctx() -> Option<Ctx> {
+        if std::thread::panicking() {
+            None
+        } else {
+            controller::current()
+        }
+    }
+
+    /// Handle to a spawned thread; model-aware inside a model run.
+    pub struct JoinHandle<T> {
+        inner: std::thread::JoinHandle<T>,
+        /// `Some((exec, tid))` when this thread belongs to a model run.
+        model: Option<(Arc<controller::ExecState>, usize)>,
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Wait for the thread to finish and return its result. Inside a
+        /// model run this is a blocking decision point; the scheduler
+        /// explores every order in which the join can resolve.
+        pub fn join(self) -> std::thread::Result<T> {
+            if let Some((exec, target)) = &self.model {
+                if let Some(c) = ctx() {
+                    debug_assert!(Arc::ptr_eq(exec, &c.exec), "join across model executions");
+                    c.exec.join(c.tid, *target);
+                }
+            }
+            self.inner.join()
+        }
+
+        /// Whether the thread has finished. Inside a model run this
+        /// reports the *model* state (not the OS thread) and is itself a
+        /// decision point, so `while !h.is_finished() { yield_now() }`
+        /// polling loops terminate under exploration.
+        pub fn is_finished(&self) -> bool {
+            if let Some((exec, target)) = &self.model {
+                if let Some(c) = ctx() {
+                    debug_assert!(
+                        Arc::ptr_eq(exec, &c.exec),
+                        "is_finished across model executions"
+                    );
+                    return c.exec.is_finished(c.tid, *target);
+                }
+            }
+            self.inner.is_finished()
+        }
+    }
+
+    /// Spawn a thread. Inside a model run the new thread is registered
+    /// with the controller and only runs when scheduled.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        match ctx() {
+            Some(c) => {
+                let (tid, inner) = controller::spawn_model(&c, f);
+                JoinHandle {
+                    inner,
+                    model: Some((c.exec, tid)),
+                }
+            }
+            None => JoinHandle {
+                inner: std::thread::spawn(f),
+                model: None,
+            },
+        }
+    }
+
+    /// Yield the processor. Inside a model run: a voluntary switch — some
+    /// *other* runnable thread must run next (if one exists) and no
+    /// preemption budget is spent, so `yield_now` spin loops explore
+    /// without exploding the schedule space.
+    pub fn yield_now() {
+        match ctx() {
+            Some(c) => c.exec.yield_now(c.tid),
+            None => std::thread::yield_now(),
+        }
+    }
+}
