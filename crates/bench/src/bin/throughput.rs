@@ -64,6 +64,20 @@
 //! gates on that headline the same way the closed-loop gate does on QPS.
 //! See `docs/BENCHMARKS.md` for the methodology and the JSON schema.
 //!
+//! With `--wire`, the same open-loop (Poisson) machinery drives the
+//! serving stack **over loopback TCP sockets** through `rtr-net`: a
+//! `NetServer` fronts the engine, and `--connections` (default 4) split
+//! client connections replay the identical seeded arrival schedule —
+//! each connection pacing sends on one thread while another drains
+//! responses, so the offered rate never waits on a round trip. Reported
+//! latency is wall-clock from *scheduled arrival* to *response decoded
+//! back on the client*, so framing, syscalls, admission, and the
+//! per-connection write queue are all inside the measurement; the
+//! server-side queue-wait/compute split rides along in each response's
+//! provenance for comparison. The artifact defaults to `BENCH_net.json`
+//! with the same max-sustainable-QPS-at-SLO headline as `--open-loop`;
+//! any wire-level rejection disqualifies its rate from the SLO.
+//!
 //! With `--obs-gate`, the harness runs the observability-overhead A/B
 //! instead: the canonical workload with metrics + tracing disabled vs
 //! enabled in order-alternating paired passes, failing if the minimum
@@ -88,6 +102,7 @@ use rtr_bench::{qlog, seed, Scale};
 use rtr_core::{Measure, RankParams};
 use rtr_datagen::{QLog, QLogConfig, Zipf};
 use rtr_graph::{Graph, NodeId};
+use rtr_net::{NetClient, NetServer, NetServerConfig};
 use rtr_serve::{
     run_serial_requests, Backend, BackendKind, QueryOutput, QueryRequest, QueryResponse,
     SchedulerMode, ServeConfig, ServeEngine,
@@ -181,6 +196,31 @@ const OPEN_LOOP_WORKERS: usize = 1;
 /// full schedule per rate.
 const OPEN_LOOP_VERIFY_PREFIX: usize = 1500;
 
+/// Client connections for the `--wire` study when `--connections` is left
+/// unset: enough to keep per-connection FIFO delivery from serializing the
+/// whole stream behind one response, few enough that the thread fan-out
+/// (two client threads plus two server threads per connection) doesn't
+/// crowd the workers off a 2-core CI box.
+const DEFAULT_WIRE_CONNECTIONS: usize = 2;
+
+/// Default p99 SLO for the wire study (milliseconds). Looser than the
+/// in-process open-loop SLO on purpose: client-observed wire latency
+/// includes both sockets' scheduler wakeups, and on a small shared box
+/// the cross-thread handoffs put the *unloaded* p99 in the tens of
+/// milliseconds. The knee past saturation is still an order of magnitude
+/// above this.
+const DEFAULT_WIRE_SLO_MS: f64 = 50.0;
+
+/// Per-connection write-queue depth for the wire bench server: deep enough
+/// that a Poisson burst below capacity is buffered, never rejected — the
+/// sweep measures latency under offered load, and backpressure rejects are
+/// *reported* (and disqualify the rate from the SLO) rather than silently
+/// shaping the load.
+const WIRE_QUEUE_DEPTH: usize = 4096;
+
+/// Reserved control-lane depth for the wire bench server.
+const WIRE_CONTROL_DEPTH: usize = 64;
+
 struct Args {
     workers: Vec<usize>,
     queries: Option<usize>,
@@ -199,10 +239,16 @@ struct Args {
     open_loop: bool,
     /// Offered-rate sweep for open-loop mode (`--rates`).
     rates: Vec<f64>,
-    /// p99 SLO in ms for the max-sustainable-QPS headline (`--slo-ms`).
-    slo_ms: f64,
+    /// p99 SLO in ms for the max-sustainable-QPS headline (`--slo-ms`);
+    /// `None` takes the mode's default ([`DEFAULT_SLO_MS`] in-process,
+    /// [`DEFAULT_WIRE_SLO_MS`] over the wire).
+    slo_ms: Option<f64>,
     /// Observability-overhead A/B gate (`--obs-gate`).
     obs_gate: bool,
+    /// Wire-level open-loop mode over loopback sockets (`--wire`).
+    wire: bool,
+    /// Client connections for the wire study (`--connections`).
+    connections: usize,
 }
 
 impl Default for Args {
@@ -221,8 +267,10 @@ impl Default for Args {
             gps: 4,
             open_loop: false,
             rates: DEFAULT_OPEN_RATES.to_vec(),
-            slo_ms: DEFAULT_SLO_MS,
+            slo_ms: None,
             obs_gate: false,
+            wire: false,
+            connections: DEFAULT_WIRE_CONNECTIONS,
         }
     }
 }
@@ -238,6 +286,15 @@ impl Args {
             600
         } else {
             200
+        })
+    }
+
+    /// p99 SLO in ms: explicit `--slo-ms`, else the mode's default.
+    fn slo_ms(&self) -> f64 {
+        self.slo_ms.unwrap_or(if self.wire {
+            DEFAULT_WIRE_SLO_MS
+        } else {
+            DEFAULT_SLO_MS
         })
     }
 
@@ -294,6 +351,11 @@ fn parse_args() -> Args {
             }
             "--open-loop" => args.open_loop = true,
             "--obs-gate" => args.obs_gate = true,
+            "--wire" => args.wire = true,
+            "--connections" => {
+                args.connections = value("--connections").parse().expect("connection count");
+                assert!(args.connections > 0, "--connections must be at least 1");
+            }
             "--rates" => {
                 args.rates = value("--rates")
                     .split(',')
@@ -306,15 +368,17 @@ fn parse_args() -> Args {
                 );
             }
             "--slo-ms" => {
-                args.slo_ms = value("--slo-ms").parse().expect("SLO ms");
-                assert!(args.slo_ms > 0.0, "--slo-ms must be positive");
+                let slo: f64 = value("--slo-ms").parse().expect("SLO ms");
+                assert!(slo > 0.0, "--slo-ms must be positive");
+                args.slo_ms = Some(slo);
             }
             "--help" | "-h" => {
                 eprintln!(
                     "throughput [--workers 1,2,4,8] [--queries N] [--k K] \
                      [--epsilon E] [--skew S] [--mixed] [--cache CAPACITY] \
                      [--backend local|distributed] [--gps N] \
-                     [--open-loop] [--rates R1,R2,...] [--slo-ms MS] \
+                     [--open-loop] [--wire] [--connections N] \
+                     [--rates R1,R2,...] [--slo-ms MS] \
                      [--obs-gate] [--json PATH] [--check BASELINE_JSON]"
                 );
                 std::process::exit(0);
@@ -344,6 +408,21 @@ fn parse_args() -> Args {
                 || args.check.is_some())),
         "--obs-gate is its own study (an A/B on the canonical workload)"
     );
+    assert!(
+        !(args.wire
+            && (args.mixed
+                || args.skew.is_some()
+                || args.distributed
+                || args.open_loop
+                || args.obs_gate
+                || args.check.is_some())),
+        "--wire is its own study (loopback sockets, built-in Zipf stream; \
+         the perf gates stay on the in-process paths)"
+    );
+    // The wire study writes its own document shape (BENCH_net.json).
+    if args.wire && args.out == Args::default().out {
+        args.out = "BENCH_net.json".to_owned();
+    }
     // The obs gate writes its own document shape too.
     if args.obs_gate && args.out == Args::default().out {
         args.out = "BENCH_obs.json".to_owned();
@@ -867,27 +946,10 @@ fn replay_open_loop(
     requests: &[QueryRequest],
     schedule: &[Duration],
 ) -> (Duration, Vec<(Duration, QueryResponse)>) {
-    // Sleep the bulk of each gap and spin only the final stretch: timer
-    // wakeups can overshoot by a millisecond or two (billed to slip, for
-    // both schedulers alike), but a generator that spins whole gaps
-    // competes with the pool for cores and measures contention instead of
-    // scheduling.
-    const SPIN: Duration = Duration::from_micros(200);
     let start = Instant::now();
     let mut pending = Vec::with_capacity(requests.len());
     for (request, &due) in requests.iter().zip(schedule) {
-        loop {
-            let elapsed = start.elapsed();
-            if elapsed >= due {
-                break;
-            }
-            let wait = due - elapsed;
-            if wait > SPIN {
-                std::thread::sleep(wait - SPIN);
-            } else {
-                std::hint::spin_loop();
-            }
-        }
+        pace_until(start, due);
         let slip = start.elapsed().saturating_sub(due);
         pending.push((slip, engine.submit(request.clone())));
     }
@@ -896,6 +958,27 @@ fn replay_open_loop(
         .map(|(slip, ticket)| (slip, ticket.wait()))
         .collect();
     (start.elapsed(), responses)
+}
+
+/// Wait out the gap until `due` after `start`: sleep the bulk and spin
+/// only the final stretch. Timer wakeups can overshoot by a millisecond
+/// or two (billed to slip, identically for every side of an A/B), but a
+/// generator that spins whole gaps competes with the pool for cores and
+/// measures contention instead of scheduling.
+fn pace_until(start: Instant, due: Duration) {
+    const SPIN: Duration = Duration::from_micros(200);
+    loop {
+        let elapsed = start.elapsed();
+        if elapsed >= due {
+            return;
+        }
+        let wait = due - elapsed;
+        if wait > SPIN {
+            std::thread::sleep(wait - SPIN);
+        } else {
+            std::hint::spin_loop();
+        }
+    }
 }
 
 /// One open-loop measurement: a fresh engine under `config`, warmed with a
@@ -1081,7 +1164,7 @@ fn emit_openloop_json(
          \"cache_capacity\": {},\n  \"workers\": {workers},\n  \
          \"schedulers\": [\n{sweeps_json}\n  ],\n  \"metrics\": {metrics}\n}}\n",
         number(headline),
-        number(args.slo_ms),
+        number(args.slo_ms()),
         g.node_count(),
         g.edge_count(),
         args.k,
@@ -1136,7 +1219,7 @@ fn run_open_loop(args: &Args, log: QLog, scale_label: &str, workload_seed: u64) 
         args.epsilon,
         workers,
         args.cache_capacity(),
-        args.slo_ms
+        args.slo_ms()
     );
     let serial = run_serial_requests(
         &g,
@@ -1163,7 +1246,7 @@ fn run_open_loop(args: &Args, log: QLog, scale_label: &str, workload_seed: u64) 
                 &requests[..n],
                 &schedule,
                 rate,
-                args.slo_ms,
+                args.slo_ms(),
                 &serial,
             );
             println!(
@@ -1223,6 +1306,368 @@ fn run_open_loop(args: &Args, log: QLog, scale_label: &str, workload_seed: u64) 
         }
         println!("perf gate: PASS");
     }
+}
+
+/// One offered-rate cell of the `--wire` sweep. Latency is client-side
+/// wall clock from scheduled arrival to decoded response — framing,
+/// syscalls, admission, and the write queue included. The server-side
+/// queue/compute split rides along in response provenance.
+struct WireRow {
+    offered_qps: f64,
+    queries: usize,
+    achieved_qps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    p50_server_queue_ms: f64,
+    p99_server_queue_ms: f64,
+    p50_compute_ms: f64,
+    p99_compute_ms: f64,
+    /// Wire-level rejections (rate limit or write-queue backpressure).
+    /// Any reject disqualifies this rate from the SLO: a server that
+    /// sheds load is not *sustaining* it.
+    rejects: usize,
+    slo_met: bool,
+}
+
+/// [`pace_until`] for the wire senders: same sleep-the-bulk strategy, but
+/// the final stretch *yields* instead of spinning. Once the offered rate
+/// pushes inter-arrival gaps under the spin window, pacing threads that
+/// spin own every core of a small box and starve the very server being
+/// measured; yielding keeps the schedule honest (overshoot is billed to
+/// the measured latency, identically at every rate) without the
+/// generator competing with the workers.
+fn pace_until_yielding(start: Instant, due: Duration) {
+    const SPIN: Duration = Duration::from_micros(200);
+    loop {
+        let elapsed = start.elapsed();
+        if elapsed >= due {
+            return;
+        }
+        let wait = due - elapsed;
+        if wait > SPIN {
+            std::thread::sleep(wait - SPIN);
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// One wire-level pass at one offered rate: `connections` split clients
+/// replay the Poisson schedule round-robin over loopback — each
+/// connection pacing sends on one thread while a second drains
+/// responses, so the offered schedule never waits on a round trip.
+fn wire_once(
+    addr: std::net::SocketAddr,
+    requests: &[QueryRequest],
+    schedule: &[Duration],
+    connections: usize,
+    offered: f64,
+    slo_ms: f64,
+    serial: &[QueryResponse],
+) -> WireRow {
+    // Connect (and split) everything before t = 0, so connection setup
+    // never bills to the first arrivals.
+    let mut split_clients = Vec::with_capacity(connections);
+    for _ in 0..connections {
+        let client = NetClient::connect(addr).expect("connect load connection");
+        split_clients.push(client.split().expect("split load connection"));
+    }
+    let start = Instant::now();
+    let mut handles = Vec::with_capacity(connections);
+    for (c, (mut tx, mut rx)) in split_clients.into_iter().enumerate() {
+        // Round-robin assignment: connection c carries stream indices
+        // c, c+C, c+2C, ...; per-connection FIFO delivery then maps its
+        // k-th outcome back to global index c + k*C.
+        let mine: Vec<(Duration, QueryRequest)> = requests
+            .iter()
+            .zip(schedule)
+            .skip(c)
+            .step_by(connections)
+            .map(|(r, &due)| (due, r.clone()))
+            .collect();
+        let count = mine.len();
+        let sender = std::thread::spawn(move || {
+            for (due, request) in &mine {
+                pace_until_yielding(start, *due);
+                tx.send(request).expect("wire send");
+            }
+        });
+        let receiver = std::thread::spawn(move || {
+            (0..count)
+                .map(|_| {
+                    let (_, outcome) = rx.recv().expect("wire recv");
+                    (Instant::now(), outcome)
+                })
+                .collect::<Vec<_>>()
+        });
+        handles.push((c, sender, receiver));
+    }
+
+    let mut total = Vec::with_capacity(requests.len());
+    let mut queue = Vec::with_capacity(requests.len());
+    let mut compute = Vec::with_capacity(requests.len());
+    let mut rejects = 0usize;
+    let mut last_done = start;
+    for (c, sender, receiver) in handles {
+        sender.join().expect("sender thread");
+        let outcomes = receiver.join().expect("receiver thread");
+        for (k, (at, outcome)) in outcomes.into_iter().enumerate() {
+            let idx = c + k * connections;
+            total.push(at.duration_since(start).saturating_sub(schedule[idx]));
+            last_done = last_done.max(at);
+            match outcome {
+                Ok(response) => {
+                    if let Some(want) = serial.get(idx) {
+                        let got = response.result.as_ref().unwrap();
+                        let want = want.result.as_ref().unwrap();
+                        assert_eq!(
+                            got.ranking, want.ranking,
+                            "wire ranking diverged from serial at {offered} QPS"
+                        );
+                        assert_eq!(
+                            got.bounds, want.bounds,
+                            "wire bounds diverged from serial at {offered} QPS"
+                        );
+                    }
+                    queue.push(response.queue_wait);
+                    compute.push(response.compute);
+                }
+                Err(_) => rejects += 1,
+            }
+        }
+    }
+    let wall = last_done.duration_since(start);
+    let total = Summary::from_durations(total);
+    let queue = Summary::from_durations(queue);
+    let compute = Summary::from_durations(compute);
+    let p99_ms = total.quantile_ms(99.0);
+    WireRow {
+        offered_qps: offered,
+        queries: requests.len(),
+        achieved_qps: requests.len() as f64 / wall.as_secs_f64().max(1e-9),
+        p50_ms: total.quantile_ms(50.0),
+        p99_ms,
+        p50_server_queue_ms: queue.quantile_ms(50.0),
+        p99_server_queue_ms: queue.quantile_ms(99.0),
+        p50_compute_ms: compute.quantile_ms(50.0),
+        p99_compute_ms: compute.quantile_ms(99.0),
+        rejects,
+        slo_met: p99_ms <= slo_ms && rejects == 0,
+    }
+}
+
+/// [`wire_once`] repeated [`OPEN_LOOP_REPEATS`] times over the identical
+/// schedule; returns the repeat with the median p99 (same insulation
+/// from one-off scheduling hiccups as the in-process open-loop pass).
+fn wire_pass(
+    addr: std::net::SocketAddr,
+    requests: &[QueryRequest],
+    schedule: &[Duration],
+    connections: usize,
+    offered: f64,
+    slo_ms: f64,
+    serial: &[QueryResponse],
+) -> WireRow {
+    let mut passes: Vec<WireRow> = (0..OPEN_LOOP_REPEATS)
+        .map(|_| {
+            wire_once(
+                addr,
+                requests,
+                schedule,
+                connections,
+                offered,
+                slo_ms,
+                serial,
+            )
+        })
+        .collect();
+    passes.sort_by(|a, b| a.p99_ms.partial_cmp(&b.p99_ms).expect("NaN p99"));
+    passes.swap_remove(passes.len() / 2)
+}
+
+/// The wire-level artifact (`BENCH_net.json`): the
+/// max-sustainable-QPS-at-SLO headline, one row per offered rate, and
+/// the serving engine's metrics snapshot — the same registry the
+/// `rtr_net_*` counters live in, so the committed JSON carries the front
+/// door's own accounting.
+#[allow(clippy::too_many_arguments)]
+fn emit_wire_json(
+    path: &str,
+    scale_label: &str,
+    workload_seed: u64,
+    args: &Args,
+    g: &Graph,
+    workers: usize,
+    headline: f64,
+    rows: &[WireRow],
+    metrics: &str,
+) {
+    let rows_json = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{ \"offered_qps\": {}, \"queries\": {}, \"achieved_qps\": {}, \
+                 \"p50_ms\": {}, \"p99_ms\": {}, \
+                 \"p50_server_queue_ms\": {}, \"p99_server_queue_ms\": {}, \
+                 \"p50_compute_ms\": {}, \"p99_compute_ms\": {}, \
+                 \"rejects\": {}, \"slo_met\": {} }}",
+                number(r.offered_qps),
+                r.queries,
+                number(r.achieved_qps),
+                number(r.p50_ms),
+                number(r.p99_ms),
+                number(r.p50_server_queue_ms),
+                number(r.p99_server_queue_ms),
+                number(r.p50_compute_ms),
+                number(r.p99_compute_ms),
+                r.rejects,
+                r.slo_met
+            )
+        })
+        .collect::<Vec<String>>()
+        .join(",\n");
+    let json = format!(
+        "{{\n  \"bench\": \"throughput_wire\",\n  \"scale\": \"{scale_label}\",\n  \
+         \"seed\": {workload_seed},\n  \
+         \"max_sustainable_qps\": {},\n  \"slo_ms\": {},\n  \
+         \"graph\": {{ \"nodes\": {}, \"edges\": {} }},\n  \
+         \"k\": {},\n  \"epsilon\": {},\n  \"skew\": {},\n  \
+         \"cache_capacity\": {},\n  \"workers\": {workers},\n  \"connections\": {},\n  \
+         \"rates\": [\n{rows_json}\n  ],\n  \"metrics\": {metrics}\n}}\n",
+        number(headline),
+        number(args.slo_ms()),
+        g.node_count(),
+        g.edge_count(),
+        args.k,
+        number(args.epsilon),
+        number(OPEN_LOOP_SKEW),
+        args.cache_capacity(),
+        args.connections,
+    );
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    eprintln!("[throughput] wrote {path}");
+}
+
+/// The whole wire-level study: one engine behind one [`NetServer`] on an
+/// ephemeral loopback port, then for each offered rate replay the
+/// identical Poisson schedule through `--connections` split clients and
+/// measure the client-observed latency curve. The engine — and its
+/// result cache — persists across rates (the deployed shape); the serial
+/// bit-identity prefix is re-verified at every rate, over the wire.
+fn run_wire(args: &Args, log: QLog, scale_label: &str, workload_seed: u64) {
+    let n_max = args
+        .rates
+        .iter()
+        .map(|&r| open_loop_queries(r))
+        .max()
+        .expect("at least one rate");
+    let (queries, hot_pool) = sample_queries_zipf(&log, n_max, workload_seed, OPEN_LOOP_SKEW);
+    let requests: Vec<QueryRequest> = queries.iter().map(|&q| QueryRequest::node(q)).collect();
+    let g = Arc::new(log.graph);
+    let workers = if args.workers == Args::default().workers {
+        OPEN_LOOP_WORKERS
+    } else {
+        args.workers[0]
+    };
+    let config = ServeConfig {
+        workers,
+        params: RankParams::default(),
+        topk: TopKConfig {
+            k: args.k,
+            epsilon: args.epsilon,
+            ..TopKConfig::default()
+        },
+        ..ServeConfig::default()
+    }
+    .with_cache_capacity(args.cache_capacity());
+
+    println!(
+        "=== wire-level open-loop load: Zipf s = {OPEN_LOOP_SKEW} over {hot_pool} hot queries, \
+         K = {}, ε = {}, {} workers, {} connections, cache {}, SLO p99 ≤ {} ms ===",
+        args.k,
+        args.epsilon,
+        workers,
+        args.connections,
+        args.cache_capacity(),
+        args.slo_ms()
+    );
+    let serial = run_serial_requests(
+        &g,
+        &config,
+        &requests[..requests.len().min(OPEN_LOOP_VERIFY_PREFIX)],
+    );
+
+    let engine = Arc::new(ServeEngine::start(Arc::clone(&g), config));
+    let server = NetServer::start(
+        Arc::clone(&engine),
+        NetServerConfig::default()
+            .with_max_connections(args.connections + 8)
+            .with_queue_depths(WIRE_QUEUE_DEPTH, WIRE_CONTROL_DEPTH),
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr();
+
+    // Closed-loop warmup over the wire: worker workspaces, the accept
+    // path, and first-touch costs settle before anything is measured.
+    {
+        let mut warm = NetClient::connect(addr).expect("warmup connect");
+        for request in requests.iter().take(workers.max(1) * 4) {
+            warm.call(request)
+                .expect("warmup call")
+                .expect("warmup admitted");
+        }
+    }
+
+    println!(
+        "{:>12} {:>10} {:>10} {:>10} {:>13} {:>8} {:>6}",
+        "offered", "achieved", "p50/ms", "p99/ms", "p99 srv q", "rejects", "SLO"
+    );
+    let mut rows = Vec::new();
+    for &rate in &args.rates {
+        let n = open_loop_queries(rate);
+        // One schedule per rate, identical across repeats — replayable
+        // load: (rate, n, seed) names the exact arrival sequence.
+        let schedule = poisson_arrivals(rate, n, workload_seed ^ 0x11e7);
+        let row = wire_pass(
+            addr,
+            &requests[..n],
+            &schedule,
+            args.connections,
+            rate,
+            args.slo_ms(),
+            &serial,
+        );
+        println!(
+            "{:>12.0} {:>10.1} {:>10.3} {:>10.3} {:>13.3} {:>8} {:>6}",
+            row.offered_qps,
+            row.achieved_qps,
+            row.p50_ms,
+            row.p99_ms,
+            row.p99_server_queue_ms,
+            row.rejects,
+            if row.slo_met { "ok" } else { "MISS" }
+        );
+        rows.push(row);
+    }
+    let headline = rows
+        .iter()
+        .filter(|r| r.slo_met)
+        .map(|r| r.offered_qps)
+        .fold(0.0, f64::max);
+    println!("max sustainable at SLO (wire): {headline:.0} QPS");
+    let metrics = engine.metrics_snapshot().to_json();
+    emit_wire_json(
+        &args.out,
+        scale_label,
+        workload_seed,
+        args,
+        &g,
+        workers,
+        headline,
+        &rows,
+        &metrics,
+    );
+    server.shutdown();
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -1348,6 +1793,10 @@ fn main() {
     // In check mode the workload is hard-pinned to seed 2013; the JSON
     // must record the seed that actually ran, not the RTR_SEED env.
     let workload_seed = if args.check.is_some() { 2013 } else { seed() };
+    if args.wire {
+        run_wire(&args, log, &scale_label, workload_seed);
+        return;
+    }
     if args.open_loop {
         run_open_loop(&args, log, &scale_label, workload_seed);
         return;

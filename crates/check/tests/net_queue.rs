@@ -1,0 +1,142 @@
+//! Model checks for the network front door's bounded per-connection
+//! write queue (`rtr_net::check_api::WriteQueue`) — the protocol behind
+//! the PR-10 guarantees:
+//!
+//! * a push's condvar notify can never be lost (the writer always wakes);
+//! * the reserved control lane still admits a rejection while the data
+//!   lane is full, so backpressure can always be *reported*;
+//! * shutdown drain: after `close`, the writer receives every entry whose
+//!   push was accepted — in order — and then terminates. No accepted
+//!   request is dropped, in any schedule.
+
+use loom_shim::model::{explore, Config};
+use loom_shim::sync::atomic::{AtomicU64, Ordering};
+use loom_shim::sync::Arc;
+use loom_shim::thread;
+use rtr_net::check_api::{PopOutcome, PushOutcome, WriteQueue};
+
+/// Producer pushes, then closes; consumer blocks in `pop`. In every
+/// schedule the consumer must receive the entry and then `Drained` —
+/// a lost wakeup would deadlock the pop and the checker would flag it.
+#[test]
+fn push_never_loses_the_writer_wakeup() {
+    let report = explore(Config::with_random(10_000, 0x0A10_0001), || {
+        let q = Arc::new(WriteQueue::new(4, 1));
+        let producer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || {
+                assert_eq!(q.push_data(7u64), PushOutcome::Pushed);
+                q.close();
+            })
+        };
+        let mut seen = Vec::new();
+        while let PopOutcome::Item(v) = q.pop() {
+            seen.push(v);
+        }
+        assert_eq!(seen, vec![7], "writer must see the accepted entry");
+        producer.join().unwrap();
+    });
+    rtr_check::report("net-queue/no-lost-wakeup", &report);
+    assert!(report.dfs_schedules > 1);
+    assert!(report.total() >= 10_000, "{} schedules", report.total());
+}
+
+/// The error path must not deadlock on the condition it reports: with
+/// the data lane full, a rejected data push can always queue its
+/// `Overloaded` notice through the reserved control lane.
+#[test]
+fn control_lane_admits_rejection_while_data_lane_is_full() {
+    let report = explore(Config::with_random(10_000, 0x0A10_0002), || {
+        let q = Arc::new(WriteQueue::new(1, 1));
+        assert_eq!(q.push_data(0u64), PushOutcome::Pushed);
+        let consumer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || {
+                let mut seen = Vec::new();
+                loop {
+                    match q.pop() {
+                        PopOutcome::Item(v) => seen.push(v),
+                        PopOutcome::Drained => return seen,
+                    }
+                }
+            })
+        };
+        // Racing the consumer: the second data push sees either a full
+        // lane (consumer hasn't popped) or a freed slot. If it is
+        // rejected, the control-lane rejection entry must be accepted.
+        let rejected = match q.push_data(1u64) {
+            PushOutcome::Pushed => false,
+            PushOutcome::Rejected => {
+                assert_eq!(
+                    q.push_control(99u64),
+                    PushOutcome::Pushed,
+                    "reserved lane must admit the rejection notice"
+                );
+                true
+            }
+            PushOutcome::Closed => unreachable!("nobody closed the queue yet"),
+        };
+        q.close();
+        let seen = consumer.join().unwrap();
+        if rejected {
+            assert_eq!(seen, vec![0, 99]);
+        } else {
+            assert_eq!(seen, vec![0, 1]);
+        }
+    });
+    rtr_check::report("net-queue/reserved-rejection-lane", &report);
+    assert!(report.dfs_schedules > 1);
+}
+
+/// Shutdown drain with `close` racing the producer: whatever interleaving
+/// occurs, the consumer must receive exactly the accepted pushes, in push
+/// order, and then terminate. `Drained` can never overtake an accepted
+/// entry, and pushes after close must be refused as `Closed`.
+#[test]
+fn close_drains_exactly_the_accepted_entries_then_terminates() {
+    let report = explore(Config::with_random(10_000, 0x0A10_0003), || {
+        let q = Arc::new(WriteQueue::new(2, 1));
+        let accepted = Arc::new(AtomicU64::new(0));
+        let producer = {
+            let q = Arc::clone(&q);
+            let accepted = Arc::clone(&accepted);
+            thread::spawn(move || {
+                for i in 0..3u64 {
+                    match q.push_data(i) {
+                        PushOutcome::Pushed => {
+                            // One bit per entry from a single producer, so
+                            // fetch_add is fetch_or here (the shim has no
+                            // fetch_or).
+                            // ordering: SeqCst — model-only bookkeeping.
+                            accepted.fetch_add(1 << i, Ordering::SeqCst);
+                        }
+                        // Rejected: lane full (consumer slow) — the real
+                        // reader sends Overloaded. Closed: shutdown won.
+                        PushOutcome::Rejected | PushOutcome::Closed => {}
+                    }
+                }
+            })
+        };
+        let closer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || q.close())
+        };
+        let mut seen = 0u64;
+        let mut last: Option<u64> = None;
+        while let PopOutcome::Item(v) = q.pop() {
+            assert!(last.is_none_or(|p| p < v), "FIFO order violated");
+            last = Some(v);
+            seen |= 1 << v;
+        }
+        producer.join().unwrap();
+        closer.join().unwrap();
+        // ordering: SeqCst — model-only bookkeeping.
+        assert_eq!(
+            seen,
+            accepted.load(Ordering::SeqCst),
+            "drain must deliver exactly the accepted entries"
+        );
+    });
+    rtr_check::report("net-queue/shutdown-drain", &report);
+    assert!(report.dfs_schedules > 1);
+}

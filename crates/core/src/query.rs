@@ -64,6 +64,39 @@ impl Query {
         })
     }
 
+    /// Reconstruct a query from pairs whose weights are **already
+    /// normalized** (they sum to 1), preserving the weight bits exactly.
+    ///
+    /// This is the wire-codec constructor: [`Query::weighted`] re-divides
+    /// by the pair total, and dividing an already-normalized weight set by
+    /// its ~1.0 sum perturbs the low bits — enough to break the serving
+    /// layer's bit-identity contract across an encode/decode round trip.
+    /// Weights are validated (finite, non-negative, summing to 1 within an
+    /// ulp-scale tolerance) but never rescaled.
+    pub fn from_normalized(pairs: &[(NodeId, f64)]) -> Result<Self, CoreError> {
+        if pairs.is_empty() {
+            return Err(CoreError::EmptyQuery);
+        }
+        if !pairs.iter().all(|&(_, w)| w.is_finite() && w >= 0.0) {
+            return Err(CoreError::BadQueryWeights(
+                "weights must be non-negative and finite".into(),
+            ));
+        }
+        let total: f64 = pairs.iter().map(|&(_, w)| w).sum();
+        // Tolerance: canonical weights come from one division per pair, so
+        // any legitimate sum sits within a few ulps of 1; 1e-9 is far
+        // beyond that while still rejecting un-normalized input.
+        if (total - 1.0).abs() > 1e-9 {
+            return Err(CoreError::BadQueryWeights(format!(
+                "weights must already sum to 1 (got {total})"
+            )));
+        }
+        Ok(Query {
+            nodes: pairs.iter().map(|&(n, _)| n).collect(),
+            weights: pairs.iter().map(|&(_, w)| w).collect(),
+        })
+    }
+
     /// The query nodes.
     pub fn nodes(&self) -> &[NodeId] {
         &self.nodes
@@ -249,6 +282,26 @@ mod tests {
         assert!(Query::weighted(&[(NodeId(0), -1.0)]).is_err());
         assert!(Query::weighted(&[(NodeId(0), 0.0)]).is_err());
         assert!(Query::weighted(&[(NodeId(0), f64::NAN)]).is_err());
+    }
+
+    #[test]
+    fn from_normalized_preserves_weight_bits() {
+        let q = Query::weighted(&[(NodeId(1), 1.0), (NodeId(2), 1.0), (NodeId(3), 1.0)]).unwrap();
+        let pairs: Vec<(NodeId, f64)> = q.iter().collect();
+        let back = Query::from_normalized(&pairs).unwrap();
+        assert_eq!(back, q, "round trip is bit-exact, no re-normalization");
+        // Query::weighted would perturb the bits: 3×(1/3) sums to
+        // 0.999…; from_normalized must not divide by that.
+        assert_eq!(back.weights(), q.weights());
+    }
+
+    #[test]
+    fn from_normalized_rejects_bad_weights() {
+        assert!(Query::from_normalized(&[]).is_err());
+        assert!(Query::from_normalized(&[(NodeId(0), 0.4)]).is_err());
+        assert!(Query::from_normalized(&[(NodeId(0), f64::NAN)]).is_err());
+        assert!(Query::from_normalized(&[(NodeId(0), -0.5), (NodeId(1), 1.5)]).is_err());
+        assert!(Query::from_normalized(&[(NodeId(0), 1.0)]).is_ok());
     }
 
     #[test]

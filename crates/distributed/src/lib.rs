@@ -50,7 +50,9 @@ pub mod gp;
 mod rtr_sync;
 pub mod stripe;
 
-pub use active::{ActiveGraph, BlockCache, BlockCacheMetrics};
+pub use active::{
+    ActiveGraph, BlockCache, BlockCacheMetrics, DEFAULT_MAX_BLOCKS, DEFAULT_PREFETCH_LIMIT,
+};
 pub use dtopk::{
     DistributedStats, DistributedTwoSBound, DistributedTwoSBoundPlus, DistributedWorkspace,
 };

@@ -57,7 +57,15 @@ impl fmt::Display for Violation {
 /// `unwrap()`/`expect()` with an `// invariant:` comment. `bench`,
 /// `datagen`, `eval` and the test/lint crates are deliberately absent —
 /// the allowlist for harness code the issue carves out.
-pub const EXPECT_CRATES: &[&str] = &["serve", "cache", "distributed", "obs", "graph", "core"];
+pub const EXPECT_CRATES: &[&str] = &[
+    "serve",
+    "cache",
+    "distributed",
+    "obs",
+    "graph",
+    "core",
+    "net",
+];
 
 /// Crates whose src trees form the per-query hot path where `std`
 /// hash collections are banned in favor of `SparseMap`/dense layouts.

@@ -1,0 +1,266 @@
+//! Bounded per-connection write queue with a reserved control lane.
+//!
+//! Every connection owns one [`WriteQueue`]: the reader thread pushes
+//! pending-response tickets (and control frames) in request order, the
+//! writer thread pops them, waits for the engine, and writes to the
+//! socket. The queue is the backpressure point of the whole front door:
+//!
+//! * The **data lane** is bounded. When a client stops reading its
+//!   socket, the writer stalls, the queue fills, and further requests are
+//!   refused with [`PushOutcome::Rejected`] — which the reader turns into
+//!   a typed `Overloaded` error frame. Memory per connection is capped;
+//!   engine workers are never held hostage by a slow client.
+//! * The **control lane** is reserved capacity on top of the data bound,
+//!   so that the `Overloaded` rejection itself (and the shutdown
+//!   `Goodbye`) can still be queued when the data lane is full — the
+//!   error path must not deadlock on the condition it reports.
+//! * [`WriteQueue::close`] is the shutdown-drain half: pushes are refused
+//!   with [`PushOutcome::Closed`], but everything already accepted is
+//!   still handed to the writer in order before [`PopOutcome::Drained`]
+//!   is returned. An accepted request is therefore never dropped by
+//!   shutdown.
+//!
+//! Sync primitives come from the [`crate::rtr_sync`] facade, so the
+//! `rtr-check` model suite explores this exact code (no lost wakeup,
+//! no dropped entry, drain termination) under the loom shim while
+//! production builds get plain `std::sync`.
+
+use crate::rtr_sync::{Condvar, Mutex};
+use std::collections::VecDeque;
+
+/// Result of pushing onto a [`WriteQueue`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PushOutcome {
+    /// Entry accepted; the writer will eventually pop it.
+    Pushed,
+    /// The lane is at capacity — backpressure. The entry was NOT
+    /// enqueued; the caller owes the client an `Overloaded` rejection
+    /// (through the control lane, which has its own reserve).
+    Rejected,
+    /// The queue was closed; no new entries are accepted.
+    Closed,
+}
+
+/// Result of popping from a [`WriteQueue`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PopOutcome<T> {
+    /// The next entry, FIFO across both lanes.
+    Item(T),
+    /// The queue is closed and fully drained; the writer can exit.
+    Drained,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Lane {
+    Data,
+    Control,
+}
+
+struct State<T> {
+    /// FIFO across both lanes; each entry remembers which lane's
+    /// capacity it occupies.
+    entries: VecDeque<(Lane, T)>,
+    data_len: usize,
+    control_len: usize,
+    closed: bool,
+}
+
+/// The bounded two-lane FIFO described in the module docs above.
+pub struct WriteQueue<T> {
+    data_capacity: usize,
+    control_capacity: usize,
+    state: Mutex<State<T>>,
+    ready: Condvar,
+}
+
+impl<T> WriteQueue<T> {
+    /// Queue with `data_capacity` slots for responses and
+    /// `control_capacity` reserved slots for rejections/control frames.
+    /// Capacities below 1 are raised to 1 — a zero-capacity lane would
+    /// reject its own error reporting.
+    pub fn new(data_capacity: usize, control_capacity: usize) -> Self {
+        WriteQueue {
+            data_capacity: data_capacity.max(1),
+            control_capacity: control_capacity.max(1),
+            state: Mutex::new(State {
+                entries: VecDeque::new(),
+                data_len: 0,
+                control_len: 0,
+                closed: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn push(&self, item: T, lane: Lane) -> PushOutcome {
+        // invariant: queue mutex is never poisoned — no user code runs
+        // inside the critical section.
+        let mut state = self.state.lock().expect("write-queue mutex poisoned");
+        if state.closed {
+            return PushOutcome::Closed;
+        }
+        let (len, cap) = match lane {
+            Lane::Data => (state.data_len, self.data_capacity),
+            Lane::Control => (state.control_len, self.control_capacity),
+        };
+        if len >= cap {
+            return PushOutcome::Rejected;
+        }
+        match lane {
+            Lane::Data => state.data_len += 1,
+            Lane::Control => state.control_len += 1,
+        }
+        state.entries.push_back((lane, item));
+        drop(state);
+        // Wake the writer after releasing the lock; one entry, one
+        // wakeup. The pop loop re-checks emptiness under the lock, so a
+        // wakeup can never be lost (model-checked in rtr-check).
+        self.ready.notify_one();
+        PushOutcome::Pushed
+    }
+
+    /// Push a response entry through the bounded data lane.
+    pub fn push_data(&self, item: T) -> PushOutcome {
+        self.push(item, Lane::Data)
+    }
+
+    /// Push a rejection/control entry through the reserved control lane.
+    pub fn push_control(&self, item: T) -> PushOutcome {
+        self.push(item, Lane::Control)
+    }
+
+    /// Block until an entry is available or the queue is closed and
+    /// empty. FIFO across both lanes — responses stay in request order.
+    pub fn pop(&self) -> PopOutcome<T> {
+        // invariant: queue mutex is never poisoned — no user code runs
+        // inside the critical section.
+        let mut state = self.state.lock().expect("write-queue mutex poisoned");
+        loop {
+            if let Some((lane, item)) = state.entries.pop_front() {
+                match lane {
+                    Lane::Data => state.data_len -= 1,
+                    Lane::Control => state.control_len -= 1,
+                }
+                return PopOutcome::Item(item);
+            }
+            if state.closed {
+                return PopOutcome::Drained;
+            }
+            // invariant: condvar never poisoned — no panics under the lock.
+            state = self
+                .ready
+                .wait(state)
+                .expect("write-queue condvar poisoned");
+        }
+    }
+
+    /// Close the queue: all future pushes return [`PushOutcome::Closed`];
+    /// the writer drains remaining entries, then sees
+    /// [`PopOutcome::Drained`]. Idempotent.
+    pub fn close(&self) {
+        // invariant: queue mutex is never poisoned — no user code runs
+        // inside the critical section.
+        let mut state = self.state.lock().expect("write-queue mutex poisoned");
+        state.closed = true;
+        drop(state);
+        self.ready.notify_all();
+    }
+
+    /// Whether the data lane has room for one more entry right now.
+    ///
+    /// The reader thread is a queue's only producer, so for it this is
+    /// not racy: a `true` answer guarantees the next [`push_data`]
+    /// succeeds (pops only free capacity). The server checks this
+    /// *before* submitting to the engine, so a backpressured request is
+    /// rejected without burning engine work.
+    ///
+    /// [`push_data`]: WriteQueue::push_data
+    pub fn has_data_capacity(&self) -> bool {
+        // invariant: queue mutex is never poisoned — no user code runs
+        // inside the critical section.
+        let state = self.state.lock().expect("write-queue mutex poisoned");
+        !state.closed && state.data_len < self.data_capacity
+    }
+
+    /// Entries currently queued (both lanes); a metrics/test hook.
+    #[cfg_attr(not(any(test, feature = "rtr_check")), allow(dead_code))]
+    pub fn len(&self) -> usize {
+        // invariant: queue mutex is never poisoned — no user code runs
+        // inside the critical section.
+        let state = self.state.lock().expect("write-queue mutex poisoned");
+        state.entries.len()
+    }
+
+    /// True when nothing is queued. (Clippy insists `len` implies this.)
+    #[cfg_attr(not(any(test, feature = "rtr_check")), allow(dead_code))]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(all(test, not(feature = "rtr_check")))]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_across_lanes_and_capacity_per_lane() {
+        let q = WriteQueue::new(2, 1);
+        assert_eq!(q.push_data(1), PushOutcome::Pushed);
+        assert_eq!(q.push_data(2), PushOutcome::Pushed);
+        // Data lane full; control lane still has its reserve.
+        assert_eq!(q.push_data(3), PushOutcome::Rejected);
+        assert_eq!(q.push_control(90), PushOutcome::Pushed);
+        assert_eq!(q.push_control(91), PushOutcome::Rejected);
+        assert_eq!(q.len(), 3);
+        assert!(!q.is_empty());
+        // FIFO across both lanes.
+        assert_eq!(q.pop(), PopOutcome::Item(1));
+        // Popping frees data capacity again.
+        assert_eq!(q.push_data(4), PushOutcome::Pushed);
+        assert_eq!(q.pop(), PopOutcome::Item(2));
+        assert_eq!(q.pop(), PopOutcome::Item(90));
+        assert_eq!(q.pop(), PopOutcome::Item(4));
+    }
+
+    #[test]
+    fn close_drains_then_terminates() {
+        let q = WriteQueue::new(4, 1);
+        q.push_data(1);
+        q.push_data(2);
+        q.close();
+        assert_eq!(q.push_data(3), PushOutcome::Closed);
+        assert_eq!(q.pop(), PopOutcome::Item(1));
+        assert_eq!(q.pop(), PopOutcome::Item(2));
+        assert_eq!(q.pop(), PopOutcome::Drained);
+        // Drained is sticky.
+        assert_eq!(q.pop(), PopOutcome::Drained);
+    }
+
+    #[test]
+    fn blocking_pop_wakes_on_push_and_on_close() {
+        let q = Arc::new(WriteQueue::new(128, 1));
+        let popper = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut seen = Vec::new();
+                loop {
+                    match q.pop() {
+                        PopOutcome::Item(v) => seen.push(v),
+                        PopOutcome::Drained => return seen,
+                    }
+                }
+            })
+        };
+        for i in 0..100u64 {
+            assert_eq!(q.push_data(i), PushOutcome::Pushed, "push {i}");
+            if i % 7 == 0 {
+                std::thread::yield_now();
+            }
+        }
+        q.close();
+        // invariant: popper thread cannot panic.
+        let seen = popper.join().expect("popper panicked");
+        assert_eq!(seen, (0..100u64).collect::<Vec<_>>());
+    }
+}

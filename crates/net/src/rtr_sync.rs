@@ -1,0 +1,17 @@
+//! Synchronization-primitive facade for this crate's modeled concurrency
+//! protocol (the bounded connection write queue).
+//!
+//! Production builds (`rtr_check` off, the default and the only
+//! configuration tier-1 ever builds) re-export plain `std::sync` — zero
+//! overhead, byte-identical behavior. Under the `rtr_check` feature the
+//! same names resolve to `loom_shim`'s instrumented types, so `rtr-check`
+//! model suites can exhaustively explore every interleaving of the
+//! write-queue backpressure and shutdown-drain protocols. Code in this
+//! crate imports sync primitives from here, never from `std::sync`
+//! directly (the modeled module is `queue`; `server` uses real threads
+//! and sockets and is exercised end-to-end instead).
+
+#[cfg(feature = "rtr_check")]
+pub(crate) use loom_shim::sync::{Condvar, Mutex};
+#[cfg(not(feature = "rtr_check"))]
+pub(crate) use std::sync::{Condvar, Mutex};

@@ -2,6 +2,7 @@
 
 use crate::backend::Backend;
 use rtr_core::RankParams;
+use rtr_distributed::{DEFAULT_MAX_BLOCKS, DEFAULT_PREFETCH_LIMIT};
 use rtr_topk::{Scheme, TopKConfig};
 
 /// How submitted jobs reach (or bypass) the worker threads.
@@ -67,6 +68,15 @@ pub struct ServeConfig {
     /// How jobs are dispatched to workers ([`SchedulerMode::WorkStealing`]
     /// by default). Never changes answers, only latency.
     pub scheduler: SchedulerMode,
+    /// Per-frontier-round speculative fetch cap of each worker's AP-side
+    /// [`rtr_distributed::BlockCache`] (0 disables prefetching). Only read
+    /// by distributed backends; see [`rtr_distributed::BlockCache::with_limits`].
+    pub block_prefetch_limit: usize,
+    /// Cross-query residency budget (in blocks) of each worker's AP-side
+    /// block cache: the cache clears itself between queries once it
+    /// exceeds this, so 0 means no block survives its query. Only read by
+    /// distributed backends.
+    pub block_cache_blocks: usize,
     /// Record serving metrics (scheduler counters, per-measure latency
     /// histograms, distributed wire counters) into the engine's
     /// [`rtr_obs::Registry`], rendered by
@@ -98,6 +108,8 @@ impl Default for ServeConfig {
             cache_shards: 16,
             single_flight: true,
             scheduler: SchedulerMode::WorkStealing,
+            block_prefetch_limit: DEFAULT_PREFETCH_LIMIT,
+            block_cache_blocks: DEFAULT_MAX_BLOCKS,
             metrics: false,
             tracing: false,
         }
@@ -151,6 +163,18 @@ impl ServeConfig {
     /// This configuration with the given scheduler mode.
     pub fn with_scheduler(mut self, scheduler: SchedulerMode) -> Self {
         self.scheduler = scheduler;
+        self
+    }
+
+    /// This configuration with explicit per-worker block-cache knobs for
+    /// distributed backends: `prefetch_limit` caps speculative fetches per
+    /// frontier round, `max_blocks` bounds cross-query block residency
+    /// (see [`ServeConfig::block_prefetch_limit`] /
+    /// [`ServeConfig::block_cache_blocks`]). Pure performance knobs —
+    /// answers stay bit-identical at any setting.
+    pub fn with_block_cache_limits(mut self, prefetch_limit: usize, max_blocks: usize) -> Self {
+        self.block_prefetch_limit = prefetch_limit;
+        self.block_cache_blocks = max_blocks;
         self
     }
 
@@ -278,6 +302,14 @@ impl ServeConfigBuilder {
     /// Scheduler mode (see [`SchedulerMode`]).
     pub fn scheduler(mut self, scheduler: SchedulerMode) -> Self {
         self.config.scheduler = scheduler;
+        self
+    }
+
+    /// Per-worker block-cache knobs for distributed backends (see
+    /// [`ServeConfig::with_block_cache_limits`]).
+    pub fn block_cache_limits(mut self, prefetch_limit: usize, max_blocks: usize) -> Self {
+        self.config.block_prefetch_limit = prefetch_limit;
+        self.config.block_cache_blocks = max_blocks;
         self
     }
 
@@ -429,6 +461,22 @@ mod tests {
                 .build(),
             Err(ServeConfigError::ZeroGps)
         );
+    }
+
+    #[test]
+    fn block_cache_builders_apply() {
+        let d = ServeConfig::default();
+        assert_eq!(d.block_prefetch_limit, DEFAULT_PREFETCH_LIMIT);
+        assert_eq!(d.block_cache_blocks, DEFAULT_MAX_BLOCKS);
+        let c = ServeConfig::default().with_block_cache_limits(32, 1024);
+        assert_eq!(c.block_prefetch_limit, 32);
+        assert_eq!(c.block_cache_blocks, 1024);
+        let c = ServeConfig::builder()
+            .block_cache_limits(0, 8)
+            .build()
+            .unwrap();
+        assert_eq!(c.block_prefetch_limit, 0, "0 = prefetching off, valid");
+        assert_eq!(c.block_cache_blocks, 8);
     }
 
     #[test]

@@ -796,7 +796,7 @@ impl ServeEngine {
                 })
             }),
             flight: InFlight::new(),
-            inline_ws: Mutex::new(ServeWorkspace::with_capacity(node_count)),
+            inline_ws: Mutex::new(ServeWorkspace::for_engine(node_count, &config)),
             computed: AtomicU64::new(0),
             graph,
             config,
@@ -815,7 +815,7 @@ impl ServeEngine {
                             // Panics inside a query are caught in
                             // Shared::compute; a dead worker would strand
                             // the jobs still queued and hang their batches.
-                            let mut ws = ServeWorkspace::with_capacity(node_count);
+                            let mut ws = ServeWorkspace::for_engine(node_count, &shared.config);
                             if shared.distributed.is_some() {
                                 if let Some(bc) = shared.m.block_cache(&shared.registry, idx) {
                                     ws.dist.cache.set_metrics(bc);
@@ -862,7 +862,7 @@ impl ServeEngine {
                         let pool = Arc::clone(&pool);
                         let shared = Arc::clone(&shared);
                         std::thread::spawn(move || {
-                            let mut ws = ServeWorkspace::with_capacity(node_count);
+                            let mut ws = ServeWorkspace::for_engine(node_count, &shared.config);
                             if shared.distributed.is_some() {
                                 if let Some(bc) = shared.m.block_cache(&shared.registry, idx) {
                                     ws.dist.cache.set_metrics(bc);
@@ -1528,6 +1528,32 @@ mod tests {
                 assert_eq!(d.backend, BackendKind::Local);
                 assert!(d.distributed.is_none());
             }
+        }
+    }
+
+    #[test]
+    fn block_cache_limits_are_pure_performance_knobs() {
+        // Starved limits (no prefetch, no cross-query residency) change
+        // wire cost, never answers: every tuned response is bit-identical
+        // to the serial local reference.
+        let (g, _) = fig2_toy();
+        let g = Arc::new(g);
+        let base = ServeConfig::default()
+            .with_workers(2)
+            .with_topk(TopKConfig::toy())
+            .with_backend(Backend::Distributed { gps: 2 });
+        let requests: Vec<QueryRequest> = g.nodes().map(QueryRequest::node).collect();
+        let reference = run_serial_requests(&g, &base, &requests);
+        for (prefetch, blocks) in [(0, 0), (1, 2), (512, 1 << 20)] {
+            let tuned = base.with_block_cache_limits(prefetch, blocks);
+            let engine = ServeEngine::start(Arc::clone(&g), tuned);
+            let served = engine.run_requests(&requests);
+            for (s, r) in served.iter().zip(&reference) {
+                let (sr, rr) = (s.result.as_ref().unwrap(), r.result.as_ref().unwrap());
+                assert_eq!(sr.ranking, rr.ranking);
+                assert_eq!(sr.bounds, rr.bounds);
+            }
+            engine.shutdown();
         }
     }
 

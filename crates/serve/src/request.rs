@@ -38,7 +38,7 @@ use rtr_cache::CacheKey;
 use rtr_core::iterative::{iterate_with, Direction};
 use rtr_core::prelude::*;
 use rtr_core::IterWorkspace;
-use rtr_distributed::DistributedWorkspace;
+use rtr_distributed::{BlockCache, DistributedWorkspace};
 use rtr_graph::{Graph, NodeId};
 use rtr_topk::{
     ActiveSetStats, Scheme, TopKConfig, TopKResult, TopKWorkspace, TwoSBound, TwoSBoundPlus,
@@ -159,6 +159,23 @@ impl QueryRequest {
     /// The per-query backend routing override, if any.
     pub fn backend(&self) -> Option<BackendKind> {
         self.backend
+    }
+
+    /// The per-query random-walk parameter override, if any.
+    pub fn params(&self) -> Option<RankParams> {
+        self.params
+    }
+
+    /// The per-query top-K configuration override, if any (the separate
+    /// [`QueryRequest::k`] override is *not* folded in here; resolution
+    /// applies it on top).
+    pub fn topk(&self) -> Option<TopKConfig> {
+        self.topk
+    }
+
+    /// The per-query scheme override, if any.
+    pub fn scheme(&self) -> Option<Scheme> {
+        self.scheme
     }
 
     /// Fill every unset field from `defaults`, producing the exact
@@ -304,6 +321,23 @@ impl ServeWorkspace {
             topk: TopKWorkspace::with_capacity(n),
             iter: IterWorkspace::with_capacity(n),
             dist: DistributedWorkspace::default(),
+        }
+    }
+
+    /// A workspace pre-sized like [`ServeWorkspace::with_capacity`] whose
+    /// AP-side block cache runs with the engine-configured limits
+    /// ([`ServeConfig::block_prefetch_limit`] /
+    /// [`ServeConfig::block_cache_blocks`]) instead of the crate defaults.
+    /// This is how every pool worker builds its workspace; local backends
+    /// never touch `dist`, so the knobs are inert for them.
+    pub fn for_engine(n: usize, config: &ServeConfig) -> Self {
+        ServeWorkspace {
+            topk: TopKWorkspace::with_capacity(n),
+            iter: IterWorkspace::with_capacity(n),
+            dist: DistributedWorkspace::with_cache(BlockCache::with_limits(
+                config.block_prefetch_limit,
+                config.block_cache_blocks,
+            )),
         }
     }
 }

@@ -1,0 +1,171 @@
+//! Property-based fuzzing of the wire protocol (PR-10 satellite): the
+//! decoder must be *total*. For every input — well-formed, truncated at
+//! any byte, bit-flipped anywhere, or adversarially sized — decoding
+//! returns `Ok` or a typed [`WireError`]; it never panics and never
+//! allocates beyond the declared (and capped) payload length. And for
+//! every encodable request, decode ∘ encode is the identity, bit for bit,
+//! in both the binary and the JSON payload modes.
+
+use proptest::prelude::*;
+use rtr_core::{Measure, Query, RankParams};
+use rtr_graph::NodeId;
+use rtr_net::json::{request_from_json, request_to_json};
+use rtr_net::{
+    decode_reject, decode_request, decode_response, encode_request, Frame, FrameType, WireError,
+    HEADER_LEN, MAX_PAYLOAD,
+};
+use rtr_serve::QueryRequest;
+use rtr_topk::{Scheme, TopKConfig};
+
+/// Strategy: a request with a random normalized multi-node query and a
+/// random subset of the optional override fields.
+fn arb_request() -> impl Strategy<Value = QueryRequest> {
+    (
+        proptest::collection::vec((0..500u32, 0.05..1.0f64), 1..6),
+        0..5u8,        // measure tag (4 = "leave default")
+        0.05..0.95f64, // beta, when RtrPlus
+        0..16u8,       // presence bitmask for k/params/scheme/topk
+    )
+        .prop_map(|(pairs, measure_tag, beta, presence)| {
+            let total: f64 = pairs.iter().map(|(_, w)| w).sum();
+            let normalized: Vec<(NodeId, f64)> =
+                pairs.iter().map(|&(n, w)| (NodeId(n), w / total)).collect();
+            let query = Query::from_normalized(&normalized).expect("normalized by construction");
+            let mut request = QueryRequest::new(query);
+            request = match measure_tag {
+                0 => request.with_measure(Measure::F),
+                1 => request.with_measure(Measure::T),
+                2 => request.with_measure(Measure::Rtr),
+                3 => request.with_measure(Measure::RtrPlus { beta }),
+                _ => request,
+            };
+            if presence & 1 != 0 {
+                request = request.with_k(1 + (presence as usize % 7));
+            }
+            if presence & 2 != 0 {
+                request = request.with_params(RankParams {
+                    alpha: 0.2 + beta / 10.0,
+                    tolerance: 1e-7,
+                    max_iterations: 50 + presence as usize,
+                });
+            }
+            if presence & 4 != 0 {
+                request = request.with_scheme(match presence % 4 {
+                    0 => Scheme::TwoSBound,
+                    1 => Scheme::GPlusS,
+                    2 => Scheme::Gupta,
+                    _ => Scheme::Sarkar,
+                });
+            }
+            if presence & 8 != 0 {
+                request = request.with_topk(TopKConfig::toy());
+            }
+            request
+        })
+}
+
+fn encode_payload(request: &QueryRequest) -> Vec<u8> {
+    let mut buf = bytes::BytesMut::new();
+    encode_request(request, &mut buf);
+    buf.as_slice().to_vec()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    // decode ∘ encode = identity for the binary codec, including the
+    // f64 query-weight bits.
+    #[test]
+    fn binary_round_trip_is_identity(request in arb_request()) {
+        let payload = encode_payload(&request);
+        let back = decode_request(&payload);
+        prop_assert!(back.is_ok(), "round trip failed: {:?}", back.err());
+        prop_assert_eq!(back.unwrap(), request);
+    }
+
+    // Same identity through the JSON payload mode.
+    #[test]
+    fn json_round_trip_is_identity(request in arb_request()) {
+        let text = request_to_json(&request);
+        let back = request_from_json(&text);
+        prop_assert!(back.is_ok(), "JSON trip failed on {text}: {:?}", back.err());
+        prop_assert_eq!(back.unwrap(), request);
+    }
+
+    // Every truncation of a valid frame is `Truncated` (the streaming
+    // "need more" signal) with honest byte accounting, and every
+    // truncation of the bare payload is a typed error, never a panic.
+    #[test]
+    fn every_truncation_is_typed(request in arb_request(), frac in 0.0..1.0f64) {
+        let payload = encode_payload(&request);
+        let frame = Frame {
+            frame_type: FrameType::Request,
+            json: false,
+            tenant: 42,
+            request_id: 7,
+            payload: bytes::Bytes::from(&payload[..]),
+        };
+        let wire = frame.to_bytes();
+        let cut = ((wire.len() as f64) * frac) as usize; // in [0, len)
+        match Frame::parse(&wire.as_slice()[..cut], MAX_PAYLOAD) {
+            Err(WireError::Truncated { needed, available }) => {
+                prop_assert_eq!(available, cut);
+                prop_assert!(needed > cut);
+                prop_assert!(needed <= wire.len());
+            }
+            other => prop_assert!(false, "cut at {cut}: {other:?}"),
+        }
+        let pcut = ((payload.len() as f64) * frac) as usize;
+        prop_assert!(decode_request(&payload[..pcut]).is_err());
+    }
+
+    // Single bit flips anywhere in the payload: the decoder stays total
+    // (Ok or typed Err — flips in low mantissa bits of a weight can
+    // legitimately still decode).
+    #[test]
+    fn bit_flips_never_panic(request in arb_request(), pos in 0..4096usize, bit in 0..8u8) {
+        let mut payload = encode_payload(&request);
+        let n = payload.len();
+        payload[pos % n] ^= 1 << bit;
+        let _ = decode_request(&payload);
+        // The same bytes thrown at the *other* decoders must also be
+        // handled: a confused peer is a typed error, not a crash.
+        let _ = decode_response(&payload);
+        let _ = decode_reject(&payload);
+    }
+
+    // Arbitrary byte soup into the frame parser and all payload
+    // decoders: total, typed, no panic, no over-allocation.
+    #[test]
+    fn random_bytes_are_handled(noise in proptest::collection::vec(0..=255u8, 0..(HEADER_LEN * 4))) {
+        let _ = Frame::parse(&noise, MAX_PAYLOAD);
+        let _ = decode_request(&noise);
+        let _ = decode_response(&noise);
+        let _ = decode_reject(&noise);
+    }
+
+    // A hostile declared length (up to the full u32 range) must be
+    // rejected by header validation — `Oversized` against the
+    // acceptor's cap — before any buffer is sized from it.
+    #[test]
+    fn hostile_lengths_are_rejected_before_allocation(
+        declared in (MAX_PAYLOAD as u32 + 1)..u32::MAX,
+        cap in 1024..65536usize,
+    ) {
+        let mut wire = Vec::with_capacity(HEADER_LEN);
+        wire.extend_from_slice(b"RT");
+        wire.push(1); // version
+        wire.push(1); // Request
+        wire.extend_from_slice(&[0; 4]); // flags + reserved
+        wire.extend_from_slice(&9u32.to_le_bytes()); // tenant
+        wire.extend_from_slice(&77u64.to_le_bytes()); // request id
+        wire.extend_from_slice(&declared.to_le_bytes());
+        match Frame::parse(&wire, cap) {
+            Err(WireError::Oversized { len, max }) => {
+                prop_assert_eq!(len, declared as usize);
+                prop_assert_eq!(max, cap);
+            }
+            other => prop_assert!(false, "declared {declared}: {other:?}"),
+        }
+    }
+}
